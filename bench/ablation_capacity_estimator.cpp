@@ -1,0 +1,74 @@
+// Ablation — link capacity estimator (paper §V "Estimating link capacity").
+//
+// Two dials: the per-interval growth applied to a finite estimate (estimates
+// are conservative because reports miss in-flight bytes) and the periodic
+// reset that un-sticks under-estimates. Sweep both on Topology B and check
+// the accuracy of the estimate against the known shared-link capacity.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/toposense.hpp"
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Ablation", "capacity estimator growth/reset, Topology B (4 sessions)");
+
+  struct Setting {
+    double growth;
+    int reset_intervals;
+  };
+  const std::vector<Setting> settings = bench::quick_mode()
+      ? std::vector<Setting>{{0.02, 25}}
+      : std::vector<Setting>{{0.0, 25}, {0.02, 25}, {0.10, 25}, {0.02, 5}, {0.02, 1000}};
+
+  std::printf("%-10s %8s %18s %16s %14s\n", "growth", "reset", "mean deviation",
+              "est/true ratio", "mean loss%%");
+  for (const Setting& s : settings) {
+    scenarios::ScenarioConfig config;
+    config.seed = 6004;
+    config.model = traffic::TrafficModel::kCbr;
+    config.duration = bench::run_duration();
+    config.params.capacity_growth = s.growth;
+    config.params.capacity_reset_intervals = s.reset_intervals;
+
+    scenarios::TopologyBOptions topology;
+    topology.sessions = 4;
+    const double true_capacity = topology.per_session_bps * topology.sessions;
+
+    auto scenario = scenarios::Scenario::topology_b(config, topology);
+
+    // Sample the estimate for the shared link (ra=0 -> rb=1) once a second.
+    double est_sum = 0.0;
+    int est_count = 0;
+    std::function<void()> probe = [&]() {
+      const double est =
+          scenario->controller()->algorithm().capacities().capacity_bps(core::LinkKey{0, 1});
+      if (std::isfinite(est)) {
+        est_sum += est;
+        ++est_count;
+      }
+      scenario->simulation().after(Time::seconds(1), probe);
+    };
+    scenario->simulation().at(Time::seconds(1), probe);
+
+    scenario->run();
+
+    double dev = 0.0;
+    double loss = 0.0;
+    for (const auto& r : scenario->results()) {
+      dev += r.timeline.relative_deviation(r.optimal, Time::zero(), config.duration);
+      loss += r.loss_overall;
+    }
+    const double n = static_cast<double>(scenario->results().size());
+    const double ratio = est_count > 0 ? (est_sum / est_count) / true_capacity : 0.0;
+    std::printf("%-10.2f %8d %18.3f %16.2f %14.2f\n", s.growth, s.reset_intervals, dev / n,
+                ratio, 100.0 * loss / n);
+  }
+  std::printf("\nexpected: the estimate sits somewhat below the true capacity (loss-time\n"
+              "throughput under-measures), growth nudges it up between resets, and\n"
+              "never resetting (1000) pins sessions to any early under-estimate.\n");
+  return 0;
+}

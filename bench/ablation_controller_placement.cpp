@@ -1,0 +1,81 @@
+// Ablation — controller placement.
+//
+// The paper stations the controller at a source node ("this made the
+// simulations more realistic as control messages could be lost due to
+// congestion", §IV) but the architecture allows any node in the domain.
+// Placement changes the control loop: a controller near the receivers hears
+// reports sooner and its suggestions cross fewer congested links.
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+#include "scenarios/topology_file.hpp"
+
+namespace {
+
+std::string build_description(const std::string& controller_node) {
+  std::string d = R"(
+node src
+node core
+node edge
+node r0
+node r1
+node r2
+node r3
+link src core 45Mbps 200ms
+link core edge 512kbps 200ms
+link edge r0 10Mbps 20ms
+link edge r1 10Mbps 20ms
+link edge r2 10Mbps 20ms
+link edge r3 10Mbps 20ms
+source 0 src
+receiver r0 0
+receiver r1 0
+receiver r2 0
+receiver r3 0
+)";
+  d += "controller " + controller_node + "\n";
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Ablation", "controller placement (source vs domain edge router)");
+
+  std::printf("%-12s %18s %14s %12s\n", "controller", "mean deviation", "total changes",
+              "mean loss%%");
+  for (const char* node : {"src", "edge"}) {
+    const auto parsed = scenarios::parse_topology(build_description(node));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "internal: %s\n", parsed.error.c_str());
+      return 1;
+    }
+    scenarios::ScenarioConfig config;
+    config.seed = 9400;
+    config.model = traffic::TrafficModel::kVbr;
+    config.peak_to_mean = 3.0;
+    config.duration = bench::run_duration();
+    auto scenario = scenarios::Scenario::from_description(config, *parsed.description);
+    scenario->run();
+
+    double dev = 0.0;
+    int changes = 0;
+    double loss = 0.0;
+    for (const auto& r : scenario->results()) {
+      dev += r.timeline.relative_deviation(r.optimal, Time::zero(), config.duration);
+      changes += r.timeline.change_count(Time::zero(), config.duration);
+      loss += r.loss_overall;
+    }
+    const double n = static_cast<double>(scenario->results().size());
+    std::printf("%-12s %18.3f %14d %12.2f\n", node, dev / n, changes,
+                100.0 * loss / n);
+  }
+  std::printf("\nexpected: the edge controller reacts ~one RTT faster and its suggestions\n"
+              "avoid the congested 512 kbps hop, giving equal-or-better deviation and\n"
+              "loss — the paper's domain-controller architecture (Fig 3) in numbers.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation — interval size (paper §V "Interval size").
+//
+// The algorithm period trades reaction time against inference quality:
+// a short interval reacts fast but misreads bursts as congestion; a long one
+// is stable but slow and serves stale decisions. Sweep the interval on
+// Topology A with bursty traffic and report deviation + stability.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Ablation", "algorithm interval size, Topology A, VBR(P=3)");
+
+  const std::vector<double> intervals_s =
+      bench::quick_mode() ? std::vector<double>{1.0, 4.0} : std::vector<double>{0.5, 1.0, 2.0, 4.0, 8.0};
+
+  std::printf("%-14s %18s %14s %14s\n", "interval[s]", "mean deviation", "total changes",
+              "mean loss%%");
+  for (const double interval : intervals_s) {
+    scenarios::ScenarioConfig config;
+    config.seed = 6001;
+    config.model = traffic::TrafficModel::kVbr;
+    config.peak_to_mean = 3.0;
+    config.duration = bench::run_duration();
+    config.params.interval = Time::seconds(interval);
+
+    auto scenario = scenarios::Scenario::topology_a(config, scenarios::TopologyAOptions{});
+    scenario->run();
+
+    double dev = 0.0;
+    int changes = 0;
+    double loss = 0.0;
+    for (const auto& r : scenario->results()) {
+      dev += r.timeline.relative_deviation(r.optimal, Time::zero(), config.duration);
+      changes += r.timeline.change_count(Time::zero(), config.duration);
+      loss += r.loss_overall;
+    }
+    const double n = static_cast<double>(scenario->results().size());
+    std::printf("%-14.1f %18.3f %14d %14.2f\n", interval, dev / n, changes,
+                100.0 * loss / n);
+  }
+  std::printf("\nexpected: a sweet spot at a few seconds — very short intervals react to\n"
+              "burst noise, very long ones converge slowly (higher early deviation).\n");
+  return 0;
+}

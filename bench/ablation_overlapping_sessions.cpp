@@ -1,0 +1,95 @@
+// Ablation — overlapping multi-receiver sessions.
+//
+// The paper's Topology A has one session; Topology B has single-receiver
+// sessions. The general case the algorithm claims (§III: "the more general
+// case of multiple multicast sessions competing for bandwidth") is several
+// sessions, each with receivers behind *both* shared bottlenecks. The
+// offline lexicographic allocator provides the per-receiver optima.
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+#include "metrics/fairness.hpp"
+#include "scenarios/topology_file.hpp"
+
+namespace {
+
+std::string build_description(int sessions) {
+  std::string d;
+  d += "node core\nnode tight\nnode wide\n";
+  for (int s = 0; s < sessions; ++s) {
+    d += "node src" + std::to_string(s) + "\n";
+    d += "node t" + std::to_string(s) + "\n";  // receiver behind the tight branch
+    d += "node w" + std::to_string(s) + "\n";  // receiver behind the wide branch
+  }
+  for (int s = 0; s < sessions; ++s) {
+    d += "link src" + std::to_string(s) + " core 45Mbps 50ms\n";
+    d += "link tight t" + std::to_string(s) + " 10Mbps 20ms\n";
+    d += "link wide w" + std::to_string(s) + " 10Mbps 20ms\n";
+  }
+  // Both bottlenecks are shared by every session.
+  d += "link core tight " + std::to_string(sessions * 256) + "kbps 100ms\n";
+  d += "link core wide " + std::to_string(sessions * 1024) + "kbps 100ms\n";
+  for (int s = 0; s < sessions; ++s) {
+    d += "source " + std::to_string(s) + " src" + std::to_string(s) + "\n";
+    d += "receiver t" + std::to_string(s) + " " + std::to_string(s) + "\n";
+    d += "receiver w" + std::to_string(s) + " " + std::to_string(s) + "\n";
+  }
+  d += "controller src0\n";
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Ablation",
+                      "overlapping sessions: every session has receivers behind BOTH "
+                      "shared bottlenecks");
+
+  const std::vector<int> session_counts =
+      bench::quick_mode() ? std::vector<int>{2} : std::vector<int>{2, 4, 8};
+
+  std::printf("%-10s %16s %16s %14s %12s\n", "sessions", "dev tight-side", "dev wide-side",
+              "jain (tight)", "mean loss%%");
+  for (const int n : session_counts) {
+    const auto parsed = scenarios::parse_topology(build_description(n));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "internal: %s\n", parsed.error.c_str());
+      return 1;
+    }
+    scenarios::ScenarioConfig config;
+    config.seed = 9300 + n;
+    config.duration = bench::run_duration();
+    auto scenario = scenarios::Scenario::from_description(config, *parsed.description);
+    scenario->run();
+
+    const Time half = Time::seconds(config.duration.as_seconds() / 2.0);
+    double dev_tight = 0.0;
+    double dev_wide = 0.0;
+    double loss = 0.0;
+    std::vector<double> tight_levels;
+    for (const auto& r : scenario->results()) {
+      const bool tight = r.name[0] == 't';
+      const double dev = r.timeline.relative_deviation(r.optimal, half, config.duration);
+      (tight ? dev_tight : dev_wide) += dev;
+      loss += r.loss_overall;
+      if (tight) {
+        double mean = 0.0;
+        for (int level = 0; level <= 6; ++level) {
+          mean += level * r.timeline.time_at_level_fraction(level, half, config.duration);
+        }
+        tight_levels.push_back(mean);
+      }
+    }
+    std::printf("%-10d %16.3f %16.3f %14.3f %12.2f\n", n, dev_tight / n, dev_wide / n,
+                metrics::jain_index(tight_levels),
+                100.0 * loss / static_cast<double>(scenario->results().size()));
+  }
+  std::printf("\nexpected: each session holds ~3 layers behind the tight bottleneck and\n"
+              "~4-5 behind the wide one simultaneously — per-subtree supplies within one\n"
+              "session diverge, which no single per-session rate could express.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation — queue discipline: drop-tail vs RED (paper §V "Dealing with
+// bursty traffic": burst-induced tail drops are misread as congestion; RED's
+// early random drops desynchronize bursts and smooth the loss signal).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Ablation", "drop-tail vs RED queues, Topology B, VBR(P=6)");
+
+  std::printf("%-10s %10s %18s %14s %12s\n", "queues", "sessions", "mean deviation",
+              "total changes", "mean loss%%");
+  for (const int sessions : bench::quick_mode() ? std::vector<int>{4} : std::vector<int>{4, 8}) {
+    for (const bool red : {false, true}) {
+      scenarios::ScenarioConfig config;
+      config.seed = 9100 + sessions;
+      config.model = traffic::TrafficModel::kVbr;
+      config.peak_to_mean = 6.0;
+      config.duration = bench::run_duration();
+      config.red_queues = red;
+
+      scenarios::TopologyBOptions topology;
+      topology.sessions = sessions;
+      auto scenario = scenarios::Scenario::topology_b(config, topology);
+      scenario->run();
+
+      double dev = 0.0;
+      int changes = 0;
+      double loss = 0.0;
+      for (const auto& r : scenario->results()) {
+        dev += r.timeline.relative_deviation(r.optimal, Time::zero(), config.duration);
+        changes += r.timeline.change_count(Time::zero(), config.duration);
+        loss += r.loss_overall;
+      }
+      const double n = static_cast<double>(scenario->results().size());
+      std::printf("%-10s %10d %18.3f %14d %12.2f\n", red ? "RED" : "drop-tail", sessions,
+                  dev / n, changes, 100.0 * loss / n);
+    }
+  }
+  std::printf("\nexpected: RED trades a floor of background early-drop loss for a\n"
+              "smoother congestion signal under bursty traffic; the paper's drop-tail\n"
+              "setting is the harsher environment for the loss-similarity labelling.\n");
+  return 0;
+}

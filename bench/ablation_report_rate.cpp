@@ -1,0 +1,53 @@
+// Ablation — receiver reporting cadence (paper §V "Minimizing control
+// traffic": information packets per interval are linear in receivers and
+// sessions; the reporting rate multiplies that constant).
+//
+// Reports faster than the algorithm interval give the controller
+// sub-interval loss visibility; slower reports starve it. Sweep the
+// report period against the fixed 2 s algorithm interval.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Ablation", "receiver report period vs the 2 s algorithm interval");
+
+  const std::vector<double> periods_s =
+      bench::quick_mode() ? std::vector<double>{1.0, 2.0} : std::vector<double>{0.5, 1.0, 2.0, 4.0};
+
+  std::printf("%-14s %18s %14s %12s %16s\n", "period[s]", "mean deviation", "total changes",
+              "mean loss%%", "reports received");
+  for (const double period : periods_s) {
+    scenarios::ScenarioConfig config;
+    config.seed = 9500;
+    config.model = traffic::TrafficModel::kVbr;
+    config.peak_to_mean = 3.0;
+    config.duration = bench::run_duration();
+    config.report_period = Time::seconds(period);
+
+    auto scenario = scenarios::Scenario::topology_a(config, scenarios::TopologyAOptions{});
+    scenario->run();
+
+    double dev = 0.0;
+    int changes = 0;
+    double loss = 0.0;
+    for (const auto& r : scenario->results()) {
+      dev += r.timeline.relative_deviation(r.optimal, Time::zero(), config.duration);
+      changes += r.timeline.change_count(Time::zero(), config.duration);
+      loss += r.loss_overall;
+    }
+    const double n = static_cast<double>(scenario->results().size());
+    std::printf("%-14.1f %18.3f %14d %12.2f %16llu\n", period, dev / n, changes,
+                100.0 * loss / n,
+                static_cast<unsigned long long>(scenario->controller()->reports_received()));
+  }
+  std::printf("\nexpected: a trade-off, not a free lunch — half-interval reports shave\n"
+              "loss-detection latency but halve each window's sample count, making the\n"
+              "loss estimates noisier (more false congestion under VBR bursts); slow\n"
+              "reports lengthen every congestion episode. The paper's report-period =\n"
+              "interval choice sits at the knee.\n");
+  return 0;
+}

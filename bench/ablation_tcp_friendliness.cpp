@@ -1,0 +1,118 @@
+// Ablation — TCP interaction (paper §VI).
+//
+// The paper takes "a liberal view towards TCP friendliness": most TCP
+// traffic is short-lived HTTP that finishes before multicast congestion
+// control even reacts, while long-lived TCP and layered multicast negotiate
+// through loss. This bench puts both claims on the bench:
+//  (a) short TCP transfers crossing a TopoSense-managed bottleneck finish
+//      almost as fast as on an idle link, and
+//  (b) a long-lived TCP flow settles into a nonzero share alongside the
+//      multicast session (which steps down a layer rather than starving it).
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "transport/tcp_flow.hpp"
+
+namespace {
+
+using namespace tsim;
+using sim::Time;
+
+struct LongLivedResult {
+  double tcp_goodput_bps;
+  double set1_mean_level;
+};
+
+// Topology A with a long-lived TCP flow crossing bottleneck 1 from mid-run.
+LongLivedResult run_long_lived(bool with_multicast) {
+  scenarios::ScenarioConfig config;
+  config.seed = 9001;
+  config.duration = bench::run_duration();
+  if (!with_multicast) config.controller = scenarios::ControllerKind::kNone;
+
+  auto scenario = scenarios::Scenario::topology_a(config, scenarios::TopologyAOptions{});
+
+  transport::TcpFlow::Config tcfg;
+  tcfg.src = 1;  // r0 (bottleneck head)
+  tcfg.dst = 4;  // first set-1 receiver node
+  tcfg.start = Time::seconds(config.duration.as_seconds() / 3.0);
+  transport::TcpFlow tcp{scenario->simulation(), scenario->network(), scenario->demuxes(),
+                         tcfg};
+  tcp.start();
+
+  scenario->run();
+
+  LongLivedResult result{};
+  result.tcp_goodput_bps = tcp.mean_goodput_bps();
+  const auto& r = scenario->results()[0];
+  const Time from = Time::seconds(config.duration.as_seconds() / 2.0);
+  for (int level = 0; level <= 6; ++level) {
+    result.set1_mean_level +=
+        level * r.timeline.time_at_level_fraction(level, from, config.duration);
+  }
+  return result;
+}
+
+// Short transfers (HTTP-like) across the managed bottleneck.
+double run_short_transfers(bool with_multicast) {
+  scenarios::ScenarioConfig config;
+  config.seed = 9002;
+  config.duration = Time::seconds(bench::quick_mode() ? 120 : 300);
+  if (!with_multicast) config.controller = scenarios::ControllerKind::kNone;
+
+  auto scenario = scenarios::Scenario::topology_a(config, scenarios::TopologyAOptions{});
+
+  // One 100 KB transfer every 20 s, r0 -> set-1 receiver.
+  std::vector<std::unique_ptr<transport::TcpFlow>> transfers;
+  for (int i = 0; i < static_cast<int>(config.duration.as_seconds() / 20) - 2; ++i) {
+    transport::TcpFlow::Config tcfg;
+    tcfg.src = 1;
+    tcfg.dst = 4;
+    tcfg.start = Time::seconds(40 + 20 * i);
+    tcfg.transfer_bytes = 100'000;
+    transfers.push_back(std::make_unique<transport::TcpFlow>(
+        scenario->simulation(), scenario->network(), scenario->demuxes(), tcfg));
+    transfers.back()->start();
+  }
+  scenario->run();
+
+  double total = 0.0;
+  int finished = 0;
+  for (const auto& t : transfers) {
+    if (t->finished()) {
+      total += (t->completion_time() - t->config().start).as_seconds();
+      ++finished;
+    }
+  }
+  return finished == 0 ? -1.0 : total / finished;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation", "TCP friendliness (paper §VI), Topology A bottleneck 1");
+
+  const LongLivedResult idle = run_long_lived(false);
+  const LongLivedResult shared = run_long_lived(true);
+  std::printf("long-lived TCP across the 256 Kbps bottleneck:\n");
+  std::printf("  %-28s %10.0f Kbps\n", "goodput, idle link:", idle.tcp_goodput_bps / 1e3);
+  std::printf("  %-28s %10.0f Kbps  (set-1 mean level %.2f)\n",
+              "goodput, with TopoSense:", shared.tcp_goodput_bps / 1e3,
+              shared.set1_mean_level);
+
+  const double t_idle = run_short_transfers(false);
+  const double t_shared = run_short_transfers(true);
+  std::printf("\nshort 100 KB transfers (HTTP-like), mean completion time:\n");
+  std::printf("  %-28s %10.2f s\n", "idle link:", t_idle);
+  std::printf("  %-28s %10.2f s\n", "with TopoSense:", t_shared);
+
+  std::printf("\nexpected: the long-lived TCP flow is largely starved — layered\n"
+              "multicast only cedes bandwidth in whole layers and tolerates loss\n"
+              "levels AIMD will not, exactly the non-TCP-friendliness the paper\n"
+              "concedes in §VI. Its defense is the short-flow argument, visible in\n"
+              "the second table: HTTP-like transfers still complete (slower, but\n"
+              "within tens of seconds) because they live in the loss headroom and\n"
+              "finish before multicast control would ever react to them.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation — TopoSense vs a receiver-driven baseline.
+//
+// The paper's core argument (§I, §VI): end-to-end-only schemes cannot tell
+// whose loss is whose behind a shared bottleneck, and coordinating receivers
+// is hard without topology. Run both schemes on both paper topologies, same
+// seeds, and compare deviation / stability / loss.
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace {
+
+struct Row {
+  double dev;
+  int changes;
+  double loss;
+};
+
+Row summarize(const tsim::scenarios::Scenario& s, tsim::sim::Time from, tsim::sim::Time to) {
+  Row row{0.0, 0, 0.0};
+  for (const auto& r : s.results()) {
+    row.dev += r.timeline.relative_deviation(r.optimal, from, to);
+    row.changes += r.timeline.change_count(tsim::sim::Time::zero(), to);
+    row.loss += r.loss_overall;
+  }
+  const double n = static_cast<double>(s.results().size());
+  row.dev /= n;
+  row.loss /= n;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Ablation", "TopoSense vs receiver-driven baseline (no topology)");
+
+  const Time duration = bench::run_duration();
+  const Time half = Time::seconds(duration.as_seconds() / 2.0);
+
+  std::printf("%-12s %-18s %16s %14s %12s\n", "topology", "scheme", "dev (2nd half)",
+              "total changes", "mean loss%%");
+
+  for (const auto kind : {scenarios::ControllerKind::kTopoSense,
+                          scenarios::ControllerKind::kReceiverDriven}) {
+    scenarios::ScenarioConfig config;
+    config.seed = 7001;
+    config.model = traffic::TrafficModel::kVbr;
+    config.peak_to_mean = 3.0;
+    config.duration = duration;
+    config.controller = kind;
+
+    scenarios::TopologyAOptions topology;
+    topology.receivers_per_set = 4;
+    auto scenario = scenarios::Scenario::topology_a(config, topology);
+    scenario->run();
+    const Row row = summarize(*scenario, half, duration);
+    std::printf("%-12s %-18s %16.3f %14d %12.2f\n", "A (8 recv)",
+                kind == scenarios::ControllerKind::kTopoSense ? "TopoSense" : "receiver-driven",
+                row.dev, row.changes, 100.0 * row.loss);
+  }
+
+  for (const auto kind : {scenarios::ControllerKind::kTopoSense,
+                          scenarios::ControllerKind::kReceiverDriven}) {
+    scenarios::ScenarioConfig config;
+    config.seed = 7002;
+    config.model = traffic::TrafficModel::kVbr;
+    config.peak_to_mean = 3.0;
+    config.duration = duration;
+    config.controller = kind;
+
+    scenarios::TopologyBOptions topology;
+    topology.sessions = 8;
+    auto scenario = scenarios::Scenario::topology_b(config, topology);
+    scenario->run();
+    const Row row = summarize(*scenario, half, duration);
+    std::printf("%-12s %-18s %16.3f %14d %12.2f\n", "B (8 sess)",
+                kind == scenarios::ControllerKind::kTopoSense ? "TopoSense" : "receiver-driven",
+                row.dev, row.changes, 100.0 * row.loss);
+  }
+
+  std::printf("\nexpected: TopoSense holds comparable or lower deviation with fewer\n"
+              "subscription flaps — the controller coordinates the probes that the\n"
+              "baseline's receivers perform independently against each other.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "common.hpp"
+
+#include <cstdlib>
+
+namespace bench {
+
+bool quick_mode() {
+  const char* env = std::getenv("TOPOSENSE_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+tsim::sim::Time run_duration() {
+  return tsim::sim::Time::seconds(std::int64_t{quick_mode() ? 200 : 1200});
+}
+
+const std::vector<TrafficCase>& traffic_cases() {
+  static const std::vector<TrafficCase> cases = {
+      {"CBR", tsim::traffic::TrafficModel::kCbr, 1.0},
+      {"VBR(P=3)", tsim::traffic::TrafficModel::kVbr, 3.0},
+      {"VBR(P=6)", tsim::traffic::TrafficModel::kVbr, 6.0},
+  };
+  return cases;
+}
+
+void apply(const TrafficCase& tc, tsim::scenarios::ScenarioConfig& config) {
+  config.model = tc.model;
+  config.peak_to_mean = tc.peak_to_mean;
+}
+
+void print_header(const std::string& figure, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("duration: %.0f s%s\n", run_duration().as_seconds(),
+              quick_mode() ? " (quick mode)" : "");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench

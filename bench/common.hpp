@@ -1,0 +1,36 @@
+#pragma once
+
+// Shared plumbing for the figure-reproduction benches: run-length control,
+// traffic-model iteration, and row printing that matches the paper's series.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenarios/scenario.hpp"
+
+namespace bench {
+
+/// True when TOPOSENSE_BENCH_QUICK=1: shorter runs and sparser sweeps so the
+/// whole bench suite smoke-tests in seconds.
+bool quick_mode();
+
+/// Simulated duration: the paper's 1200 s, or 200 s in quick mode.
+tsim::sim::Time run_duration();
+
+struct TrafficCase {
+  const char* label;
+  tsim::traffic::TrafficModel model;
+  double peak_to_mean;
+};
+
+/// The paper's three traffic models: CBR, VBR(P=3), VBR(P=6).
+const std::vector<TrafficCase>& traffic_cases();
+
+/// Applies a traffic case to a scenario config.
+void apply(const TrafficCase& tc, tsim::scenarios::ScenarioConfig& config);
+
+/// Prints a standard bench header naming the figure being reproduced.
+void print_header(const std::string& figure, const std::string& description);
+
+}  // namespace bench

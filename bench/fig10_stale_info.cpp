@@ -1,0 +1,55 @@
+// Figure 10 — Impact of stale information on Topology A (VBR, P=3).
+//
+// The paper varies the staleness of the topology/loss information from 2 s to
+// 18 s and plots the mean relative deviation from the optimal subscription,
+// for sessions with different numbers of receivers. Expected shape:
+// performance degrades with staleness, the 2-receiver session is least
+// affected, and the curve flattens around 10 s.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Figure 10", "impact of stale information, Topology A, VBR(P=3)");
+
+  const std::vector<int> staleness_values =
+      bench::quick_mode() ? std::vector<int>{0, 4, 10} : std::vector<int>{0, 2, 4, 6, 8, 10, 14, 18};
+  const std::vector<int> receiver_counts =
+      bench::quick_mode() ? std::vector<int>{2} : std::vector<int>{1, 2, 4, 8};
+
+  std::printf("%-14s", "staleness[s]");
+  for (const int n : receiver_counts) std::printf("  dev(%2d recv/set)", n);
+  std::printf("\n");
+
+  for (const int staleness : staleness_values) {
+    std::printf("%-14d", staleness);
+    for (const int n : receiver_counts) {
+      scenarios::ScenarioConfig config;
+      config.seed = 5000 + n;
+      config.model = traffic::TrafficModel::kVbr;
+      config.peak_to_mean = 3.0;
+      config.duration = bench::run_duration();
+      config.info_staleness = Time::seconds(staleness);
+
+      scenarios::TopologyAOptions topology;
+      topology.receivers_per_set = n;
+
+      auto scenario = scenarios::Scenario::topology_a(config, topology);
+      scenario->run();
+
+      double dev = 0.0;
+      for (const auto& r : scenario->results()) {
+        dev += r.timeline.relative_deviation(r.optimal, Time::zero(), config.duration);
+      }
+      std::printf("  %16.3f", dev / static_cast<double>(scenario->results().size()));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: deviation grows with staleness, degrades noticeably after\n"
+              "~4 s and roughly flattens by ~10 s; small sessions are least affected\n"
+              "(less control traffic at risk). All runs remain stable.\n");
+  return 0;
+}

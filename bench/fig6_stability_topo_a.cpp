@@ -1,0 +1,53 @@
+// Figure 6 — Stability in Topology A.
+//
+// The paper counts subscription changes per receiver over 1200 s on
+// Topology A while growing the number of receivers per set, and plots
+//  (a) the maximum number of changes by any receiver, and
+//  (b) the mean time elapsed between successive changes for that receiver,
+// for CBR, VBR(P=3) and VBR(P=6) traffic.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Figure 6", "stability in Topology A (max changes by any receiver, "
+                                  "mean time between its changes)");
+
+  const std::vector<int> receiver_counts =
+      bench::quick_mode() ? std::vector<int>{2, 4} : std::vector<int>{1, 2, 4, 8, 16};
+
+  std::printf("%-10s %14s %14s %22s\n", "traffic", "receivers/set", "max changes",
+              "mean gap [s]");
+  for (const auto& tc : bench::traffic_cases()) {
+    for (const int n : receiver_counts) {
+      scenarios::ScenarioConfig config;
+      config.seed = 1000 + n;
+      config.duration = bench::run_duration();
+      bench::apply(tc, config);
+
+      scenarios::TopologyAOptions topology;
+      topology.receivers_per_set = n;
+
+      auto scenario = scenarios::Scenario::topology_a(config, topology);
+      scenario->run();
+
+      int max_changes = 0;
+      double gap_of_max = config.duration.as_seconds();
+      for (const auto& r : scenario->results()) {
+        const int changes = r.timeline.change_count(Time::zero(), config.duration);
+        if (changes > max_changes) {
+          max_changes = changes;
+          gap_of_max = r.timeline.mean_time_between_changes_s(Time::zero(), config.duration);
+        }
+      }
+      std::printf("%-10s %14d %14d %22.1f\n", tc.label, n, max_changes, gap_of_max);
+    }
+    std::printf("\n");
+  }
+  std::printf("paper shape: changes stay bounded (tens over 1200 s) with long stable\n"
+              "spells; variability comes from the randomized backoff interval.\n");
+  return 0;
+}

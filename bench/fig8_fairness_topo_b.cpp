@@ -1,0 +1,61 @@
+// Figure 8 — Inter-session fairness in Topology B.
+//
+// Up to 16 sessions share one link sized so every session can ideally hold
+// 4 layers. The paper plots the mean relative deviation from that optimal
+// subscription over 0–600 s and 600–1200 s for CBR, VBR(P=3), VBR(P=6).
+// Small deviation in both halves = fair and fully utilized sharing.
+#include <cstdio>
+
+#include "common.hpp"
+#include "metrics/fairness.hpp"
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Figure 8", "inter-session fairness in Topology B "
+                                  "(mean relative deviation from 4-layer optimal)");
+
+  const std::vector<int> session_counts = bench::quick_mode()
+                                              ? std::vector<int>{2, 4}
+                                              : std::vector<int>{1, 2, 4, 8, 12, 16};
+  const Time half = Time::seconds(bench::run_duration().as_seconds() / 2.0);
+
+  std::printf("%-10s %10s %18s %18s %12s\n", "traffic", "sessions", "dev first-half",
+              "dev second-half", "jain (2nd)");
+  for (const auto& tc : bench::traffic_cases()) {
+    for (const int n : session_counts) {
+      scenarios::ScenarioConfig config;
+      config.seed = 3000 + n;
+      config.duration = bench::run_duration();
+      bench::apply(tc, config);
+
+      scenarios::TopologyBOptions topology;
+      topology.sessions = n;
+
+      auto scenario = scenarios::Scenario::topology_b(config, topology);
+      scenario->run();
+
+      double dev_a = 0.0;
+      double dev_b = 0.0;
+      std::vector<double> mean_levels;
+      for (const auto& r : scenario->results()) {
+        dev_a += r.timeline.relative_deviation(r.optimal, Time::zero(), half);
+        dev_b += r.timeline.relative_deviation(r.optimal, half, config.duration);
+        double mean = 0.0;
+        for (int level = 0; level <= 6; ++level) {
+          mean += level * r.timeline.time_at_level_fraction(level, half, config.duration);
+        }
+        mean_levels.push_back(mean);
+      }
+      const double count = static_cast<double>(scenario->results().size());
+      std::printf("%-10s %10d %18.3f %18.3f %12.3f\n", tc.label, n, dev_a / count,
+                  dev_b / count, metrics::jain_index(mean_levels));
+    }
+    std::printf("\n");
+  }
+  std::printf("paper shape: deviation is small in both halves and does not blow up\n"
+              "with the number of competing sessions; the first half carries the\n"
+              "startup transient so it sits slightly higher.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 9 — Layer subscription and loss history for 4 competing sessions
+// with VBR traffic.
+//
+// The paper shows a sample time window with each session's subscription level
+// and loss rate: sessions occasionally over-subscribe to layers 5/6 when the
+// capacity estimate resets to infinity, take losses, and fall back to the
+// 4-layer fair point. This bench prints the per-second trace for a window of
+// the run plus summary occupancy statistics.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common.hpp"
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Figure 9",
+                      "subscription + loss trace, 4 competing VBR sessions (Topology B)");
+
+  scenarios::ScenarioConfig config;
+  config.seed = 4004;
+  config.model = traffic::TrafficModel::kVbr;
+  config.peak_to_mean = 3.0;
+  config.duration = bench::run_duration();
+
+  scenarios::TopologyBOptions topology;
+  topology.sessions = 4;
+
+  auto scenario = scenarios::Scenario::topology_b(config, topology);
+
+  // Per-second sampling of each receiver's subscription and window loss.
+  struct Sample {
+    int sub[4];
+    double loss[4];
+  };
+  std::vector<Sample> trace;
+  const auto& endpoints = scenario->endpoints();
+  std::function<void()> sample = [&]() {
+    Sample s{};
+    for (int k = 0; k < 4; ++k) {
+      s.sub[k] = endpoints[k]->subscription();
+      s.loss[k] = endpoints[k]->last_completed_window().loss_rate();
+    }
+    trace.push_back(s);
+    scenario->simulation().after(Time::seconds(1), sample);
+  };
+  scenario->simulation().at(Time::seconds(1), sample);
+
+  scenario->run();
+
+  // Print a 40 s window from the steady middle of the run (the paper shows a
+  // 10 s zoom; a slightly wider window makes the over-subscription episodes
+  // visible in text form).
+  const std::size_t start = trace.size() / 2;
+  const std::size_t end = std::min(trace.size(), start + 40);
+  std::printf("%6s | %-23s | %s\n", "t[s]", "subscription s1..s4", "loss%% s1..s4");
+  for (std::size_t i = start; i < end; ++i) {
+    const Sample& s = trace[i];
+    std::printf("%6zu | %3d %3d %3d %3d         | %5.1f %5.1f %5.1f %5.1f\n", i + 1,
+                s.sub[0], s.sub[1], s.sub[2], s.sub[3], 100 * s.loss[0], 100 * s.loss[1],
+                100 * s.loss[2], 100 * s.loss[3]);
+  }
+
+  // Occupancy summary over the second half (the paper's qualitative claims).
+  std::printf("\nsecond-half occupancy per session (fraction of time at each level):\n");
+  std::printf("%8s  %5s %5s %5s %5s %5s %5s\n", "session", "L1", "L2", "L3", "L4", "L5", "L6");
+  const Time half = Time::seconds(config.duration.as_seconds() / 2.0);
+  for (const auto& r : scenario->results()) {
+    std::printf("%8s ", r.name.c_str());
+    for (int level = 1; level <= 6; ++level) {
+      std::printf(" %5.2f", r.timeline.time_at_level_fraction(level, half, config.duration));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: sessions sit at 4 layers most of the time, with brief\n"
+              "excursions to 5/6 after capacity re-estimation resets, which losses\n"
+              "quickly correct.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Generalization — random tiered Internet topologies (paper §II, Fig 2).
+//
+// The paper evaluates two hand-built topologies. This bench generates
+// randomized three-tier ISP hierarchies, computes each receiver's offline
+// optimal subscription from the true capacities (greedy lexicographic
+// max-min), and measures how closely TopoSense — which never sees those
+// capacities — tracks it.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  bench::print_header("Generalization", "random tiered topologies vs offline optimal");
+
+  const int trials = bench::quick_mode() ? 2 : 6;
+  const Time duration =
+      bench::quick_mode() ? Time::seconds(200) : Time::seconds(600);
+  const Time tail_from = Time::seconds(duration.as_seconds() / 2.0);
+
+  std::printf("%-8s %10s %12s %18s %16s %12s\n", "trial", "receivers", "optima", "mean deviation",
+              "mean level/opt", "mean loss%%");
+  double dev_sum = 0.0;
+  int dev_count = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    scenarios::ScenarioConfig config;
+    config.seed = 8000 + trial;
+    config.duration = duration;
+    scenarios::TieredOptions options;
+
+    auto scenario = scenarios::Scenario::tiered(config, options);
+    scenario->run();
+
+    double dev = 0.0;
+    double level_ratio = 0.0;
+    double loss = 0.0;
+    int counted = 0;
+    int lo = 7;
+    int hi = -1;
+    for (const auto& r : scenario->results()) {
+      loss += r.loss_overall;
+      lo = std::min(lo, r.optimal);
+      hi = std::max(hi, r.optimal);
+      if (r.optimal == 0) continue;
+      dev += r.timeline.relative_deviation(r.optimal, tail_from, duration);
+      double mean = 0.0;
+      for (int level = 0; level <= 6; ++level) {
+        mean += level * r.timeline.time_at_level_fraction(level, tail_from, duration);
+      }
+      level_ratio += mean / r.optimal;
+      ++counted;
+    }
+    const double n = static_cast<double>(scenario->results().size());
+    std::printf("%-8d %10zu %8d..%-3d %18.3f %16.2f %12.2f\n", trial,
+                scenario->results().size(), lo, hi, dev / counted, level_ratio / counted,
+                100.0 * loss / n);
+    dev_sum += dev / counted;
+    ++dev_count;
+  }
+  std::printf("\nmean deviation across trials: %.3f\n", dev_sum / dev_count);
+  std::printf("expected: receivers track their own (heterogeneous) optima on topologies\n"
+              "the algorithm was never tuned for — the paper's subtree-independence\n"
+              "argument generalizing beyond Fig 5.\n");
+  return 0;
+}

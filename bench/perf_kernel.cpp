@@ -1,0 +1,107 @@
+// Performance microbenchmarks (google-benchmark): the event kernel, the
+// packet forwarding path, and the TopoSense algorithm's scaling with tree
+// size. These guard the simulator's throughput — the figure benches run
+// hundreds of simulated minutes and depend on it.
+#include <benchmark/benchmark.h>
+
+#include "core/toposense.hpp"
+#include "scenarios/scenario.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace tsim;
+using sim::Time;
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::int64_t fired = 0;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sched.schedule_at(Time::microseconds(i), [&fired] { ++fired; });
+    }
+    sched.run_until(Time::seconds(std::int64_t{10}));
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerChurn)->Arg(1000)->Arg(100000);
+
+void BM_SelfRescheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::int64_t count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < state.range(0)) sched.schedule_after(Time::microseconds(1), chain);
+    };
+    sched.schedule_at(Time::zero(), chain);
+    sched.run_until(Time::seconds(std::int64_t{100}));
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelfRescheduling)->Arg(100000);
+
+void BM_ScenarioSimulatedMinute(benchmark::State& state) {
+  // End-to-end: one simulated minute of Topology B with `range` sessions.
+  for (auto _ : state) {
+    scenarios::ScenarioConfig config;
+    config.seed = 1;
+    config.duration = Time::seconds(std::int64_t{60});
+    scenarios::TopologyBOptions topology;
+    topology.sessions = static_cast<int>(state.range(0));
+    auto scenario = scenarios::Scenario::topology_b(config, topology);
+    scenario->run();
+    benchmark::DoNotOptimize(scenario->results().size());
+  }
+}
+BENCHMARK(BM_ScenarioSimulatedMinute)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+core::AlgorithmInput fat_tree_input(int receivers) {
+  core::AlgorithmInput in;
+  in.window = Time::seconds(std::int64_t{1});
+  core::SessionInput s;
+  s.session = 0;
+  s.source = 1;
+  core::SessionNodeInput root;
+  root.node = 1;
+  root.parent = net::kInvalidNode;
+  s.nodes.push_back(root);
+  // Two-level tree: 16 routers, receivers spread below.
+  for (int r = 0; r < 16; ++r) {
+    core::SessionNodeInput router;
+    router.node = static_cast<net::NodeId>(10 + r);
+    router.parent = 1;
+    s.nodes.push_back(router);
+  }
+  for (int i = 0; i < receivers; ++i) {
+    core::SessionNodeInput rcv;
+    rcv.node = static_cast<net::NodeId>(1000 + i);
+    rcv.parent = static_cast<net::NodeId>(10 + (i % 16));
+    rcv.is_receiver = true;
+    rcv.loss_rate = (i % 7 == 0) ? 0.1 : 0.0;
+    rcv.bytes_received = 28'000;
+    rcv.subscription = 3;
+    s.nodes.push_back(rcv);
+  }
+  in.sessions.push_back(s);
+  return in;
+}
+
+void BM_TopoSenseInterval(benchmark::State& state) {
+  core::Params params;
+  core::TopoSense algo{params, sim::Rng{1}};
+  const core::AlgorithmInput input = fat_tree_input(static_cast<int>(state.range(0)));
+  Time t = Time::seconds(std::int64_t{1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.run_interval(input, t));
+    t += Time::seconds(std::int64_t{1});
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopoSenseInterval)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

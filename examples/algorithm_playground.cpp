@@ -1,0 +1,91 @@
+// Algorithm playground: drive the pure TopoSense core directly with a
+// hand-built session tree — no simulator at all. Useful for studying what the
+// decision table does interval by interval, and as a template for embedding
+// the algorithm behind a real topology-discovery tool.
+#include <cstdio>
+
+#include "core/toposense.hpp"
+
+namespace {
+
+using namespace tsim;
+using sim::Time;
+
+core::SessionNodeInput router(net::NodeId id, net::NodeId parent) {
+  core::SessionNodeInput n;
+  n.node = id;
+  n.parent = parent;
+  return n;
+}
+
+core::SessionNodeInput receiver(net::NodeId id, net::NodeId parent, double loss,
+                                std::uint64_t bytes, int sub) {
+  core::SessionNodeInput n = router(id, parent);
+  n.is_receiver = true;
+  n.loss_rate = loss;
+  n.bytes_received = bytes;
+  n.subscription = sub;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  core::Params params;
+  params.interval = Time::seconds(2);
+  core::TopoSense algo{params, sim::Rng{1}};
+
+  // The paper's Fig 1 tree: source 1, routers 2 and 5, receivers 3, 4 and 6.
+  // Receiver 4 keeps over-subscribing; watch the controller rein the subtree
+  // under router 2 in while receiver 6 keeps climbing.
+  std::printf("interval |  rcv3 (shares bottleneck)  rcv4 (overreaches)  rcv6 (free)\n");
+  std::printf("---------+----------------------------------------------------------\n");
+
+  int sub3 = 1;
+  int sub4 = 1;
+  int sub6 = 1;
+  Time now = params.interval;
+  for (int interval = 1; interval <= 15; ++interval) {
+    // Crude plant model: the subtree under router 2 holds 96 Kbps (2 layers);
+    // subscriptions above that suffer loss proportional to the overreach.
+    const double cap2 = params.layers.cumulative_rate_bps(2);
+    auto plant = [&](int sub) {
+      const double want = params.layers.cumulative_rate_bps(sub);
+      const double loss = want > cap2 ? (want - cap2) / want : 0.0;
+      const auto bytes =
+          static_cast<std::uint64_t>(std::min(want, cap2) / 8.0 * params.interval.as_seconds());
+      return std::pair{loss, bytes};
+    };
+    const auto [loss3, bytes3] = plant(sub3);
+    const auto [loss4, bytes4] = plant(sub4);
+    const auto bytes6 = static_cast<std::uint64_t>(
+        params.layers.cumulative_rate_bps(sub6) / 8.0 * params.interval.as_seconds());
+
+    core::AlgorithmInput in;
+    in.window = params.interval;
+    core::SessionInput session;
+    session.session = 0;
+    session.source = 1;
+    session.nodes = {router(1, net::kInvalidNode), router(2, 1),
+                     receiver(3, 2, loss3, bytes3, sub3),
+                     receiver(4, 2, loss4, bytes4, sub4),
+                     router(5, 1),
+                     receiver(6, 5, 0.0, bytes6, sub6)};
+    in.sessions.push_back(session);
+
+    const core::AlgorithmOutput out = algo.run_interval(in, now);
+    for (const auto& p : out.prescriptions) {
+      if (p.receiver == 3) sub3 = p.subscription;
+      if (p.receiver == 4) sub4 = p.subscription;
+      if (p.receiver == 6) sub6 = p.subscription;
+    }
+    std::printf("%8d | %10d %19d %18d   (loss under r2: %.0f%%)\n", interval, sub3, sub4,
+                sub6, 100.0 * std::max(loss3, loss4));
+    now += params.interval;
+  }
+
+  std::printf(
+      "\nreceivers 3 and 4 settle at the 2-layer optimum of their shared\n"
+      "bottleneck; receiver 6 climbs to the full 6 layers unimpeded.\n");
+  return 0;
+}

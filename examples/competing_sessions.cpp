@@ -1,0 +1,71 @@
+// Competing sessions (the paper's Topology B): several independent layered
+// video sessions squeeze through one shared link. Compares TopoSense with the
+// receiver-driven baseline on the same topology and seed, printing the
+// per-session outcome side by side — the paper's central "topology
+// information buys coordination" argument, as a runnable demo.
+#include <cstdio>
+#include <memory>
+
+#include "scenarios/scenario.hpp"
+
+namespace {
+
+struct Outcome {
+  double mean_dev;
+  int total_changes;
+  double mean_loss;
+};
+
+Outcome run(tsim::scenarios::ControllerKind kind, int sessions) {
+  using namespace tsim;
+  using sim::Time;
+
+  scenarios::ScenarioConfig config;
+  config.seed = 99;
+  config.model = traffic::TrafficModel::kVbr;
+  config.peak_to_mean = 3.0;
+  config.duration = Time::seconds(300);
+  config.controller = kind;
+
+  scenarios::TopologyBOptions topology;
+  topology.sessions = sessions;
+
+  auto scenario = scenarios::Scenario::topology_b(config, topology);
+  scenario->run();
+
+  Outcome out{0.0, 0, 0.0};
+  for (const auto& r : scenario->results()) {
+    out.mean_dev +=
+        r.timeline.relative_deviation(r.optimal, Time::seconds(150), config.duration);
+    out.total_changes += r.timeline.change_count(Time::zero(), config.duration);
+    out.mean_loss += r.loss_overall;
+  }
+  const double n = static_cast<double>(scenario->results().size());
+  out.mean_dev /= n;
+  out.mean_loss /= n;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kSessions = 4;
+  std::printf("competing sessions: %d VBR sessions share one %d Kbps link\n",
+              kSessions, kSessions * 500);
+  std::printf("(each session can ideally hold 4 layers = 480 Kbps)\n\n");
+
+  const Outcome topo = run(tsim::scenarios::ControllerKind::kTopoSense, kSessions);
+  const Outcome rlm = run(tsim::scenarios::ControllerKind::kReceiverDriven, kSessions);
+
+  std::printf("%-18s %16s %14s %10s\n", "scheme", "mean dev [150,300]", "total changes",
+              "mean loss");
+  std::printf("%-18s %16.3f %14d %9.2f%%\n", "TopoSense", topo.mean_dev, topo.total_changes,
+              100.0 * topo.mean_loss);
+  std::printf("%-18s %16.3f %14d %9.2f%%\n", "receiver-driven", rlm.mean_dev,
+              rlm.total_changes, 100.0 * rlm.mean_loss);
+  std::printf(
+      "\nTopoSense coordinates the sessions through the controller's shared\n"
+      "view of the bottleneck; the receiver-driven baseline discovers it\n"
+      "through repeated independent join experiments.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Stale topology information (the paper's Fig 10 theme as a demo): run the
+// same heterogeneous scenario with increasingly old topology/loss snapshots
+// and watch the deviation from optimal grow — then note that it degrades
+// gracefully rather than collapsing.
+#include <cstdio>
+
+#include "scenarios/scenario.hpp"
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  std::printf("impact of stale information on Topology A (VBR, P=3)\n\n");
+  std::printf("%12s %18s %14s\n", "staleness[s]", "mean dev [100,300]", "total changes");
+
+  for (const int staleness_s : {0, 2, 4, 8, 12}) {
+    scenarios::ScenarioConfig config;
+    config.seed = 31;
+    config.model = traffic::TrafficModel::kVbr;
+    config.peak_to_mean = 3.0;
+    config.duration = Time::seconds(300);
+    config.info_staleness = Time::seconds(staleness_s);
+
+    auto scenario = scenarios::Scenario::topology_a(config, scenarios::TopologyAOptions{});
+    scenario->run();
+
+    double dev = 0.0;
+    int changes = 0;
+    for (const auto& r : scenario->results()) {
+      dev += r.timeline.relative_deviation(r.optimal, Time::seconds(100), config.duration);
+      changes += r.timeline.change_count(Time::zero(), config.duration);
+    }
+    std::printf("%12d %18.3f %14d\n", staleness_s,
+                dev / static_cast<double>(scenario->results().size()), changes);
+  }
+
+  std::printf(
+      "\nThe controller keeps working with information several seconds old —\n"
+      "well beyond the 600 ms discovery latency of this topology.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Trace export: run a short Topology B scenario and write
+//   toposense_trace.csv   — per-second subscription + loss per session
+//   toposense_topology.dot — the network graph with session 0's tree
+//                            highlighted (render with `dot -Tpng`)
+// into the current directory. Demonstrates the TraceWriter, LinkMonitor and
+// DOT-export utilities for users who want to plot runs externally.
+#include <cstdio>
+#include <functional>
+
+#include "metrics/link_monitor.hpp"
+#include "metrics/trace_writer.hpp"
+#include "net/dot_export.hpp"
+#include "scenarios/scenario.hpp"
+
+int main() {
+  using namespace tsim;
+  using sim::Time;
+
+  scenarios::ScenarioConfig config;
+  config.seed = 7;
+  config.model = traffic::TrafficModel::kVbr;
+  config.peak_to_mean = 3.0;
+  config.duration = Time::seconds(180);
+
+  scenarios::TopologyBOptions topology;
+  topology.sessions = 3;
+
+  auto scenario = scenarios::Scenario::topology_b(config, topology);
+
+  metrics::TraceWriter trace{{"sub_s0", "sub_s1", "sub_s2", "loss_s0", "loss_s1", "loss_s2",
+                              "shared_link_util"}};
+  metrics::LinkMonitor monitor{scenario->simulation(), scenario->network(), 0,
+                               Time::seconds(1)};
+  monitor.start();
+
+  std::function<void()> sample = [&]() {
+    const auto& endpoints = scenario->endpoints();
+    std::vector<double> row;
+    for (int k = 0; k < 3; ++k) row.push_back(endpoints[k]->subscription());
+    for (int k = 0; k < 3; ++k) {
+      row.push_back(endpoints[k]->last_completed_window().loss_rate());
+    }
+    row.push_back(monitor.samples().empty()
+                      ? 0.0
+                      : monitor.samples().back().throughput_bps /
+                            scenario->network().link(0).bandwidth_bps());
+    trace.add_row(scenario->simulation().now(), row);
+    scenario->simulation().after(Time::seconds(1), sample);
+  };
+  scenario->simulation().at(Time::seconds(1), sample);
+
+  scenario->run();
+
+  const bool csv_ok = trace.write_file("toposense_trace.csv");
+  std::printf("wrote toposense_trace.csv (%zu rows): %s\n", trace.rows(),
+              csv_ok ? "ok" : "FAILED");
+
+  // Highlight session 0's current tree in the topology graph.
+  const auto edges = scenario->multicast().session_tree_edges(0, 6);
+  const std::string dot = net::to_dot(scenario->network(), edges);
+  std::FILE* f = std::fopen("toposense_topology.dot", "w");
+  if (f != nullptr) {
+    std::fwrite(dot.data(), 1, dot.size(), f);
+    std::fclose(f);
+    std::printf("wrote toposense_topology.dot (render: dot -Tpng -O toposense_topology.dot)\n");
+  }
+
+  std::printf("shared link mean utilization: %.1f%%\n", 100.0 * monitor.mean_utilization());
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "baseline/receiver_driven.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace tsim::baseline {
+
+ReceiverDrivenController::ReceiverDrivenController(sim::Simulation& simulation,
+                                                   transport::ReceiverEndpoint& endpoint,
+                                                   Config config)
+    : simulation_{simulation},
+      endpoint_{endpoint},
+      config_{config},
+      rng_{simulation.rng_stream("rlm/" + std::to_string(endpoint.config().node) + "/" +
+                                 std::to_string(endpoint.config().session))},
+      join_not_before_(static_cast<std::size_t>(endpoint.config().layers.num_layers),
+                       sim::Time::zero()),
+      join_timer_(static_cast<std::size_t>(endpoint.config().layers.num_layers),
+                  config.join_timer_min) {}
+
+void ReceiverDrivenController::start() {
+  // Random phase so independent receivers do not tick in lockstep.
+  const sim::Time phase = sim::Time::seconds(rng_.uniform(0.0, config_.period.as_seconds()));
+  simulation_.at(config_.start + config_.period + phase, [this]() { tick(); });
+}
+
+void ReceiverDrivenController::tick() {
+  const sim::Time now = simulation_.now();
+  const auto& window = endpoint_.last_completed_window();
+  const double loss = window.loss_rate();
+  const int sub = endpoint_.subscription();
+
+  if (loss > config_.drop_loss) {
+    clean_intervals_ = 0;
+    if (last_added_layer_ == sub && sub > 1 && now <= experiment_deadline_) {
+      // Failed join experiment: drop back and back the layer's timer off.
+      const std::size_t idx = static_cast<std::size_t>(sub - 1);
+      join_timer_[idx] = std::min(
+          sim::Time::seconds(join_timer_[idx].as_seconds() * config_.backoff_multiplier),
+          config_.join_timer_max);
+      join_not_before_[idx] = now + join_timer_[idx];
+      endpoint_.set_subscription(sub - 1);
+      ++drops_;
+    } else if (sub > 1) {
+      // Sustained congestion at the current level.
+      endpoint_.set_subscription(sub - 1);
+      const std::size_t idx = static_cast<std::size_t>(sub - 1);
+      join_not_before_[idx] = now + join_timer_[idx];
+      ++drops_;
+    }
+    last_added_layer_ = 0;
+  } else {
+    if (loss <= config_.add_loss) {
+      ++clean_intervals_;
+    } else {
+      clean_intervals_ = 0;
+    }
+    if (last_added_layer_ == sub && now > experiment_deadline_) {
+      // Experiment survived: the layer is considered safe; relax its timer.
+      join_timer_[static_cast<std::size_t>(sub - 1)] = config_.join_timer_min;
+      last_added_layer_ = 0;
+    }
+    const int next = sub + 1;
+    if (clean_intervals_ >= config_.stable_intervals && next <= endpoint_.config().layers.num_layers &&
+        now >= join_not_before_[static_cast<std::size_t>(next - 1)]) {
+      endpoint_.set_subscription(next);
+      ++adds_;
+      last_added_layer_ = next;
+      experiment_deadline_ = now + config_.period * 2;
+      clean_intervals_ = 0;
+    }
+  }
+
+  simulation_.after(config_.period, [this]() { tick(); });
+}
+
+}  // namespace tsim::baseline

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "transport/receiver_endpoint.hpp"
+
+namespace tsim::baseline {
+
+/// Receiver-driven layered multicast baseline (RLM-family): each receiver
+/// adapts purely from its own end-to-end loss, with per-layer join-experiment
+/// timers that back off multiplicatively after failed experiments. No
+/// controller, no topology information, no cross-receiver coordination — the
+/// contrast the paper's introduction motivates (an uninformed receiver can
+/// misattribute a shared-bottleneck loss and make the wrong move).
+class ReceiverDrivenController {
+ public:
+  struct Config {
+    sim::Time period{sim::Time::seconds(2)};       ///< decision cadence
+    double drop_loss{0.05};                        ///< drop a layer above this loss
+    double add_loss{0.01};                         ///< join experiment allowed below this
+    int stable_intervals{3};                       ///< clean intervals required before adding
+    sim::Time join_timer_min{sim::Time::seconds(5)};   ///< initial per-layer backoff
+    sim::Time join_timer_max{sim::Time::seconds(600)}; ///< backoff ceiling
+    double backoff_multiplier{2.0};                ///< growth after each failed experiment
+    sim::Time start{sim::Time::zero()};
+  };
+
+  ReceiverDrivenController(sim::Simulation& simulation, transport::ReceiverEndpoint& endpoint,
+                           Config config);
+
+  void start();
+
+  [[nodiscard]] std::uint64_t layers_added() const { return adds_; }
+  [[nodiscard]] std::uint64_t layers_dropped() const { return drops_; }
+
+ private:
+  void tick();
+
+  sim::Simulation& simulation_;
+  transport::ReceiverEndpoint& endpoint_;
+  Config config_;
+  sim::Rng rng_;
+  std::vector<sim::Time> join_not_before_;  ///< per layer (1-based index-1)
+  std::vector<sim::Time> join_timer_;       ///< current backoff per layer
+  int clean_intervals_{0};
+  int last_added_layer_{0};                 ///< layer under experiment (0 = none)
+  sim::Time experiment_deadline_{};
+  std::uint64_t adds_{0};
+  std::uint64_t drops_{0};
+};
+
+}  // namespace tsim::baseline

@@ -1,0 +1,163 @@
+#include "control/controller_agent.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+namespace tsim::control {
+
+namespace {
+std::uint64_t key_of(net::SessionId session, net::NodeId receiver) {
+  return (static_cast<std::uint64_t>(session) << 32) | receiver;
+}
+}  // namespace
+
+ControllerAgent::ControllerAgent(sim::Simulation& simulation, net::Network& network,
+                                 topo::TopologyProvider& discovery,
+                                 transport::PacketDemux& demux, Config config)
+    : simulation_{simulation},
+      network_{network},
+      discovery_{discovery},
+      config_{config},
+      algorithm_{config.params, simulation.rng_stream("controller")} {
+  demux.add_handler(net::PacketKind::kReport,
+                    [this](const net::Packet& p) { handle_report(p); });
+}
+
+void ControllerAgent::register_receiver(net::SessionId session, net::NodeId receiver) {
+  auto& list = registered_[session];
+  if (std::find(list.begin(), list.end(), receiver) == list.end()) list.push_back(receiver);
+  discovery_.track_session(session, static_cast<net::LayerId>(config_.params.layers.num_layers));
+}
+
+void ControllerAgent::start() {
+  simulation_.at(config_.start, [this]() { run_interval(); });
+}
+
+void ControllerAgent::handle_report(const net::Packet& packet) {
+  const auto* report = dynamic_cast<const transport::ReceiverReport*>(packet.control.get());
+  if (report == nullptr) return;
+  ++reports_received_;
+  ledger_.on_report(*report);
+  auto& history = reports_[key_of(report->session, report->receiver)];
+  history.push_back(*report);
+  while (history.size() > config_.report_history_limit) history.pop_front();
+}
+
+ControllerAgent::ReportAggregate ControllerAgent::aggregate_reports(
+    net::SessionId session, net::NodeId receiver, sim::Time window_end) const {
+  ReportAggregate agg;
+  const auto it = reports_.find(key_of(session, receiver));
+  if (it == reports_.end()) return agg;
+
+  // Fold in the newest reports that ended by `window_end` (staleness already
+  // folded in by the caller) until they cover one algorithm interval.
+  // Receivers may report more often than the algorithm runs (several small
+  // windows per interval) or a report may have been lost to congestion (the
+  // previous one stands in) — reports ride the data path and arrive a few
+  // hundred ms late, so exact alignment can never be assumed.
+  const sim::Time oldest_usable = window_end - config_.params.interval * 3;
+  std::uint64_t bytes = 0;
+  std::uint64_t received = 0;
+  std::uint64_t lost = 0;
+  sim::Time span_end{};
+  sim::Time span_start{};
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    const transport::ReceiverReport& r = *rit;
+    if (r.window_end > window_end) continue;
+    if (r.window_end <= oldest_usable) break;
+    if (!agg.valid) {
+      agg.valid = true;
+      agg.subscription = r.subscription;  // newest report wins
+      span_end = r.window_end;
+    }
+    bytes += r.bytes_received;
+    received += r.received_packets;
+    lost += r.lost_packets;
+    span_start = r.window_start;
+    if (span_end - span_start >= config_.params.interval) break;
+  }
+  if (agg.valid) {
+    // Normalize the covered span to one interval so the algorithm's
+    // bandwidth arithmetic (bytes * 8 / interval) stays correct when the
+    // reporting cadence differs from the algorithm cadence.
+    const double span_s = std::max((span_end - span_start).as_seconds(), 1e-9);
+    const double scale = config_.params.interval.as_seconds() / span_s;
+    agg.bytes = static_cast<std::uint64_t>(static_cast<double>(bytes) * scale);
+    const std::uint64_t expected = received + lost;
+    agg.loss_rate =
+        expected == 0 ? 0.0 : static_cast<double>(lost) / static_cast<double>(expected);
+  }
+  return agg;
+}
+
+void ControllerAgent::run_interval() {
+  ++epoch_;
+  const sim::Time now = simulation_.now();
+  const sim::Time report_cutoff = now - config_.info_staleness;
+
+  core::AlgorithmInput input;
+  input.window = config_.params.interval;
+
+  for (const auto& [session, receivers] : registered_) {
+    const topo::TopologySnapshot* snap = discovery_.snapshot(session);
+    if (snap == nullptr || snap->source == net::kInvalidNode) continue;
+
+    core::SessionInput session_input;
+    session_input.session = session;
+    session_input.source = snap->source;
+
+    // Collect tree nodes from the snapshot's edges (plus the source).
+    std::unordered_map<net::NodeId, net::NodeId> parent_of;
+    parent_of[snap->source] = net::kInvalidNode;
+    for (const auto& [parent, child] : snap->edges) parent_of.emplace(child, parent);
+    // Edges may mention parents the snapshot didn't root (stale artifacts);
+    // TreeIndex drops anything unreachable from the source.
+    for (const auto& [parent, child] : snap->edges) parent_of.emplace(parent, net::kInvalidNode);
+
+    const std::unordered_set<net::NodeId> snapshot_receivers{snap->receivers.begin(),
+                                                             snap->receivers.end()};
+
+    for (const auto& [node, parent] : parent_of) {
+      core::SessionNodeInput n;
+      n.node = node;
+      n.parent = parent;
+      if (snapshot_receivers.count(node) != 0 &&
+          std::find(receivers.begin(), receivers.end(), node) != receivers.end()) {
+        const ReportAggregate agg = aggregate_reports(session, node, report_cutoff);
+        n.is_receiver = true;
+        n.loss_rate = agg.loss_rate;
+        n.bytes_received = agg.bytes;
+        n.subscription = std::max(agg.subscription, 1);
+      }
+      session_input.nodes.push_back(n);
+    }
+    if (session_input.nodes.size() > 1) input.sessions.push_back(std::move(session_input));
+  }
+
+  if (!input.sessions.empty()) {
+    last_output_ = algorithm_.run_interval(input, now);
+    for (const core::Prescription& p : last_output_.prescriptions) send_suggestion(p);
+  }
+
+  simulation_.after(config_.params.interval, [this]() { run_interval(); });
+}
+
+void ControllerAgent::send_suggestion(const core::Prescription& prescription) {
+  auto suggestion = std::make_shared<transport::Suggestion>();
+  suggestion->receiver = prescription.receiver;
+  suggestion->session = prescription.session;
+  suggestion->subscription = prescription.subscription;
+  suggestion->epoch = epoch_;
+
+  net::Packet packet;
+  packet.kind = net::PacketKind::kSuggestion;
+  packet.size_bytes = transport::kSuggestionPacketBytes;
+  packet.src = config_.node;
+  packet.dst = prescription.receiver;
+  packet.control = std::move(suggestion);
+  network_.send_unicast(packet);
+  ++suggestions_sent_;
+}
+
+}  // namespace tsim::control

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "control/accounting.hpp"
+#include "core/toposense.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "topo/provider.hpp"
+#include "transport/control_messages.hpp"
+#include "transport/demux.hpp"
+
+namespace tsim::control {
+
+/// The paper's per-domain controller agent. An application-level entity at
+/// one node that (1) receives RTCP-like receiver reports, (2) pulls session
+/// tree snapshots from the topology discovery tool, (3) runs TopoSense once
+/// per interval, and (4) unicasts subscription suggestions back to the
+/// receivers. All of its traffic traverses the simulated network and competes
+/// with data, so reports and suggestions can be lost, as in the paper's
+/// simulations.
+class ControllerAgent {
+ public:
+  struct Config {
+    net::NodeId node{net::kInvalidNode};
+    core::Params params{};
+    /// Loss/report staleness: the algorithm only consumes reports whose
+    /// window ended at or before now - info_staleness (Fig 10 pairs this with
+    /// the topology staleness configured on the DiscoveryService).
+    sim::Time info_staleness{sim::Time::zero()};
+    sim::Time start{sim::Time::milliseconds(2500)};
+    std::size_t report_history_limit{64};
+  };
+
+  ControllerAgent(sim::Simulation& simulation, net::Network& network,
+                  topo::TopologyProvider& discovery, transport::PacketDemux& demux,
+                  Config config);
+
+  /// Receivers register on session join (§II); registration is a direct call
+  /// because the paper treats it as out-of-band setup.
+  void register_receiver(net::SessionId session, net::NodeId receiver);
+
+  /// Starts the periodic algorithm runs at config.start.
+  void start();
+
+  [[nodiscard]] const core::TopoSense& algorithm() const { return algorithm_; }
+  [[nodiscard]] const core::AlgorithmOutput& last_output() const { return last_output_; }
+  [[nodiscard]] std::uint64_t reports_received() const { return reports_received_; }
+  [[nodiscard]] std::uint64_t suggestions_sent() const { return suggestions_sent_; }
+  [[nodiscard]] std::uint64_t intervals_run() const { return epoch_; }
+
+  /// Usage accounting built from the received reports (§II billing).
+  [[nodiscard]] const AccountingLedger& ledger() const { return ledger_; }
+
+ private:
+  void handle_report(const net::Packet& packet);
+  void run_interval();
+  void send_suggestion(const core::Prescription& prescription);
+
+  /// Aggregate of the reports of one receiver that fall inside the algorithm
+  /// window (respecting staleness).
+  struct ReportAggregate {
+    bool valid{false};
+    double loss_rate{0.0};
+    std::uint64_t bytes{0};
+    int subscription{1};
+  };
+  [[nodiscard]] ReportAggregate aggregate_reports(net::SessionId session, net::NodeId receiver,
+                                                  sim::Time window_end) const;
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  topo::TopologyProvider& discovery_;
+  Config config_;
+  core::TopoSense algorithm_;
+  std::unordered_map<net::SessionId, std::vector<net::NodeId>> registered_;
+  /// (session<<32|receiver) -> recent reports, newest at the back.
+  std::unordered_map<std::uint64_t, std::deque<transport::ReceiverReport>> reports_;
+  core::AlgorithmOutput last_output_;
+  AccountingLedger ledger_;
+  std::uint64_t reports_received_{0};
+  std::uint64_t suggestions_sent_{0};
+  std::uint32_t epoch_{0};
+};
+
+}  // namespace tsim::control

@@ -1,0 +1,45 @@
+#include "control/receiver_agent.hpp"
+
+namespace tsim::control {
+
+ReceiverAgent::ReceiverAgent(sim::Simulation& simulation,
+                             transport::ReceiverEndpoint& endpoint, Config config)
+    : simulation_{simulation}, endpoint_{endpoint}, config_{config} {
+  endpoint_.on_suggestion([this](const transport::Suggestion& suggestion) {
+    // Stale-but-reordered suggestions are impossible over our FIFO links, but
+    // a lost interval makes epochs skip; accept any epoch >= the last seen.
+    if (suggestion.epoch < last_epoch_) return;
+    last_epoch_ = suggestion.epoch;
+    last_suggestion_ = simulation_.now();
+    ++suggestions_applied_;
+    endpoint_.set_subscription(suggestion.subscription);
+  });
+}
+
+void ReceiverAgent::start() {
+  last_suggestion_ = config_.start;
+  if (config_.enable_unilateral) {
+    simulation_.at(config_.start + config_.check_period, [this]() { check_silence(); });
+  }
+}
+
+void ReceiverAgent::check_silence() {
+  const sim::Time now = simulation_.now();
+  if (endpoint_.active()) {
+    const auto& window = endpoint_.last_completed_window();
+    const double loss = window.loss_rate();
+    const sim::Time horizon = loss > config_.emergency_loss ? config_.emergency_timeout
+                                                            : config_.unilateral_timeout;
+    if (now - last_suggestion_ > horizon) {
+      // No guidance: protect the network on our own, one layer at a time.
+      if (loss > config_.unilateral_drop_loss && endpoint_.subscription() > 1) {
+        endpoint_.set_subscription(endpoint_.subscription() - 1);
+        ++unilateral_actions_;
+        last_suggestion_ = now;  // give the drop time to take effect
+      }
+    }
+  }
+  simulation_.after(config_.check_period, [this]() { check_silence(); });
+}
+
+}  // namespace tsim::control

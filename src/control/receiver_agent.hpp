@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulation.hpp"
+#include "transport/receiver_endpoint.hpp"
+
+namespace tsim::control {
+
+/// Receiver-side policy for TopoSense: obey controller suggestions, and make
+/// unilateral decisions only when suggestion packets stop arriving for a long
+/// period (the paper's resilience rule for lossy control channels).
+class ReceiverAgent {
+ public:
+  struct Config {
+    /// Silence length after which the receiver acts on its own. Suggestions
+    /// ride the same queues as data, so during heavy congestion they are the
+    /// first thing to die — the receiver must not wait long.
+    sim::Time unilateral_timeout{sim::Time::seconds(6)};
+    /// Shorter silence horizon used when loss is catastrophic: heavy loss is
+    /// itself evidence that the suggestion packets are being lost with it.
+    sim::Time emergency_timeout{sim::Time::seconds(3)};
+    /// How often the silence check runs.
+    sim::Time check_period{sim::Time::seconds(2)};
+    /// Unilateral rule: drop one layer when own window loss exceeds this.
+    double unilateral_drop_loss{0.15};
+    /// Loss level considered catastrophic (enables emergency_timeout).
+    double emergency_loss{0.35};
+    bool enable_unilateral{true};
+    sim::Time start{sim::Time::zero()};
+  };
+
+  ReceiverAgent(sim::Simulation& simulation, transport::ReceiverEndpoint& endpoint,
+                Config config);
+
+  void start();
+
+  [[nodiscard]] std::uint64_t suggestions_applied() const { return suggestions_applied_; }
+  [[nodiscard]] std::uint64_t unilateral_actions() const { return unilateral_actions_; }
+
+ private:
+  void check_silence();
+
+  sim::Simulation& simulation_;
+  transport::ReceiverEndpoint& endpoint_;
+  Config config_;
+  sim::Time last_suggestion_{sim::Time::zero()};
+  std::uint32_t last_epoch_{0};
+  std::uint64_t suggestions_applied_{0};
+  std::uint64_t unilateral_actions_{0};
+};
+
+}  // namespace tsim::control

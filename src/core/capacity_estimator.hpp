@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/types.hpp"
+
+namespace tsim::core {
+
+/// What one session measured across one tree link during an interval.
+struct LinkSessionObservation {
+  net::SessionId session{0};
+  double loss_rate{0.0};                 ///< session loss at the link's head node
+  std::uint64_t max_subtree_bytes{0};    ///< max bytes any downstream receiver got
+};
+
+/// Everything observed on one link in one interval.
+struct LinkObservation {
+  LinkKey link{};
+  std::vector<LinkSessionObservation> sessions;
+};
+
+/// State of one link's capacity estimate.
+struct LinkEstimate {
+  double capacity_bps{std::numeric_limits<double>::infinity()};
+  int age_intervals{0};  ///< intervals since the estimate was (re)computed
+  [[nodiscard]] bool finite() const {
+    return capacity_bps != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// The paper's loss-driven link-capacity estimator (§III "Estimating Link
+/// Capacities"). Links are assumed infinite until (1) the overall loss at the
+/// link head exceeds p_threshold AND (2) every session crossing the link sees
+/// loss above p_threshold; then capacity := delivered bits/s that interval.
+/// Finite estimates inflate by `capacity_growth` each interval (reports can
+/// miss in-flight bytes) and are reset to infinity every
+/// `capacity_reset_intervals` intervals so transient flows and downstream
+/// bottlenecks cannot poison the estimate forever.
+class CapacityEstimator {
+ public:
+  explicit CapacityEstimator(const Params& params) : params_{&params} {}
+
+  /// Processes one interval's observations. `window` is the measurement
+  /// window length.
+  void update(const std::vector<LinkObservation>& observations, sim::Time window);
+
+  /// Current estimate for a link (+inf when unknown).
+  [[nodiscard]] double capacity_bps(LinkKey link) const;
+
+  [[nodiscard]] const std::unordered_map<LinkKey, LinkEstimate>& estimates() const {
+    return estimates_;
+  }
+
+  /// Drops all finite estimates (used by tests).
+  void reset() { estimates_.clear(); }
+
+ private:
+  const Params* params_;
+  std::unordered_map<LinkKey, LinkEstimate> estimates_;
+};
+
+}  // namespace tsim::core

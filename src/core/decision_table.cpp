@@ -1,0 +1,104 @@
+#include "core/decision_table.hpp"
+
+#include <cassert>
+
+namespace tsim::core {
+
+LeafDecision leaf_decision(CongestionHistory history, BwEquality equality) {
+  assert(history <= kHistoryMask);
+  switch (equality) {
+    case BwEquality::kLesser:
+      switch (history) {
+        case 0: return {LeafAction::kAddLayer, false};
+        case 1: return {LeafAction::kDropIfHighLoss, true};
+        case 2:
+        case 4:
+        case 5:
+        case 6: return {LeafAction::kMaintain, false};
+        case 3: return {LeafAction::kReduceToPrevSupply, false};
+        case 7: return {LeafAction::kHalvePrevSupply, true};
+        default: break;
+      }
+      break;
+    case BwEquality::kEqual:
+      switch (history) {
+        case 0:
+        case 4: return {LeafAction::kAddLayer, false};
+        case 1:
+        case 2:
+        case 5:
+        case 6: return {LeafAction::kMaintain, false};
+        case 3:
+        case 7: return {LeafAction::kHalvePrevSupply, true};
+        default: break;
+      }
+      break;
+    case BwEquality::kGreater:
+      switch (history) {
+        case 0: return {LeafAction::kAddLayer, false};
+        case 1:
+        case 2:
+        case 4:
+        case 5:
+        case 6: return {LeafAction::kMaintain, false};
+        case 3:
+        case 7: return {LeafAction::kHalveIfVeryHighLoss, false};
+        default: break;
+      }
+      break;
+  }
+  return {LeafAction::kMaintain, false};  // unreachable for valid inputs
+}
+
+InternalAction internal_decision(CongestionHistory history, BwEquality equality) {
+  assert(history <= kHistoryMask);
+  switch (history) {
+    case 0:
+    case 4:
+      return InternalAction::kAcceptChildren;
+    case 1:
+    case 5:
+    case 7:
+      return equality == BwEquality::kGreater ? InternalAction::kHalveCurrentSupply
+                                              : InternalAction::kHalvePrevSupply;
+    case 2:
+    case 3:
+    case 6:
+      return InternalAction::kMaintain;
+    default:
+      return InternalAction::kMaintain;  // unreachable for valid inputs
+  }
+}
+
+std::string_view to_string(LeafAction a) {
+  switch (a) {
+    case LeafAction::kAddLayer: return "AddLayer";
+    case LeafAction::kDropIfHighLoss: return "DropIfHighLoss";
+    case LeafAction::kMaintain: return "Maintain";
+    case LeafAction::kReduceToPrevSupply: return "ReduceToPrevSupply";
+    case LeafAction::kHalvePrevSupply: return "HalvePrevSupply";
+    case LeafAction::kHalveIfVeryHighLoss: return "HalveIfVeryHighLoss";
+  }
+  return "?";
+}
+
+std::string_view to_string(InternalAction a) {
+  switch (a) {
+    case InternalAction::kAcceptChildren: return "AcceptChildren";
+    case InternalAction::kMaintain: return "Maintain";
+    case InternalAction::kHalveCurrentSupply: return "HalveCurrentSupply";
+    case InternalAction::kHalvePrevSupply: return "HalvePrevSupply";
+  }
+  return "?";
+}
+
+std::string_view to_string(BwEquality e) {
+  switch (e) {
+    case BwEquality::kLesser: return "Lesser";
+    case BwEquality::kEqual: return "Equal";
+    case BwEquality::kGreater: return "Greater";
+  }
+  return "?";
+}
+
+}  // namespace tsim::core

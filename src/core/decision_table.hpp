@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace tsim::core {
+
+/// Relationship of total bandwidth received in interval T0–T1 with respect to
+/// T1–T2 (Table I, "BW Equality" column).
+enum class BwEquality : std::uint8_t { kLesser, kEqual, kGreater };
+
+/// Congestion-state history as the paper encodes it: a 3-bit integer with the
+/// state at T0 (oldest) in bit 2, T1 in bit 1 and T2 (current) in bit 0;
+/// CONGESTED=1.
+using CongestionHistory = std::uint8_t;
+
+inline constexpr CongestionHistory kHistoryMask = 0b111;
+
+/// Pushes the current interval's congestion bit into a history.
+[[nodiscard]] constexpr CongestionHistory push_history(CongestionHistory h, bool congested) {
+  return static_cast<CongestionHistory>(((h << 1) | (congested ? 1 : 0)) & kHistoryMask);
+}
+
+/// Leaf actions of Table I.
+enum class LeafAction : std::uint8_t {
+  kAddLayer,             ///< add next layer, if not backing off
+  kDropIfHighLoss,       ///< if loss rate is high: drop a layer, set backoff
+  kMaintain,             ///< keep the current demand
+  kReduceToPrevSupply,   ///< reduce demand to the supply in T0–Tn
+  kHalvePrevSupply,      ///< reduce demand to half the supply in T0–Tn, set backoff
+  kHalveIfVeryHighLoss,  ///< halve (T0–Tn supply) only when loss is very high
+};
+
+/// Internal-node actions of Table I.
+enum class InternalAction : std::uint8_t {
+  kAcceptChildren,     ///< accept all demands of the child nodes
+  kMaintain,           ///< keep the previous demand
+  kHalveCurrentSupply, ///< reduce demand to half the supply in Tn–T2n (recent interval)
+  kHalvePrevSupply,    ///< reduce demand to half the supply in T0–Tn (older interval)
+};
+
+/// Whether the action, per Table I, also sets the backoff timer.
+struct LeafDecision {
+  LeafAction action;
+  bool set_backoff;
+};
+
+/// Exact transcription of Table I for leaves. `history` must be <= 7.
+[[nodiscard]] LeafDecision leaf_decision(CongestionHistory history, BwEquality equality);
+
+/// Exact transcription of Table I for internal nodes.
+[[nodiscard]] InternalAction internal_decision(CongestionHistory history, BwEquality equality);
+
+[[nodiscard]] std::string_view to_string(LeafAction a);
+[[nodiscard]] std::string_view to_string(InternalAction a);
+[[nodiscard]] std::string_view to_string(BwEquality e);
+
+}  // namespace tsim::core

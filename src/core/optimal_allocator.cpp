@@ -1,0 +1,101 @@
+#include "core/optimal_allocator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/tree_index.hpp"
+
+namespace tsim::core {
+
+OptimalAllocator::OptimalAllocator(traffic::LayerSpec layers,
+                                   std::unordered_map<LinkKey, double> capacity_bps)
+    : layers_{layers}, capacity_bps_{std::move(capacity_bps)} {}
+
+std::vector<OptimalAllocator::ReceiverRef> OptimalAllocator::receivers_of(
+    const std::vector<SessionInput>& sessions) const {
+  std::vector<ReceiverRef> refs;
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    for (std::size_t n = 0; n < sessions[s].nodes.size(); ++n) {
+      if (sessions[s].nodes[n].is_receiver) refs.push_back(ReceiverRef{s, n});
+    }
+  }
+  return refs;
+}
+
+double OptimalAllocator::link_usage(const std::vector<SessionInput>& sessions,
+                                    const std::vector<int>& levels, LinkKey link) const {
+  // A session's traffic on a tree link is the cumulative rate of the highest
+  // level subscribed by any receiver below the link's child endpoint.
+  const auto refs = receivers_of(sessions);
+  double usage = 0.0;
+  for (std::size_t s = 0; s < sessions.size(); ++s) {
+    const TreeIndex tree{sessions[s]};
+    const int child = tree.index_of(link.to);
+    const int parent = tree.index_of(link.from);
+    if (child < 0 || parent < 0 || tree.parent(static_cast<std::size_t>(child)) != parent) {
+      continue;  // link not on this session's tree
+    }
+    int max_level = 0;
+    for (std::size_t r = 0; r < refs.size(); ++r) {
+      if (refs[r].session_index != s) continue;
+      // Is this receiver inside the subtree under `child`?
+      int i = tree.index_of(sessions[s].nodes[refs[r].node_index].node);
+      bool below = false;
+      while (i >= 0) {
+        if (i == child) {
+          below = true;
+          break;
+        }
+        i = tree.parent(static_cast<std::size_t>(i));
+      }
+      if (below) max_level = std::max(max_level, levels[r]);
+    }
+    usage += layers_.cumulative_rate_bps(max_level);
+  }
+  return usage;
+}
+
+bool OptimalAllocator::feasible(const std::vector<SessionInput>& sessions,
+                                const std::vector<int>& levels) const {
+  for (const auto& [link, capacity] : capacity_bps_) {
+    if (link_usage(sessions, levels, link) > capacity) return false;
+  }
+  return true;
+}
+
+std::vector<Prescription> OptimalAllocator::allocate(
+    const std::vector<SessionInput>& sessions) const {
+  const auto refs = receivers_of(sessions);
+  std::vector<int> levels(refs.size(), 0);
+  std::vector<bool> blocked(refs.size(), false);
+
+  // Greedy lexicographic max-min: repeatedly raise the lowest unblocked
+  // receiver (ties by discovery order); stop when all are blocked or maxed.
+  while (true) {
+    int best = -1;
+    for (std::size_t r = 0; r < refs.size(); ++r) {
+      if (blocked[r] || levels[r] >= layers_.num_layers) continue;
+      if (best < 0 || levels[r] < levels[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(r);
+      }
+    }
+    if (best < 0) break;
+    const auto r = static_cast<std::size_t>(best);
+    ++levels[r];
+    if (!feasible(sessions, levels)) {
+      --levels[r];
+      blocked[r] = true;
+    }
+  }
+
+  std::vector<Prescription> result;
+  result.reserve(refs.size());
+  for (std::size_t r = 0; r < refs.size(); ++r) {
+    const SessionInput& session = sessions[refs[r].session_index];
+    result.push_back(Prescription{session.nodes[refs[r].node_index].node, session.session,
+                                  levels[r]});
+  }
+  return result;
+}
+
+}  // namespace tsim::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "traffic/layer_spec.hpp"
+
+namespace tsim::core {
+
+/// Offline reference allocator: given session trees and *known* link
+/// capacities, computes a feasible per-receiver layer allocation that is
+/// greedily lexicographic max-min (repeatedly raise the worst-off receiver
+/// while feasible).
+///
+/// Context (paper §VI): Sarkar & Tassiulas showed max-min fairness may not
+/// exist for discrete layers and that the lexicographically optimal
+/// allocation is NP-hard for multiple sessions; this greedy raise-the-minimum
+/// procedure is the standard polynomial heuristic and is exact for a single
+/// session on a tree. TopoSense itself never sees link capacities — this
+/// allocator provides the "optimal subscription" yardstick (the paper's y_i)
+/// for topologies where the optimum is not obvious by construction.
+class OptimalAllocator {
+ public:
+  OptimalAllocator(traffic::LayerSpec layers,
+                   std::unordered_map<LinkKey, double> capacity_bps);
+
+  /// Computes the allocation for the given session trees. Receivers start at
+  /// level 0; any receiver that cannot even hold the base layer stays at 0.
+  [[nodiscard]] std::vector<Prescription> allocate(
+      const std::vector<SessionInput>& sessions) const;
+
+  /// True when `levels` (parallel to the receivers in `sessions`, in
+  /// discovery order) fits every link capacity.
+  [[nodiscard]] bool feasible(const std::vector<SessionInput>& sessions,
+                              const std::vector<int>& levels) const;
+
+  /// Aggregate bits/s the allocation would place on `link`.
+  [[nodiscard]] double link_usage(const std::vector<SessionInput>& sessions,
+                                  const std::vector<int>& levels, LinkKey link) const;
+
+ private:
+  struct ReceiverRef {
+    std::size_t session_index;
+    std::size_t node_index;  ///< into SessionInput::nodes
+  };
+  [[nodiscard]] std::vector<ReceiverRef> receivers_of(
+      const std::vector<SessionInput>& sessions) const;
+
+  traffic::LayerSpec layers_;
+  std::unordered_map<LinkKey, double> capacity_bps_;
+};
+
+}  // namespace tsim::core

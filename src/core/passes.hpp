@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "core/capacity_estimator.hpp"
+#include "core/params.hpp"
+#include "core/tree_index.hpp"
+#include "core/types.hpp"
+
+namespace tsim::core {
+
+/// Per-session scratch computed by the algorithm's passes. Vectors are
+/// indexed like the TreeIndex.
+struct LabeledTree {
+  TreeIndex tree;
+  std::vector<double> loss;                    ///< min-of-children for internals
+  std::vector<bool> congested;
+  std::vector<std::uint64_t> max_subtree_bytes;  ///< max over receivers below
+  std::vector<double> bottleneck_bps;          ///< top-down min link capacity
+  std::vector<double> max_handle_bps;          ///< bottom-up max of bottlenecks
+  std::vector<double> share_bps;               ///< fair-share bandwidth cap per node
+
+  explicit LabeledTree(TreeIndex t);
+};
+
+/// Stage 1 (§III "Computing Congestion States"): derives internal-node loss
+/// (minimum over children), labels nodes CONGESTED/NOT-CONGESTED (including
+/// the top-down parent-congested propagation), and records the max bytes
+/// received by any receiver in each subtree.
+void label_congestion(LabeledTree& lt, const Params& params);
+
+/// Builds per-link observations across all sessions for the capacity
+/// estimator (requires label_congestion first).
+[[nodiscard]] std::vector<LinkObservation> collect_link_observations(
+    const std::vector<LabeledTree>& trees);
+
+/// Stage 3 ("Finding Bottleneck Bandwidths"): propagates the minimum
+/// estimated link capacity top-down, then the max child bottleneck bottom-up.
+void compute_bottlenecks(LabeledTree& lt, const CapacityEstimator& capacities);
+
+/// Stage 4 ("Bandwidth Sharing"): computes, per node, the session's fair
+/// bandwidth share along its path. On every shared finite link, session i
+/// gets x_i*B/Σx_j where x_i is the max layers it could use were every other
+/// session at its base layer. Single-session finite links cap at B; a session
+/// never falls below one base layer.
+void compute_fair_shares(std::vector<LabeledTree>& trees, const CapacityEstimator& capacities,
+                         const Params& params);
+
+}  // namespace tsim::core

@@ -1,0 +1,328 @@
+#include "core/toposense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tsim::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TopoSense::TopoSense(Params params, sim::Rng rng)
+    : params_{params}, rng_{rng}, capacities_{params_} {}
+
+BwEquality TopoSense::classify_equality(std::uint64_t prev, std::uint64_t cur) const {
+  const double a = static_cast<double>(prev);
+  const double b = static_cast<double>(cur);
+  const double scale = std::max({a, b, 1.0});
+  if (std::abs(a - b) <= params_.bw_equal_tolerance * scale) return BwEquality::kEqual;
+  return a < b ? BwEquality::kLesser : BwEquality::kGreater;
+}
+
+int TopoSense::layers_for_bw(double bps) const {
+  if (bps == kInf) return params_.layers.num_layers;
+  return params_.layers.max_layers_for_bandwidth(bps);
+}
+
+void TopoSense::set_backoff(net::SessionId session, net::NodeId node, int layer, sim::Time now) {
+  const double lo = params_.backoff_min.as_seconds();
+  const double hi = params_.backoff_max.as_seconds();
+  const sim::Time until = now + sim::Time::seconds(rng_.uniform(lo, std::max(lo, hi)));
+  backoff_[memory_key(session, node)][layer] = until;
+}
+
+void TopoSense::maybe_backoff(net::SessionId session, net::NodeId node, int layer,
+                              int stable_level, sim::Time now) {
+  // A layer this node recently held cleanly is not the culprit — usually
+  // another session's probe congested the shared link. Backing it off would
+  // strand the victim below its proven level.
+  if (layer <= stable_level) return;
+  set_backoff(session, node, layer, now);
+}
+
+bool TopoSense::backing_off(net::SessionId session, net::NodeId node, int layer,
+                            sim::Time now) const {
+  const auto it = backoff_.find(memory_key(session, node));
+  if (it == backoff_.end()) return false;
+  const auto lit = it->second.find(layer);
+  return lit != it->second.end() && lit->second > now;
+}
+
+bool TopoSense::backoff_on_path(const TreeIndex& tree, std::size_t node_index, int layer,
+                                sim::Time now) const {
+  // A backoff set at any ancestor covers the whole subtree: that is how the
+  // controller coordinates receivers behind the same bottleneck.
+  int i = static_cast<int>(node_index);
+  while (i >= 0) {
+    if (backing_off(tree.session(), tree.node(static_cast<std::size_t>(i)).node, layer, now)) {
+      return true;
+    }
+    i = tree.parent(static_cast<std::size_t>(i));
+  }
+  return false;
+}
+
+void TopoSense::compute_demands(LabeledTree& lt, std::vector<int>& demand, sim::Time now,
+                                double window_s) {
+  const TreeIndex& tree = lt.tree;
+  demand.assign(tree.size(), 0);
+  const auto& order = tree.bfs_order();
+  const int max_layers = params_.layers.num_layers;
+
+  // Per-node current-window bytes (leaf: reported; internal: max of children),
+  // needed before the memory shift so compute bottom-up alongside demand.
+  std::vector<std::uint64_t> bytes_now(tree.size(), 0);
+  // Actual subscribed level per node (leaf: reported subscription; internal:
+  // max over children) — distinct from demand, which may include adds the
+  // receivers have not applied yet.
+  std::vector<int> sub_level(tree.size(), 0);
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t i = static_cast<std::size_t>(*it);
+    const SessionNodeInput& n = tree.node(i);
+    const int p = tree.parent(i);
+    const bool parent_congested = p >= 0 && lt.congested[static_cast<std::size_t>(p)];
+
+    std::uint64_t b_now = n.is_receiver ? n.bytes_received : 0;
+    int agg = 0;
+    int sub_agg = n.is_receiver ? std::max(n.subscription, 1) : 0;
+    for (const auto c : tree.children(i)) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      b_now = std::max(b_now, bytes_now[ci]);
+      agg = std::max(agg, demand[ci]);
+      sub_agg = std::max(sub_agg, sub_level[ci]);
+    }
+    bytes_now[i] = b_now;
+    sub_level[i] = std::max(sub_agg, 1);
+
+    NodeMemory& mem = memory_[memory_key(tree.session(), n.node)];
+    mem.last_seen_interval = interval_count_;
+    const std::uint64_t b_prev = mem.bytes_cur;  // T0–T1 window
+    const BwEquality eq = classify_equality(b_prev, b_now);
+    const CongestionHistory hist = push_history(mem.hist, lt.congested[i]);
+    mem.hist = hist;
+    mem.bytes_prev = mem.bytes_cur;
+    mem.bytes_cur = b_now;
+
+    // Track the congestion episode's starting demand: entering congestion
+    // (bit pattern ..01) snapshots it; two consecutive clean intervals end
+    // the episode (a single clean-looking window mid-episode — a lucky
+    // burst-free second — must not forget which probe caused the trouble).
+    const int level_now = sub_level[i];
+    if ((hist & 0b11) == 0b01) {
+      mem.episode_top = std::max(mem.episode_top, level_now);
+    } else if ((hist & 0b11) == 0) {
+      mem.episode_top = 0;
+    }
+    const int backoff_layer_floor = mem.episode_top;
+
+    // Stable-level bookkeeping: three clean intervals *at one level* prove
+    // it sustainable; without reconfirmation the proof slowly expires, so a
+    // real capacity drop is eventually accepted. The run restarts whenever
+    // the level changes — a freshly probed layer is unproven even if the
+    // loss signal has not arrived yet.
+    if (lt.congested[i] || level_now != mem.last_level) {
+      mem.clean_run = 0;
+    } else {
+      ++mem.clean_run;
+    }
+    mem.last_level = level_now;
+    if (mem.clean_run >= 3 && level_now >= mem.stable_level) {
+      mem.stable_level = level_now;  // confirmed at (or above) the old proof
+      mem.stable_age = 0;
+    } else if (++mem.stable_age >= 10 && mem.stable_level > 0) {
+      --mem.stable_level;  // unconfirmed proofs expire one layer at a time
+      mem.stable_age = 0;
+    }
+    const int stable_level = mem.stable_level;
+
+    const double prev_supply_bps = static_cast<double>(b_prev) * 8.0 / window_s;
+    const double cur_supply_bps = static_cast<double>(b_now) * 8.0 / window_s;
+
+    int d = 0;
+    if (tree.is_leaf(i)) {
+      const int sub = std::max(n.subscription, 1);
+      if (parent_congested) {
+        // Children of a congested node defer to that node (paper §III).
+        d = sub;
+      } else {
+        const LeafDecision decision = leaf_decision(hist, eq);
+        d = sub;
+        switch (decision.action) {
+          case LeafAction::kAddLayer: {
+            const int next = std::min(sub + 1, max_layers);
+            // The randomized backoff guards blind probes. When the fair-share
+            // pass *knows* (from an estimated shared-link capacity) that
+            // `next` fits this session's share, the add is not a blind probe
+            // — e.g. a session knocked below its fair point by another
+            // session's failed experiment may climb straight back.
+            const int share_cap =
+                lt.share_bps[i] == kInf ? 0 : layers_for_bw(lt.share_bps[i]);
+            const bool proven_safe = next <= share_cap || next <= stable_level;
+            const bool blocked = !proven_safe && backoff_on_path(tree, i, next, now);
+            // Pace blind probes to the feedback latency of the control loop;
+            // proven-safe adds (fair share / stable level) are not probes.
+            const bool cooling =
+                !proven_safe && mem.last_add_interval +
+                                        static_cast<std::uint64_t>(
+                                            params_.add_cooldown_intervals) >
+                                    interval_count_;
+            if (next > sub && !blocked && !cooling) {
+              d = next;
+              mem.last_add_interval = interval_count_;
+            }
+            break;
+          }
+          case LeafAction::kDropIfHighLoss:
+            if (lt.loss[i] > params_.high_loss && sub > 1) {
+              d = sub - 1;
+              maybe_backoff(tree.session(), n.node, std::max(sub, backoff_layer_floor),
+                            stable_level, now);
+            }
+            break;
+          case LeafAction::kMaintain:
+            break;
+          case LeafAction::kReduceToPrevSupply:
+            d = std::min(sub, std::max(1, layers_for_bw(prev_supply_bps)));
+            break;
+          case LeafAction::kHalvePrevSupply:
+            d = std::min(sub, std::max(1, layers_for_bw(prev_supply_bps / 2.0)));
+            if (d < sub) {
+              maybe_backoff(tree.session(), n.node, std::max(sub, backoff_layer_floor),
+                            stable_level, now);
+            }
+            break;
+          case LeafAction::kHalveIfVeryHighLoss:
+            if (lt.loss[i] > params_.very_high_loss) {
+              d = std::min(sub, std::max(1, layers_for_bw(prev_supply_bps / 2.0)));
+            }
+            break;
+        }
+      }
+    } else {
+      // Internal node: demand aggregates (maxes, for cumulative layers) the
+      // children's demands, then Table I decides whether to accept or curb.
+      if (parent_congested) {
+        d = agg;  // defer upward; the congested ancestor acts
+      } else {
+        switch (internal_decision(hist, eq)) {
+          case InternalAction::kAcceptChildren:
+            d = agg;
+            break;
+          case InternalAction::kMaintain:
+            d = std::min(agg, std::max(mem.last_demand, 1));
+            break;
+          case InternalAction::kHalveCurrentSupply: {
+            const int cap = std::max(1, layers_for_bw(cur_supply_bps / 2.0));
+            d = std::min(agg, cap);
+            if (d < agg) {
+              maybe_backoff(tree.session(), n.node, std::max(agg, backoff_layer_floor),
+                            stable_level, now);
+            }
+            break;
+          }
+          case InternalAction::kHalvePrevSupply: {
+            const int cap = std::max(1, layers_for_bw(prev_supply_bps / 2.0));
+            d = std::min(agg, cap);
+            if (d < agg) {
+              maybe_backoff(tree.session(), n.node, std::max(agg, backoff_layer_floor),
+                            stable_level, now);
+            }
+            break;
+          }
+        }
+      }
+      if (tree.node(i).is_receiver) d = std::max(d, 1);
+    }
+
+    // Every node on a session tree carries at least the base layer.
+    d = std::clamp(d, 1, max_layers);
+    demand[i] = d;
+    mem.last_demand = d;
+  }
+}
+
+void TopoSense::allocate_supply(const LabeledTree& lt, const std::vector<int>& demand,
+                                std::vector<int>& supply) const {
+  const TreeIndex& tree = lt.tree;
+  supply.assign(tree.size(), 0);
+  for (const auto idx : tree.bfs_order()) {
+    const std::size_t i = static_cast<std::size_t>(idx);
+    const int p = tree.parent(i);
+    if (p < 0) {
+      supply[i] = std::min(demand[i], params_.layers.num_layers);
+      continue;
+    }
+    const std::size_t pi = static_cast<std::size_t>(p);
+    // The subtree may not subscribe past its fair share on shared links nor
+    // past the best bottleneck of any receiver below (§III).
+    int cap = params_.layers.num_layers;
+    cap = std::min(cap, layers_for_bw(lt.share_bps[i]));
+    cap = std::min(cap, layers_for_bw(lt.max_handle_bps[i]));
+    supply[i] = std::max(1, std::min({demand[i], supply[pi], cap}));
+  }
+}
+
+AlgorithmOutput TopoSense::run_interval(const AlgorithmInput& input, sim::Time now) {
+  ++interval_count_;
+  AlgorithmOutput output;
+
+  // Build and label all session trees first — capacity estimation and fair
+  // sharing need the cross-session view.
+  std::vector<LabeledTree> trees;
+  trees.reserve(input.sessions.size());
+  for (const SessionInput& session : input.sessions) {
+    if (session.nodes.empty()) continue;
+    trees.emplace_back(TreeIndex{session});
+    label_congestion(trees.back(), params_);
+  }
+
+  capacities_.update(collect_link_observations(trees), input.window);
+
+  for (LabeledTree& lt : trees) compute_bottlenecks(lt, capacities_);
+  compute_fair_shares(trees, capacities_, params_);
+
+  const double window_s = std::max(input.window.as_seconds(), 1e-9);
+  std::vector<int> demand;
+  std::vector<int> supply;
+  for (LabeledTree& lt : trees) {
+    compute_demands(lt, demand, now, window_s);
+    allocate_supply(lt, demand, supply);
+
+    SessionDiagnostics diag;
+    diag.session = lt.tree.session();
+    for (const auto idx : lt.tree.bfs_order()) {
+      const std::size_t i = static_cast<std::size_t>(idx);
+      const SessionNodeInput& n = lt.tree.node(i);
+      if (n.is_receiver) {
+        output.prescriptions.push_back(
+            Prescription{n.node, lt.tree.session(), std::max(1, supply[i])});
+      }
+      diag.nodes.push_back(NodeDiagnostics{n.node, n.is_receiver, lt.congested[i], lt.loss[i],
+                                           lt.bottleneck_bps[i], demand[i], supply[i]});
+    }
+    output.diagnostics.push_back(std::move(diag));
+  }
+
+  // Expire stale backoffs and memories so long runs do not accrete state for
+  // receivers that left.
+  for (auto it = backoff_.begin(); it != backoff_.end();) {
+    auto& layers = it->second;
+    for (auto lit = layers.begin(); lit != layers.end();) {
+      lit = lit->second <= now ? layers.erase(lit) : std::next(lit);
+    }
+    it = layers.empty() ? backoff_.erase(it) : std::next(it);
+  }
+  if ((interval_count_ & 0x3F) == 0) {
+    for (auto it = memory_.begin(); it != memory_.end();) {
+      it = it->second.last_seen_interval + 64 < interval_count_ ? memory_.erase(it)
+                                                                : std::next(it);
+    }
+  }
+
+  return output;
+}
+
+}  // namespace tsim::core

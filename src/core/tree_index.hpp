@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace tsim::core {
+
+/// Indexed form of one SessionInput tree: children lists and a BFS order so
+/// the algorithm's top-down and bottom-up passes are simple array sweeps.
+/// Index 0 is always the source/root.
+class TreeIndex {
+ public:
+  /// Builds the index. Nodes unreachable from the source (stale snapshot
+  /// artifacts) are dropped. Throws std::invalid_argument on cycles or a
+  /// missing source.
+  explicit TreeIndex(const SessionInput& input);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const SessionNodeInput& node(std::size_t i) const { return nodes_[i]; }
+  [[nodiscard]] int parent(std::size_t i) const { return parents_[i]; }  ///< -1 for root
+  [[nodiscard]] const std::vector<std::int32_t>& children(std::size_t i) const {
+    return children_[i];
+  }
+  [[nodiscard]] bool is_leaf(std::size_t i) const { return children_[i].empty(); }
+
+  /// Indices in BFS order from the root (root first).
+  [[nodiscard]] const std::vector<std::int32_t>& bfs_order() const { return bfs_; }
+
+  /// Index of a NodeId (-1 when absent).
+  [[nodiscard]] int index_of(net::NodeId node) const;
+
+  [[nodiscard]] net::SessionId session() const { return session_; }
+
+ private:
+  net::SessionId session_{0};
+  std::vector<SessionNodeInput> nodes_;
+  std::vector<std::int32_t> parents_;
+  std::vector<std::vector<std::int32_t>> children_;
+  std::vector<std::int32_t> bfs_;
+  std::unordered_map<net::NodeId, std::int32_t> by_id_;
+};
+
+}  // namespace tsim::core

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace tsim::core {
+
+/// One node of a session tree as the controller sees it. Trees are given via
+/// parent pointers; the source has parent == kInvalidNode. Loss/bytes are
+/// meaningful for receiver leaves only (internal values are derived).
+struct SessionNodeInput {
+  net::NodeId node{net::kInvalidNode};
+  net::NodeId parent{net::kInvalidNode};
+  bool is_receiver{false};
+  double loss_rate{0.0};            ///< receiver's loss over the last window
+  std::uint64_t bytes_received{0};  ///< receiver's bytes over the last window
+  int subscription{0};              ///< receiver's current layer count
+};
+
+/// One multicast session's tree + measurements for one algorithm interval.
+struct SessionInput {
+  net::SessionId session{0};
+  net::NodeId source{net::kInvalidNode};
+  std::vector<SessionNodeInput> nodes;
+};
+
+/// Everything the TopoSense algorithm consumes per interval.
+struct AlgorithmInput {
+  std::vector<SessionInput> sessions;
+  sim::Time window{sim::Time::seconds(1)};  ///< measurement window length
+};
+
+/// Suggested subscription for one receiver.
+struct Prescription {
+  net::NodeId receiver{net::kInvalidNode};
+  net::SessionId session{0};
+  int subscription{1};
+};
+
+/// Per-node diagnostics exposed for tests, traces and benches.
+struct NodeDiagnostics {
+  net::NodeId node{net::kInvalidNode};
+  bool is_receiver{false};
+  bool congested{false};
+  double loss_rate{0.0};
+  double bottleneck_bps{0.0};  ///< min estimated capacity source -> node
+  int demand{0};
+  int supply{0};
+};
+
+struct SessionDiagnostics {
+  net::SessionId session{0};
+  std::vector<NodeDiagnostics> nodes;
+};
+
+struct AlgorithmOutput {
+  std::vector<Prescription> prescriptions;
+  std::vector<SessionDiagnostics> diagnostics;
+};
+
+/// A directed tree edge identified by its endpoints; shared-link state (the
+/// capacity estimates) is keyed by this across sessions.
+struct LinkKey {
+  net::NodeId from{net::kInvalidNode};
+  net::NodeId to{net::kInvalidNode};
+  [[nodiscard]] friend bool operator==(LinkKey, LinkKey) = default;
+};
+
+}  // namespace tsim::core
+
+template <>
+struct std::hash<tsim::core::LinkKey> {
+  std::size_t operator()(tsim::core::LinkKey k) const noexcept {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(k.from) << 32) | k.to);
+  }
+};

@@ -1,0 +1,156 @@
+#include "mcast/multicast_router.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace tsim::mcast {
+
+MulticastRouter::MulticastRouter(sim::Simulation& simulation, net::Network& network,
+                                 Config config)
+    : simulation_{simulation}, network_{network}, config_{config} {
+  network_.set_multicast_forwarder(this);
+}
+
+MulticastRouter::MulticastRouter(sim::Simulation& simulation, net::Network& network)
+    : MulticastRouter{simulation, network, Config{}} {}
+
+void MulticastRouter::set_session_source(net::SessionId session, net::NodeId source) {
+  session_sources_[session] = source;
+}
+
+net::NodeId MulticastRouter::session_source(net::SessionId session) const {
+  const auto it = session_sources_.find(session);
+  return it == session_sources_.end() ? net::kInvalidNode : it->second;
+}
+
+MulticastRouter::GroupState& MulticastRouter::group_state(net::GroupAddr group) {
+  return groups_[group];
+}
+
+void MulticastRouter::join(net::NodeId member, net::GroupAddr group) {
+  if (session_sources_.find(group.session) == session_sources_.end()) {
+    throw std::logic_error("MulticastRouter::join: session source not set");
+  }
+  GroupState& state = group_state(group);
+  MemberState& ms = state.members[member];
+  if (ms.local_active || ms.join_pending) return;
+
+  if (config_.join_latency == sim::Time::zero()) {
+    ms.local_active = true;
+    ms.forward_until = sim::Time::max();
+    state.tree_dirty = true;
+    return;
+  }
+  ms.join_pending = true;
+  simulation_.after(config_.join_latency, [this, member, group]() {
+    GroupState& s = group_state(group);
+    MemberState& m = s.members[member];
+    if (!m.join_pending) return;  // leave raced the graft
+    m.join_pending = false;
+    m.local_active = true;
+    m.forward_until = sim::Time::max();
+    s.tree_dirty = true;
+  });
+}
+
+void MulticastRouter::leave(net::NodeId member, net::GroupAddr group) {
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  GroupState& state = git->second;
+  const auto mit = state.members.find(member);
+  if (mit == state.members.end()) return;
+  MemberState& ms = mit->second;
+  if (!ms.local_active && !ms.join_pending) return;
+
+  ms.join_pending = false;
+  ms.local_active = false;  // the host stops listening immediately
+  ms.forward_until = simulation_.now() + config_.leave_latency;
+  state.tree_dirty = true;  // local-delivery flag must clear now
+
+  // When the IGMP timeout expires the branch is pruned; rebuild then.
+  simulation_.after(config_.leave_latency, [this, group]() {
+    const auto it = groups_.find(group);
+    if (it != groups_.end()) it->second.tree_dirty = true;
+  });
+}
+
+bool MulticastRouter::is_member(net::NodeId member, net::GroupAddr group) const {
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return false;
+  const auto mit = git->second.members.find(member);
+  return mit != git->second.members.end() && mit->second.local_active;
+}
+
+std::vector<net::NodeId> MulticastRouter::members(net::GroupAddr group) const {
+  std::vector<net::NodeId> result;
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return result;
+  for (const auto& [node, ms] : git->second.members) {
+    if (ms.local_active) result.push_back(node);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+void MulticastRouter::rebuild_tree(net::GroupAddr group, GroupState& state) {
+  GroupTree tree;
+  tree.source = session_source(group.session);
+  const sim::Time now = simulation_.now();
+
+  std::set<std::pair<net::NodeId, net::NodeId>> edge_set;
+  const net::RoutingTable& routes = network_.routes();
+
+  for (const auto& [member, ms] : state.members) {
+    const bool carries_traffic = ms.local_active || ms.forward_until > now;
+    if (!carries_traffic) continue;
+    if (ms.local_active) tree.entries[member].deliver_locally = true;
+    if (member == tree.source) continue;
+    const std::vector<net::NodeId> path = routes.path(tree.source, member);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      edge_set.emplace(path[i], path[i + 1]);
+    }
+  }
+
+  for (const auto& [parent, child] : edge_set) {
+    const net::LinkId link = routes.next_hop(parent, child);
+    tree.entries[parent].out_links.push_back(link);
+    tree.edges.emplace_back(parent, child);
+  }
+
+  state.tree = std::move(tree);
+  state.tree_dirty = false;
+}
+
+const GroupTree* MulticastRouter::tree(net::GroupAddr group) const {
+  auto* self = const_cast<MulticastRouter*>(this);
+  const auto git = self->groups_.find(group);
+  if (git == self->groups_.end()) return nullptr;
+  if (git->second.tree_dirty) self->rebuild_tree(group, git->second);
+  return &git->second.tree;
+}
+
+std::vector<std::pair<net::NodeId, net::NodeId>> MulticastRouter::session_tree_edges(
+    net::SessionId session, net::LayerId max_layer) const {
+  std::set<std::pair<net::NodeId, net::NodeId>> edge_set;
+  for (net::LayerId layer = 1; layer <= max_layer; ++layer) {
+    const GroupTree* t = tree(net::GroupAddr{session, layer});
+    if (t == nullptr) continue;
+    edge_set.insert(t->edges.begin(), t->edges.end());
+  }
+  return {edge_set.begin(), edge_set.end()};
+}
+
+void MulticastRouter::route(net::NodeId node, const net::Packet& packet,
+                            std::vector<net::LinkId>& out_links, bool& deliver_locally) {
+  const auto git = groups_.find(packet.group);
+  if (git == groups_.end()) return;
+  GroupState& state = git->second;
+  if (state.tree_dirty) rebuild_tree(packet.group, state);
+  const auto eit = state.tree.entries.find(node);
+  if (eit == state.tree.entries.end()) return;
+  out_links.insert(out_links.end(), eit->second.out_links.begin(), eit->second.out_links.end());
+  deliver_locally = eit->second.deliver_locally;
+}
+
+}  // namespace tsim::mcast

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace tsim::mcast {
+
+/// Forwarding state of one multicast group: a source-rooted shortest-path
+/// tree over the unicast routing, as PIM-SSM would build.
+struct GroupTree {
+  net::NodeId source{net::kInvalidNode};
+
+  struct ForwardEntry {
+    std::vector<net::LinkId> out_links;  ///< links to replicate onto
+    bool deliver_locally{false};         ///< a subscribed receiver lives here
+  };
+  std::unordered_map<net::NodeId, ForwardEntry> entries;
+
+  /// Tree edges as (parent, child) node pairs — what a topology discovery
+  /// tool (mtrace-style) would reconstruct.
+  std::vector<std::pair<net::NodeId, net::NodeId>> edges;
+};
+
+/// IGMP/PIM-flavoured group management and multicast forwarding.
+///
+/// Two latencies model the paper's §V "group-leave latency" concern:
+///  * `join_latency`  — delay between a join request and packets flowing
+///    (graft propagation; default 0 as grafts are fast).
+///  * `leave_latency` — after a leave, the tree keeps carrying traffic toward
+///    the departed member for this long (IGMP last-member query), so dropping
+///    a layer does NOT immediately relieve congestion. Local delivery stops
+///    immediately, matching a host that closed its socket.
+class MulticastRouter final : public net::MulticastForwarder {
+ public:
+  struct Config {
+    sim::Time join_latency{sim::Time::zero()};
+    sim::Time leave_latency{sim::Time::seconds(1)};
+  };
+
+  MulticastRouter(sim::Simulation& simulation, net::Network& network, Config config);
+  /// Default configuration (instant grafts, 1 s leave latency).
+  MulticastRouter(sim::Simulation& simulation, net::Network& network);
+
+  /// Declares the source node of every group of a session. Must be set
+  /// before members join groups of that session.
+  void set_session_source(net::SessionId session, net::NodeId source);
+  [[nodiscard]] net::NodeId session_source(net::SessionId session) const;
+
+  /// Subscribes `member` to `group`. Delivery starts after join_latency.
+  void join(net::NodeId member, net::GroupAddr group);
+
+  /// Unsubscribes `member`. Local delivery stops now; upstream forwarding
+  /// persists for leave_latency.
+  void leave(net::NodeId member, net::GroupAddr group);
+
+  /// True when `member` currently receives `group` locally.
+  [[nodiscard]] bool is_member(net::NodeId member, net::GroupAddr group) const;
+
+  /// Nodes with active local delivery for `group`.
+  [[nodiscard]] std::vector<net::NodeId> members(net::GroupAddr group) const;
+
+  /// Current forwarding tree (nullptr when the group has no state).
+  [[nodiscard]] const GroupTree* tree(net::GroupAddr group) const;
+
+  /// Union of the per-layer tree edges of `session` for layers [1..max_layer]
+  /// — the "multicast session topology" the paper's controller consumes.
+  [[nodiscard]] std::vector<std::pair<net::NodeId, net::NodeId>> session_tree_edges(
+      net::SessionId session, net::LayerId max_layer) const;
+
+  /// net::MulticastForwarder:
+  void route(net::NodeId node, const net::Packet& packet, std::vector<net::LinkId>& out_links,
+             bool& deliver_locally) override;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct MemberState {
+    bool local_active{false};                ///< packets delivered to the host
+    bool join_pending{false};                ///< graft in flight
+    sim::Time forward_until{sim::Time::zero()};  ///< tree carries traffic until then
+  };
+  struct GroupState {
+    std::unordered_map<net::NodeId, MemberState> members;
+    GroupTree tree;
+    bool tree_dirty{true};
+  };
+
+  GroupState& group_state(net::GroupAddr group);
+  void rebuild_tree(net::GroupAddr group, GroupState& state);
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  Config config_;
+  std::unordered_map<net::GroupAddr, GroupState> groups_;
+  std::unordered_map<net::SessionId, net::NodeId> session_sources_;
+};
+
+}  // namespace tsim::mcast

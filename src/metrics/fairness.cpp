@@ -1,0 +1,17 @@
+#include "metrics/fairness.hpp"
+
+namespace tsim::metrics {
+
+double jain_index(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all zero: degenerate but equal
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace tsim::metrics

@@ -1,0 +1,12 @@
+#pragma once
+
+#include <vector>
+
+namespace tsim::metrics {
+
+/// Jain's fairness index: (Σx)² / (n·Σx²), 1.0 when all values are equal,
+/// approaching 1/n as allocation concentrates on one party. The standard
+/// single-number companion to the paper's per-session deviation metric.
+[[nodiscard]] double jain_index(const std::vector<double>& values);
+
+}  // namespace tsim::metrics

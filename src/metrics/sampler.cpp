@@ -1,0 +1,3 @@
+#include "metrics/sampler.hpp"
+
+// Header-only; this TU anchors the library target.

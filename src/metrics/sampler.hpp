@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace tsim::metrics {
+
+/// Samples a set of named double-valued probes at a fixed period — used by
+/// the Fig 9 trace bench (per-second layer subscription + loss history).
+class TimeSeriesSampler {
+ public:
+  struct Series {
+    std::string name;
+    std::function<double()> probe;
+    std::vector<double> values;
+  };
+
+  TimeSeriesSampler(sim::Simulation& simulation, sim::Time period)
+      : simulation_{simulation}, period_{period} {}
+
+  void add_series(std::string name, std::function<double()> probe) {
+    series_.push_back(Series{std::move(name), std::move(probe), {}});
+  }
+
+  void start(sim::Time at) {
+    simulation_.at(at, [this]() { sample(); });
+  }
+
+  [[nodiscard]] const std::vector<Series>& series() const { return series_; }
+  [[nodiscard]] const std::vector<sim::Time>& timestamps() const { return timestamps_; }
+
+ private:
+  void sample() {
+    timestamps_.push_back(simulation_.now());
+    for (Series& s : series_) s.values.push_back(s.probe());
+    simulation_.after(period_, [this]() { sample(); });
+  }
+
+  sim::Simulation& simulation_;
+  sim::Time period_;
+  std::vector<Series> series_;
+  std::vector<sim::Time> timestamps_;
+};
+
+}  // namespace tsim::metrics

@@ -1,0 +1,46 @@
+#include "metrics/trace_writer.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace tsim::metrics {
+
+TraceWriter::TraceWriter(std::vector<std::string> columns) : columns_{std::move(columns)} {}
+
+void TraceWriter::add_row(sim::Time t, const std::vector<double>& values) {
+  if (values.size() != columns_.size()) {
+    throw std::invalid_argument("TraceWriter::add_row: column count mismatch");
+  }
+  times_.push_back(t);
+  values_.insert(values_.end(), values.begin(), values.end());
+}
+
+std::string TraceWriter::to_csv() const {
+  std::string out = "time_s";
+  for (const std::string& c : columns_) {
+    out += ',';
+    out += c;
+  }
+  out += '\n';
+  char buf[64];
+  for (std::size_t row = 0; row < times_.size(); ++row) {
+    std::snprintf(buf, sizeof(buf), "%.3f", times_[row].as_seconds());
+    out += buf;
+    for (std::size_t col = 0; col < columns_.size(); ++col) {
+      std::snprintf(buf, sizeof(buf), ",%.6g", value(row, col));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool TraceWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string csv = to_csv();
+  const bool ok = std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace tsim::metrics

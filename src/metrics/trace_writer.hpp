@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tsim::metrics {
+
+/// Collects named numeric columns over time and renders them as CSV — the
+/// bridge from bench runs to external plotting. Rows are appended via
+/// add_row(); the writer keeps everything in memory (runs are minutes of
+/// simulated time at one row per second, i.e. tiny).
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::vector<std::string> columns);
+
+  /// Appends one row; `values` must match the column count.
+  void add_row(sim::Time t, const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const { return times_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const { return columns_; }
+  [[nodiscard]] double value(std::size_t row, std::size_t column) const {
+    return values_[row * columns_.size() + column];
+  }
+  [[nodiscard]] sim::Time time(std::size_t row) const { return times_[row]; }
+
+  /// Renders "time,col1,col2,...\n..." CSV.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes the CSV to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<sim::Time> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace tsim::metrics

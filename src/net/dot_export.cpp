@@ -1,0 +1,58 @@
+#include "net/dot_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+namespace tsim::net {
+
+namespace {
+
+std::string bandwidth_label(double bps) {
+  char buf[32];
+  if (bps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3gMbps", bps / 1e6);
+  } else if (bps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3gkbps", bps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3gbps", bps);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_dot(const Network& network,
+                   const std::vector<std::pair<NodeId, NodeId>>& highlight) {
+  std::set<std::pair<NodeId, NodeId>> highlighted;
+  for (const auto& [a, b] : highlight) {
+    highlighted.emplace(a, b);
+    highlighted.emplace(b, a);
+  }
+
+  std::string out = "graph network {\n  node [shape=box, fontsize=10];\n";
+  for (NodeId n = 0; n < network.node_count(); ++n) {
+    out += "  n" + std::to_string(n) + " [label=\"" + network.node(n).name + "\"];\n";
+  }
+
+  // Collapse duplex pairs: emit each undirected edge once.
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (LinkId id = 0; id < network.link_count(); ++id) {
+    const Link& link = network.link(id);
+    const NodeId lo = std::min(link.from(), link.to());
+    const NodeId hi = std::max(link.from(), link.to());
+    if (!seen.emplace(lo, hi).second) continue;
+    char attrs[160];
+    const bool hot = highlighted.count({link.from(), link.to()}) != 0;
+    std::snprintf(attrs, sizeof(attrs),
+                  " [label=\"%s %.0fms\", fontsize=9%s];\n",
+                  bandwidth_label(link.bandwidth_bps()).c_str(),
+                  link.latency().as_milliseconds(),
+                  hot ? ", color=red, penwidth=2" : "");
+    out += "  n" + std::to_string(link.from()) + " -- n" + std::to_string(link.to()) + attrs;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace tsim::net

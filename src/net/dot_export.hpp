@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace tsim::net {
+
+/// Renders the network as Graphviz DOT: nodes by name, one edge per duplex
+/// pair (or per unidirectional link when no reverse twin exists), labelled
+/// with bandwidth and latency. Highlighted edges (e.g. a session tree) are
+/// drawn bold/colored.
+[[nodiscard]] std::string to_dot(const Network& network,
+                                 const std::vector<std::pair<NodeId, NodeId>>& highlight = {});
+
+}  // namespace tsim::net

@@ -1,0 +1,98 @@
+#include "net/link.hpp"
+
+#include <string>
+#include <utility>
+
+#include "net/network.hpp"
+
+namespace tsim::net {
+
+Link::Link(sim::Simulation& simulation, Network& network, LinkId id, NodeId from, NodeId to,
+           double bandwidth_bps, sim::Time latency, std::size_t queue_limit_packets)
+    : simulation_{simulation},
+      network_{network},
+      id_{id},
+      from_{from},
+      to_{to},
+      bandwidth_bps_{bandwidth_bps},
+      latency_{latency},
+      queue_limit_{queue_limit_packets},
+      red_rng_{simulation.rng_stream("link/" + std::to_string(id))} {}
+
+void Link::enable_red(RedConfig config) {
+  red_enabled_ = true;
+  red_ = config;
+  red_avg_ = 0.0;
+}
+
+sim::Time Link::transmission_time(std::uint32_t size_bytes) const {
+  const double seconds = static_cast<double>(size_bytes) * 8.0 / bandwidth_bps_;
+  return sim::Time::seconds(seconds);
+}
+
+void Link::enqueue(const Packet& packet) {
+  ++stats_.enqueued_packets;
+
+  if (red_enabled_) {
+    // EWMA of the instantaneous queue length, updated per arrival.
+    red_avg_ = (1.0 - red_.queue_weight) * red_avg_ +
+               red_.queue_weight * static_cast<double>(queue_.size());
+    const double min_th = red_.min_threshold_frac * static_cast<double>(queue_limit_);
+    const double max_th = red_.max_threshold_frac * static_cast<double>(queue_limit_);
+    bool early_drop = false;
+    if (red_avg_ >= max_th) {
+      early_drop = true;
+    } else if (red_avg_ > min_th) {
+      const double p = red_.max_drop_probability * (red_avg_ - min_th) / (max_th - min_th);
+      early_drop = red_rng_.bernoulli(p);
+    }
+    if (early_drop) {
+      ++stats_.dropped_packets;
+      stats_.dropped_bytes += packet.size_bytes;
+      if (packet.multicast) ++stats_.dropped_packets_by_group[packet.group];
+      return;
+    }
+  }
+
+  if (!transmitting_) {
+    start_transmission(packet);
+    return;
+  }
+  if (queue_.size() >= queue_limit_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += packet.size_bytes;
+    if (packet.multicast) ++stats_.dropped_packets_by_group[packet.group];
+    return;
+  }
+  queue_.push_back(packet);
+}
+
+void Link::start_transmission(const Packet& packet) {
+  transmitting_ = true;
+  simulation_.after(transmission_time(packet.size_bytes),
+                    [this, packet]() { on_transmission_complete(packet); });
+}
+
+void Link::on_transmission_complete(Packet packet) {
+  ++stats_.delivered_packets;
+  stats_.delivered_bytes += packet.size_bytes;
+  if (packet.multicast) stats_.delivered_bytes_by_group[packet.group] += packet.size_bytes;
+
+  // Propagation is pipelined: the next packet starts transmitting while this
+  // one is in flight.
+  simulation_.after(latency_, [this, packet = std::move(packet)]() {
+    network_.on_packet_arrival(to_, packet);
+  });
+
+  if (!queue_.empty()) {
+    Packet next = std::move(queue_.front());
+    queue_.pop_front();
+    // Keep transmitting_ set: the transmitter goes straight to the next packet.
+    simulation_.after(transmission_time(next.size_bytes),
+                      [this, next = std::move(next)]() { on_transmission_complete(next); });
+  } else {
+    transmitting_ = false;
+  }
+}
+
+}  // namespace tsim::net

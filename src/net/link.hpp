@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace tsim::net {
+
+class Network;
+
+/// Per-link counters. `delivered_*` counts packets that finished transmission
+/// and were handed to the downstream node; per-group counters give tests and
+/// benches ground truth the algorithm itself never sees.
+struct LinkStats {
+  std::uint64_t enqueued_packets{0};
+  std::uint64_t delivered_packets{0};
+  std::uint64_t delivered_bytes{0};
+  std::uint64_t dropped_packets{0};
+  std::uint64_t dropped_bytes{0};
+  std::map<GroupAddr, std::uint64_t> delivered_bytes_by_group;
+  std::map<GroupAddr, std::uint64_t> dropped_packets_by_group;
+};
+
+/// A unidirectional link with finite bandwidth, fixed propagation latency and
+/// a drop-tail FIFO queue — the queueing model the paper simulates in ns.
+/// Transmission is serialized: one packet occupies the transmitter for
+/// size*8/bandwidth seconds, then propagates for `latency` before arriving.
+class Link {
+ public:
+  /// Random Early Detection parameters (Floyd/Jacobson); thresholds are
+  /// fractions of the queue limit.
+  struct RedConfig {
+    double min_threshold_frac{0.25};
+    double max_threshold_frac{0.75};
+    double max_drop_probability{0.1};
+    double queue_weight{0.02};  ///< EWMA weight for the average queue length
+  };
+
+  Link(sim::Simulation& simulation, Network& network, LinkId id, NodeId from, NodeId to,
+       double bandwidth_bps, sim::Time latency, std::size_t queue_limit_packets);
+
+  /// Switches the queue from drop-tail to RED. Call before traffic flows.
+  void enable_red(RedConfig config);
+  [[nodiscard]] bool red_enabled() const { return red_enabled_; }
+  [[nodiscard]] double red_average_queue() const { return red_avg_; }
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Offers a packet to the link. Drops it (drop-tail) when the queue is full.
+  void enqueue(const Packet& packet);
+
+  [[nodiscard]] LinkId id() const { return id_; }
+  [[nodiscard]] NodeId from() const { return from_; }
+  [[nodiscard]] NodeId to() const { return to_; }
+  [[nodiscard]] double bandwidth_bps() const { return bandwidth_bps_; }
+  [[nodiscard]] sim::Time latency() const { return latency_; }
+  [[nodiscard]] std::size_t queue_limit() const { return queue_limit_; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] bool transmitting() const { return transmitting_; }
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = LinkStats{}; }
+
+  /// Serialization delay of one packet at this link's bandwidth.
+  [[nodiscard]] sim::Time transmission_time(std::uint32_t size_bytes) const;
+
+ private:
+  void start_transmission(const Packet& packet);
+  void on_transmission_complete(Packet packet);
+
+  sim::Simulation& simulation_;
+  Network& network_;
+  LinkId id_;
+  NodeId from_;
+  NodeId to_;
+  double bandwidth_bps_;
+  sim::Time latency_;
+  std::size_t queue_limit_;
+  std::deque<Packet> queue_;
+  bool transmitting_{false};
+  LinkStats stats_;
+  bool red_enabled_{false};
+  RedConfig red_;
+  double red_avg_{0.0};
+  sim::Rng red_rng_;
+};
+
+}  // namespace tsim::net

@@ -1,0 +1,101 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace tsim::net {
+
+NodeId Network::add_node(std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  if (name.empty()) name = "n" + std::to_string(id);
+  nodes_.push_back(Node{id, std::move(name), {}, {}});
+  routes_valid_ = false;
+  return id;
+}
+
+LinkId Network::add_link(NodeId from, NodeId to, double bandwidth_bps, sim::Time latency,
+                         std::size_t queue_limit_packets) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw std::out_of_range("Network::add_link: unknown node");
+  }
+  if (bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("Network::add_link: bandwidth must be positive");
+  }
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(std::make_unique<Link>(simulation_, *this, id, from, to, bandwidth_bps,
+                                          latency, queue_limit_packets));
+  nodes_[from].out_links.push_back(id);
+  routes_valid_ = false;
+  return id;
+}
+
+std::pair<LinkId, LinkId> Network::add_duplex_link(NodeId a, NodeId b, double bandwidth_bps,
+                                                   sim::Time latency,
+                                                   std::size_t queue_limit_packets) {
+  const LinkId ab = add_link(a, b, bandwidth_bps, latency, queue_limit_packets);
+  const LinkId ba = add_link(b, a, bandwidth_bps, latency, queue_limit_packets);
+  return {ab, ba};
+}
+
+void Network::compute_routes() {
+  std::vector<EdgeView> edges;
+  edges.reserve(links_.size());
+  for (const auto& link : links_) {
+    edges.push_back(EdgeView{link->from(), link->to(), link->id(),
+                             link->latency().as_seconds()});
+  }
+  routing_.build(node_count(), edges);
+  routes_valid_ = true;
+}
+
+void Network::send_unicast(Packet packet) {
+  if (!routes_valid_) throw std::logic_error("Network: compute_routes() not called");
+  packet.multicast = false;
+  if (packet.uid == 0) packet.uid = next_packet_uid();
+  packet.sent_at = simulation_.now();
+  on_packet_arrival(packet.src, packet);
+}
+
+void Network::send_multicast(Packet packet) {
+  if (!routes_valid_) throw std::logic_error("Network: compute_routes() not called");
+  packet.multicast = true;
+  if (packet.uid == 0) packet.uid = next_packet_uid();
+  packet.sent_at = simulation_.now();
+  on_packet_arrival(packet.src, packet);
+}
+
+void Network::on_packet_arrival(NodeId node_id, const Packet& packet) {
+  Node& node = nodes_[node_id];
+
+  if (packet.multicast) {
+    if (forwarder_ == nullptr) return;  // no multicast routing installed
+    thread_local std::vector<LinkId> out_links;
+    out_links.clear();
+    bool deliver_locally = false;
+    forwarder_->route(node_id, packet, out_links, deliver_locally);
+    if (deliver_locally && node.local_sink) node.local_sink(packet);
+    for (const LinkId link_id : out_links) links_[link_id]->enqueue(packet);
+    return;
+  }
+
+  // Unicast path.
+  if (packet.dst == node_id) {
+    if (node.local_sink) node.local_sink(packet);
+    return;
+  }
+  const LinkId hop = routing_.next_hop(node_id, packet.dst);
+  if (hop == kInvalidLink) {
+    sim::Logger::log(sim::LogLevel::kWarn, simulation_.now(), "net",
+                     "dropping unicast packet: no route from " + node.name);
+    return;
+  }
+  links_[hop]->enqueue(packet);
+}
+
+void Network::set_local_sink(NodeId node, std::function<void(const Packet&)> sink) {
+  nodes_[node].local_sink = std::move(sink);
+}
+
+}  // namespace tsim::net

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/routing.hpp"
+#include "sim/simulation.hpp"
+
+namespace tsim::net {
+
+/// Strategy interface for multicast forwarding. The mcast subsystem installs
+/// an implementation; keeping it an interface lets `net` stay independent of
+/// the group-management layer (and lets tests stub multicast trivially).
+class MulticastForwarder {
+ public:
+  virtual ~MulticastForwarder() = default;
+
+  /// Decides replication for `packet` arriving (or originating) at `node`:
+  /// fills `out_links` with the links to copy the packet onto and sets
+  /// `deliver_locally` when the node hosts a subscribed receiver.
+  virtual void route(NodeId node, const Packet& packet, std::vector<LinkId>& out_links,
+                     bool& deliver_locally) = 0;
+};
+
+/// A named node. Behaviour lives in the Network (forwarding) and in local
+/// sinks registered by endpoints (traffic receivers, controller agents).
+struct Node {
+  NodeId id{kInvalidNode};
+  std::string name;
+  std::vector<LinkId> out_links;
+  std::function<void(const Packet&)> local_sink;  ///< invoked on local delivery
+};
+
+/// The simulated network: nodes, links, unicast routing and the packet
+/// forwarding engine. Multicast replication is delegated to an installed
+/// MulticastForwarder.
+class Network {
+ public:
+  explicit Network(sim::Simulation& simulation) : simulation_{simulation} {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// --- Topology construction -------------------------------------------
+
+  NodeId add_node(std::string name = {});
+
+  /// Adds a unidirectional link. Queue limit defaults to the ns drop-tail
+  /// default of 50 packets.
+  LinkId add_link(NodeId from, NodeId to, double bandwidth_bps, sim::Time latency,
+                  std::size_t queue_limit_packets = 50);
+
+  /// Adds a duplex link (two unidirectional links); returns {a->b, b->a}.
+  std::pair<LinkId, LinkId> add_duplex_link(NodeId a, NodeId b, double bandwidth_bps,
+                                            sim::Time latency,
+                                            std::size_t queue_limit_packets = 50);
+
+  /// (Re)computes unicast shortest-path routes. Must be called after the
+  /// topology is final and before any traffic is sent.
+  void compute_routes();
+
+  /// --- Sending -----------------------------------------------------------
+
+  /// Sends a unicast packet from `packet.src` toward `packet.dst` through the
+  /// network (hop-by-hop over the same queues data traffic uses, so control
+  /// traffic competes for bandwidth and can be lost — as in the paper).
+  void send_unicast(Packet packet);
+
+  /// Originates a multicast packet at `packet.src`; replication follows the
+  /// installed forwarder.
+  void send_multicast(Packet packet);
+
+  /// Internal: invoked by links when a packet finishes traversing them.
+  void on_packet_arrival(NodeId node, const Packet& packet);
+
+  /// --- Wiring ------------------------------------------------------------
+
+  void set_local_sink(NodeId node, std::function<void(const Packet&)> sink);
+  void set_multicast_forwarder(MulticastForwarder* forwarder) { forwarder_ = forwarder; }
+
+  /// --- Introspection -------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t node_count() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  [[nodiscard]] std::uint32_t link_count() const { return static_cast<std::uint32_t>(links_.size()); }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id]; }
+  [[nodiscard]] Link& link(LinkId id) { return *links_[id]; }
+  [[nodiscard]] const Link& link(LinkId id) const { return *links_[id]; }
+  [[nodiscard]] const RoutingTable& routes() const { return routing_; }
+  [[nodiscard]] sim::Simulation& simulation() { return simulation_; }
+
+  /// Fresh globally-unique packet uid.
+  [[nodiscard]] std::uint64_t next_packet_uid() { return next_uid_++; }
+
+ private:
+  sim::Simulation& simulation_;
+  std::vector<Node> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  RoutingTable routing_;
+  MulticastForwarder* forwarder_{nullptr};
+  std::uint64_t next_uid_{1};
+  bool routes_valid_{false};
+};
+
+}  // namespace tsim::net

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/time.hpp"
+
+namespace tsim::net {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using SessionId = std::uint16_t;
+using LayerId = std::uint8_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
+
+/// A multicast group address. The paper's layered model sends every layer of
+/// a session on its own multicast address; receivers subscribe cumulatively.
+struct GroupAddr {
+  SessionId session{0};
+  LayerId layer{0};
+
+  [[nodiscard]] friend bool operator==(GroupAddr, GroupAddr) = default;
+  [[nodiscard]] friend auto operator<=>(GroupAddr, GroupAddr) = default;
+  /// Dense index usable as an array/hash key.
+  [[nodiscard]] std::uint32_t key() const {
+    return (static_cast<std::uint32_t>(session) << 8) | layer;
+  }
+};
+
+enum class PacketKind : std::uint8_t {
+  kData,            ///< multicast media payload
+  kReport,          ///< receiver -> controller loss/byte report (unicast)
+  kSuggestion,      ///< controller -> receiver subscription suggestion (unicast)
+  kMtraceQuery,     ///< discovery tool -> receiver path query (unicast)
+  kMtraceResponse,  ///< receiver -> discovery tool path response (unicast)
+  kTcpData,         ///< simplified TCP segment (unicast cross-traffic)
+  kTcpAck,          ///< simplified TCP cumulative ACK
+};
+
+/// Base class for control-plane payloads (defined by higher layers). Packets
+/// share payloads by pointer so multicast replication stays O(1) per copy.
+struct ControlPayload {
+  virtual ~ControlPayload() = default;
+};
+
+/// A simulated packet. Kept small and value-semantic: links copy packets when
+/// replicating down a multicast tree.
+struct Packet {
+  std::uint64_t uid{0};
+  PacketKind kind{PacketKind::kData};
+  std::uint32_t size_bytes{0};
+  NodeId src{kInvalidNode};
+  NodeId dst{kInvalidNode};  ///< unicast destination; kInvalidNode for multicast
+  bool multicast{false};
+  GroupAddr group{};         ///< valid when multicast
+  std::uint32_t seq{0};      ///< per-(session,layer) sequence number
+  sim::Time sent_at{};
+  std::shared_ptr<const ControlPayload> control{};
+};
+
+}  // namespace tsim::net
+
+template <>
+struct std::hash<tsim::net::GroupAddr> {
+  std::size_t operator()(tsim::net::GroupAddr g) const noexcept {
+    return std::hash<std::uint32_t>{}(g.key());
+  }
+};

@@ -1,0 +1,87 @@
+#include "net/routing.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace tsim::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+void RoutingTable::build(std::uint32_t node_count, const std::vector<EdgeView>& edges) {
+  node_count_ = node_count;
+  const std::size_t n = node_count;
+  next_hop_.assign(n * n, kInvalidLink);
+  next_node_.assign(n * n, kInvalidNode);
+  cost_.assign(n * n, kInf);
+
+  // Adjacency lists.
+  std::vector<std::vector<EdgeView>> adj(n);
+  for (const EdgeView& e : edges) adj[e.from].push_back(e);
+
+  struct QItem {
+    double dist;
+    NodeId node;
+    bool operator>(const QItem& o) const { return dist > o.dist; }
+  };
+
+  std::vector<double> dist(n);
+  std::vector<LinkId> first_link(n);
+  std::vector<NodeId> first_node(n);
+  std::vector<NodeId> prev(n);
+
+  for (NodeId src = 0; src < node_count; ++src) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(first_link.begin(), first_link.end(), kInvalidLink);
+    std::fill(first_node.begin(), first_node.end(), kInvalidNode);
+    std::fill(prev.begin(), prev.end(), kInvalidNode);
+    dist[src] = 0.0;
+
+    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+    pq.push({0.0, src});
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (const EdgeView& e : adj[u]) {
+        const double nd = d + e.cost;
+        if (nd < dist[e.to]) {
+          dist[e.to] = nd;
+          prev[e.to] = u;
+          if (u == src) {
+            first_link[e.to] = e.link;
+            first_node[e.to] = e.to;
+          } else {
+            first_link[e.to] = first_link[u];
+            first_node[e.to] = first_node[u];
+          }
+          pq.push({nd, e.to});
+        }
+      }
+    }
+
+    const std::size_t row = static_cast<std::size_t>(src) * n;
+    for (NodeId dst = 0; dst < node_count; ++dst) {
+      cost_[row + dst] = dist[dst];
+      next_hop_[row + dst] = first_link[dst];
+      next_node_[row + dst] = first_node[dst];
+    }
+  }
+}
+
+std::vector<NodeId> RoutingTable::path(NodeId from, NodeId to) const {
+  std::vector<NodeId> result;
+  if (from == to) return {from};
+  if (path_cost(from, to) == kInf) return result;
+  result.push_back(from);
+  NodeId cur = from;
+  while (cur != to) {
+    cur = next_node_[static_cast<std::size_t>(cur) * node_count_ + to];
+    if (cur == kInvalidNode) return {};
+    result.push_back(cur);
+  }
+  return result;
+}
+
+}  // namespace tsim::net

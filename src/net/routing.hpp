@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace tsim::net {
+
+/// A directed edge view used by the routing computation.
+struct EdgeView {
+  NodeId from;
+  NodeId to;
+  LinkId link;
+  double cost;  ///< routing metric; we use propagation latency in seconds
+};
+
+/// All-pairs next-hop routing computed with Dijkstra per source node.
+/// The simulated topologies are small (tens of nodes), so the O(V·E·logV)
+/// build cost is negligible and lookups are O(1) array reads on the hot path.
+class RoutingTable {
+ public:
+  /// Builds next-hop tables for `node_count` nodes over the given edges.
+  /// Unreachable pairs get kInvalidLink.
+  void build(std::uint32_t node_count, const std::vector<EdgeView>& edges);
+
+  /// Next-hop link id on the path `from` -> `to` (kInvalidLink if none).
+  [[nodiscard]] LinkId next_hop(NodeId from, NodeId to) const {
+    return next_hop_[static_cast<std::size_t>(from) * node_count_ + to];
+  }
+
+  /// Total path cost (sum of edge costs) from -> to; +inf if unreachable.
+  [[nodiscard]] double path_cost(NodeId from, NodeId to) const {
+    return cost_[static_cast<std::size_t>(from) * node_count_ + to];
+  }
+
+  /// Ordered node sequence from -> to, inclusive; empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> path(NodeId from, NodeId to) const;
+
+  [[nodiscard]] std::uint32_t node_count() const { return node_count_; }
+
+ private:
+  std::uint32_t node_count_{0};
+  std::vector<LinkId> next_hop_;
+  std::vector<double> cost_;
+  std::vector<NodeId> next_node_;  ///< successor node along the path
+};
+
+}  // namespace tsim::net

@@ -1,0 +1,448 @@
+#include "scenarios/scenario.hpp"
+
+#include "core/optimal_allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace tsim::scenarios {
+
+using sim::Time;
+
+namespace {
+
+/// Queue provisioning: at least the configured floor, grown to the link's
+/// bandwidth-delay product when queue_bdp_sizing is on.
+std::size_t queue_limit_for(const ScenarioConfig& config, double bandwidth_bps) {
+  if (!config.queue_bdp_sizing) return config.queue_limit_packets;
+  const double bdp_bytes = bandwidth_bps * config.link_latency.as_seconds() / 8.0;
+  const auto bdp_packets =
+      static_cast<std::size_t>(bdp_bytes / config.params.layers.packet_size_bytes);
+  return std::max(config.queue_limit_packets, bdp_packets);
+}
+
+}  // namespace
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_{config},
+      simulation_{std::make_unique<sim::Simulation>(config.seed)},
+      network_{std::make_unique<net::Network>(*simulation_)},
+      mcast_{std::make_unique<mcast::MulticastRouter>(*simulation_, *network_, config.mcast)},
+      demuxes_{std::make_unique<transport::DemuxRegistry>(*network_)} {}
+
+void Scenario::add_receiver(net::NodeId node, net::SessionId session, int optimal,
+                            std::string name, sim::Time start, sim::Time stop) {
+  transport::ReceiverEndpoint::Config cfg;
+  cfg.node = node;
+  cfg.session = session;
+  cfg.layers = config_.params.layers;
+  cfg.controller =
+      config_.controller == ControllerKind::kTopoSense ? controller_node_ : net::kInvalidNode;
+  cfg.report_period = config_.report_period == Time::zero() ? config_.params.interval
+                                                             : config_.report_period;
+  cfg.initial_subscription = 1;
+  cfg.start = start;
+  cfg.stop = stop;
+  endpoints_.push_back(std::make_unique<transport::ReceiverEndpoint>(
+      *simulation_, *network_, *mcast_, demuxes_->at(node), cfg));
+  transport::ReceiverEndpoint& endpoint = *endpoints_.back();
+
+  results_.push_back(ReceiverResult{node, session, std::move(name), optimal, 0,
+                                    metrics::SubscriptionTimeline{Time::zero(), 0}, 0.0});
+  const std::size_t slot = results_.size() - 1;
+  endpoint.on_subscription_change([this, slot](Time when, int /*old*/, int now_level) {
+    results_[slot].timeline.record(when, now_level);
+  });
+
+  switch (config_.controller) {
+    case ControllerKind::kTopoSense: {
+      receiver_agents_.push_back(std::make_unique<control::ReceiverAgent>(
+          *simulation_, endpoint, config_.receiver_agent));
+      break;
+    }
+    case ControllerKind::kReceiverDriven: {
+      baseline::ReceiverDrivenController::Config rd = config_.receiver_driven;
+      rd.period = config_.params.interval;
+      baseline_agents_.push_back(
+          std::make_unique<baseline::ReceiverDrivenController>(*simulation_, endpoint, rd));
+      break;
+    }
+    case ControllerKind::kNone:
+      break;
+  }
+}
+
+void Scenario::finalize() {
+  network_->compute_routes();
+  if (config_.red_queues) {
+    for (net::LinkId id = 0; id < network_->link_count(); ++id) {
+      network_->link(id).enable_red({});
+    }
+  }
+
+  if (config_.controller == ControllerKind::kTopoSense) {
+    if (config_.discovery == DiscoveryMode::kOracle) {
+      topo::DiscoveryService::Config dcfg;
+      dcfg.sample_period = Time::seconds(1);
+      dcfg.staleness = config_.info_staleness;
+      discovery_ = std::make_unique<topo::DiscoveryService>(*simulation_, *mcast_, dcfg);
+    } else {
+      topo::MtraceDiscovery::Config dcfg;
+      dcfg.tool_node = controller_node_;
+      dcfg.query_period = config_.params.interval;
+      auto mtrace = std::make_unique<topo::MtraceDiscovery>(*simulation_, *network_, *mcast_,
+                                                            *demuxes_, dcfg);
+      for (const ReceiverResult& r : results_) {
+        mtrace->register_receiver(r.session, r.node);
+      }
+      discovery_ = std::move(mtrace);
+    }
+
+    control::ControllerAgent::Config ccfg;
+    ccfg.node = controller_node_;
+    ccfg.params = config_.params;
+    ccfg.info_staleness = config_.info_staleness;
+    // Offset the controller's period from the receivers' report period so a
+    // run always has fresh reports to read.
+    ccfg.start = Time::milliseconds(2500);
+    controller_ = std::make_unique<control::ControllerAgent>(
+        *simulation_, *network_, *discovery_, demuxes_->at(controller_node_), ccfg);
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      controller_->register_receiver(results_[i].session, results_[i].node);
+    }
+    discovery_->start();
+    controller_->start();
+  }
+
+  for (const auto& source : sources_) source->start();
+  for (const auto& flow : cross_flows_) flow->start();
+  for (const auto& endpoint : endpoints_) endpoint->start();
+  for (const auto& agent : receiver_agents_) agent->start();
+  for (const auto& agent : baseline_agents_) agent->start();
+  started_ = true;
+}
+
+void Scenario::run_until(Time until) {
+  simulation_->run_until(until);
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    results_[i].final_subscription = endpoints_[i]->subscription();
+    results_[i].loss_overall = endpoints_[i]->lifetime_loss_rate();
+  }
+}
+
+void Scenario::run() { run_until(config_.duration); }
+
+std::unique_ptr<Scenario> Scenario::topology_a(const ScenarioConfig& config,
+                                               const TopologyAOptions& options) {
+  std::unique_ptr<Scenario> s{new Scenario{config}};
+  net::Network& netw = *s->network_;
+
+  const net::NodeId source = netw.add_node("source");
+  const net::NodeId r0 = netw.add_node("r0");
+  const net::NodeId r1 = netw.add_node("r1");
+  const net::NodeId r2 = netw.add_node("r2");
+  netw.add_duplex_link(source, r0, options.backbone_bps, config.link_latency,
+                       queue_limit_for(config, options.backbone_bps));
+  netw.add_duplex_link(r0, r1, options.bottleneck1_bps, config.link_latency,
+                       queue_limit_for(config, options.bottleneck1_bps));
+  netw.add_duplex_link(r0, r2, options.bottleneck2_bps, config.link_latency,
+                       queue_limit_for(config, options.bottleneck2_bps));
+
+  s->controller_node_ = source;
+  s->mcast_->set_session_source(0, source);
+
+  traffic::LayeredSource::Config scfg;
+  scfg.session = 0;
+  scfg.node = source;
+  scfg.layers = config.params.layers;
+  scfg.model = config.model;
+  scfg.peak_to_mean = config.peak_to_mean;
+  s->sources_.push_back(
+      std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
+
+  const int optimal1 =
+      config.params.layers.max_layers_for_bandwidth(options.bottleneck1_bps);
+  const int optimal2 =
+      config.params.layers.max_layers_for_bandwidth(options.bottleneck2_bps);
+
+  const int leavers = static_cast<int>(
+      std::ceil(options.leave_fraction * options.receivers_per_set));
+  const auto window_for = [&](int i) {
+    const Time start = options.join_stagger * i;
+    const bool leaves = options.leave_at > Time::zero() &&
+                        i >= options.receivers_per_set - leavers;
+    return std::pair{start, leaves ? options.leave_at : Time::max()};
+  };
+
+  for (int i = 0; i < options.receivers_per_set; ++i) {
+    const net::NodeId rcv = netw.add_node("set1_recv" + std::to_string(i));
+    netw.add_duplex_link(r1, rcv, options.access_bps, config.link_latency,
+                         queue_limit_for(config, options.access_bps));
+    const auto [start, stop] = window_for(i);
+    s->add_receiver(rcv, 0, optimal1, "set1/" + std::to_string(i), start, stop);
+  }
+  for (int i = 0; i < options.receivers_per_set; ++i) {
+    const net::NodeId rcv = netw.add_node("set2_recv" + std::to_string(i));
+    netw.add_duplex_link(r2, rcv, options.access_bps, config.link_latency,
+                         queue_limit_for(config, options.access_bps));
+    const auto [start, stop] = window_for(i);
+    s->add_receiver(rcv, 0, optimal2, "set2/" + std::to_string(i), start, stop);
+  }
+
+  if (options.cross_traffic_bps > 0.0) {
+    traffic::CbrFlow::Config xcfg;
+    xcfg.src = r0;
+    xcfg.dst = r1;
+    xcfg.rate_bps = options.cross_traffic_bps;
+    xcfg.start = options.cross_start;
+    xcfg.stop = options.cross_stop;
+    s->cross_flows_.push_back(
+        std::make_unique<traffic::CbrFlow>(*s->simulation_, netw, xcfg));
+  }
+
+  s->finalize();
+  return s;
+}
+
+std::unique_ptr<Scenario> Scenario::topology_b(const ScenarioConfig& config,
+                                               const TopologyBOptions& options) {
+  std::unique_ptr<Scenario> s{new Scenario{config}};
+  net::Network& netw = *s->network_;
+
+  const net::NodeId ra = netw.add_node("ra");
+  const net::NodeId rb = netw.add_node("rb");
+  const double shared_bps = options.per_session_bps * options.sessions;
+  netw.add_duplex_link(ra, rb, shared_bps, config.link_latency,
+                       queue_limit_for(config, shared_bps));
+
+  const int optimal = config.params.layers.max_layers_for_bandwidth(options.per_session_bps);
+
+  std::vector<net::NodeId> source_nodes;
+  for (int k = 0; k < options.sessions; ++k) {
+    const net::NodeId src = netw.add_node("source" + std::to_string(k));
+    netw.add_duplex_link(src, ra, options.access_bps, config.link_latency,
+                         queue_limit_for(config, options.access_bps));
+    source_nodes.push_back(src);
+    s->mcast_->set_session_source(static_cast<net::SessionId>(k), src);
+
+    traffic::LayeredSource::Config scfg;
+    scfg.session = static_cast<net::SessionId>(k);
+    scfg.node = src;
+    scfg.layers = config.params.layers;
+    scfg.model = config.model;
+    scfg.peak_to_mean = config.peak_to_mean;
+    s->sources_.push_back(
+        std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
+  }
+  // "The controller agent was stationed at one of the source nodes."
+  s->controller_node_ = source_nodes.front();
+
+  for (int k = 0; k < options.sessions; ++k) {
+    const net::NodeId rcv = netw.add_node("recv" + std::to_string(k));
+    netw.add_duplex_link(rb, rcv, options.access_bps, config.link_latency,
+                         queue_limit_for(config, options.access_bps));
+    s->add_receiver(rcv, static_cast<net::SessionId>(k), optimal,
+                    "session" + std::to_string(k), options.session_stagger * k);
+  }
+
+  if (options.cross_traffic_bps > 0.0) {
+    traffic::CbrFlow::Config xcfg;
+    xcfg.src = ra;
+    xcfg.dst = rb;
+    xcfg.rate_bps = options.cross_traffic_bps;
+    xcfg.start = options.cross_start;
+    xcfg.stop = options.cross_stop;
+    s->cross_flows_.push_back(
+        std::make_unique<traffic::CbrFlow>(*s->simulation_, netw, xcfg));
+  }
+
+  s->finalize();
+  return s;
+}
+
+
+std::unique_ptr<Scenario> Scenario::tiered(const ScenarioConfig& config,
+                                           const TieredOptions& options) {
+  std::unique_ptr<Scenario> s{new Scenario{config}};
+  net::Network& netw = *s->network_;
+  sim::Rng rng = s->simulation_->rng_stream("tiered-topology");
+
+  // Physical tree, remembering each link's true capacity for the offline
+  // optimal computation (TopoSense never sees these numbers).
+  std::unordered_map<core::LinkKey, double> capacities;
+  const net::NodeId source = netw.add_node("source");
+  const net::NodeId national = netw.add_node("national");
+  netw.add_duplex_link(source, national, options.backbone_bps, config.link_latency,
+                       queue_limit_for(config, options.backbone_bps));
+  capacities[core::LinkKey{source, national}] = options.backbone_bps;
+
+  struct PendingReceiver {
+    net::NodeId node;
+    net::NodeId parent;
+  };
+  std::vector<PendingReceiver> receivers;
+  std::vector<core::SessionNodeInput> tree_nodes;
+  {
+    core::SessionNodeInput n;
+    n.node = source;
+    n.parent = net::kInvalidNode;
+    tree_nodes.push_back(n);
+    n.node = national;
+    n.parent = source;
+    tree_nodes.push_back(n);
+  }
+
+  auto add_tier_node = [&](const std::string& name, net::NodeId parent, double bps) {
+    const net::NodeId id = netw.add_node(name);
+    netw.add_duplex_link(parent, id, bps, config.link_latency, queue_limit_for(config, bps));
+    capacities[core::LinkKey{parent, id}] = bps;
+    core::SessionNodeInput n;
+    n.node = id;
+    n.parent = parent;
+    tree_nodes.push_back(n);
+    return id;
+  };
+
+  for (int r = 0; r < options.regionals; ++r) {
+    const net::NodeId regional =
+        add_tier_node("regional" + std::to_string(r), national,
+                      rng.uniform(options.regional_min_bps, options.regional_max_bps));
+    for (int l = 0; l < options.locals_per_regional; ++l) {
+      const net::NodeId local = add_tier_node(
+          "local" + std::to_string(r) + "_" + std::to_string(l), regional,
+          rng.uniform(options.local_min_bps, options.local_max_bps));
+      for (int i = 0; i < options.receivers_per_local; ++i) {
+        const net::NodeId rcv = add_tier_node(
+            "recv" + std::to_string(r) + "_" + std::to_string(l) + "_" + std::to_string(i),
+            local, rng.uniform(options.access_min_bps, options.access_max_bps));
+        tree_nodes.back().is_receiver = true;
+        receivers.push_back(PendingReceiver{rcv, local});
+      }
+    }
+  }
+
+  s->controller_node_ = source;
+  s->mcast_->set_session_source(0, source);
+
+  traffic::LayeredSource::Config scfg;
+  scfg.session = 0;
+  scfg.node = source;
+  scfg.layers = config.params.layers;
+  scfg.model = config.model;
+  scfg.peak_to_mean = config.peak_to_mean;
+  s->sources_.push_back(std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
+
+  // Offline reference: greedy lexicographic max-min on the true capacities.
+  core::SessionInput session;
+  session.session = 0;
+  session.source = source;
+  session.nodes = tree_nodes;
+  const core::OptimalAllocator allocator{config.params.layers, capacities};
+  const auto optima = allocator.allocate({session});
+  auto optimum_of = [&](net::NodeId node) {
+    for (const auto& p : optima) {
+      if (p.receiver == node) return p.subscription;
+    }
+    return 0;
+  };
+
+  for (const PendingReceiver& r : receivers) {
+    s->add_receiver(r.node, 0, optimum_of(r.node), netw.node(r.node).name);
+  }
+
+  s->finalize();
+  return s;
+}
+
+
+std::unique_ptr<Scenario> Scenario::from_description(const ScenarioConfig& config,
+                                                     const TopologyDescription& description) {
+  std::unique_ptr<Scenario> s{new Scenario{config}};
+  net::Network& netw = *s->network_;
+
+  std::unordered_map<std::string, net::NodeId> by_name;
+  for (const std::string& name : description.nodes) {
+    by_name[name] = netw.add_node(name);
+  }
+
+  std::unordered_map<core::LinkKey, double> capacities;
+  for (const auto& link : description.links) {
+    const net::NodeId a = by_name.at(link.a);
+    const net::NodeId b = by_name.at(link.b);
+    const std::size_t queue =
+        link.queue_packets.value_or(queue_limit_for(config, link.bandwidth_bps));
+    const auto [ab, ba] = netw.add_duplex_link(a, b, link.bandwidth_bps, link.latency, queue);
+    if (link.red || config.red_queues) {
+      netw.link(ab).enable_red({});
+      netw.link(ba).enable_red({});
+    }
+    capacities[core::LinkKey{a, b}] = link.bandwidth_bps;
+    capacities[core::LinkKey{b, a}] = link.bandwidth_bps;
+  }
+  netw.compute_routes();
+
+  s->controller_node_ = by_name.at(description.controller_node);
+
+  for (const auto& src : description.sources) {
+    s->mcast_->set_session_source(src.session, by_name.at(src.node));
+    traffic::LayeredSource::Config scfg;
+    scfg.session = src.session;
+    scfg.node = by_name.at(src.node);
+    scfg.layers = config.params.layers;
+    scfg.model = config.model;
+    scfg.peak_to_mean = config.peak_to_mean;
+    s->sources_.push_back(
+        std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
+  }
+
+  // Offline optima from the declared (true) capacities: build each session's
+  // tree as the union of routed source->receiver paths.
+  std::vector<core::SessionInput> session_inputs;
+  for (const auto& src : description.sources) {
+    core::SessionInput in;
+    in.session = src.session;
+    in.source = by_name.at(src.node);
+    std::unordered_map<net::NodeId, net::NodeId> parent_of;
+    parent_of[in.source] = net::kInvalidNode;
+    std::set<net::NodeId> receiver_nodes;
+    for (const auto& rcv : description.receivers) {
+      if (rcv.session != src.session) continue;
+      const auto path = netw.routes().path(in.source, by_name.at(rcv.node));
+      if (path.empty()) {
+        throw std::invalid_argument("receiver '" + rcv.node + "' unreachable from source");
+      }
+      for (std::size_t i = 1; i < path.size(); ++i) parent_of.emplace(path[i], path[i - 1]);
+      receiver_nodes.insert(by_name.at(rcv.node));
+    }
+    for (const auto& [node, parent] : parent_of) {
+      core::SessionNodeInput n;
+      n.node = node;
+      n.parent = parent;
+      n.is_receiver = receiver_nodes.count(node) != 0;
+      in.nodes.push_back(n);
+    }
+    session_inputs.push_back(std::move(in));
+  }
+  const core::OptimalAllocator allocator{config.params.layers, capacities};
+  const auto optima = allocator.allocate(session_inputs);
+  auto optimum_of = [&](net::SessionId session, net::NodeId node) {
+    for (const auto& p : optima) {
+      if (p.session == session && p.receiver == node) return p.subscription;
+    }
+    return 0;
+  };
+
+  for (const auto& rcv : description.receivers) {
+    const net::NodeId node = by_name.at(rcv.node);
+    s->add_receiver(node, rcv.session, optimum_of(rcv.session, node),
+                    rcv.node + "/s" + std::to_string(rcv.session), rcv.start, rcv.stop);
+  }
+
+  s->finalize();
+  return s;
+}
+
+}  // namespace tsim::scenarios

@@ -1,0 +1,215 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/receiver_driven.hpp"
+#include "control/controller_agent.hpp"
+#include "control/receiver_agent.hpp"
+#include "core/params.hpp"
+#include "mcast/multicast_router.hpp"
+#include "metrics/subscription_metrics.hpp"
+#include "net/network.hpp"
+#include "scenarios/topology_file.hpp"
+#include "sim/simulation.hpp"
+#include "topo/discovery.hpp"
+#include "topo/mtrace.hpp"
+#include "traffic/cross_traffic.hpp"
+#include "traffic/layered_source.hpp"
+#include "transport/demux.hpp"
+#include "transport/receiver_endpoint.hpp"
+
+namespace tsim::scenarios {
+
+/// How the controller obtains topology: the oracle sampler with configurable
+/// staleness (the paper's evaluation model), or packet-based mtrace queries
+/// whose cost/latency/loss are emergent.
+enum class DiscoveryMode {
+  kOracle,
+  kMtrace,
+};
+
+/// Which adaptation scheme drives the receivers.
+enum class ControllerKind {
+  kTopoSense,       ///< the paper's domain controller
+  kReceiverDriven,  ///< RLM-style baseline, no topology information
+  kNone,            ///< receivers stay at their initial subscription
+};
+
+/// Configuration shared by every experiment (paper §IV defaults).
+struct ScenarioConfig {
+  std::uint64_t seed{1};
+  traffic::TrafficModel model{traffic::TrafficModel::kCbr};
+  double peak_to_mean{3.0};
+  core::Params params{};
+  sim::Time duration{sim::Time::seconds(1200)};
+  sim::Time link_latency{sim::Time::milliseconds(200)};
+  std::size_t queue_limit_packets{30};
+  /// Size each link's queue to at least its bandwidth-delay product (the
+  /// standard drop-tail provisioning rule); the floor above still applies to
+  /// slow links. Disable to study shallow-buffer behaviour.
+  bool queue_bdp_sizing{true};
+  /// Use RED instead of drop-tail on every link (§V burst-loss ablation).
+  bool red_queues{false};
+  sim::Time info_staleness{sim::Time::zero()};  ///< topology + report staleness
+  /// Receiver reporting cadence; zero means "same as the algorithm interval"
+  /// (the paper's setup). Faster reporting gives the controller sub-interval
+  /// loss visibility at the cost of more control traffic.
+  sim::Time report_period{sim::Time::zero()};
+  ControllerKind controller{ControllerKind::kTopoSense};
+  DiscoveryMode discovery{DiscoveryMode::kOracle};
+  mcast::MulticastRouter::Config mcast{};
+  control::ReceiverAgent::Config receiver_agent{};
+  baseline::ReceiverDrivenController::Config receiver_driven{};
+};
+
+/// Topology A (Fig 5): one session, two receiver sets behind different
+/// bottlenecks — the heterogeneity scenario.
+///
+///   source -- backbone -- r0 --(bottleneck1)-- r1 -- N receivers (set 1)
+///                           \--(bottleneck2)-- r2 -- N receivers (set 2)
+struct TopologyAOptions {
+  int receivers_per_set{2};
+  double backbone_bps{10e6};
+  double bottleneck1_bps{256e3};  ///< optimal 3 layers (cum. 224 Kbps)
+  double bottleneck2_bps{1e6};    ///< optimal 5 layers (cum. 992 Kbps)
+  double access_bps{10e6};
+
+  /// Receiver churn: receiver i of each set joins at i * join_stagger, and
+  /// the last ceil(leave_fraction * N) receivers of each set leave at
+  /// leave_at (when non-zero).
+  sim::Time join_stagger{sim::Time::zero()};
+  double leave_fraction{0.0};
+  sim::Time leave_at{sim::Time::zero()};
+
+  /// Optional non-conforming unicast CBR cross-flow across bottleneck 1
+  /// (source-side router to set-1 hub) active in [cross_start, cross_stop).
+  double cross_traffic_bps{0.0};
+  sim::Time cross_start{sim::Time::zero()};
+  sim::Time cross_stop{sim::Time::max()};
+};
+
+/// Topology B (Fig 5): n independent single-receiver sessions sharing one
+/// link sized so each session can ideally take 4 layers — the inter-session
+/// fairness scenario.
+///
+///   source_k -- access -- ra ==(shared, n*per_session)== rb -- receiver_k
+struct TopologyBOptions {
+  int sessions{4};
+  double per_session_bps{500e3};  ///< shared link = sessions * this
+  double access_bps{10e6};
+
+  /// Session k starts at k * session_stagger (the paper starts all sessions
+  /// together; staggering is the late-joiner fairness ablation).
+  sim::Time session_stagger{sim::Time::zero()};
+
+  /// Optional unicast CBR cross-flow across the shared link.
+  double cross_traffic_bps{0.0};
+  sim::Time cross_start{sim::Time::zero()};
+  sim::Time cross_stop{sim::Time::max()};
+};
+
+/// Tiered Internet topology (Fig 2): a source at a national ISP, a random
+/// hierarchy of regional and local ISPs with decreasing (randomized) link
+/// capacities, and receivers at institutional leaves. Per-receiver optimal
+/// subscriptions are computed by the offline OptimalAllocator from the true
+/// capacities (which TopoSense itself never sees).
+struct TieredOptions {
+  int regionals{3};
+  int locals_per_regional{2};
+  int receivers_per_local{2};
+  double backbone_bps{45e6};
+  double regional_min_bps{1e6};
+  double regional_max_bps{4e6};
+  double local_min_bps{256e3};
+  double local_max_bps{2e6};
+  double access_min_bps{128e3};
+  double access_max_bps{1.5e6};
+};
+
+/// One receiver's results after a run.
+struct ReceiverResult {
+  net::NodeId node{net::kInvalidNode};
+  net::SessionId session{0};
+  std::string name;
+  int optimal{0};
+  int final_subscription{0};
+  metrics::SubscriptionTimeline timeline{sim::Time::zero(), 0};
+  double loss_overall{0.0};  ///< lifetime loss fraction
+};
+
+/// A fully wired simulation: network, multicast, sources, receivers, agents,
+/// controller and metrics. Construction order is fixed by the factories;
+/// everything lives exactly as long as the Scenario.
+class Scenario {
+ public:
+  static std::unique_ptr<Scenario> topology_a(const ScenarioConfig& config,
+                                              const TopologyAOptions& options);
+  static std::unique_ptr<Scenario> topology_b(const ScenarioConfig& config,
+                                              const TopologyBOptions& options);
+  static std::unique_ptr<Scenario> tiered(const ScenarioConfig& config,
+                                          const TieredOptions& options);
+  /// Builds a scenario from a parsed topology file (see topology_file.hpp).
+  /// Per-receiver optima come from the offline allocator on the declared
+  /// capacities. Throws std::invalid_argument on unreachable receivers.
+  static std::unique_ptr<Scenario> from_description(const ScenarioConfig& config,
+                                                    const TopologyDescription& description);
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Runs the simulation to config.duration.
+  void run();
+
+  /// Runs to an intermediate time (callable repeatedly, monotonic).
+  void run_until(sim::Time until);
+
+  [[nodiscard]] const std::vector<ReceiverResult>& results() const { return results_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulation& simulation() { return *simulation_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] mcast::MulticastRouter& multicast() { return *mcast_; }
+  [[nodiscard]] control::ControllerAgent* controller() { return controller_.get(); }
+  [[nodiscard]] topo::TopologyProvider* discovery() { return discovery_.get(); }
+  /// Per-node packet demux registry — attach extra endpoints (e.g. TCP
+  /// flows) to nodes without clobbering the scenario's own handlers.
+  [[nodiscard]] transport::DemuxRegistry& demuxes() { return *demuxes_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<transport::ReceiverEndpoint>>& endpoints()
+      const {
+    return endpoints_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<traffic::LayeredSource>>& sources() const {
+    return sources_;
+  }
+
+  /// Index into results()/endpoints() of receiver `r` (they are parallel).
+  [[nodiscard]] const ReceiverResult& result(std::size_t i) const { return results_[i]; }
+
+ private:
+  explicit Scenario(const ScenarioConfig& config);
+
+  /// Adds one receiver (endpoint + policy agent + metrics) at `node`, active
+  /// in [start, stop).
+  void add_receiver(net::NodeId node, net::SessionId session, int optimal, std::string name,
+                    sim::Time start = sim::Time::zero(), sim::Time stop = sim::Time::max());
+  void finalize();  ///< wires controller/discovery and starts everything
+
+  ScenarioConfig config_;
+  std::unique_ptr<sim::Simulation> simulation_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<mcast::MulticastRouter> mcast_;
+  std::unique_ptr<transport::DemuxRegistry> demuxes_;
+  std::unique_ptr<topo::TopologyProvider> discovery_;
+  std::unique_ptr<control::ControllerAgent> controller_;
+  net::NodeId controller_node_{net::kInvalidNode};
+  std::vector<std::unique_ptr<traffic::LayeredSource>> sources_;
+  std::vector<std::unique_ptr<traffic::CbrFlow>> cross_flows_;
+  std::vector<std::unique_ptr<transport::ReceiverEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<control::ReceiverAgent>> receiver_agents_;
+  std::vector<std::unique_ptr<baseline::ReceiverDrivenController>> baseline_agents_;
+  std::vector<ReceiverResult> results_;
+  bool started_{false};
+};
+
+}  // namespace tsim::scenarios

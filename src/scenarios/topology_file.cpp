@@ -1,0 +1,198 @@
+#include "scenarios/topology_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <set>
+#include <sstream>
+
+namespace tsim::scenarios {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out{s};
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in{line};
+  std::string token;
+  while (in >> token) {
+    if (token.front() == '#') break;  // trailing comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  // std::from_chars for double is unevenly supported; go through strtod.
+  const std::string copy{s};
+  char* end = nullptr;
+  out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size() && !copy.empty();
+}
+
+}  // namespace
+
+double parse_bandwidth(std::string_view token) {
+  const std::string t = lower(token);
+  double scale = 1.0;
+  std::string_view digits = t;
+  if (t.size() > 4 && t.substr(t.size() - 4) == "kbps") {
+    scale = 1e3;
+    digits = std::string_view{t}.substr(0, t.size() - 4);
+  } else if (t.size() > 4 && t.substr(t.size() - 4) == "mbps") {
+    scale = 1e6;
+    digits = std::string_view{t}.substr(0, t.size() - 4);
+  } else if (t.size() > 4 && t.substr(t.size() - 4) == "gbps") {
+    scale = 1e9;
+    digits = std::string_view{t}.substr(0, t.size() - 4);
+  } else if (t.size() > 3 && t.substr(t.size() - 3) == "bps") {
+    digits = std::string_view{t}.substr(0, t.size() - 3);
+  } else {
+    return -1.0;
+  }
+  double value = 0.0;
+  if (!parse_double(digits, value) || value <= 0.0) return -1.0;
+  return value * scale;
+}
+
+sim::Time parse_latency(std::string_view token) {
+  const std::string t = lower(token);
+  double scale_to_seconds = 0.0;
+  std::string_view digits = t;
+  if (t.size() > 2 && t.substr(t.size() - 2) == "ms") {
+    scale_to_seconds = 1e-3;
+    digits = std::string_view{t}.substr(0, t.size() - 2);
+  } else if (t.size() > 1 && t.back() == 's') {
+    scale_to_seconds = 1.0;
+    digits = std::string_view{t}.substr(0, t.size() - 1);
+  } else {
+    return sim::Time::seconds(-1.0);
+  }
+  double value = 0.0;
+  if (!parse_double(digits, value) || value < 0.0) return sim::Time::seconds(-1.0);
+  return sim::Time::seconds(value * scale_to_seconds);
+}
+
+ParseResult parse_topology(std::string_view text) {
+  TopologyDescription desc;
+  std::set<std::string> node_names;
+
+  auto fail = [](int line_no, const std::string& message) {
+    ParseResult r;
+    r.error = "line " + std::to_string(line_no) + ": " + message;
+    return r;
+  };
+
+  std::istringstream in{std::string{text}};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    if (directive == "node") {
+      if (tokens.size() != 2) return fail(line_no, "node takes exactly one name");
+      if (!node_names.insert(tokens[1]).second) {
+        return fail(line_no, "duplicate node '" + tokens[1] + "'");
+      }
+      desc.nodes.push_back(tokens[1]);
+    } else if (directive == "link") {
+      if (tokens.size() < 5) return fail(line_no, "link needs: a b bandwidth latency");
+      TopologyDescription::LinkSpec link;
+      link.a = tokens[1];
+      link.b = tokens[2];
+      link.bandwidth_bps = parse_bandwidth(tokens[3]);
+      if (link.bandwidth_bps <= 0.0) {
+        return fail(line_no, "bad bandwidth '" + tokens[3] + "' (use e.g. 256kbps, 1.5Mbps)");
+      }
+      link.latency = parse_latency(tokens[4]);
+      if (link.latency < sim::Time::zero()) {
+        return fail(line_no, "bad latency '" + tokens[4] + "' (use e.g. 200ms, 1s)");
+      }
+      for (std::size_t i = 5; i < tokens.size(); ++i) {
+        if (tokens[i] == "red") {
+          link.red = true;
+        } else if (tokens[i] == "queue" && i + 1 < tokens.size()) {
+          std::size_t packets = 0;
+          const auto [ptr, ec] = std::from_chars(
+              tokens[i + 1].data(), tokens[i + 1].data() + tokens[i + 1].size(), packets);
+          if (ec != std::errc{} || packets == 0) {
+            return fail(line_no, "bad queue size '" + tokens[i + 1] + "'");
+          }
+          link.queue_packets = packets;
+          ++i;
+        } else {
+          return fail(line_no, "unknown link option '" + tokens[i] + "'");
+        }
+      }
+      desc.links.push_back(link);
+    } else if (directive == "source") {
+      if (tokens.size() != 3) return fail(line_no, "source needs: session node");
+      TopologyDescription::SourceSpec src;
+      src.session = static_cast<std::uint16_t>(std::atoi(tokens[1].c_str()));
+      src.node = tokens[2];
+      desc.sources.push_back(src);
+    } else if (directive == "receiver") {
+      if (tokens.size() < 3) return fail(line_no, "receiver needs: node session");
+      TopologyDescription::ReceiverSpec rcv;
+      rcv.node = tokens[1];
+      rcv.session = static_cast<std::uint16_t>(std::atoi(tokens[2].c_str()));
+      for (std::size_t i = 3; i + 1 < tokens.size(); i += 2) {
+        double value = 0.0;
+        if (!parse_double(tokens[i + 1], value)) {
+          return fail(line_no, "bad time '" + tokens[i + 1] + "'");
+        }
+        if (tokens[i] == "start") {
+          rcv.start = sim::Time::seconds(value);
+        } else if (tokens[i] == "stop") {
+          rcv.stop = sim::Time::seconds(value);
+        } else {
+          return fail(line_no, "unknown receiver option '" + tokens[i] + "'");
+        }
+      }
+      desc.receivers.push_back(rcv);
+    } else if (directive == "controller") {
+      if (tokens.size() != 2) return fail(line_no, "controller takes one node");
+      desc.controller_node = tokens[1];
+    } else {
+      return fail(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+
+  // Semantic validation.
+  auto known = [&](const std::string& name) { return node_names.count(name) != 0; };
+  for (const auto& link : desc.links) {
+    if (!known(link.a)) return fail(0, "link references undeclared node '" + link.a + "'");
+    if (!known(link.b)) return fail(0, "link references undeclared node '" + link.b + "'");
+  }
+  std::set<std::uint16_t> sessions_with_source;
+  for (const auto& src : desc.sources) {
+    if (!known(src.node)) return fail(0, "source on undeclared node '" + src.node + "'");
+    sessions_with_source.insert(src.session);
+  }
+  for (const auto& rcv : desc.receivers) {
+    if (!known(rcv.node)) return fail(0, "receiver on undeclared node '" + rcv.node + "'");
+    if (sessions_with_source.count(rcv.session) == 0) {
+      return fail(0, "receiver session " + std::to_string(rcv.session) + " has no source");
+    }
+  }
+  if (desc.receivers.empty()) return fail(0, "no receivers declared");
+  if (desc.controller_node.empty()) return fail(0, "no controller declared");
+  if (!known(desc.controller_node)) {
+    return fail(0, "controller on undeclared node '" + desc.controller_node + "'");
+  }
+
+  ParseResult result;
+  result.description = std::move(desc);
+  return result;
+}
+
+}  // namespace tsim::scenarios

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tsim::scenarios {
+
+/// Parsed form of the line-based topology description language used by the
+/// `toposense_sim` CLI. Grammar (one directive per line, `#` comments):
+///
+///   node <name>
+///   link <a> <b> <bandwidth> <latency> [queue <packets>] [red]
+///   source <session> <node>
+///   receiver <node> <session> [start <seconds>] [stop <seconds>]
+///   controller <node>
+///
+/// Bandwidth accepts `bps`, `kbps`, `Mbps` suffixes (case-insensitive);
+/// latency accepts `ms` and `s`. Links are duplex.
+struct TopologyDescription {
+  struct LinkSpec {
+    std::string a;
+    std::string b;
+    double bandwidth_bps{0.0};
+    sim::Time latency{};
+    std::optional<std::size_t> queue_packets;  ///< default: BDP sizing
+    bool red{false};
+  };
+  struct SourceSpec {
+    std::uint16_t session{0};
+    std::string node;
+  };
+  struct ReceiverSpec {
+    std::string node;
+    std::uint16_t session{0};
+    sim::Time start{sim::Time::zero()};
+    sim::Time stop{sim::Time::max()};
+  };
+
+  std::vector<std::string> nodes;
+  std::vector<LinkSpec> links;
+  std::vector<SourceSpec> sources;
+  std::vector<ReceiverSpec> receivers;
+  std::string controller_node;
+};
+
+/// Parse result: either a description or a one-line error naming the line.
+struct ParseResult {
+  std::optional<TopologyDescription> description;
+  std::string error;
+  [[nodiscard]] bool ok() const { return description.has_value(); }
+};
+
+/// Parses the topology language. Validates that every referenced node is
+/// declared, every session has a source, and a controller is set.
+[[nodiscard]] ParseResult parse_topology(std::string_view text);
+
+/// Parses "256kbps" / "1.5Mbps" / "8000bps" (case-insensitive suffix).
+/// Returns <= 0 on malformed input.
+[[nodiscard]] double parse_bandwidth(std::string_view token);
+
+/// Parses "200ms" / "1.5s". Returns negative time on malformed input.
+[[nodiscard]] sim::Time parse_latency(std::string_view token);
+
+}  // namespace tsim::scenarios

@@ -1,0 +1,30 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+namespace tsim::sim {
+
+std::string Time::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", as_seconds());
+  return buf;
+}
+
+LogLevel& Logger::level_ref() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+LogLevel Logger::level() { return level_ref(); }
+void Logger::set_level(LogLevel level) { level_ref() = level; }
+
+void Logger::log(LogLevel level, Time now, std::string_view component,
+                 std::string_view message) {
+  if (level < level_ref()) return;
+  static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%12.6fs] %-5s %.*s: %.*s\n", now.as_seconds(),
+               kNames[static_cast<int>(level)], static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace tsim::sim

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace tsim::sim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Minimal leveled logger for simulator internals. Quiet by default so that
+/// bench output stays machine-parseable; tests and examples raise the level
+/// when debugging a scenario.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Logs `[  12.345s] component: message` to stderr when enabled.
+  static void log(LogLevel level, Time now, std::string_view component, std::string_view message);
+
+ private:
+  static LogLevel& level_ref();
+};
+
+}  // namespace tsim::sim

@@ -1,0 +1,65 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace tsim::sim {
+
+EventId Scheduler::schedule_at(Time when, Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("Scheduler::schedule_at: time is in the past");
+  }
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  return EventId{id};
+}
+
+EventId Scheduler::schedule_after(Time delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id.value != 0) cancelled_.insert(id.value);
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the callback is `mutable` so it can be
+    // moved out before pop (the entry is dead afterwards either way).
+    const Entry& top = queue_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    assert(top.when >= now_);
+    now_ = top.when;
+    Callback cb = std::move(top.cb);
+    queue_.pop();
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(Time until) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > until) break;
+    now_ = top.when;
+    Callback cb = std::move(top.cb);
+    queue_.pop();
+    ++executed_;
+    cb();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace tsim::sim

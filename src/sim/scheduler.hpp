@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tsim::sim {
+
+/// Opaque handle to a scheduled event; used for cancellation.
+struct EventId {
+  std::uint64_t value{0};
+  [[nodiscard]] friend bool operator==(EventId, EventId) = default;
+};
+
+/// Discrete-event scheduler: a time-ordered queue of callbacks with
+/// deterministic FIFO tie-breaking (events scheduled earlier at the same
+/// timestamp fire first). Single-threaded by design — determinism is a core
+/// requirement for reproducible experiments; parallelism in the benches comes
+/// from running independent simulations on separate threads, each with its
+/// own Scheduler.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `when` (must be >= now()).
+  EventId schedule_at(Time when, Callback cb);
+
+  /// Schedules `cb` `delay` after the current time.
+  EventId schedule_after(Time delay, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event is
+  /// a harmless no-op (the common case when a timer raced its cancellation).
+  void cancel(EventId id);
+
+  /// Runs events until the queue empties or the clock passes `until`.
+  /// Events at exactly `until` are executed.
+  void run_until(Time until);
+
+  /// Runs a single event; returns false if the queue is empty.
+  bool step();
+
+  [[nodiscard]] Time now() const { return now_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Shared ownership not needed: callbacks are moved into the entry.
+    mutable Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_{Time::zero()};
+  std::uint64_t next_seq_{0};
+  std::uint64_t next_id_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace tsim::sim

@@ -1,0 +1,4 @@
+#include "sim/simulation.hpp"
+
+// Simulation is header-only today; this TU anchors the target and keeps room
+// for future out-of-line growth without touching the build.

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <concepts>
+#include <limits>
+#include <string>
+
+namespace tsim::sim {
+
+/// Simulation time, stored as integer nanoseconds for exact, deterministic
+/// arithmetic. All simulator components share this clock; there is no
+/// wall-clock anywhere in the library.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors. Fractional inputs are rounded to the nearest
+  /// nanosecond, which is far below any timescale the simulation models.
+  [[nodiscard]] static constexpr Time nanoseconds(std::int64_t ns) { return Time{ns}; }
+  [[nodiscard]] static constexpr Time microseconds(std::int64_t us) { return Time{us * 1'000}; }
+  [[nodiscard]] static constexpr Time milliseconds(std::int64_t ms) { return Time{ms * 1'000'000}; }
+  template <std::integral T>
+  [[nodiscard]] static constexpr Time seconds(T s) {
+    return Time{static_cast<std::int64_t>(s) * 1'000'000'000};
+  }
+  [[nodiscard]] static constexpr Time seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  [[nodiscard]] static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_nanoseconds() const { return ns_; }
+  [[nodiscard]] constexpr double as_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double as_milliseconds() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) { ns_ += rhs.ns_; return *this; }
+  constexpr Time& operator-=(Time rhs) { ns_ -= rhs.ns_; return *this; }
+
+  [[nodiscard]] friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  [[nodiscard]] friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  [[nodiscard]] friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  [[nodiscard]] friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+  [[nodiscard]] friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  /// "12.345s"-style rendering for logs and traces.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_{0};
+};
+
+namespace time_literals {
+constexpr Time operator""_s(unsigned long long v) {
+  return Time::seconds(static_cast<std::int64_t>(v));
+}
+constexpr Time operator""_ms(unsigned long long v) {
+  return Time::milliseconds(static_cast<std::int64_t>(v));
+}
+constexpr Time operator""_us(unsigned long long v) {
+  return Time::microseconds(static_cast<std::int64_t>(v));
+}
+constexpr Time operator""_ns(unsigned long long v) {
+  return Time::nanoseconds(static_cast<std::int64_t>(v));
+}
+}  // namespace time_literals
+
+}  // namespace tsim::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace tsim::topo {
+
+/// What an mtrace/SNMP-style discovery pass reconstructs for one session at
+/// one instant: the session tree (overlay of the per-layer trees) and the set
+/// of receiver nodes.
+struct TopologySnapshot {
+  net::SessionId session{0};
+  net::NodeId source{net::kInvalidNode};
+  std::vector<std::pair<net::NodeId, net::NodeId>> edges;  ///< (parent, child)
+  std::vector<net::NodeId> receivers;                      ///< active base-layer members
+  sim::Time captured_at{};
+};
+
+/// Interface the controller consumes. The paper is explicit that the
+/// algorithm "concerns itself only with the information and not how it was
+/// acquired" — implementations differ in cost and freshness:
+///  * DiscoveryService — oracle sampling with configurable staleness (the
+///    paper's evaluation model; staleness is the studied variable, Fig 10),
+///  * MtraceDiscovery — hop-path queries carried as real packets that share
+///    queues with data (cost + latency + loss are emergent).
+class TopologyProvider {
+ public:
+  virtual ~TopologyProvider() = default;
+
+  /// Registers a session for discovery. `max_layer` bounds the overlay.
+  virtual void track_session(net::SessionId session, net::LayerId max_layer) = 0;
+
+  /// Begins discovery (idempotent).
+  virtual void start() = 0;
+
+  /// Freshest view available for `session` (nullptr before the first pass).
+  [[nodiscard]] virtual const TopologySnapshot* snapshot(net::SessionId session) const = 0;
+};
+
+}  // namespace tsim::topo

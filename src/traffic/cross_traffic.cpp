@@ -1,0 +1,82 @@
+#include "traffic/cross_traffic.hpp"
+
+#include <string>
+
+namespace tsim::traffic {
+
+namespace {
+
+tsim::net::Packet unicast_packet(net::Network& network, net::NodeId src, net::NodeId dst,
+                                 std::uint32_t size_bytes) {
+  net::Packet p;
+  p.uid = network.next_packet_uid();
+  p.kind = net::PacketKind::kData;
+  p.size_bytes = size_bytes;
+  p.src = src;
+  p.dst = dst;
+  return p;
+}
+
+}  // namespace
+
+CbrFlow::CbrFlow(sim::Simulation& simulation, net::Network& network, Config config)
+    : simulation_{simulation},
+      network_{network},
+      config_{config},
+      rng_{simulation.rng_stream("cbrflow/" + std::to_string(config.src) + "/" +
+                                 std::to_string(config.dst))} {}
+
+void CbrFlow::start() {
+  const double pps = config_.rate_bps / (8.0 * config_.packet_size_bytes);
+  const sim::Time stagger = sim::Time::seconds(rng_.uniform(0.0, 1.0 / pps));
+  simulation_.at(config_.start + stagger, [this]() { emit(); });
+}
+
+void CbrFlow::emit() {
+  if (simulation_.now() >= config_.stop) return;
+  network_.send_unicast(
+      unicast_packet(network_, config_.src, config_.dst, config_.packet_size_bytes));
+  ++sent_packets_;
+  const double pps = config_.rate_bps / (8.0 * config_.packet_size_bytes);
+  const double spacing = (1.0 / pps) * rng_.uniform(0.9, 1.1);
+  simulation_.after(sim::Time::seconds(spacing), [this]() { emit(); });
+}
+
+OnOffFlow::OnOffFlow(sim::Simulation& simulation, net::Network& network, Config config)
+    : simulation_{simulation},
+      network_{network},
+      config_{config},
+      rng_{simulation.rng_stream("onoff/" + std::to_string(config.src) + "/" +
+                                 std::to_string(config.dst))} {}
+
+void OnOffFlow::start() {
+  simulation_.at(config_.start, [this]() { begin_off_period(); });
+}
+
+void OnOffFlow::begin_on_period() {
+  if (simulation_.now() >= config_.stop) return;
+  on_ = true;
+  const sim::Time duration = sim::Time::seconds(rng_.exponential(config_.mean_on_s));
+  on_until_ = simulation_.now() + duration;
+  emit();
+  simulation_.after(duration, [this]() { begin_off_period(); });
+}
+
+void OnOffFlow::begin_off_period() {
+  on_ = false;
+  if (simulation_.now() >= config_.stop) return;
+  simulation_.after(sim::Time::seconds(rng_.exponential(config_.mean_off_s)),
+                    [this]() { begin_on_period(); });
+}
+
+void OnOffFlow::emit() {
+  if (!on_ || simulation_.now() >= on_until_ || simulation_.now() >= config_.stop) return;
+  network_.send_unicast(
+      unicast_packet(network_, config_.src, config_.dst, config_.packet_size_bytes));
+  ++sent_packets_;
+  const double pps = config_.peak_bps / (8.0 * config_.packet_size_bytes);
+  simulation_.after(sim::Time::seconds((1.0 / pps) * rng_.uniform(0.9, 1.1)),
+                    [this]() { emit(); });
+}
+
+}  // namespace tsim::traffic

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace tsim::traffic {
+
+/// Unicast constant-bit-rate cross-traffic — the "transient non-conforming
+/// flow" of the paper's §III/§V. TopoSense must adapt when such a flow takes
+/// a cut of a bottleneck link, and must recover (via the periodic capacity
+/// re-estimation) when it stops.
+class CbrFlow {
+ public:
+  struct Config {
+    net::NodeId src{net::kInvalidNode};
+    net::NodeId dst{net::kInvalidNode};
+    double rate_bps{256e3};
+    std::uint32_t packet_size_bytes{1000};
+    sim::Time start{sim::Time::zero()};
+    sim::Time stop{sim::Time::max()};
+  };
+
+  CbrFlow(sim::Simulation& simulation, net::Network& network, Config config);
+
+  void start();
+
+  [[nodiscard]] std::uint64_t sent_packets() const { return sent_packets_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  void emit();
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  Config config_;
+  sim::Rng rng_;
+  std::uint64_t sent_packets_{0};
+};
+
+/// Unicast on/off (exponential burst/idle) flow: a rough Pareto-ish stand-in
+/// for web-like background traffic. During ON periods it transmits at
+/// `peak_bps`; ON and OFF durations are exponentially distributed.
+class OnOffFlow {
+ public:
+  struct Config {
+    net::NodeId src{net::kInvalidNode};
+    net::NodeId dst{net::kInvalidNode};
+    double peak_bps{512e3};
+    double mean_on_s{2.0};
+    double mean_off_s{6.0};
+    std::uint32_t packet_size_bytes{1000};
+    sim::Time start{sim::Time::zero()};
+    sim::Time stop{sim::Time::max()};
+  };
+
+  OnOffFlow(sim::Simulation& simulation, net::Network& network, Config config);
+
+  void start();
+
+  [[nodiscard]] std::uint64_t sent_packets() const { return sent_packets_; }
+  [[nodiscard]] bool on() const { return on_; }
+
+ private:
+  void begin_on_period();
+  void begin_off_period();
+  void emit();
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  Config config_;
+  sim::Rng rng_;
+  bool on_{false};
+  sim::Time on_until_{};
+  std::uint64_t sent_packets_{0};
+};
+
+}  // namespace tsim::traffic

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "traffic/layer_spec.hpp"
+
+namespace tsim::traffic {
+
+enum class TrafficModel : std::uint8_t {
+  kCbr,  ///< constant bit rate: evenly spaced packets per layer
+  kVbr,  ///< the Gopalakrishnan et al. on/off model the paper uses
+};
+
+/// A layered multicast video source (hierarchical source model, McCanne et
+/// al.). Every layer of the session is transmitted on its own multicast group
+/// continuously; receivers adapt by joining/leaving groups — the source never
+/// adapts.
+///
+/// VBR follows the paper exactly: per one-second interval a layer sends n
+/// packets where n = n_min with probability 1 - 1/P and n = P*A + n_min - P
+/// with probability 1/P (A = average packets/second of that layer, P =
+/// peak-to-mean ratio), so E[n] = A. n_min is 1 in the paper's formulation.
+class LayeredSource {
+ public:
+  struct Config {
+    net::SessionId session{0};
+    net::NodeId node{net::kInvalidNode};
+    LayerSpec layers{};
+    TrafficModel model{TrafficModel::kCbr};
+    double peak_to_mean{3.0};  ///< P, used by VBR only (paper studies 3 and 6)
+    sim::Time start{sim::Time::zero()};
+    sim::Time stop{sim::Time::max()};
+  };
+
+  LayeredSource(sim::Simulation& simulation, net::Network& network, Config config);
+
+  /// Begins transmission at config.start.
+  void start();
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::uint32_t next_seq(net::LayerId layer) const {
+    return next_seq_[layer - 1];
+  }
+  [[nodiscard]] std::uint64_t sent_packets(net::LayerId layer) const {
+    return sent_packets_[layer - 1];
+  }
+  [[nodiscard]] std::uint64_t sent_bytes_total() const { return sent_bytes_total_; }
+
+ private:
+  void schedule_cbr_layer(net::LayerId layer);
+  void schedule_vbr_interval(net::LayerId layer);
+  void emit(net::LayerId layer);
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  Config config_;
+  sim::Rng rng_;
+  std::vector<std::uint32_t> next_seq_;
+  std::vector<std::uint64_t> sent_packets_;
+  std::uint64_t sent_bytes_total_{0};
+};
+
+}  // namespace tsim::traffic

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace tsim::transport {
+
+/// RTCP-style receiver report, carried as a unicast packet from a receiver to
+/// its domain controller. Contains exactly what the paper's algorithm
+/// consumes: loss rate, bytes received and the current subscription level for
+/// one session, measured over one reporting window.
+struct ReceiverReport final : net::ControlPayload {
+  net::NodeId receiver{net::kInvalidNode};
+  net::SessionId session{0};
+  int subscription{0};             ///< layers currently subscribed (0..num_layers)
+  double loss_rate{0.0};           ///< fraction of expected packets lost in the window
+  std::uint64_t bytes_received{0};  ///< data bytes received in the window
+  std::uint64_t received_packets{0};
+  std::uint64_t lost_packets{0};
+  sim::Time window_start{};
+  sim::Time window_end{};
+  std::uint32_t report_seq{0};
+};
+
+/// Controller -> receiver subscription suggestion.
+struct Suggestion final : net::ControlPayload {
+  net::NodeId receiver{net::kInvalidNode};
+  net::SessionId session{0};
+  int subscription{0};   ///< suggested number of layers
+  std::uint32_t epoch{0};  ///< controller interval counter, newest wins
+};
+
+/// On-the-wire sizes used for the simulated control packets. Small relative
+/// to the 1000-byte data packets, as RTCP packets are.
+inline constexpr std::uint32_t kReportPacketBytes = 64;
+inline constexpr std::uint32_t kSuggestionPacketBytes = 64;
+
+}  // namespace tsim::transport

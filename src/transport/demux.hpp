@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+
+namespace tsim::transport {
+
+/// Per-node packet demultiplexer. A node's single local sink fans out to any
+/// number of handlers by packet kind, so a receiver endpoint and a controller
+/// agent can share a node (the paper stations the controller at a source
+/// node).
+class PacketDemux {
+ public:
+  using Handler = std::function<void(const net::Packet&)>;
+
+  void add_handler(net::PacketKind kind, Handler handler);
+  void dispatch(const net::Packet& packet) const;
+
+ private:
+  std::unordered_map<int, std::vector<Handler>> handlers_;
+};
+
+/// Owns one PacketDemux per node and installs it as the node's local sink on
+/// first use. Lives as long as the Network it serves.
+class DemuxRegistry {
+ public:
+  explicit DemuxRegistry(net::Network& network) : network_{network} {}
+
+  DemuxRegistry(const DemuxRegistry&) = delete;
+  DemuxRegistry& operator=(const DemuxRegistry&) = delete;
+
+  /// Demux for `node`, created and wired on first request.
+  PacketDemux& at(net::NodeId node);
+
+ private:
+  net::Network& network_;
+  std::unordered_map<net::NodeId, std::unique_ptr<PacketDemux>> demuxes_;
+};
+
+}  // namespace tsim::transport

@@ -1,0 +1,141 @@
+#include "transport/receiver_endpoint.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace tsim::transport {
+
+ReceiverEndpoint::ReceiverEndpoint(sim::Simulation& simulation, net::Network& network,
+                                   mcast::MulticastRouter& mcast, PacketDemux& demux,
+                                   Config config)
+    : simulation_{simulation},
+      network_{network},
+      mcast_{mcast},
+      config_{config},
+      tracks_(static_cast<std::size_t>(config.layers.num_layers)) {
+  demux.add_handler(net::PacketKind::kData,
+                    [this](const net::Packet& p) { handle_data(p); });
+  demux.add_handler(net::PacketKind::kSuggestion,
+                    [this](const net::Packet& p) { handle_suggestion(p); });
+}
+
+void ReceiverEndpoint::start() {
+  simulation_.at(config_.start, [this]() {
+    active_ = true;
+    window_start_ = simulation_.now();
+    set_subscription(config_.initial_subscription);
+    simulation_.after(config_.report_period, [this]() { close_window(); });
+  });
+  if (config_.stop != sim::Time::max()) {
+    simulation_.at(config_.stop, [this]() {
+      active_ = false;
+      set_subscription(0);  // leave every group
+    });
+  }
+}
+
+void ReceiverEndpoint::set_subscription(int level) {
+  level = std::clamp(level, 0, config_.layers.num_layers);
+  if (level == subscription_) return;
+  const int old = subscription_;
+
+  if (level > subscription_) {
+    for (int l = subscription_ + 1; l <= level; ++l) {
+      mcast_.join(config_.node, net::GroupAddr{config_.session, static_cast<net::LayerId>(l)});
+      tracks_[l - 1].active = true;
+      // Sequence tracking restarts: packets sent while unsubscribed must not
+      // count as loss.
+      tracks_[l - 1].have_prev_max = false;
+      tracks_[l - 1].have_window_max = false;
+      tracks_[l - 1].window_received = 0;
+    }
+  } else {
+    for (int l = subscription_; l > level; --l) {
+      mcast_.leave(config_.node, net::GroupAddr{config_.session, static_cast<net::LayerId>(l)});
+      tracks_[l - 1] = LayerTrack{};
+    }
+  }
+  subscription_ = level;
+  for (const auto& cb : change_callbacks_) cb(simulation_.now(), old, level);
+}
+
+void ReceiverEndpoint::handle_data(const net::Packet& packet) {
+  if (!packet.multicast || packet.group.session != config_.session) return;
+  const int layer = packet.group.layer;
+  if (layer < 1 || layer > config_.layers.num_layers) return;
+  LayerTrack& track = tracks_[layer - 1];
+  if (!track.active) return;  // stale delivery after a leave
+
+  ++track.window_received;
+  if (!track.have_window_max || packet.seq > track.window_max_seq) {
+    track.window_max_seq = packet.seq;
+    track.have_window_max = true;
+  }
+  ++window_.received_packets;
+  window_.bytes += packet.size_bytes;
+  ++total_packets_;
+  total_bytes_ += packet.size_bytes;
+}
+
+void ReceiverEndpoint::handle_suggestion(const net::Packet& packet) {
+  if (!active_) return;  // a stale suggestion must not resubscribe a leaver
+  const auto* suggestion = dynamic_cast<const Suggestion*>(packet.control.get());
+  if (suggestion == nullptr) return;
+  if (suggestion->receiver != config_.node || suggestion->session != config_.session) return;
+  for (const auto& cb : suggestion_callbacks_) cb(*suggestion);
+}
+
+void ReceiverEndpoint::close_window() {
+  // Derive per-layer expected counts from seq-number progress (RTP
+  // receiver-report style) and fold into window loss.
+  for (LayerTrack& track : tracks_) {
+    if (!track.active) continue;
+    if (track.have_prev_max && track.have_window_max &&
+        track.window_max_seq > track.prev_max_seq) {
+      const std::uint64_t expected = track.window_max_seq - track.prev_max_seq;
+      if (expected > track.window_received) {
+        window_.lost_packets += expected - track.window_received;
+      }
+    }
+    if (track.have_window_max) {
+      track.prev_max_seq = track.window_max_seq;
+      track.have_prev_max = true;
+    }
+    track.have_window_max = false;
+    track.window_received = 0;
+  }
+  total_lost_packets_ += window_.lost_packets;
+
+  if (active_ && config_.controller != net::kInvalidNode) send_report();
+
+  last_window_ = window_;
+  window_ = WindowStats{};
+  window_start_ = simulation_.now();
+  if (active_ || simulation_.now() < config_.stop) {
+    simulation_.after(config_.report_period, [this]() { close_window(); });
+  }
+}
+
+void ReceiverEndpoint::send_report() {
+  auto report = std::make_shared<ReceiverReport>();
+  report->receiver = config_.node;
+  report->session = config_.session;
+  report->subscription = subscription_;
+  report->loss_rate = window_.loss_rate();
+  report->bytes_received = window_.bytes;
+  report->received_packets = window_.received_packets;
+  report->lost_packets = window_.lost_packets;
+  report->window_start = window_start_;
+  report->window_end = simulation_.now();
+  report->report_seq = report_seq_++;
+
+  net::Packet packet;
+  packet.kind = net::PacketKind::kReport;
+  packet.size_bytes = kReportPacketBytes;
+  packet.src = config_.node;
+  packet.dst = config_.controller;
+  packet.control = std::move(report);
+  network_.send_unicast(packet);
+}
+
+}  // namespace tsim::transport

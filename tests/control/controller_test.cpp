@@ -1,0 +1,178 @@
+#include "control/controller_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "control/receiver_agent.hpp"
+#include "mcast/multicast_router.hpp"
+#include "topo/discovery.hpp"
+#include "sim/simulation.hpp"
+#include "traffic/layered_source.hpp"
+#include "transport/receiver_endpoint.hpp"
+
+namespace tsim::control {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+/// Minimal end-to-end control loop: src --10 Mbps-- r --bottleneck-- rcv,
+/// with the controller at src.
+struct ControlFixture : ::testing::Test {
+  sim::Simulation simulation{21};
+  net::Network network{simulation};
+  net::NodeId src{network.add_node("src")};
+  net::NodeId r{network.add_node("r")};
+  net::NodeId rcv{network.add_node("rcv")};
+  mcast::MulticastRouter mcast{simulation, network, {Time::zero(), 1_s}};
+  transport::DemuxRegistry demuxes{network};
+  std::unique_ptr<topo::DiscoveryService> discovery;
+  std::unique_ptr<ControllerAgent> controller;
+  std::unique_ptr<traffic::LayeredSource> source;
+  std::unique_ptr<transport::ReceiverEndpoint> endpoint;
+  std::unique_ptr<ReceiverAgent> agent;
+
+  void build(double bottleneck_bps, Time staleness = Time::zero(),
+             Time report_period = 2_s) {
+    network.add_duplex_link(src, r, 10e6, 200_ms, 30);
+    network.add_duplex_link(r, rcv, bottleneck_bps, 200_ms, 30);
+    network.compute_routes();
+    mcast.set_session_source(0, src);
+
+    discovery = std::make_unique<topo::DiscoveryService>(
+        simulation, mcast, topo::DiscoveryService::Config{1_s, staleness, 64});
+
+    ControllerAgent::Config ccfg;
+    ccfg.node = src;
+    ccfg.info_staleness = staleness;
+    ccfg.params.interval = 2_s;
+    controller = std::make_unique<ControllerAgent>(simulation, network, *discovery,
+                                                   demuxes.at(src), ccfg);
+    controller->register_receiver(0, rcv);
+
+    traffic::LayeredSource::Config scfg;
+    scfg.session = 0;
+    scfg.node = src;
+    scfg.model = traffic::TrafficModel::kCbr;
+    source = std::make_unique<traffic::LayeredSource>(simulation, network, scfg);
+
+    transport::ReceiverEndpoint::Config ecfg;
+    ecfg.node = rcv;
+    ecfg.session = 0;
+    ecfg.controller = src;
+    ecfg.report_period = report_period;
+    endpoint = std::make_unique<transport::ReceiverEndpoint>(simulation, network, mcast,
+                                                             demuxes.at(rcv), ecfg);
+    agent = std::make_unique<ReceiverAgent>(simulation, *endpoint, ReceiverAgent::Config{});
+
+    discovery->start();
+    controller->start();
+    source->start();
+    endpoint->start();
+    agent->start();
+  }
+};
+
+TEST_F(ControlFixture, ReportsFlowToController) {
+  build(10e6);
+  simulation.run_until(20_s);
+  EXPECT_GT(controller->reports_received(), 5u);
+}
+
+TEST_F(ControlFixture, SuggestionsDriveSubscriptionUp) {
+  build(10e6);  // no bottleneck: should reach all 6 layers
+  simulation.run_until(60_s);
+  EXPECT_EQ(endpoint->subscription(), 6);
+  EXPECT_GT(controller->suggestions_sent(), 0u);
+  EXPECT_GT(agent->suggestions_applied(), 0u);
+}
+
+TEST_F(ControlFixture, ConvergesNearBottleneckOptimal) {
+  build(256e3);  // optimal 3 layers
+  simulation.run_until(300_s);
+  EXPECT_GE(endpoint->subscription(), 2);
+  EXPECT_LE(endpoint->subscription(), 4);
+  // Loss must be controlled after convergence: check recent window.
+  EXPECT_LT(endpoint->last_completed_window().loss_rate(), 0.3);
+}
+
+TEST_F(ControlFixture, IntervalsKeepRunning) {
+  build(10e6);
+  simulation.run_until(50_s);
+  // Controller starts at 2.5 s with a 2 s interval: ~24 runs by 50 s.
+  EXPECT_GE(controller->intervals_run(), 20u);
+  EXPECT_LE(controller->intervals_run(), 25u);
+}
+
+TEST_F(ControlFixture, LastOutputHasDiagnostics) {
+  build(10e6);
+  simulation.run_until(20_s);
+  ASSERT_FALSE(controller->last_output().diagnostics.empty());
+  EXPECT_FALSE(controller->last_output().prescriptions.empty());
+}
+
+TEST_F(ControlFixture, StaleInfoStillConverges) {
+  build(10e6, 4_s);
+  simulation.run_until(120_s);
+  EXPECT_GE(endpoint->subscription(), 5);
+}
+
+TEST_F(ControlFixture, SubIntervalReportingStillConverges) {
+  // Receivers reporting twice per algorithm interval: the controller folds
+  // multiple small windows into one interval-equivalent aggregate.
+  build(10e6, Time::zero(), 1_s);
+  simulation.run_until(60_s);
+  EXPECT_EQ(endpoint->subscription(), 6);
+  // Twice the report traffic reached the controller.
+  EXPECT_GT(controller->reports_received(), 45u);
+}
+
+TEST_F(ControlFixture, SlowReportingStillConverges) {
+  // Reports every 4 s against a 2 s interval: the controller reuses the
+  // last report for the in-between runs instead of treating the receiver
+  // as silent.
+  build(10e6, Time::zero(), 4_s);
+  simulation.run_until(90_s);
+  EXPECT_EQ(endpoint->subscription(), 6);
+}
+
+TEST(ReceiverAgentTest, UnilateralDropOnSuggestionSilence) {
+  // No controller at all: the agent must eventually shed layers when the
+  // subscription overloads the bottleneck.
+  sim::Simulation simulation{5};
+  net::Network network{simulation};
+  const net::NodeId src = network.add_node("src");
+  const net::NodeId rcv = network.add_node("rcv");
+  network.add_duplex_link(src, rcv, 128e3, 200_ms, 10);  // ~1.5 layers
+  network.compute_routes();
+  mcast::MulticastRouter mcast{simulation, network, {}};
+  mcast.set_session_source(0, src);
+  transport::DemuxRegistry demuxes{network};
+
+  traffic::LayeredSource::Config scfg;
+  scfg.session = 0;
+  scfg.node = src;
+  traffic::LayeredSource source{simulation, network, scfg};
+
+  transport::ReceiverEndpoint::Config ecfg;
+  ecfg.node = rcv;
+  ecfg.session = 0;
+  ecfg.controller = net::kInvalidNode;  // reports disabled
+  ecfg.initial_subscription = 4;
+  transport::ReceiverEndpoint endpoint{simulation, network, mcast, demuxes.at(rcv), ecfg};
+
+  ReceiverAgent::Config acfg;
+  acfg.unilateral_timeout = 6_s;
+  ReceiverAgent agent{simulation, endpoint, acfg};
+
+  source.start();
+  endpoint.start();
+  agent.start();
+  simulation.run_until(120_s);
+  EXPECT_LT(endpoint.subscription(), 4);
+  EXPECT_GT(agent.unilateral_actions(), 0u);
+}
+
+}  // namespace
+}  // namespace tsim::control

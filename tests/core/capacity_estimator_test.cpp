@@ -1,0 +1,166 @@
+#include "core/capacity_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tsim::core {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+Params test_params() {
+  Params p;
+  p.p_threshold = 0.02;
+  p.capacity_growth = 0.05;
+  p.capacity_reset_intervals = 4;
+  p.capacity_reset_jitter = 0.0;        // exact reset schedule for assertions
+  p.estimate_shared_links_only = false;  // exercise the mechanics on any link
+  return p;
+}
+
+LinkObservation obs(LinkKey link, std::initializer_list<LinkSessionObservation> sessions) {
+  LinkObservation o;
+  o.link = link;
+  o.sessions = sessions;
+  return o;
+}
+
+TEST(CapacityEstimatorTest, StartsInfinite) {
+  const Params p = test_params();
+  CapacityEstimator est{p};
+  EXPECT_TRUE(std::isinf(est.capacity_bps(LinkKey{1, 2})));
+}
+
+TEST(CapacityEstimatorTest, NoEstimateBelowThreshold) {
+  const Params p = test_params();
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.01, 100'000}})}, 1_s);
+  EXPECT_TRUE(std::isinf(est.capacity_bps(LinkKey{1, 2})));
+}
+
+TEST(CapacityEstimatorTest, EstimatesWhenAllSessionsLose) {
+  const Params p = test_params();
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.10, 50'000}, {1, 0.12, 75'000}})}, 1_s);
+  // 125 KB in 1 s = 1 Mbit/s delivered.
+  EXPECT_NEAR(est.capacity_bps(LinkKey{1, 2}), 1e6, 1.0);
+}
+
+TEST(CapacityEstimatorTest, OneCleanSessionBlocksEstimate) {
+  // The paper's second condition: a single session may see downstream loss
+  // that the shared link is innocent of.
+  const Params p = test_params();
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.10, 50'000}, {1, 0.0, 75'000}})}, 1_s);
+  EXPECT_TRUE(std::isinf(est.capacity_bps(LinkKey{1, 2})));
+}
+
+TEST(CapacityEstimatorTest, WeightedOverallLossMustExceedThreshold) {
+  Params p = test_params();
+  p.p_threshold = 0.05;
+  CapacityEstimator est{p};
+  // Both sessions above... no wait: each must exceed 0.05 AND the byte-
+  // weighted mean must exceed it. Here one is below the threshold.
+  est.update({obs({1, 2}, {{0, 0.30, 1'000}, {1, 0.04, 99'000}})}, 1_s);
+  EXPECT_TRUE(std::isinf(est.capacity_bps(LinkKey{1, 2})));
+}
+
+TEST(CapacityEstimatorTest, EstimateInflatesEachInterval) {
+  const Params p = test_params();
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.10, 125'000}})}, 1_s);
+  const double initial = est.capacity_bps(LinkKey{1, 2});
+  est.update({}, 1_s);
+  EXPECT_NEAR(est.capacity_bps(LinkKey{1, 2}), initial * 1.05, 1.0);
+  est.update({}, 1_s);
+  EXPECT_NEAR(est.capacity_bps(LinkKey{1, 2}), initial * 1.05 * 1.05, 1.0);
+}
+
+TEST(CapacityEstimatorTest, ResetsToInfinityOnSchedule) {
+  const Params p = test_params();  // reset after 4 intervals
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.10, 125'000}})}, 1_s);
+  for (int i = 0; i < 3; ++i) {
+    est.update({}, 1_s);
+    EXPECT_FALSE(std::isinf(est.capacity_bps(LinkKey{1, 2}))) << i;
+  }
+  est.update({}, 1_s);  // 4th interval: reset
+  EXPECT_TRUE(std::isinf(est.capacity_bps(LinkKey{1, 2})));
+}
+
+TEST(CapacityEstimatorTest, ReestimateRefreshesAgeAndValue) {
+  const Params p = test_params();
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.10, 125'000}})}, 1_s);
+  est.update({}, 1_s);
+  est.update({}, 1_s);
+  // Third interval: congestion again with a different delivered volume.
+  est.update({obs({1, 2}, {{0, 0.20, 250'000}})}, 1_s);
+  EXPECT_NEAR(est.capacity_bps(LinkKey{1, 2}), 2e6, 1.0);
+  // Age restarted: survives 3 more growth intervals.
+  est.update({}, 1_s);
+  est.update({}, 1_s);
+  est.update({}, 1_s);
+  EXPECT_FALSE(std::isinf(est.capacity_bps(LinkKey{1, 2})));
+}
+
+TEST(CapacityEstimatorTest, ReestimateNeverLowersTheEstimate) {
+  // Delivered-under-loss is a lower bound on capacity: a measurement taken
+  // in an episode's collapse tail (sessions already backed off) must not
+  // drag a good estimate down. Downward adaptation is the reset's job.
+  const Params p = test_params();
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.10, 250'000}})}, 1_s);  // 2 Mbps measured
+  ASSERT_NEAR(est.capacity_bps(LinkKey{1, 2}), 2e6, 1.0);
+  est.update({obs({1, 2}, {{0, 0.30, 60'000}})}, 1_s);  // collapse tail: 480 Kbps
+  // Existing estimate kept (plus one growth step), not lowered.
+  EXPECT_GE(est.capacity_bps(LinkKey{1, 2}), 2e6);
+}
+
+TEST(CapacityEstimatorTest, LinksAreIndependent) {
+  const Params p = test_params();
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.10, 125'000}}), obs({2, 3}, {{0, 0.01, 500'000}})}, 1_s);
+  EXPECT_FALSE(std::isinf(est.capacity_bps(LinkKey{1, 2})));
+  EXPECT_TRUE(std::isinf(est.capacity_bps(LinkKey{2, 3})));
+}
+
+TEST(CapacityEstimatorTest, WindowScalesEstimate) {
+  const Params p = test_params();
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.10, 250'000}})}, 2_s);
+  // 250 KB over 2 s = 1 Mbit/s.
+  EXPECT_NEAR(est.capacity_bps(LinkKey{1, 2}), 1e6, 1.0);
+}
+
+TEST(CapacityEstimatorTest, ZeroBytesNeverEstimates) {
+  const Params p = test_params();
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.50, 0}})}, 1_s);
+  EXPECT_TRUE(std::isinf(est.capacity_bps(LinkKey{1, 2})));
+}
+
+TEST(CapacityEstimatorTest, SharedLinksOnlySkipsSingleSessionLinks) {
+  Params p = test_params();
+  p.estimate_shared_links_only = true;  // the paper's Fig-4 stage list
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.10, 50'000}, {1, 0.12, 75'000}}),
+              obs({2, 3}, {{0, 0.10, 50'000}})},
+             1_s);
+  EXPECT_FALSE(std::isinf(est.capacity_bps(LinkKey{1, 2})));
+  EXPECT_TRUE(std::isinf(est.capacity_bps(LinkKey{2, 3})));
+}
+
+TEST(CapacityEstimatorTest, ResetClearsEverything) {
+  const Params p = test_params();
+  CapacityEstimator est{p};
+  est.update({obs({1, 2}, {{0, 0.10, 125'000}})}, 1_s);
+  est.reset();
+  EXPECT_TRUE(est.estimates().empty());
+  EXPECT_TRUE(std::isinf(est.capacity_bps(LinkKey{1, 2})));
+}
+
+}  // namespace
+}  // namespace tsim::core

@@ -1,0 +1,137 @@
+#include "core/decision_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsim::core {
+namespace {
+
+TEST(HistoryTest, PushShiftsAndMasks) {
+  CongestionHistory h = 0;
+  h = push_history(h, true);   // 001
+  EXPECT_EQ(h, 1);
+  h = push_history(h, true);   // 011
+  EXPECT_EQ(h, 3);
+  h = push_history(h, false);  // 110
+  EXPECT_EQ(h, 6);
+  h = push_history(h, true);   // 101 (oldest bit shifted out)
+  EXPECT_EQ(h, 5);
+  h = push_history(h, true);   // 011
+  EXPECT_EQ(h, 3);
+}
+
+// --- Exact transcription checks against Table I -----------------------------
+
+TEST(DecisionTableTest, LeafLesserRows) {
+  EXPECT_EQ(leaf_decision(0, BwEquality::kLesser).action, LeafAction::kAddLayer);
+  EXPECT_EQ(leaf_decision(1, BwEquality::kLesser).action, LeafAction::kDropIfHighLoss);
+  EXPECT_TRUE(leaf_decision(1, BwEquality::kLesser).set_backoff);
+  for (CongestionHistory h : {2, 4, 5, 6}) {
+    EXPECT_EQ(leaf_decision(h, BwEquality::kLesser).action, LeafAction::kMaintain) << int(h);
+  }
+  EXPECT_EQ(leaf_decision(3, BwEquality::kLesser).action, LeafAction::kReduceToPrevSupply);
+  EXPECT_EQ(leaf_decision(7, BwEquality::kLesser).action, LeafAction::kHalvePrevSupply);
+  EXPECT_TRUE(leaf_decision(7, BwEquality::kLesser).set_backoff);
+}
+
+TEST(DecisionTableTest, LeafEqualRows) {
+  for (CongestionHistory h : {0, 4}) {
+    EXPECT_EQ(leaf_decision(h, BwEquality::kEqual).action, LeafAction::kAddLayer) << int(h);
+  }
+  for (CongestionHistory h : {1, 2, 5, 6}) {
+    EXPECT_EQ(leaf_decision(h, BwEquality::kEqual).action, LeafAction::kMaintain) << int(h);
+  }
+  for (CongestionHistory h : {3, 7}) {
+    EXPECT_EQ(leaf_decision(h, BwEquality::kEqual).action, LeafAction::kHalvePrevSupply)
+        << int(h);
+    EXPECT_TRUE(leaf_decision(h, BwEquality::kEqual).set_backoff);
+  }
+}
+
+TEST(DecisionTableTest, LeafGreaterRows) {
+  EXPECT_EQ(leaf_decision(0, BwEquality::kGreater).action, LeafAction::kAddLayer);
+  for (CongestionHistory h : {1, 2, 4, 5, 6}) {
+    EXPECT_EQ(leaf_decision(h, BwEquality::kGreater).action, LeafAction::kMaintain) << int(h);
+  }
+  for (CongestionHistory h : {3, 7}) {
+    EXPECT_EQ(leaf_decision(h, BwEquality::kGreater).action, LeafAction::kHalveIfVeryHighLoss)
+        << int(h);
+    EXPECT_FALSE(leaf_decision(h, BwEquality::kGreater).set_backoff);
+  }
+}
+
+TEST(DecisionTableTest, InternalRows) {
+  for (const BwEquality eq : {BwEquality::kLesser, BwEquality::kEqual, BwEquality::kGreater}) {
+    for (CongestionHistory h : {0, 4}) {
+      EXPECT_EQ(internal_decision(h, eq), InternalAction::kAcceptChildren) << int(h);
+    }
+    for (CongestionHistory h : {2, 3, 6}) {
+      EXPECT_EQ(internal_decision(h, eq), InternalAction::kMaintain) << int(h);
+    }
+  }
+  for (CongestionHistory h : {1, 5, 7}) {
+    EXPECT_EQ(internal_decision(h, BwEquality::kGreater), InternalAction::kHalveCurrentSupply);
+    EXPECT_EQ(internal_decision(h, BwEquality::kEqual), InternalAction::kHalvePrevSupply);
+    EXPECT_EQ(internal_decision(h, BwEquality::kLesser), InternalAction::kHalvePrevSupply);
+  }
+}
+
+// --- Properties over the whole table ----------------------------------------
+
+class TableTotality
+    : public ::testing::TestWithParam<std::tuple<int, BwEquality>> {};
+
+TEST_P(TableTotality, EveryCellDefined) {
+  const auto [h, eq] = GetParam();
+  const auto history = static_cast<CongestionHistory>(h);
+  // Leaf and internal actions exist and stringify for every (history, eq).
+  const LeafDecision leaf = leaf_decision(history, eq);
+  EXPECT_FALSE(to_string(leaf.action).empty());
+  EXPECT_NE(to_string(leaf.action), "?");
+  const InternalAction internal = internal_decision(history, eq);
+  EXPECT_NE(to_string(internal), "?");
+}
+
+TEST_P(TableTotality, CurrentlyCongestedNeverAddsALayer) {
+  const auto [h, eq] = GetParam();
+  const auto history = static_cast<CongestionHistory>(h);
+  if ((history & 1) != 0) {  // congested at T2 (now)
+    EXPECT_NE(leaf_decision(history, eq).action, LeafAction::kAddLayer);
+    EXPECT_NE(internal_decision(history, eq), InternalAction::kAcceptChildren);
+  }
+}
+
+TEST_P(TableTotality, CleanHistoryNeverReduces) {
+  const auto [h, eq] = GetParam();
+  const auto history = static_cast<CongestionHistory>(h);
+  if (history == 0) {
+    const LeafAction a = leaf_decision(history, eq).action;
+    EXPECT_TRUE(a == LeafAction::kAddLayer || a == LeafAction::kMaintain);
+    EXPECT_EQ(internal_decision(history, eq), InternalAction::kAcceptChildren);
+  }
+}
+
+TEST_P(TableTotality, PersistentCongestionAlwaysReducesOrGuards) {
+  const auto [h, eq] = GetParam();
+  const auto history = static_cast<CongestionHistory>(h);
+  if (history == 7) {  // congested in all three intervals
+    const LeafAction a = leaf_decision(history, eq).action;
+    EXPECT_TRUE(a == LeafAction::kHalvePrevSupply || a == LeafAction::kHalveIfVeryHighLoss);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, TableTotality,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(BwEquality::kLesser, BwEquality::kEqual,
+                                         BwEquality::kGreater)));
+
+TEST(DecisionTableTest, ToStringCoversEnums) {
+  EXPECT_EQ(to_string(BwEquality::kLesser), "Lesser");
+  EXPECT_EQ(to_string(BwEquality::kEqual), "Equal");
+  EXPECT_EQ(to_string(BwEquality::kGreater), "Greater");
+  EXPECT_EQ(to_string(LeafAction::kAddLayer), "AddLayer");
+  EXPECT_EQ(to_string(InternalAction::kAcceptChildren), "AcceptChildren");
+}
+
+}  // namespace
+}  // namespace tsim::core

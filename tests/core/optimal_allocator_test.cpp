@@ -1,0 +1,185 @@
+#include "core/optimal_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace tsim::core {
+namespace {
+
+SessionNodeInput node(net::NodeId id, net::NodeId parent, bool receiver = false) {
+  SessionNodeInput n;
+  n.node = id;
+  n.parent = parent;
+  n.is_receiver = receiver;
+  return n;
+}
+
+int level_of(const std::vector<Prescription>& alloc, net::NodeId rcv) {
+  for (const auto& p : alloc) {
+    if (p.receiver == rcv) return p.subscription;
+  }
+  return -1;
+}
+
+/// Paper Topology A as a single allocation problem: two sets behind 256 Kbps
+/// and 1 Mbps bottlenecks.
+struct TopologyAProblem {
+  std::vector<SessionInput> sessions;
+  std::unordered_map<LinkKey, double> capacities;
+
+  TopologyAProblem() {
+    SessionInput in;
+    in.session = 0;
+    in.source = 0;
+    in.nodes = {node(0, net::kInvalidNode), node(1, 0),      node(2, 1),
+                node(3, 1),                 node(10, 2, true), node(11, 2, true),
+                node(20, 3, true),          node(21, 3, true)};
+    sessions.push_back(in);
+    capacities[{0, 1}] = 10e6;
+    capacities[{1, 2}] = 256e3;
+    capacities[{1, 3}] = 1e6;
+    capacities[{2, 10}] = 10e6;
+    capacities[{2, 11}] = 10e6;
+    capacities[{3, 20}] = 10e6;
+    capacities[{3, 21}] = 10e6;
+  }
+};
+
+TEST(OptimalAllocatorTest, TopologyAMatchesClosedForm) {
+  TopologyAProblem problem;
+  const OptimalAllocator allocator{traffic::LayerSpec{}, problem.capacities};
+  const auto alloc = allocator.allocate(problem.sessions);
+  EXPECT_EQ(level_of(alloc, 10), 3);  // 224 Kbps <= 256 Kbps
+  EXPECT_EQ(level_of(alloc, 11), 3);
+  EXPECT_EQ(level_of(alloc, 20), 5);  // 992 Kbps <= 1 Mbps
+  EXPECT_EQ(level_of(alloc, 21), 5);
+}
+
+TEST(OptimalAllocatorTest, TopologyBMatchesClosedForm) {
+  // 4 single-receiver sessions over one shared 2 Mbps link.
+  std::vector<SessionInput> sessions;
+  std::unordered_map<LinkKey, double> caps;
+  caps[{1, 2}] = 2e6;
+  for (net::SessionId k = 0; k < 4; ++k) {
+    SessionInput in;
+    in.session = k;
+    in.source = 1;
+    in.nodes = {node(1, net::kInvalidNode), node(2, 1),
+                node(static_cast<net::NodeId>(100 + k), 2, true)};
+    sessions.push_back(in);
+    caps[{2, static_cast<net::NodeId>(100 + k)}] = 10e6;
+  }
+  const OptimalAllocator allocator{traffic::LayerSpec{}, caps};
+  const auto alloc = allocator.allocate(sessions);
+  for (net::SessionId k = 0; k < 4; ++k) {
+    EXPECT_EQ(level_of(alloc, static_cast<net::NodeId>(100 + k)), 4) << k;
+  }
+}
+
+TEST(OptimalAllocatorTest, SharedLayersAreFreeForSiblings) {
+  // Multicast economics: two receivers under the same bottleneck cost the
+  // link once, not twice. A 256 Kbps link supports 3 layers for BOTH.
+  std::vector<SessionInput> sessions;
+  SessionInput in;
+  in.session = 0;
+  in.source = 0;
+  in.nodes = {node(0, net::kInvalidNode), node(1, 0), node(10, 1, true), node(11, 1, true)};
+  sessions.push_back(in);
+  std::unordered_map<LinkKey, double> caps;
+  caps[{0, 1}] = 256e3;
+  caps[{1, 10}] = 10e6;
+  caps[{1, 11}] = 10e6;
+  const OptimalAllocator allocator{traffic::LayerSpec{}, caps};
+  const auto alloc = allocator.allocate(sessions);
+  EXPECT_EQ(level_of(alloc, 10), 3);
+  EXPECT_EQ(level_of(alloc, 11), 3);
+}
+
+TEST(OptimalAllocatorTest, StarvedReceiverStaysAtZero) {
+  std::vector<SessionInput> sessions;
+  SessionInput in;
+  in.session = 0;
+  in.source = 0;
+  in.nodes = {node(0, net::kInvalidNode), node(10, 0, true)};
+  sessions.push_back(in);
+  std::unordered_map<LinkKey, double> caps;
+  caps[{0, 10}] = 10e3;  // below even the 32 Kbps base layer
+  const OptimalAllocator allocator{traffic::LayerSpec{}, caps};
+  const auto alloc = allocator.allocate(sessions);
+  EXPECT_EQ(level_of(alloc, 10), 0);
+}
+
+TEST(OptimalAllocatorTest, UnlistedLinksAreUnconstrained) {
+  std::vector<SessionInput> sessions;
+  SessionInput in;
+  in.session = 0;
+  in.source = 0;
+  in.nodes = {node(0, net::kInvalidNode), node(10, 0, true)};
+  sessions.push_back(in);
+  const OptimalAllocator allocator{traffic::LayerSpec{}, {}};
+  const auto alloc = allocator.allocate(sessions);
+  EXPECT_EQ(level_of(alloc, 10), 6);
+}
+
+TEST(OptimalAllocatorTest, LinkUsageCountsSubtreeMaximum) {
+  TopologyAProblem problem;
+  const OptimalAllocator allocator{traffic::LayerSpec{}, problem.capacities};
+  // Levels in discovery order: receivers 10, 11, 20, 21.
+  const std::vector<int> levels{2, 3, 1, 5};
+  const traffic::LayerSpec spec;
+  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{1, 2}),
+                   spec.cumulative_rate_bps(3));
+  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{1, 3}),
+                   spec.cumulative_rate_bps(5));
+  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{0, 1}),
+                   spec.cumulative_rate_bps(5));
+  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{2, 10}),
+                   spec.cumulative_rate_bps(2));
+}
+
+// Properties over random trees: the greedy result is feasible, and maximal
+// in the sense that no single receiver can be raised one more layer.
+class AllocatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorProperty, FeasibleAndPerReceiverMaximal) {
+  sim::Rng rng{GetParam()};
+  std::vector<SessionInput> sessions;
+  std::unordered_map<LinkKey, double> caps;
+  SessionInput in;
+  in.session = 0;
+  in.source = 0;
+  in.nodes.push_back(node(0, net::kInvalidNode));
+  std::vector<net::NodeId> attach{0};
+  for (int i = 1; i <= 12; ++i) {
+    const auto parent = attach[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(attach.size()) - 1))];
+    const auto id = static_cast<net::NodeId>(i);
+    const bool receiver = i > 4;
+    in.nodes.push_back(node(id, parent, receiver));
+    caps[{parent, id}] = rng.uniform(64e3, 3e6);
+    if (!receiver) attach.push_back(id);
+  }
+  sessions.push_back(in);
+
+  const OptimalAllocator allocator{traffic::LayerSpec{}, caps};
+  const auto alloc = allocator.allocate(sessions);
+
+  std::vector<int> levels;
+  for (const auto& n : in.nodes) {
+    if (n.is_receiver) levels.push_back(level_of(alloc, n.node));
+  }
+  ASSERT_TRUE(allocator.feasible(sessions, levels));
+  for (std::size_t r = 0; r < levels.size(); ++r) {
+    if (levels[r] >= 6) continue;
+    std::vector<int> raised = levels;
+    ++raised[r];
+    EXPECT_FALSE(allocator.feasible(sessions, raised)) << "receiver slot " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace tsim::core

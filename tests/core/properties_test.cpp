@@ -1,0 +1,231 @@
+// Property-based tests: the TopoSense algorithm is run over randomized
+// session trees and measurement sequences, and structural invariants are
+// asserted on every output. Seeds parameterize the sweep so failures are
+// reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/toposense.hpp"
+#include "sim/random.hpp"
+
+namespace tsim::core {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+/// Builds a random session tree: `routers` internal nodes under a source,
+/// `receivers` leaves attached to random routers, with random loss/bytes.
+struct RandomScenario {
+  explicit RandomScenario(std::uint64_t seed) : rng{seed} {}
+
+  SessionInput make_session(net::SessionId session, int routers, int receivers) {
+    SessionInput in;
+    in.session = session;
+    in.source = 1;
+    SessionNodeInput source;
+    source.node = 1;
+    source.parent = net::kInvalidNode;
+    in.nodes.push_back(source);
+
+    std::vector<net::NodeId> internal{1};
+    for (int r = 0; r < routers; ++r) {
+      SessionNodeInput router;
+      router.node = static_cast<net::NodeId>(10 + r);
+      router.parent = internal[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(internal.size()) - 1))];
+      in.nodes.push_back(router);
+      internal.push_back(router.node);
+    }
+    for (int i = 0; i < receivers; ++i) {
+      SessionNodeInput rcv;
+      rcv.node = static_cast<net::NodeId>(1000 + i);
+      rcv.parent = internal[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(internal.size()) - 1))];
+      rcv.is_receiver = true;
+      rcv.subscription = static_cast<int>(rng.uniform_int(1, 6));
+      rcv.loss_rate = rng.bernoulli(0.3) ? rng.uniform(0.0, 0.6) : 0.0;
+      rcv.bytes_received = static_cast<std::uint64_t>(rng.uniform(1e3, 3e5));
+      in.nodes.push_back(rcv);
+    }
+    return in;
+  }
+
+  sim::Rng rng;
+};
+
+class AlgorithmProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlgorithmProperties, PrescriptionsAlwaysWithinLayerBounds) {
+  RandomScenario scenario{GetParam()};
+  Params params;
+  TopoSense algo{params, sim::Rng{GetParam()}};
+  Time t = 1_s;
+  for (int interval = 0; interval < 30; ++interval) {
+    AlgorithmInput in;
+    in.window = 1_s;
+    in.sessions.push_back(scenario.make_session(0, 4, 8));
+    in.sessions.push_back(scenario.make_session(1, 3, 5));
+    const AlgorithmOutput out = algo.run_interval(in, t);
+    for (const Prescription& p : out.prescriptions) {
+      ASSERT_GE(p.subscription, 1);
+      ASSERT_LE(p.subscription, params.layers.num_layers);
+    }
+    t += 1_s;
+  }
+}
+
+TEST_P(AlgorithmProperties, EveryReceiverGetsExactlyOnePrescription) {
+  RandomScenario scenario{GetParam()};
+  Params params;
+  TopoSense algo{params, sim::Rng{GetParam()}};
+  AlgorithmInput in;
+  in.window = 1_s;
+  in.sessions.push_back(scenario.make_session(0, 5, 12));
+  const AlgorithmOutput out = algo.run_interval(in, 1_s);
+
+  std::vector<net::NodeId> prescribed;
+  for (const Prescription& p : out.prescriptions) prescribed.push_back(p.receiver);
+  std::sort(prescribed.begin(), prescribed.end());
+  EXPECT_TRUE(std::adjacent_find(prescribed.begin(), prescribed.end()) == prescribed.end());
+
+  std::size_t receiver_count = 0;
+  for (const auto& n : in.sessions[0].nodes) {
+    if (n.is_receiver) ++receiver_count;
+  }
+  EXPECT_EQ(prescribed.size(), receiver_count);
+}
+
+TEST_P(AlgorithmProperties, SupplyNeverExceedsParentSupply) {
+  RandomScenario scenario{GetParam()};
+  Params params;
+  TopoSense algo{params, sim::Rng{GetParam()}};
+  AlgorithmInput in;
+  in.window = 1_s;
+  in.sessions.push_back(scenario.make_session(0, 6, 10));
+  const AlgorithmOutput out = algo.run_interval(in, 1_s);
+
+  // Rebuild the tree to check the supply hierarchy from the diagnostics.
+  const TreeIndex tree{in.sessions[0]};
+  ASSERT_EQ(out.diagnostics.size(), 1u);
+  std::unordered_map<net::NodeId, int> supply;
+  for (const NodeDiagnostics& d : out.diagnostics[0].nodes) supply[d.node] = d.supply;
+  for (const auto idx : tree.bfs_order()) {
+    const std::size_t i = static_cast<std::size_t>(idx);
+    const int p = tree.parent(i);
+    if (p < 0) continue;
+    const net::NodeId node = tree.node(i).node;
+    const net::NodeId parent = tree.node(static_cast<std::size_t>(p)).node;
+    EXPECT_LE(supply[node], std::max(supply[parent], 1)) << "node " << node;
+  }
+}
+
+TEST_P(AlgorithmProperties, CleanNetworkNeverLabelsCongestion) {
+  RandomScenario scenario{GetParam()};
+  Params params;
+  TopoSense algo{params, sim::Rng{GetParam()}};
+  AlgorithmInput in;
+  in.window = 1_s;
+  SessionInput session = scenario.make_session(0, 4, 8);
+  for (auto& n : session.nodes) n.loss_rate = 0.0;  // force clean
+  in.sessions.push_back(session);
+  const AlgorithmOutput out = algo.run_interval(in, 1_s);
+  for (const NodeDiagnostics& d : out.diagnostics[0].nodes) {
+    EXPECT_FALSE(d.congested);
+  }
+}
+
+TEST_P(AlgorithmProperties, SubtreeIndependenceUnderPerturbation) {
+  // Two disjoint subtrees under the source; congesting one must not change
+  // the other's prescriptions.
+  const std::uint64_t seed = GetParam();
+  auto build = [&](double left_loss) {
+    SessionInput in;
+    in.session = 0;
+    in.source = 1;
+    SessionNodeInput source;
+    source.node = 1;
+    source.parent = net::kInvalidNode;
+    in.nodes.push_back(source);
+    for (net::NodeId router : {net::NodeId{10}, net::NodeId{20}}) {
+      SessionNodeInput r;
+      r.node = router;
+      r.parent = 1;
+      in.nodes.push_back(r);
+    }
+    for (int i = 0; i < 3; ++i) {
+      SessionNodeInput left;
+      left.node = static_cast<net::NodeId>(100 + i);
+      left.parent = 10;
+      left.is_receiver = true;
+      left.subscription = 3;
+      left.loss_rate = left_loss;
+      left.bytes_received = 28'000;
+      in.nodes.push_back(left);
+      SessionNodeInput right;
+      right.node = static_cast<net::NodeId>(200 + i);
+      right.parent = 20;
+      right.is_receiver = true;
+      right.subscription = 4;
+      right.loss_rate = 0.0;
+      right.bytes_received = 60'000;
+      in.nodes.push_back(right);
+    }
+    return in;
+  };
+
+  TopoSense clean{Params{}, sim::Rng{seed}};
+  TopoSense congested{Params{}, sim::Rng{seed}};
+  Time t = 1_s;
+  for (int interval = 0; interval < 10; ++interval) {
+    AlgorithmInput in_clean;
+    in_clean.window = 1_s;
+    in_clean.sessions.push_back(build(0.0));
+    AlgorithmInput in_congested;
+    in_congested.window = 1_s;
+    in_congested.sessions.push_back(build(0.25));
+
+    const auto out_clean = clean.run_interval(in_clean, t);
+    const auto out_congested = congested.run_interval(in_congested, t);
+
+    auto right_prescription = [](const AlgorithmOutput& out, net::NodeId node) {
+      for (const auto& p : out.prescriptions) {
+        if (p.receiver == node) return p.subscription;
+      }
+      return -1;
+    };
+    for (int i = 0; i < 3; ++i) {
+      const auto node = static_cast<net::NodeId>(200 + i);
+      ASSERT_EQ(right_prescription(out_clean, node), right_prescription(out_congested, node))
+          << "interval " << interval << " receiver " << node;
+    }
+    t += 1_s;
+  }
+}
+
+TEST_P(AlgorithmProperties, StateIsBoundedOverLongRuns) {
+  // Churn receivers in and out for many intervals: internal state must not
+  // accrete (the memory/backoff cleanup paths).
+  RandomScenario scenario{GetParam()};
+  Params params;
+  TopoSense algo{params, sim::Rng{GetParam()}};
+  Time t = 1_s;
+  for (int interval = 0; interval < 200; ++interval) {
+    AlgorithmInput in;
+    in.window = 1_s;
+    in.sessions.push_back(scenario.make_session(
+        static_cast<net::SessionId>(interval % 3), 3, 4));
+    const auto out = algo.run_interval(in, t);
+    ASSERT_LE(out.prescriptions.size(), 4u);
+    t += 1_s;
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgorithmProperties,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace tsim::core

@@ -1,0 +1,203 @@
+// Tests for the engineering refinements around Table I (documented in
+// DESIGN.md §3): episode-top backoff pinning, the proven-stable-level guard,
+// and the fair-share bypass. Each exists to fix a concrete failure mode seen
+// in closed-loop runs; these tests encode those scenarios.
+#include <gtest/gtest.h>
+
+#include "core/toposense.hpp"
+
+namespace tsim::core {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+SessionNodeInput node(net::NodeId id, net::NodeId parent) {
+  SessionNodeInput n;
+  n.node = id;
+  n.parent = parent;
+  return n;
+}
+
+SessionNodeInput receiver(net::NodeId id, net::NodeId parent, double loss, std::uint64_t bytes,
+                          int sub) {
+  SessionNodeInput n = node(id, parent);
+  n.is_receiver = true;
+  n.loss_rate = loss;
+  n.bytes_received = bytes;
+  n.subscription = sub;
+  return n;
+}
+
+Params test_params() {
+  Params p;
+  p.interval = 1_s;
+  p.backoff_min = 20_s;
+  p.backoff_max = 20_s;  // deterministic
+  return p;
+}
+
+std::uint64_t bytes_for(const traffic::LayerSpec& spec, int sub) {
+  return static_cast<std::uint64_t>(spec.cumulative_rate_bps(sub) / 8.0);
+}
+
+int prescription_for(const AlgorithmOutput& out, net::NodeId rcv) {
+  for (const auto& p : out.prescriptions) {
+    if (p.receiver == rcv) return p.subscription;
+  }
+  return -1;
+}
+
+AlgorithmInput single(const Params& params, double loss, int sub, std::uint64_t bytes) {
+  AlgorithmInput in;
+  in.window = params.interval;
+  SessionInput s;
+  s.session = 0;
+  s.source = 1;
+  s.nodes = {node(1, net::kInvalidNode), node(2, 1), receiver(100, 2, loss, bytes, sub)};
+  in.sessions.push_back(s);
+  return in;
+}
+
+TEST(EpisodeTopTest, CascadedHalvingsBackOffTheProbeLayerNotTheFloor) {
+  // Climb to 5, then a long congestion episode with collapapsing byte counts.
+  // The backoff must target layer 5 (the probe), never layers 2-3 that the
+  // in-episode halvings pass through.
+  const Params params = test_params();
+  TopoSense algo{params, sim::Rng{3}};
+  Time t = 1_s;
+  int sub = 1;
+  for (int i = 0; i < 4; ++i) {
+    sub = prescription_for(
+        algo.run_interval(single(params, 0.0, sub, bytes_for(params.layers, sub)), t), 100);
+    t += 1_s;
+  }
+  ASSERT_EQ(sub, 5);
+  // Three congested intervals with shrinking throughput.
+  std::uint64_t bytes = bytes_for(params.layers, 4);
+  for (int i = 0; i < 3; ++i) {
+    algo.run_interval(single(params, 0.4, sub, bytes), t);
+    bytes /= 2;
+    t += 1_s;
+  }
+  EXPECT_TRUE(algo.backing_off(0, 1, 5, t) || algo.backing_off(0, 2, 5, t) ||
+              algo.backing_off(0, 100, 5, t));
+  for (const int layer : {2, 3}) {
+    EXPECT_FALSE(algo.backing_off(0, 1, layer, t)) << layer;
+    EXPECT_FALSE(algo.backing_off(0, 2, layer, t)) << layer;
+    EXPECT_FALSE(algo.backing_off(0, 100, layer, t)) << layer;
+  }
+}
+
+TEST(StableLevelTest, RecoveryToProvenLevelIsFast) {
+  // Hold level 4 cleanly, crash to 1 in an externally caused episode, then
+  // recover: the climb back to 4 must proceed one layer per interval without
+  // waiting out any backoff.
+  const Params params = test_params();
+  TopoSense algo{params, sim::Rng{5}};
+  Time t = 1_s;
+  // Hold 4 cleanly long enough to prove it.
+  for (int i = 0; i < 6; ++i) {
+    algo.run_interval(single(params, 0.0, 4, bytes_for(params.layers, 4)), t);
+    t += 1_s;
+  }
+  // Externally caused congestion: loss at the *same* level 4.
+  for (int i = 0; i < 3; ++i) {
+    algo.run_interval(single(params, 0.5, 4, bytes_for(params.layers, 1)), t);
+    t += 1_s;
+  }
+  // Clean again from level 1: count intervals to get back to 4.
+  int sub = 1;
+  int intervals = 0;
+  while (sub < 4 && intervals < 12) {
+    sub = prescription_for(
+        algo.run_interval(single(params, 0.0, sub, bytes_for(params.layers, sub)), t), 100);
+    t += 1_s;
+    ++intervals;
+  }
+  EXPECT_LE(intervals, 6) << "recovery to the proven level must not wait for backoffs";
+}
+
+TEST(StableLevelTest, FreshProbeLevelIsNotInstantlyProven) {
+  // A newly added layer must not count as "stable" after a single clean
+  // interval (the loss signal lags); the backoff set when it fails must hold.
+  const Params params = test_params();
+  TopoSense algo{params, sim::Rng{7}};
+  Time t = 1_s;
+  // Hold 3 cleanly (proven), then probe 4, see one deceptive clean interval,
+  // then congestion.
+  for (int i = 0; i < 5; ++i) {
+    algo.run_interval(single(params, 0.0, 3, bytes_for(params.layers, 3)), t);
+    t += 1_s;
+  }
+  algo.run_interval(single(params, 0.0, 4, bytes_for(params.layers, 4)), t);  // clean @4
+  t += 1_s;
+  // Congestion at 4 for two intervals -> drop + backoff(4).
+  algo.run_interval(single(params, 0.2, 4, bytes_for(params.layers, 3)), t);
+  t += 1_s;
+  algo.run_interval(single(params, 0.2, 4, bytes_for(params.layers, 3)), t);
+  t += 1_s;
+  const bool backed_off = algo.backing_off(0, 1, 4, t) || algo.backing_off(0, 2, 4, t) ||
+                          algo.backing_off(0, 100, 4, t);
+  EXPECT_TRUE(backed_off);
+
+  // Clean at 3 again: prescriptions must plateau at 3 (4 is backed off and
+  // NOT proven).
+  int sub = 3;
+  for (int i = 0; i < 5; ++i) {
+    sub = prescription_for(
+        algo.run_interval(single(params, 0.0, sub, bytes_for(params.layers, sub)), t), 100);
+    EXPECT_LE(sub, 3) << "interval " << i;
+    t += 1_s;
+  }
+}
+
+TEST(ShareBypassTest, VictimClimbsBackUnderKnownFairShare) {
+  // Two sessions share a link with an estimated capacity. Session 0 gets
+  // knocked to 1 layer by session 1's probe; with the estimate alive, its
+  // fair share covers 3 layers, so it may climb back while session 1's
+  // probe layer stays backed off.
+  Params params = test_params();
+  TopoSense algo{params, sim::Rng{9}};
+  Time t = 1_s;
+
+  auto two_sessions = [&](double loss0, int sub0, std::uint64_t bytes0, double loss1,
+                          int sub1, std::uint64_t bytes1) {
+    AlgorithmInput in;
+    in.window = params.interval;
+    for (int k = 0; k < 2; ++k) {
+      SessionInput s;
+      s.session = static_cast<net::SessionId>(k);
+      s.source = 1;
+      s.nodes = {node(1, net::kInvalidNode), node(2, 1),
+                 receiver(100 + k, 2, k == 0 ? loss0 : loss1, k == 0 ? bytes0 : bytes1,
+                          k == 0 ? sub0 : sub1)};
+      in.sessions.push_back(s);
+    }
+    return in;
+  };
+
+  // Congestion episode: both lose while delivering ~250 Kbps each -> the
+  // shared link estimate becomes ~500 Kbps; fair shares ~250 Kbps each.
+  for (int i = 0; i < 2; ++i) {
+    algo.run_interval(two_sessions(0.2, 4, 31'250, 0.2, 4, 31'250), t);
+    t += 1_s;
+  }
+  // Session 0 collapsed to 1; clean network now. With its ~250 Kbps share
+  // covering 3 layers, it climbs without backoff stalls.
+  int sub = 1;
+  int intervals = 0;
+  while (sub < 3 && intervals < 10) {
+    const auto out = algo.run_interval(
+        two_sessions(0.0, sub, bytes_for(params.layers, sub), 0.0, 3,
+                     bytes_for(params.layers, 3)),
+        t);
+    sub = prescription_for(out, 100);
+    t += 1_s;
+    ++intervals;
+  }
+  EXPECT_LE(intervals, 4);
+}
+
+}  // namespace
+}  // namespace tsim::core

@@ -1,0 +1,128 @@
+#include "core/tree_index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsim::core {
+namespace {
+
+SessionNodeInput node(net::NodeId id, net::NodeId parent, bool receiver = false) {
+  SessionNodeInput n;
+  n.node = id;
+  n.parent = parent;
+  n.is_receiver = receiver;
+  return n;
+}
+
+SessionInput chain3() {
+  // 10 -> 20 -> 30 (receiver)
+  SessionInput in;
+  in.session = 1;
+  in.source = 10;
+  in.nodes = {node(10, net::kInvalidNode), node(20, 10), node(30, 20, true)};
+  return in;
+}
+
+TEST(TreeIndexTest, RootIsFirstInBfs) {
+  const TreeIndex tree{chain3()};
+  ASSERT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.node(static_cast<std::size_t>(tree.bfs_order()[0])).node, 10u);
+  EXPECT_EQ(tree.parent(0), -1);
+}
+
+TEST(TreeIndexTest, ParentChildWiring) {
+  const TreeIndex tree{chain3()};
+  const int i20 = tree.index_of(20);
+  const int i30 = tree.index_of(30);
+  ASSERT_GE(i20, 0);
+  ASSERT_GE(i30, 0);
+  EXPECT_EQ(tree.parent(static_cast<std::size_t>(i30)), i20);
+  EXPECT_EQ(tree.children(static_cast<std::size_t>(i20)).size(), 1u);
+  EXPECT_TRUE(tree.is_leaf(static_cast<std::size_t>(i30)));
+  EXPECT_FALSE(tree.is_leaf(static_cast<std::size_t>(i20)));
+}
+
+TEST(TreeIndexTest, IndexOfMissingReturnsMinusOne) {
+  const TreeIndex tree{chain3()};
+  EXPECT_EQ(tree.index_of(999), -1);
+}
+
+TEST(TreeIndexTest, BfsVisitsParentsBeforeChildren) {
+  // Balanced: 1 -> {2, 3}, 2 -> {4, 5}, 3 -> {6}.
+  SessionInput in;
+  in.session = 0;
+  in.source = 1;
+  in.nodes = {node(1, net::kInvalidNode), node(2, 1), node(3, 1),
+              node(4, 2, true),           node(5, 2, true), node(6, 3, true)};
+  const TreeIndex tree{in};
+  std::vector<bool> seen(tree.size(), false);
+  for (const auto idx : tree.bfs_order()) {
+    const std::size_t i = static_cast<std::size_t>(idx);
+    const int p = tree.parent(i);
+    if (p >= 0) {
+      EXPECT_TRUE(seen[static_cast<std::size_t>(p)]);
+    }
+    seen[i] = true;
+  }
+}
+
+TEST(TreeIndexTest, UnreachableNodesAreDropped) {
+  SessionInput in = chain3();
+  in.nodes.push_back(node(99, net::kInvalidNode));  // orphan root, not source
+  in.nodes.push_back(node(98, 99, true));           // below the orphan
+  const TreeIndex tree{in};
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.index_of(99), -1);
+  EXPECT_EQ(tree.index_of(98), -1);
+}
+
+TEST(TreeIndexTest, MissingSourceThrows) {
+  SessionInput in = chain3();
+  in.source = 777;
+  EXPECT_THROW(TreeIndex{in}, std::invalid_argument);
+}
+
+TEST(TreeIndexTest, DuplicateNodeThrows) {
+  SessionInput in = chain3();
+  in.nodes.push_back(node(20, 10));
+  EXPECT_THROW(TreeIndex{in}, std::invalid_argument);
+}
+
+TEST(TreeIndexTest, SiblingOrderIsDeterministic) {
+  SessionInput in;
+  in.session = 0;
+  in.source = 1;
+  in.nodes = {node(1, net::kInvalidNode), node(5, 1, true), node(3, 1, true),
+              node(4, 1, true)};
+  const TreeIndex tree{in};
+  const auto& kids = tree.children(0);
+  ASSERT_EQ(kids.size(), 3u);
+  // Children sorted by node id.
+  EXPECT_EQ(tree.node(static_cast<std::size_t>(kids[0])).node, 3u);
+  EXPECT_EQ(tree.node(static_cast<std::size_t>(kids[1])).node, 4u);
+  EXPECT_EQ(tree.node(static_cast<std::size_t>(kids[2])).node, 5u);
+}
+
+TEST(TreeIndexTest, SingleNodeTree) {
+  SessionInput in;
+  in.session = 0;
+  in.source = 42;
+  in.nodes = {node(42, net::kInvalidNode)};
+  const TreeIndex tree{in};
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.is_leaf(0));
+}
+
+TEST(TreeIndexTest, ReceiverPayloadPreserved) {
+  SessionInput in = chain3();
+  in.nodes[2].loss_rate = 0.25;
+  in.nodes[2].bytes_received = 4096;
+  in.nodes[2].subscription = 3;
+  const TreeIndex tree{in};
+  const auto i = static_cast<std::size_t>(tree.index_of(30));
+  EXPECT_DOUBLE_EQ(tree.node(i).loss_rate, 0.25);
+  EXPECT_EQ(tree.node(i).bytes_received, 4096u);
+  EXPECT_EQ(tree.node(i).subscription, 3);
+}
+
+}  // namespace
+}  // namespace tsim::core

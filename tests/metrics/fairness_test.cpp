@@ -1,0 +1,34 @@
+#include "metrics/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsim::metrics {
+namespace {
+
+TEST(JainIndexTest, EqualAllocationIsOne) {
+  EXPECT_DOUBLE_EQ(jain_index({4.0, 4.0, 4.0, 4.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({1.0}), 1.0);
+}
+
+TEST(JainIndexTest, TotalConcentrationIsOneOverN) {
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(JainIndexTest, KnownMixedValue) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 2.0, 3.0}), 36.0 / 42.0);
+}
+
+TEST(JainIndexTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+}
+
+TEST(JainIndexTest, ScaleInvariant) {
+  const std::vector<double> a{1.0, 2.0, 5.0};
+  const std::vector<double> b{10.0, 20.0, 50.0};
+  EXPECT_DOUBLE_EQ(jain_index(a), jain_index(b));
+}
+
+}  // namespace
+}  // namespace tsim::metrics

@@ -1,0 +1,103 @@
+#include "metrics/trace_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "metrics/link_monitor.hpp"
+#include "sim/simulation.hpp"
+#include "traffic/cross_traffic.hpp"
+
+namespace tsim::metrics {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+TEST(TraceWriterTest, CsvHasHeaderAndRows) {
+  TraceWriter writer{{"sub", "loss"}};
+  writer.add_row(1_s, {3.0, 0.05});
+  writer.add_row(2_s, {4.0, 0.0});
+  const std::string csv = writer.to_csv();
+  EXPECT_NE(csv.find("time_s,sub,loss\n"), std::string::npos);
+  EXPECT_NE(csv.find("1.000,3,0.05\n"), std::string::npos);
+  EXPECT_NE(csv.find("2.000,4,0\n"), std::string::npos);
+  EXPECT_EQ(writer.rows(), 2u);
+  EXPECT_DOUBLE_EQ(writer.value(0, 1), 0.05);
+  EXPECT_EQ(writer.time(1), 2_s);
+}
+
+TEST(TraceWriterTest, ColumnMismatchThrows) {
+  TraceWriter writer{{"a", "b"}};
+  EXPECT_THROW(writer.add_row(1_s, {1.0}), std::invalid_argument);
+  EXPECT_THROW(writer.add_row(1_s, {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(TraceWriterTest, WritesFileRoundTrip) {
+  TraceWriter writer{{"x"}};
+  writer.add_row(Time::zero(), {42.0});
+  const std::string path = ::testing::TempDir() + "/toposense_trace_test.csv";
+  ASSERT_TRUE(writer.write_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {};
+  const auto read = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_GT(read, 0u);
+  EXPECT_NE(std::string{buf}.find("time_s,x"), std::string::npos);
+}
+
+TEST(TraceWriterTest, WriteToInvalidPathFails) {
+  TraceWriter writer{{"x"}};
+  EXPECT_FALSE(writer.write_file("/nonexistent_dir_xyz/trace.csv"));
+}
+
+TEST(LinkMonitorTest, MeasuresThroughputAndDrops) {
+  sim::Simulation simulation{31};
+  net::Network network{simulation};
+  const auto a = network.add_node();
+  const auto b = network.add_node();
+  // 200 Kbps link offered 400 Kbps: ~50% drops, full utilization.
+  const auto link = network.add_link(a, b, 200e3, 10_ms, 5);
+  network.add_link(b, a, 200e3, 10_ms, 5);
+  network.compute_routes();
+
+  traffic::CbrFlow::Config cfg;
+  cfg.src = a;
+  cfg.dst = b;
+  cfg.rate_bps = 400e3;
+  traffic::CbrFlow flow{simulation, network, cfg};
+
+  LinkMonitor monitor{simulation, network, link, 1_s};
+  monitor.start();
+  flow.start();
+  simulation.run_until(60_s);
+
+  ASSERT_GE(monitor.samples().size(), 50u);
+  EXPECT_NEAR(monitor.mean_utilization(), 1.0, 0.08);
+  double drop = 0.0;
+  for (const auto& s : monitor.samples()) drop += s.drop_rate;
+  drop /= static_cast<double>(monitor.samples().size());
+  EXPECT_NEAR(drop, 0.5, 0.1);
+}
+
+TEST(LinkMonitorTest, IdleLinkShowsZero) {
+  sim::Simulation simulation{31};
+  net::Network network{simulation};
+  const auto a = network.add_node();
+  const auto b = network.add_node();
+  const auto link = network.add_link(a, b, 1e6, 10_ms, 5);
+  network.compute_routes();
+  LinkMonitor monitor{simulation, network, link, 1_s};
+  monitor.start();
+  simulation.run_until(10_s);
+  EXPECT_DOUBLE_EQ(monitor.mean_utilization(), 0.0);
+  for (const auto& s : monitor.samples()) {
+    EXPECT_DOUBLE_EQ(s.throughput_bps, 0.0);
+    EXPECT_DOUBLE_EQ(s.drop_rate, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tsim::metrics

@@ -1,0 +1,62 @@
+#include "net/dot_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace tsim::net {
+namespace {
+
+using namespace tsim::sim::time_literals;
+
+TEST(DotExportTest, EmitsNodesAndCollapsedEdges) {
+  sim::Simulation simulation{1};
+  Network network{simulation};
+  const NodeId a = network.add_node("alpha");
+  const NodeId b = network.add_node("beta");
+  network.add_duplex_link(a, b, 1.5e6, 200_ms);
+
+  const std::string dot = to_dot(network);
+  EXPECT_NE(dot.find("graph network {"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"alpha\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"beta\""), std::string::npos);
+  EXPECT_NE(dot.find("1.5Mbps 200ms"), std::string::npos);
+  // Duplex pair collapses to one undirected edge.
+  EXPECT_EQ(dot.find("n0 -- n1"), dot.rfind("n0 -- n1"));
+  EXPECT_EQ(dot.find("n1 -- n0"), std::string::npos);
+}
+
+TEST(DotExportTest, HighlightsGivenEdges) {
+  sim::Simulation simulation{1};
+  Network network{simulation};
+  const NodeId a = network.add_node();
+  const NodeId b = network.add_node();
+  const NodeId c = network.add_node();
+  network.add_duplex_link(a, b, 1e6, 10_ms);
+  network.add_duplex_link(b, c, 64e3, 10_ms);
+
+  const std::string dot = to_dot(network, {{b, c}});
+  // Highlighted edge is red; the other is not.
+  const auto bc = dot.find("n1 -- n2");
+  ASSERT_NE(bc, std::string::npos);
+  EXPECT_NE(dot.find("color=red", bc), std::string::npos);
+  const auto ab = dot.find("n0 -- n1");
+  const auto ab_end = dot.find('\n', ab);
+  EXPECT_EQ(dot.substr(ab, ab_end - ab).find("color=red"), std::string::npos);
+}
+
+TEST(DotExportTest, BandwidthUnitsScale) {
+  sim::Simulation simulation{1};
+  Network network{simulation};
+  const NodeId a = network.add_node();
+  const NodeId b = network.add_node();
+  const NodeId c = network.add_node();
+  network.add_link(a, b, 800.0, 1_ms);
+  network.add_link(b, c, 64e3, 1_ms);
+  const std::string dot = to_dot(network);
+  EXPECT_NE(dot.find("800bps"), std::string::npos);
+  EXPECT_NE(dot.find("64kbps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsim::net

@@ -1,0 +1,88 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace tsim::net {
+namespace {
+
+// Small diamond: 0 -> 1 -> 3, 0 -> 2 -> 3 with asymmetric costs.
+std::vector<EdgeView> diamond() {
+  return {
+      {0, 1, 10, 1.0}, {1, 3, 11, 1.0},  // cost 2 via node 1
+      {0, 2, 12, 0.5}, {2, 3, 13, 0.5},  // cost 1 via node 2
+  };
+}
+
+TEST(RoutingTest, PicksCheapestPath) {
+  RoutingTable rt;
+  rt.build(4, diamond());
+  EXPECT_EQ(rt.next_hop(0, 3), 12u);  // via node 2
+  EXPECT_DOUBLE_EQ(rt.path_cost(0, 3), 1.0);
+}
+
+TEST(RoutingTest, DirectNeighborUsesDirectLink) {
+  RoutingTable rt;
+  rt.build(4, diamond());
+  EXPECT_EQ(rt.next_hop(0, 1), 10u);
+  EXPECT_EQ(rt.next_hop(2, 3), 13u);
+}
+
+TEST(RoutingTest, UnreachableGetsInvalidLink) {
+  RoutingTable rt;
+  rt.build(3, {{0, 1, 0, 1.0}});  // node 2 isolated; no reverse edges
+  EXPECT_EQ(rt.next_hop(0, 2), kInvalidLink);
+  EXPECT_EQ(rt.next_hop(1, 0), kInvalidLink);
+  EXPECT_TRUE(std::isinf(rt.path_cost(0, 2)));
+}
+
+TEST(RoutingTest, SelfRouteIsTrivial) {
+  RoutingTable rt;
+  rt.build(2, {{0, 1, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(rt.path_cost(0, 0), 0.0);
+  EXPECT_EQ(rt.path(0, 0), (std::vector<NodeId>{0}));
+}
+
+TEST(RoutingTest, PathEnumeratesNodeSequence) {
+  RoutingTable rt;
+  rt.build(4, diamond());
+  EXPECT_EQ(rt.path(0, 3), (std::vector<NodeId>{0, 2, 3}));
+  EXPECT_EQ(rt.path(1, 3), (std::vector<NodeId>{1, 3}));
+}
+
+TEST(RoutingTest, PathEmptyWhenUnreachable) {
+  RoutingTable rt;
+  rt.build(3, {{0, 1, 0, 1.0}});
+  EXPECT_TRUE(rt.path(0, 2).empty());
+}
+
+TEST(RoutingTest, ChainTopology) {
+  // 0 -> 1 -> 2 -> 3 -> 4
+  std::vector<EdgeView> edges;
+  for (NodeId i = 0; i < 4; ++i) {
+    edges.push_back({i, i + 1, i, 1.0});
+  }
+  RoutingTable rt;
+  rt.build(5, edges);
+  EXPECT_EQ(rt.path(0, 4), (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(rt.path_cost(0, 4), 4.0);
+  EXPECT_EQ(rt.next_hop(0, 4), 0u);
+  EXPECT_EQ(rt.next_hop(2, 4), 2u);
+}
+
+TEST(RoutingTest, EqualCostsAreDeterministic) {
+  // Two equal-cost paths 0->1->3 and 0->2->3; Dijkstra with strict < keeps
+  // the first settled path, so repeated builds agree.
+  std::vector<EdgeView> edges{
+      {0, 1, 0, 1.0}, {1, 3, 1, 1.0}, {0, 2, 2, 1.0}, {2, 3, 3, 1.0}};
+  RoutingTable a;
+  RoutingTable b;
+  a.build(4, edges);
+  b.build(4, edges);
+  EXPECT_EQ(a.next_hop(0, 3), b.next_hop(0, 3));
+}
+
+}  // namespace
+}  // namespace tsim::net

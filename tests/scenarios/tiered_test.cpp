@@ -1,0 +1,81 @@
+// Tiered random-topology scenarios (Fig 2): TopoSense on generated ISP
+// hierarchies, with per-receiver optima from the offline allocator.
+#include <gtest/gtest.h>
+
+#include "scenarios/scenario.hpp"
+
+namespace tsim::scenarios {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+TEST(TieredTest, TopologyHasExpectedShape) {
+  ScenarioConfig config;
+  config.seed = 71;
+  config.duration = 30_s;
+  TieredOptions options;
+  options.regionals = 3;
+  options.locals_per_regional = 2;
+  options.receivers_per_local = 2;
+  auto s = Scenario::tiered(config, options);
+  // source + national + 3 regionals + 6 locals + 12 receivers.
+  EXPECT_EQ(s->network().node_count(), 23u);
+  EXPECT_EQ(s->results().size(), 12u);
+}
+
+TEST(TieredTest, OptimaAreWithinLayerRangeAndHeterogeneous) {
+  ScenarioConfig config;
+  config.seed = 72;
+  config.duration = 30_s;
+  auto s = Scenario::tiered(config, TieredOptions{});
+  int lo = 7;
+  int hi = -1;
+  for (const auto& r : s->results()) {
+    EXPECT_GE(r.optimal, 0) << r.name;
+    EXPECT_LE(r.optimal, 6) << r.name;
+    lo = std::min(lo, r.optimal);
+    hi = std::max(hi, r.optimal);
+  }
+  // Randomized tiers make a flat optimum vanishingly unlikely.
+  EXPECT_LT(lo, hi);
+}
+
+TEST(TieredTest, DifferentSeedsGiveDifferentTopologies) {
+  ScenarioConfig a;
+  a.seed = 73;
+  a.duration = 10_s;
+  ScenarioConfig b = a;
+  b.seed = 74;
+  auto sa = Scenario::tiered(a, TieredOptions{});
+  auto sb = Scenario::tiered(b, TieredOptions{});
+  std::vector<int> oa;
+  std::vector<int> ob;
+  for (const auto& r : sa->results()) oa.push_back(r.optimal);
+  for (const auto& r : sb->results()) ob.push_back(r.optimal);
+  EXPECT_NE(oa, ob);
+}
+
+TEST(TieredTest, ConvergesTowardHeterogeneousOptima) {
+  ScenarioConfig config;
+  config.seed = 75;
+  config.duration = 300_s;
+  TieredOptions options;
+  options.regionals = 2;
+  options.locals_per_regional = 2;
+  options.receivers_per_local = 1;
+  auto s = Scenario::tiered(config, options);
+  s->run();
+  double total_dev = 0.0;
+  int counted = 0;
+  for (const auto& r : s->results()) {
+    if (r.optimal == 0) continue;  // starved access link: nothing to track
+    total_dev += r.timeline.relative_deviation(r.optimal, 150_s, 300_s);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LT(total_dev / counted, 0.6);
+}
+
+}  // namespace
+}  // namespace tsim::scenarios

@@ -1,0 +1,184 @@
+#include "scenarios/topology_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenarios/scenario.hpp"
+
+namespace tsim::scenarios {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+constexpr const char* kValid = R"(
+# A comment
+node src
+node r
+node a
+
+link src r 10Mbps 50ms
+link r a 256kbps 100ms queue 20 red
+
+source 0 src
+receiver a 0 start 5 stop 100
+controller src
+)";
+
+TEST(BandwidthParseTest, AcceptsSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_bandwidth("256kbps"), 256e3);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("1.5Mbps"), 1.5e6);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("2Gbps"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("8000bps"), 8000.0);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("64KBPS"), 64e3);  // case-insensitive
+}
+
+TEST(BandwidthParseTest, RejectsGarbage) {
+  EXPECT_LT(parse_bandwidth("fast"), 0.0);
+  EXPECT_LT(parse_bandwidth("10"), 0.0);
+  EXPECT_LT(parse_bandwidth("-5Mbps"), 0.0);
+  EXPECT_LT(parse_bandwidth("Mbps"), 0.0);
+}
+
+TEST(LatencyParseTest, AcceptsUnits) {
+  EXPECT_EQ(parse_latency("200ms"), 200_ms);
+  EXPECT_EQ(parse_latency("1.5s"), Time::seconds(1.5));
+  EXPECT_EQ(parse_latency("0ms"), Time::zero());
+}
+
+TEST(LatencyParseTest, RejectsGarbage) {
+  EXPECT_LT(parse_latency("fast"), Time::zero());
+  EXPECT_LT(parse_latency("100"), Time::zero());
+}
+
+TEST(TopologyParseTest, ParsesValidFile) {
+  const auto result = parse_topology(kValid);
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto& d = *result.description;
+  EXPECT_EQ(d.nodes.size(), 3u);
+  ASSERT_EQ(d.links.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.links[1].bandwidth_bps, 256e3);
+  EXPECT_EQ(d.links[1].latency, 100_ms);
+  EXPECT_TRUE(d.links[1].red);
+  ASSERT_TRUE(d.links[1].queue_packets.has_value());
+  EXPECT_EQ(*d.links[1].queue_packets, 20u);
+  EXPECT_FALSE(d.links[0].red);
+  ASSERT_EQ(d.receivers.size(), 1u);
+  EXPECT_EQ(d.receivers[0].start, Time::seconds(std::int64_t{5}));
+  EXPECT_EQ(d.receivers[0].stop, Time::seconds(std::int64_t{100}));
+  EXPECT_EQ(d.controller_node, "src");
+}
+
+TEST(TopologyParseTest, ErrorsNameTheLine) {
+  const auto result = parse_topology("node a\nlink a b 10Mbps 5ms\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("undeclared node 'b'"), std::string::npos);
+
+  const auto bad_bw = parse_topology("node a\nnode b\nlink a b fast 5ms\n");
+  ASSERT_FALSE(bad_bw.ok());
+  EXPECT_NE(bad_bw.error.find("line 3"), std::string::npos);
+}
+
+TEST(TopologyParseTest, RequiresControllerSourceAndReceivers) {
+  EXPECT_FALSE(parse_topology("node a\nsource 0 a\ncontroller a\n").ok());
+  EXPECT_FALSE(
+      parse_topology("node a\nnode b\nsource 0 a\nreceiver b 0\n").ok());  // no controller
+  EXPECT_FALSE(parse_topology("node a\nnode b\nreceiver b 0\ncontroller a\n").ok());
+}
+
+TEST(TopologyParseTest, ReceiverWithoutSourceSessionFails) {
+  const auto result =
+      parse_topology("node a\nnode b\nsource 0 a\nreceiver b 7\ncontroller a\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("session 7"), std::string::npos);
+}
+
+TEST(TopologyParseTest, DuplicateNodeFails) {
+  EXPECT_FALSE(parse_topology("node a\nnode a\n").ok());
+}
+
+TEST(FromDescriptionTest, BuildsAndRunsEndToEnd) {
+  const auto parsed = parse_topology(kValid);
+  ASSERT_TRUE(parsed.ok());
+  ScenarioConfig config;
+  config.seed = 81;
+  config.duration = 120_s;
+  auto scenario = Scenario::from_description(config, *parsed.description);
+  ASSERT_EQ(scenario->results().size(), 1u);
+  EXPECT_EQ(scenario->results()[0].optimal, 3);  // 256 kbps bottleneck
+  scenario->run();
+  // Receiver joined at 5 s and should have climbed toward 3 layers.
+  double mean = 0.0;
+  for (int level = 0; level <= 6; ++level) {
+    mean += level * scenario->results()[0].timeline.time_at_level_fraction(level, 60_s, 120_s);
+  }
+  EXPECT_GE(mean, 1.7);  // RED early-drops shave the mean slightly below the drop-tail value
+  // The RED link option took effect.
+  bool any_red = false;
+  for (net::LinkId id = 0; id < scenario->network().link_count(); ++id) {
+    if (scenario->network().link(id).red_enabled()) any_red = true;
+  }
+  EXPECT_TRUE(any_red);
+}
+
+// Robustness sweep: structured garbage must produce an error, never a crash
+// or a silently-accepted description.
+class ParserRobustness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRobustness, GarbageYieldsErrorNotCrash) {
+  const auto result = parse_topology(GetParam());
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserRobustness,
+    ::testing::Values("", "nonsense directive here", "node", "node a b c",
+                      "link a b", "node a\nnode b\nlink a b 1Mbps",
+                      "node a\nnode b\nlink a b 1Mbps 10ms queue zero",
+                      "node a\nnode b\nlink a b 1Mbps 10ms frobnicate",
+                      "source 0 ghost", "controller ghost",
+                      "node a\nsource 0 a\nreceiver a 0 start soon\ncontroller a",
+                      "node a\nnode a",
+                      "receiver x 0", "#only a comment\n\n\n"));
+
+TEST(FromDescriptionTest, MultiSessionOptimaShareBottlenecks) {
+  // Two sessions, both with a receiver behind one 512 kbps link: the greedy
+  // lexicographic optimum gives 3 layers each (2 x 224 kbps <= 512 kbps).
+  const auto parsed = parse_topology(R"(
+node s0
+node s1
+node core
+node edge
+node a
+node b
+link s0 core 45Mbps 10ms
+link s1 core 45Mbps 10ms
+link core edge 512kbps 50ms
+link edge a 10Mbps 10ms
+link edge b 10Mbps 10ms
+source 0 s0
+source 1 s1
+receiver a 0
+receiver b 1
+controller s0
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ScenarioConfig config;
+  config.duration = 10_s;
+  auto scenario = Scenario::from_description(config, *parsed.description);
+  ASSERT_EQ(scenario->results().size(), 2u);
+  EXPECT_EQ(scenario->results()[0].optimal, 3);
+  EXPECT_EQ(scenario->results()[1].optimal, 3);
+}
+
+TEST(FromDescriptionTest, UnreachableReceiverThrows) {
+  const auto parsed = parse_topology(
+      "node src\nnode island\nsource 0 src\nreceiver island 0\ncontroller src\n");
+  ASSERT_TRUE(parsed.ok());
+  ScenarioConfig config;
+  EXPECT_THROW(Scenario::from_description(config, *parsed.description),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsim::scenarios

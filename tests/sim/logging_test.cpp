@@ -1,0 +1,43 @@
+#include "sim/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsim::sim {
+namespace {
+
+struct LogLevelGuard {
+  LogLevel saved{Logger::level()};
+  ~LogLevelGuard() { Logger::set_level(saved); }
+};
+
+TEST(LoggerTest, DefaultLevelIsWarn) {
+  const LogLevelGuard guard;
+  EXPECT_EQ(Logger::level(), LogLevel::kWarn);
+}
+
+TEST(LoggerTest, SetLevelRoundTrips) {
+  const LogLevelGuard guard;
+  Logger::set_level(LogLevel::kTrace);
+  EXPECT_EQ(Logger::level(), LogLevel::kTrace);
+  Logger::set_level(LogLevel::kOff);
+  EXPECT_EQ(Logger::level(), LogLevel::kOff);
+}
+
+TEST(LoggerTest, SuppressedLevelsDoNotCrash) {
+  const LogLevelGuard guard;
+  Logger::set_level(LogLevel::kOff);
+  Logger::log(LogLevel::kError, Time::seconds(std::int64_t{1}), "test", "must be suppressed");
+  Logger::set_level(LogLevel::kError);
+  Logger::log(LogLevel::kWarn, Time::seconds(std::int64_t{1}), "test", "also suppressed");
+  SUCCEED();
+}
+
+TEST(LoggerTest, EnabledLevelWritesWithoutCrash) {
+  const LogLevelGuard guard;
+  Logger::set_level(LogLevel::kTrace);
+  Logger::log(LogLevel::kInfo, Time::milliseconds(1500), "component", "hello");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tsim::sim

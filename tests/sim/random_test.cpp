@@ -1,0 +1,105 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace tsim::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndStable) {
+  const Rng parent{7};
+  Rng f1 = parent.fork("alpha");
+  Rng f2 = parent.fork("beta");
+  Rng f1_again = parent.fork("alpha");
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+  // Re-forking the same label replays the same stream.
+  Rng f1b = parent.fork("alpha");
+  EXPECT_EQ(f1_again.next_u64(), f1b.next_u64());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsNearHalf) {
+  Rng rng{11};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(8.0, 24.0);
+    ASSERT_GE(v, 8.0);
+    ASSERT_LT(v, 24.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng{9};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(1, 6);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng{13};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng{17};
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bernoulli(1.0 / 3.0)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 1.0 / 3.0, 0.01);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng{19};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace tsim::sim

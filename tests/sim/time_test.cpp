@@ -1,0 +1,69 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsim::sim {
+namespace {
+
+using namespace tsim::sim::time_literals;
+
+TEST(TimeTest, DefaultIsZero) {
+  EXPECT_EQ(Time{}, Time::zero());
+  EXPECT_EQ(Time{}.as_nanoseconds(), 0);
+}
+
+TEST(TimeTest, NamedConstructorsScaleCorrectly) {
+  EXPECT_EQ(Time::seconds(std::int64_t{3}).as_nanoseconds(), 3'000'000'000);
+  EXPECT_EQ(Time::milliseconds(200).as_nanoseconds(), 200'000'000);
+  EXPECT_EQ(Time::microseconds(7).as_nanoseconds(), 7'000);
+  EXPECT_EQ(Time::nanoseconds(42).as_nanoseconds(), 42);
+}
+
+TEST(TimeTest, FractionalSecondsRoundToNearestNanosecond) {
+  EXPECT_EQ(Time::seconds(0.5).as_nanoseconds(), 500'000'000);
+  EXPECT_EQ(Time::seconds(1e-9).as_nanoseconds(), 1);
+  EXPECT_EQ(Time::seconds(0.25e-9).as_nanoseconds(), 0);
+}
+
+TEST(TimeTest, ArithmeticAndComparison) {
+  const Time a = 2_s;
+  const Time b = 500_ms;
+  EXPECT_EQ(a + b, Time::milliseconds(2500));
+  EXPECT_EQ(a - b, Time::milliseconds(1500));
+  EXPECT_EQ(a * 3, 6_s);
+  EXPECT_LT(b, a);
+  EXPECT_GT(a, b);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+}
+
+TEST(TimeTest, CompoundAssignment) {
+  Time t = 1_s;
+  t += 250_ms;
+  EXPECT_EQ(t, Time::milliseconds(1250));
+  t -= 1_s;
+  EXPECT_EQ(t, 250_ms);
+}
+
+TEST(TimeTest, AsSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ((1200_s).as_seconds(), 1200.0);
+  EXPECT_DOUBLE_EQ((200_ms).as_seconds(), 0.2);
+  EXPECT_DOUBLE_EQ((200_ms).as_milliseconds(), 200.0);
+}
+
+TEST(TimeTest, LiteralsProduceExpectedValues) {
+  EXPECT_EQ(3_s, Time::seconds(std::int64_t{3}));
+  EXPECT_EQ(10_ms, Time::milliseconds(10));
+  EXPECT_EQ(5_us, Time::microseconds(5));
+  EXPECT_EQ(9_ns, Time::nanoseconds(9));
+}
+
+TEST(TimeTest, MaxActsAsInfinity) {
+  EXPECT_GT(Time::max(), Time::seconds(std::int64_t{1'000'000'000}));
+}
+
+TEST(TimeTest, ToStringFormatsSeconds) {
+  EXPECT_EQ((1500_ms).to_string(), "1.500000s");
+}
+
+}  // namespace
+}  // namespace tsim::sim

@@ -1,0 +1,109 @@
+#include "topo/discovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace tsim::topo {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+struct DiscoveryFixture : ::testing::Test {
+  sim::Simulation simulation{3};
+  net::Network network{simulation};
+  net::NodeId src{network.add_node("src")};
+  net::NodeId r{network.add_node("r")};
+  net::NodeId a{network.add_node("a")};
+  net::NodeId b{network.add_node("b")};
+  mcast::MulticastRouter mcast{simulation, network, {}};
+
+  DiscoveryFixture() {
+    network.add_duplex_link(src, r, 10e6, 10_ms);
+    network.add_duplex_link(r, a, 10e6, 10_ms);
+    network.add_duplex_link(r, b, 10e6, 10_ms);
+    network.compute_routes();
+    mcast.set_session_source(0, src);
+  }
+};
+
+TEST_F(DiscoveryFixture, SnapshotCapturesTreeAndReceivers) {
+  DiscoveryService discovery{simulation, mcast, {1_s, Time::zero(), 16}};
+  discovery.track_session(0, 6);
+  mcast.join(a, net::GroupAddr{0, 1});
+  discovery.start();
+  simulation.run_until(100_ms);
+  const TopologySnapshot* snap = discovery.snapshot(0);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->source, src);
+  EXPECT_EQ(snap->receivers, (std::vector<net::NodeId>{a}));
+  EXPECT_EQ(snap->edges.size(), 2u);  // src->r, r->a
+}
+
+TEST_F(DiscoveryFixture, NoSnapshotBeforeStart) {
+  DiscoveryService discovery{simulation, mcast, {}};
+  discovery.track_session(0, 6);
+  EXPECT_EQ(discovery.snapshot(0), nullptr);
+}
+
+TEST_F(DiscoveryFixture, UntrackedSessionReturnsNull) {
+  DiscoveryService discovery{simulation, mcast, {}};
+  discovery.start();
+  simulation.run_until(1_s);
+  EXPECT_EQ(discovery.snapshot(42), nullptr);
+}
+
+TEST_F(DiscoveryFixture, StalenessServesOldTree) {
+  DiscoveryService discovery{simulation, mcast, {1_s, 5_s, 32}};
+  discovery.track_session(0, 6);
+  mcast.join(a, net::GroupAddr{0, 1});
+  discovery.start();
+
+  // b joins at t=3 s. With 5 s staleness, a query at t=6 s must still see
+  // the tree as of t<=1 s (a only); by t=9 s the post-join tree is visible.
+  simulation.at(3_s, [&]() { mcast.join(b, net::GroupAddr{0, 1}); });
+  simulation.run_until(6_s);
+  const TopologySnapshot* old_snap = discovery.snapshot(0);
+  ASSERT_NE(old_snap, nullptr);
+  EXPECT_EQ(old_snap->receivers.size(), 1u);
+
+  simulation.run_until(9_s);
+  const TopologySnapshot* new_snap = discovery.snapshot(0);
+  ASSERT_NE(new_snap, nullptr);
+  EXPECT_EQ(new_snap->receivers.size(), 2u);
+}
+
+TEST_F(DiscoveryFixture, StalenessLongerThanHistoryYieldsNull) {
+  DiscoveryService discovery{simulation, mcast, {1_s, 60_s, 8}};
+  discovery.track_session(0, 6);
+  discovery.start();
+  simulation.run_until(5_s);
+  // Nothing captured 60 s ago yet.
+  EXPECT_EQ(discovery.snapshot(0), nullptr);
+}
+
+TEST_F(DiscoveryFixture, HistoryIsBounded) {
+  DiscoveryService discovery{simulation, mcast, {1_s, Time::zero(), 4}};
+  discovery.track_session(0, 6);
+  discovery.start();
+  simulation.run_until(100_s);
+  // With a 4-entry history and zero staleness, the snapshot is the latest.
+  const TopologySnapshot* snap = discovery.snapshot(0);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_GE(snap->captured_at, 96_s);
+}
+
+TEST_F(DiscoveryFixture, SetStalenessTakesEffect) {
+  DiscoveryService discovery{simulation, mcast, {1_s, Time::zero(), 64}};
+  discovery.track_session(0, 6);
+  discovery.start();
+  simulation.run_until(20_s);
+  const Time fresh = discovery.snapshot(0)->captured_at;
+  discovery.set_staleness(10_s);
+  const Time stale = discovery.snapshot(0)->captured_at;
+  EXPECT_GE(fresh, stale + 9_s);
+}
+
+}  // namespace
+}  // namespace tsim::topo

@@ -1,0 +1,89 @@
+// Domain-scoped discovery (§II / Fig 3): a controller sees only its own
+// administrative domain's subtree, rooted at the domain's border router.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "topo/discovery.hpp"
+
+namespace tsim::topo {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+/// src -- core -- {d1 -- {a1, a2}, d2 -- {b1}}: two administrative domains
+/// below one core.
+struct DomainFixture : ::testing::Test {
+  sim::Simulation simulation{29};
+  net::Network network{simulation};
+  net::NodeId src{network.add_node("src")};
+  net::NodeId core{network.add_node("core")};
+  net::NodeId d1{network.add_node("d1")};
+  net::NodeId d2{network.add_node("d2")};
+  net::NodeId a1{network.add_node("a1")};
+  net::NodeId a2{network.add_node("a2")};
+  net::NodeId b1{network.add_node("b1")};
+  mcast::MulticastRouter mcast{simulation, network, {}};
+
+  DomainFixture() {
+    network.add_duplex_link(src, core, 10e6, 10_ms);
+    network.add_duplex_link(core, d1, 10e6, 10_ms);
+    network.add_duplex_link(core, d2, 10e6, 10_ms);
+    network.add_duplex_link(d1, a1, 10e6, 10_ms);
+    network.add_duplex_link(d1, a2, 10e6, 10_ms);
+    network.add_duplex_link(d2, b1, 10e6, 10_ms);
+    network.compute_routes();
+    mcast.set_session_source(0, src);
+    mcast.join(a1, net::GroupAddr{0, 1});
+    mcast.join(a2, net::GroupAddr{0, 1});
+    mcast.join(b1, net::GroupAddr{0, 1});
+  }
+};
+
+TEST_F(DomainFixture, UnscopedSnapshotSeesEverything) {
+  DiscoveryService discovery{simulation, mcast, {}};
+  discovery.track_session(0, 6);
+  discovery.start();
+  simulation.run_until(100_ms);
+  const TopologySnapshot* snap = discovery.snapshot(0);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->receivers.size(), 3u);
+  EXPECT_EQ(snap->edges.size(), 6u);
+}
+
+TEST_F(DomainFixture, ScopedSnapshotSeesOnlyItsSubtree) {
+  DiscoveryService::Config cfg;
+  cfg.domain_nodes = {d1, a1, a2};
+  cfg.domain_root = d1;
+  DiscoveryService discovery{simulation, mcast, cfg};
+  discovery.track_session(0, 6);
+  discovery.start();
+  simulation.run_until(100_ms);
+
+  const TopologySnapshot* snap = discovery.snapshot(0);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->source, d1);  // rooted at the border router
+  EXPECT_EQ(snap->receivers, (std::vector<net::NodeId>{a1, a2}));
+  // Only d1->a1 and d1->a2 survive the filter.
+  EXPECT_EQ(snap->edges.size(), 2u);
+  for (const auto& [parent, child] : snap->edges) {
+    EXPECT_EQ(parent, d1);
+  }
+}
+
+TEST_F(DomainFixture, SiblingDomainInvisible) {
+  DiscoveryService::Config cfg;
+  cfg.domain_nodes = {d2, b1};
+  cfg.domain_root = d2;
+  DiscoveryService discovery{simulation, mcast, cfg};
+  discovery.track_session(0, 6);
+  discovery.start();
+  simulation.run_until(100_ms);
+  const TopologySnapshot* snap = discovery.snapshot(0);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->receivers, (std::vector<net::NodeId>{b1}));
+  EXPECT_EQ(snap->edges.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tsim::topo

@@ -1,0 +1,74 @@
+#include "traffic/layer_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tsim::traffic {
+namespace {
+
+TEST(LayerSpecTest, PaperRatesDoublePerLayer) {
+  const LayerSpec spec;
+  EXPECT_DOUBLE_EQ(spec.layer_rate_bps(1), 32e3);
+  EXPECT_DOUBLE_EQ(spec.layer_rate_bps(2), 64e3);
+  EXPECT_DOUBLE_EQ(spec.layer_rate_bps(3), 128e3);
+  EXPECT_DOUBLE_EQ(spec.layer_rate_bps(6), 1024e3);
+}
+
+TEST(LayerSpecTest, CumulativeRatesMatchPaper) {
+  const LayerSpec spec;
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(0), 0.0);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(1), 32e3);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(2), 96e3);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(3), 224e3);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(4), 480e3);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(5), 992e3);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(6), 2016e3);
+}
+
+TEST(LayerSpecTest, CumulativeClampsAtNumLayers) {
+  const LayerSpec spec;
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(10), spec.cumulative_rate_bps(6));
+}
+
+TEST(LayerSpecTest, MaxLayersForPaperBottlenecks) {
+  const LayerSpec spec;
+  EXPECT_EQ(spec.max_layers_for_bandwidth(256e3), 3);   // Topology A set 1
+  EXPECT_EQ(spec.max_layers_for_bandwidth(1e6), 5);     // Topology A set 2
+  EXPECT_EQ(spec.max_layers_for_bandwidth(500e3), 4);   // Topology B per session
+  EXPECT_EQ(spec.max_layers_for_bandwidth(31e3), 0);
+  EXPECT_EQ(spec.max_layers_for_bandwidth(32e3), 1);
+  EXPECT_EQ(spec.max_layers_for_bandwidth(1e9), 6);
+}
+
+TEST(LayerSpecTest, PacketsPerSecond) {
+  const LayerSpec spec;
+  EXPECT_DOUBLE_EQ(spec.packets_per_second(1), 4.0);    // 32 Kbps / 8 Kbit
+  EXPECT_DOUBLE_EQ(spec.packets_per_second(6), 128.0);
+}
+
+TEST(LayerSpecTest, CustomGrowthForGranularityAblation) {
+  LayerSpec fine;
+  fine.num_layers = 12;
+  fine.layer_growth = 1.5;
+  EXPECT_GT(fine.cumulative_rate_bps(12), fine.cumulative_rate_bps(11));
+  EXPECT_EQ(fine.max_layers_for_bandwidth(fine.cumulative_rate_bps(7)), 7);
+}
+
+// Property sweep: max_layers_for_bandwidth is the inverse of
+// cumulative_rate_bps at every layer boundary.
+class LayerInverseProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayerInverseProperty, BoundaryInversion) {
+  const LayerSpec spec;
+  const int k = GetParam();
+  const double cum = spec.cumulative_rate_bps(k);
+  EXPECT_EQ(spec.max_layers_for_bandwidth(cum), k);
+  if (k < spec.num_layers) {
+    EXPECT_EQ(spec.max_layers_for_bandwidth(cum + 1.0), k);
+    EXPECT_EQ(spec.max_layers_for_bandwidth(cum - 1.0), k - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayers, LayerInverseProperty, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace tsim::traffic

@@ -1,0 +1,153 @@
+#include "traffic/layered_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/simulation.hpp"
+
+namespace tsim::traffic {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+struct SourceFixture : ::testing::Test {
+  sim::Simulation simulation{7};
+  net::Network network{simulation};
+  net::NodeId src{network.add_node("src")};
+  net::NodeId dst{network.add_node("dst")};
+
+  std::map<net::LayerId, int> received;
+  std::map<net::LayerId, std::uint32_t> max_seq;
+
+  struct CatchAll final : net::MulticastForwarder {
+    net::LinkId link;
+    net::NodeId origin;
+    void route(net::NodeId node, const net::Packet&, std::vector<net::LinkId>& out,
+               bool& local) override {
+      if (node == origin) {
+        out.push_back(link);
+      } else {
+        local = true;
+      }
+    }
+  } forwarder;
+
+  SourceFixture() {
+    const net::LinkId link = network.add_link(src, dst, 100e6, 1_ms, 10000);
+    network.compute_routes();
+    forwarder.link = link;
+    forwarder.origin = src;
+    network.set_multicast_forwarder(&forwarder);
+    network.set_local_sink(dst, [this](const net::Packet& p) {
+      ++received[p.group.layer];
+      max_seq[p.group.layer] = std::max(max_seq[p.group.layer], p.seq);
+    });
+  }
+
+  LayeredSource::Config config(TrafficModel model, double p = 3.0) {
+    LayeredSource::Config cfg;
+    cfg.session = 0;
+    cfg.node = src;
+    cfg.model = model;
+    cfg.peak_to_mean = p;
+    return cfg;
+  }
+};
+
+TEST_F(SourceFixture, CbrRatesMatchSpec) {
+  LayeredSource source{simulation, network, config(TrafficModel::kCbr)};
+  source.start();
+  simulation.run_until(100_s);
+  // Layer 1: 4 pps, layer 6: 128 pps; allow the startup stagger margin.
+  EXPECT_NEAR(received[1], 400, 8);
+  EXPECT_NEAR(received[2], 800, 8);
+  EXPECT_NEAR(received[6], 12800, 40);
+}
+
+TEST_F(SourceFixture, SequenceNumbersAreDense) {
+  LayeredSource source{simulation, network, config(TrafficModel::kCbr)};
+  source.start();
+  simulation.run_until(50_s);
+  // No loss on a fat link: max seq == count-1 per layer.
+  for (const auto& [layer, count] : received) {
+    EXPECT_EQ(max_seq[layer], static_cast<std::uint32_t>(count - 1)) << "layer " << int(layer);
+  }
+}
+
+TEST_F(SourceFixture, VbrMeanRateMatchesCbr) {
+  LayeredSource source{simulation, network, config(TrafficModel::kVbr, 3.0)};
+  source.start();
+  simulation.run_until(400_s);
+  // E[n] = A per second; over 400 s layer 1 should be ~1600 packets.
+  EXPECT_NEAR(received[1], 1600, 160);
+  EXPECT_NEAR(received[3], 6400, 640);
+}
+
+TEST_F(SourceFixture, VbrIsBurstierThanCbr) {
+  // Count per-second emissions for layer 1 and check the peak is near the
+  // model's burst size P*A+1-P = 10 for P=3, A=4.
+  LayeredSource source{simulation, network, config(TrafficModel::kVbr, 3.0)};
+  source.start();
+  std::map<std::int64_t, int> per_second;
+  network.set_local_sink(dst, [&](const net::Packet& p) {
+    if (p.group.layer == 1) {
+      ++per_second[p.sent_at.as_nanoseconds() / 1'000'000'000];
+    }
+  });
+  simulation.run_until(300_s);
+  int peak = 0;
+  for (const auto& [sec, n] : per_second) peak = std::max(peak, n);
+  EXPECT_GE(peak, 9);   // bursts occur
+  EXPECT_LE(peak, 21);  // bounded by two adjacent bursts
+}
+
+TEST_F(SourceFixture, StopTimeHaltsEmission) {
+  auto cfg = config(TrafficModel::kCbr);
+  cfg.stop = 10_s;
+  LayeredSource source{simulation, network, cfg};
+  source.start();
+  simulation.run_until(100_s);
+  EXPECT_LE(received[1], 45);  // ~4 pps for 10 s
+  EXPECT_GT(received[1], 30);
+}
+
+TEST_F(SourceFixture, DeterministicAcrossRuns) {
+  // Two simulations with the same seed emit identical packet counts.
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulation local_sim{seed};
+    net::Network local_net{local_sim};
+    const net::NodeId s = local_net.add_node();
+    const net::NodeId d = local_net.add_node();
+    const net::LinkId link = local_net.add_link(s, d, 100e6, 1_ms, 10000);
+    local_net.compute_routes();
+    struct F final : net::MulticastForwarder {
+      net::LinkId link;
+      net::NodeId origin;
+      void route(net::NodeId node, const net::Packet&, std::vector<net::LinkId>& out,
+                 bool& local) override {
+        if (node == origin) out.push_back(link);
+        else local = true;
+      }
+    } f;
+    f.link = link;
+    f.origin = s;
+    local_net.set_multicast_forwarder(&f);
+    int count = 0;
+    local_net.set_local_sink(d, [&](const net::Packet&) { ++count; });
+    LayeredSource::Config cfg;
+    cfg.session = 0;
+    cfg.node = s;
+    cfg.model = TrafficModel::kVbr;
+    LayeredSource source{local_sim, local_net, cfg};
+    source.start();
+    local_sim.run_until(60_s);
+    return count;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));  // different seed, different bursts
+}
+
+}  // namespace
+}  // namespace tsim::traffic
