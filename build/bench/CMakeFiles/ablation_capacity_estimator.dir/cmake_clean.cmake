@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_capacity_estimator.dir/ablation_capacity_estimator.cpp.o"
+  "CMakeFiles/ablation_capacity_estimator.dir/ablation_capacity_estimator.cpp.o.d"
+  "ablation_capacity_estimator"
+  "ablation_capacity_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capacity_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

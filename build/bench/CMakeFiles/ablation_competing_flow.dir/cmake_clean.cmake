@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_competing_flow.dir/ablation_competing_flow.cpp.o"
+  "CMakeFiles/ablation_competing_flow.dir/ablation_competing_flow.cpp.o.d"
+  "ablation_competing_flow"
+  "ablation_competing_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_competing_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

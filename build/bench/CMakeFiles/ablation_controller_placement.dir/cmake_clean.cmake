@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_controller_placement.dir/ablation_controller_placement.cpp.o"
+  "CMakeFiles/ablation_controller_placement.dir/ablation_controller_placement.cpp.o.d"
+  "ablation_controller_placement"
+  "ablation_controller_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_controller_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_discovery_mode.dir/ablation_discovery_mode.cpp.o"
+  "CMakeFiles/ablation_discovery_mode.dir/ablation_discovery_mode.cpp.o.d"
+  "ablation_discovery_mode"
+  "ablation_discovery_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_discovery_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interval_size.dir/ablation_interval_size.cpp.o"
+  "CMakeFiles/ablation_interval_size.dir/ablation_interval_size.cpp.o.d"
+  "ablation_interval_size"
+  "ablation_interval_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interval_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

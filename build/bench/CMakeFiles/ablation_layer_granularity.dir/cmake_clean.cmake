@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_layer_granularity.dir/ablation_layer_granularity.cpp.o"
+  "CMakeFiles/ablation_layer_granularity.dir/ablation_layer_granularity.cpp.o.d"
+  "ablation_layer_granularity"
+  "ablation_layer_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_layer_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_leave_latency.dir/ablation_leave_latency.cpp.o"
+  "CMakeFiles/ablation_leave_latency.dir/ablation_leave_latency.cpp.o.d"
+  "ablation_leave_latency"
+  "ablation_leave_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_leave_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overlapping_sessions.dir/ablation_overlapping_sessions.cpp.o"
+  "CMakeFiles/ablation_overlapping_sessions.dir/ablation_overlapping_sessions.cpp.o.d"
+  "ablation_overlapping_sessions"
+  "ablation_overlapping_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overlapping_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_receiver_churn.dir/ablation_receiver_churn.cpp.o"
+  "CMakeFiles/ablation_receiver_churn.dir/ablation_receiver_churn.cpp.o.d"
+  "ablation_receiver_churn"
+  "ablation_receiver_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_receiver_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_report_rate.dir/ablation_report_rate.cpp.o"
+  "CMakeFiles/ablation_report_rate.dir/ablation_report_rate.cpp.o.d"
+  "ablation_report_rate"
+  "ablation_report_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_report_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

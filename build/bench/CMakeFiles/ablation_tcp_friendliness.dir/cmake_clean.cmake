@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tcp_friendliness.dir/ablation_tcp_friendliness.cpp.o"
+  "CMakeFiles/ablation_tcp_friendliness.dir/ablation_tcp_friendliness.cpp.o.d"
+  "ablation_tcp_friendliness"
+  "ablation_tcp_friendliness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcp_friendliness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

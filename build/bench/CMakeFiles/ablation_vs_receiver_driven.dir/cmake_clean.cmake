@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vs_receiver_driven.dir/ablation_vs_receiver_driven.cpp.o"
+  "CMakeFiles/ablation_vs_receiver_driven.dir/ablation_vs_receiver_driven.cpp.o.d"
+  "ablation_vs_receiver_driven"
+  "ablation_vs_receiver_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vs_receiver_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

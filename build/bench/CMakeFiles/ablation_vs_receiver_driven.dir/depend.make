@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_vs_receiver_driven.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_stale_info.dir/fig10_stale_info.cpp.o"
+  "CMakeFiles/fig10_stale_info.dir/fig10_stale_info.cpp.o.d"
+  "fig10_stale_info"
+  "fig10_stale_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_stale_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_stability_topo_a.dir/fig6_stability_topo_a.cpp.o"
+  "CMakeFiles/fig6_stability_topo_a.dir/fig6_stability_topo_a.cpp.o.d"
+  "fig6_stability_topo_a"
+  "fig6_stability_topo_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_stability_topo_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_stability_topo_a.
+# This may be replaced when dependencies are built.

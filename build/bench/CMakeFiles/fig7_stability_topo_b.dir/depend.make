@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_stability_topo_b.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/generalization_tiered.cpp" "bench/CMakeFiles/generalization_tiered.dir/generalization_tiered.cpp.o" "gcc" "bench/CMakeFiles/generalization_tiered.dir/generalization_tiered.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenarios/CMakeFiles/tsim_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/tsim_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/tsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tsim_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/tsim_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcast/CMakeFiles/tsim_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tsim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalization_tiered.dir/generalization_tiered.cpp.o"
+  "CMakeFiles/generalization_tiered.dir/generalization_tiered.cpp.o.d"
+  "generalization_tiered"
+  "generalization_tiered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalization_tiered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

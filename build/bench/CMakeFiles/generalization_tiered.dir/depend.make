@@ -1,0 +1,2 @@
+# Empty dependencies file for generalization_tiered.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_playground.dir/algorithm_playground.cpp.o"
+  "CMakeFiles/algorithm_playground.dir/algorithm_playground.cpp.o.d"
+  "algorithm_playground"
+  "algorithm_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/competing_sessions.dir/competing_sessions.cpp.o"
+  "CMakeFiles/competing_sessions.dir/competing_sessions.cpp.o.d"
+  "competing_sessions"
+  "competing_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/competing_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_receivers.dir/heterogeneous_receivers.cpp.o"
+  "CMakeFiles/heterogeneous_receivers.dir/heterogeneous_receivers.cpp.o.d"
+  "heterogeneous_receivers"
+  "heterogeneous_receivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_receivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

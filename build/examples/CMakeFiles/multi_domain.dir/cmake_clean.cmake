@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_domain.dir/multi_domain.cpp.o"
+  "CMakeFiles/multi_domain.dir/multi_domain.cpp.o.d"
+  "multi_domain"
+  "multi_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stale_topology.dir/stale_topology.cpp.o"
+  "CMakeFiles/stale_topology.dir/stale_topology.cpp.o.d"
+  "stale_topology"
+  "stale_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stale_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

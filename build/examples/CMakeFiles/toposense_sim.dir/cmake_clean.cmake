@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toposense_sim.dir/toposense_sim.cpp.o"
+  "CMakeFiles/toposense_sim.dir/toposense_sim.cpp.o.d"
+  "toposense_sim"
+  "toposense_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toposense_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

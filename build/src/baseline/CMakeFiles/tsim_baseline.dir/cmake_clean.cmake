@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsim_baseline.dir/receiver_driven.cpp.o"
+  "CMakeFiles/tsim_baseline.dir/receiver_driven.cpp.o.d"
+  "libtsim_baseline.a"
+  "libtsim_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsim_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

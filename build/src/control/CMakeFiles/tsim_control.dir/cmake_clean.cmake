@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsim_control.dir/accounting.cpp.o"
+  "CMakeFiles/tsim_control.dir/accounting.cpp.o.d"
+  "CMakeFiles/tsim_control.dir/controller_agent.cpp.o"
+  "CMakeFiles/tsim_control.dir/controller_agent.cpp.o.d"
+  "CMakeFiles/tsim_control.dir/receiver_agent.cpp.o"
+  "CMakeFiles/tsim_control.dir/receiver_agent.cpp.o.d"
+  "libtsim_control.a"
+  "libtsim_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsim_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

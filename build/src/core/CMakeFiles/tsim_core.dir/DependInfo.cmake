@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/capacity_estimator.cpp" "src/core/CMakeFiles/tsim_core.dir/capacity_estimator.cpp.o" "gcc" "src/core/CMakeFiles/tsim_core.dir/capacity_estimator.cpp.o.d"
+  "/root/repo/src/core/decision_table.cpp" "src/core/CMakeFiles/tsim_core.dir/decision_table.cpp.o" "gcc" "src/core/CMakeFiles/tsim_core.dir/decision_table.cpp.o.d"
+  "/root/repo/src/core/optimal_allocator.cpp" "src/core/CMakeFiles/tsim_core.dir/optimal_allocator.cpp.o" "gcc" "src/core/CMakeFiles/tsim_core.dir/optimal_allocator.cpp.o.d"
+  "/root/repo/src/core/passes.cpp" "src/core/CMakeFiles/tsim_core.dir/passes.cpp.o" "gcc" "src/core/CMakeFiles/tsim_core.dir/passes.cpp.o.d"
+  "/root/repo/src/core/toposense.cpp" "src/core/CMakeFiles/tsim_core.dir/toposense.cpp.o" "gcc" "src/core/CMakeFiles/tsim_core.dir/toposense.cpp.o.d"
+  "/root/repo/src/core/tree_index.cpp" "src/core/CMakeFiles/tsim_core.dir/tree_index.cpp.o" "gcc" "src/core/CMakeFiles/tsim_core.dir/tree_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traffic/CMakeFiles/tsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

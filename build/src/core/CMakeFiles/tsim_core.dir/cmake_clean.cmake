@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsim_core.dir/capacity_estimator.cpp.o"
+  "CMakeFiles/tsim_core.dir/capacity_estimator.cpp.o.d"
+  "CMakeFiles/tsim_core.dir/decision_table.cpp.o"
+  "CMakeFiles/tsim_core.dir/decision_table.cpp.o.d"
+  "CMakeFiles/tsim_core.dir/optimal_allocator.cpp.o"
+  "CMakeFiles/tsim_core.dir/optimal_allocator.cpp.o.d"
+  "CMakeFiles/tsim_core.dir/passes.cpp.o"
+  "CMakeFiles/tsim_core.dir/passes.cpp.o.d"
+  "CMakeFiles/tsim_core.dir/toposense.cpp.o"
+  "CMakeFiles/tsim_core.dir/toposense.cpp.o.d"
+  "CMakeFiles/tsim_core.dir/tree_index.cpp.o"
+  "CMakeFiles/tsim_core.dir/tree_index.cpp.o.d"
+  "libtsim_core.a"
+  "libtsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

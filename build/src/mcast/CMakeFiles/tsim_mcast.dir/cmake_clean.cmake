@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsim_mcast.dir/multicast_router.cpp.o"
+  "CMakeFiles/tsim_mcast.dir/multicast_router.cpp.o.d"
+  "libtsim_mcast.a"
+  "libtsim_mcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsim_mcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/fairness.cpp" "src/metrics/CMakeFiles/tsim_metrics.dir/fairness.cpp.o" "gcc" "src/metrics/CMakeFiles/tsim_metrics.dir/fairness.cpp.o.d"
+  "/root/repo/src/metrics/sampler.cpp" "src/metrics/CMakeFiles/tsim_metrics.dir/sampler.cpp.o" "gcc" "src/metrics/CMakeFiles/tsim_metrics.dir/sampler.cpp.o.d"
+  "/root/repo/src/metrics/subscription_metrics.cpp" "src/metrics/CMakeFiles/tsim_metrics.dir/subscription_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/tsim_metrics.dir/subscription_metrics.cpp.o.d"
+  "/root/repo/src/metrics/trace_writer.cpp" "src/metrics/CMakeFiles/tsim_metrics.dir/trace_writer.cpp.o" "gcc" "src/metrics/CMakeFiles/tsim_metrics.dir/trace_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsim_metrics.dir/fairness.cpp.o"
+  "CMakeFiles/tsim_metrics.dir/fairness.cpp.o.d"
+  "CMakeFiles/tsim_metrics.dir/sampler.cpp.o"
+  "CMakeFiles/tsim_metrics.dir/sampler.cpp.o.d"
+  "CMakeFiles/tsim_metrics.dir/subscription_metrics.cpp.o"
+  "CMakeFiles/tsim_metrics.dir/subscription_metrics.cpp.o.d"
+  "CMakeFiles/tsim_metrics.dir/trace_writer.cpp.o"
+  "CMakeFiles/tsim_metrics.dir/trace_writer.cpp.o.d"
+  "libtsim_metrics.a"
+  "libtsim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

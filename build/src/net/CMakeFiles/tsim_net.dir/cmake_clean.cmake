@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsim_net.dir/dot_export.cpp.o"
+  "CMakeFiles/tsim_net.dir/dot_export.cpp.o.d"
+  "CMakeFiles/tsim_net.dir/link.cpp.o"
+  "CMakeFiles/tsim_net.dir/link.cpp.o.d"
+  "CMakeFiles/tsim_net.dir/network.cpp.o"
+  "CMakeFiles/tsim_net.dir/network.cpp.o.d"
+  "CMakeFiles/tsim_net.dir/routing.cpp.o"
+  "CMakeFiles/tsim_net.dir/routing.cpp.o.d"
+  "libtsim_net.a"
+  "libtsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

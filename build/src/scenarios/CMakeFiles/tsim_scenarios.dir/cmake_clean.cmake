@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsim_scenarios.dir/scenario.cpp.o"
+  "CMakeFiles/tsim_scenarios.dir/scenario.cpp.o.d"
+  "CMakeFiles/tsim_scenarios.dir/topology_file.cpp.o"
+  "CMakeFiles/tsim_scenarios.dir/topology_file.cpp.o.d"
+  "libtsim_scenarios.a"
+  "libtsim_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsim_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsim_sim.dir/logging.cpp.o"
+  "CMakeFiles/tsim_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/tsim_sim.dir/random.cpp.o"
+  "CMakeFiles/tsim_sim.dir/random.cpp.o.d"
+  "CMakeFiles/tsim_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/tsim_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/tsim_sim.dir/simulation.cpp.o"
+  "CMakeFiles/tsim_sim.dir/simulation.cpp.o.d"
+  "libtsim_sim.a"
+  "libtsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

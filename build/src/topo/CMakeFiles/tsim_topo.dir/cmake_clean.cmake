@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsim_topo.dir/discovery.cpp.o"
+  "CMakeFiles/tsim_topo.dir/discovery.cpp.o.d"
+  "CMakeFiles/tsim_topo.dir/mtrace.cpp.o"
+  "CMakeFiles/tsim_topo.dir/mtrace.cpp.o.d"
+  "libtsim_topo.a"
+  "libtsim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/cross_traffic.cpp" "src/traffic/CMakeFiles/tsim_traffic.dir/cross_traffic.cpp.o" "gcc" "src/traffic/CMakeFiles/tsim_traffic.dir/cross_traffic.cpp.o.d"
+  "/root/repo/src/traffic/layer_spec.cpp" "src/traffic/CMakeFiles/tsim_traffic.dir/layer_spec.cpp.o" "gcc" "src/traffic/CMakeFiles/tsim_traffic.dir/layer_spec.cpp.o.d"
+  "/root/repo/src/traffic/layered_source.cpp" "src/traffic/CMakeFiles/tsim_traffic.dir/layered_source.cpp.o" "gcc" "src/traffic/CMakeFiles/tsim_traffic.dir/layered_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

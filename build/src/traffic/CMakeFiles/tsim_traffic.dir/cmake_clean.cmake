@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsim_traffic.dir/cross_traffic.cpp.o"
+  "CMakeFiles/tsim_traffic.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/tsim_traffic.dir/layer_spec.cpp.o"
+  "CMakeFiles/tsim_traffic.dir/layer_spec.cpp.o.d"
+  "CMakeFiles/tsim_traffic.dir/layered_source.cpp.o"
+  "CMakeFiles/tsim_traffic.dir/layered_source.cpp.o.d"
+  "libtsim_traffic.a"
+  "libtsim_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsim_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

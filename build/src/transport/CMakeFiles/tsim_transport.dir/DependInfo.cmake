@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/demux.cpp" "src/transport/CMakeFiles/tsim_transport.dir/demux.cpp.o" "gcc" "src/transport/CMakeFiles/tsim_transport.dir/demux.cpp.o.d"
+  "/root/repo/src/transport/receiver_endpoint.cpp" "src/transport/CMakeFiles/tsim_transport.dir/receiver_endpoint.cpp.o" "gcc" "src/transport/CMakeFiles/tsim_transport.dir/receiver_endpoint.cpp.o.d"
+  "/root/repo/src/transport/tcp_flow.cpp" "src/transport/CMakeFiles/tsim_transport.dir/tcp_flow.cpp.o" "gcc" "src/transport/CMakeFiles/tsim_transport.dir/tcp_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcast/CMakeFiles/tsim_mcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/tsim_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

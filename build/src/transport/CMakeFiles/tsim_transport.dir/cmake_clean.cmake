@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsim_transport.dir/demux.cpp.o"
+  "CMakeFiles/tsim_transport.dir/demux.cpp.o.d"
+  "CMakeFiles/tsim_transport.dir/receiver_endpoint.cpp.o"
+  "CMakeFiles/tsim_transport.dir/receiver_endpoint.cpp.o.d"
+  "CMakeFiles/tsim_transport.dir/tcp_flow.cpp.o"
+  "CMakeFiles/tsim_transport.dir/tcp_flow.cpp.o.d"
+  "libtsim_transport.a"
+  "libtsim_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsim_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/capacity_estimator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/capacity_estimator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/decision_table_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/decision_table_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/optimal_allocator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/optimal_allocator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/passes_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/passes_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/properties_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/properties_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/stability_mechanisms_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/stability_mechanisms_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/toposense_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/toposense_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/tree_index_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/tree_index_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenarios.dir/scenarios/churn_test.cpp.o"
+  "CMakeFiles/test_scenarios.dir/scenarios/churn_test.cpp.o.d"
+  "CMakeFiles/test_scenarios.dir/scenarios/determinism_test.cpp.o"
+  "CMakeFiles/test_scenarios.dir/scenarios/determinism_test.cpp.o.d"
+  "CMakeFiles/test_scenarios.dir/scenarios/discovery_mode_test.cpp.o"
+  "CMakeFiles/test_scenarios.dir/scenarios/discovery_mode_test.cpp.o.d"
+  "CMakeFiles/test_scenarios.dir/scenarios/integration_test.cpp.o"
+  "CMakeFiles/test_scenarios.dir/scenarios/integration_test.cpp.o.d"
+  "CMakeFiles/test_scenarios.dir/scenarios/scenario_test.cpp.o"
+  "CMakeFiles/test_scenarios.dir/scenarios/scenario_test.cpp.o.d"
+  "CMakeFiles/test_scenarios.dir/scenarios/tiered_test.cpp.o"
+  "CMakeFiles/test_scenarios.dir/scenarios/tiered_test.cpp.o.d"
+  "CMakeFiles/test_scenarios.dir/scenarios/topology_file_test.cpp.o"
+  "CMakeFiles/test_scenarios.dir/scenarios/topology_file_test.cpp.o.d"
+  "test_scenarios"
+  "test_scenarios.pdb"
+  "test_scenarios[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

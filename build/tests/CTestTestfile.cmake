@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_mcast[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_control[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_scenarios[1]_include.cmake")
