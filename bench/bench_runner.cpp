@@ -1,0 +1,230 @@
+// Machine-readable performance harness: runs the control-interval kernel and
+// one end-to-end scenario with fixed seeds and writes BENCH_kernel.json /
+// BENCH_e2e.json so successive PRs accumulate a comparable perf trajectory
+// (see docs/benchmarking.md for the schema and how to compare runs).
+//
+// Usage: bench_runner [--out DIR]
+//   --out DIR   directory for the JSON files (default: current directory)
+// TOPOSENSE_BENCH_QUICK=1 shrinks the workloads for a smoke pass.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/toposense.hpp"
+#include "scenarios/scenario.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace tsim;
+using sim::Time;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t peak_rss_bytes() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // Linux reports KiB
+}
+
+bool quick() {
+  const char* env = std::getenv("TOPOSENSE_BENCH_QUICK");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+/// Two-level fat tree: one source, 16 routers, `receivers` spread below —
+/// the same shape perf_kernel benchmarks interactively.
+core::SessionInput fat_tree(int receivers) {
+  core::SessionInput s;
+  s.session = 0;
+  s.source = 1;
+  core::SessionNodeInput root;
+  root.node = 1;
+  root.parent = net::kInvalidNode;
+  s.nodes.push_back(root);
+  for (int r = 0; r < 16; ++r) {
+    core::SessionNodeInput router;
+    router.node = static_cast<net::NodeId>(10 + r);
+    router.parent = 1;
+    s.nodes.push_back(router);
+  }
+  for (int i = 0; i < receivers; ++i) {
+    core::SessionNodeInput rcv;
+    rcv.node = static_cast<net::NodeId>(1000 + i);
+    rcv.parent = static_cast<net::NodeId>(10 + (i % 16));
+    rcv.is_receiver = true;
+    rcv.bytes_received = 28'000;
+    rcv.subscription = 3;
+    s.nodes.push_back(rcv);
+  }
+  return s;
+}
+
+struct KernelCase {
+  int receivers;
+  int intervals;
+  double wall_s;
+  double intervals_per_sec;
+  double nodes_per_sec;
+};
+
+/// Drives TopoSense::run_interval with deterministically varying loss reports
+/// (seeded, not time-based) so congestion histories, capacity estimation and
+/// fair-share arbitration all stay exercised — a pure steady-state input
+/// would measure only the cache-hit path.
+KernelCase run_kernel_case(int receivers, int intervals) {
+  core::Params params;
+  core::TopoSense algo{params, sim::Rng{1}};
+  core::AlgorithmInput input;
+  input.window = Time::seconds(std::int64_t{1});
+  input.sessions.push_back(fat_tree(receivers));
+
+  sim::Rng loss_rng{42};
+  Time now = Time::seconds(std::int64_t{1});
+  const auto start = Clock::now();
+  for (int k = 0; k < intervals; ++k) {
+    for (core::SessionNodeInput& n : input.sessions[0].nodes) {
+      if (!n.is_receiver) continue;
+      // ~1/7 of receivers congested each interval, drifting deterministically.
+      n.loss_rate = loss_rng.bernoulli(1.0 / 7.0) ? loss_rng.uniform(0.03, 0.15) : 0.0;
+    }
+    const core::AlgorithmOutput out = algo.run_interval(input, now);
+    if (out.prescriptions.empty()) std::abort();  // keep the optimizer honest
+    now += Time::seconds(std::int64_t{1});
+  }
+  const double wall = seconds_since(start);
+  const double nodes = static_cast<double>(input.sessions[0].nodes.size());
+  return KernelCase{receivers, intervals, wall, intervals / wall, intervals * nodes / wall};
+}
+
+struct E2eCase {
+  const char* name;
+  int sessions;
+  double sim_seconds;
+  double wall_s;
+  std::uint64_t events;
+  double events_per_sec;
+  std::uint64_t fingerprint;
+};
+
+/// FNV-1a over every receiver's subscription timeline + loss — the same
+/// observable state the determinism tests fingerprint. Equal seeds must give
+/// equal fingerprints across runs, platforms and (absent intentional
+/// behaviour changes) PRs.
+std::uint64_t fingerprint(const scenarios::Scenario& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& r : s.results()) {
+    mix(r.node);
+    mix(static_cast<std::uint64_t>(r.final_subscription));
+    for (const auto& [t, level] : r.timeline.points()) {
+      mix(static_cast<std::uint64_t>(t.as_nanoseconds()));
+      mix(static_cast<std::uint64_t>(level));
+    }
+  }
+  return h;
+}
+
+E2eCase run_e2e_case(int sessions, Time duration) {
+  scenarios::ScenarioConfig config;
+  config.seed = 1;
+  config.duration = duration;
+  scenarios::TopologyBOptions topology;
+  topology.sessions = sessions;
+  auto scenario = scenarios::Scenario::topology_b(config, topology);
+  const auto start = Clock::now();
+  scenario->run();
+  const double wall = seconds_since(start);
+  const std::uint64_t events = scenario->simulation().scheduler().executed_events();
+  return E2eCase{"topology_b", sessions, duration.as_seconds(), wall,
+                 events, static_cast<double>(events) / wall, fingerprint(*scenario)};
+}
+
+void write_kernel_json(const std::string& path, const std::vector<KernelCase>& cases) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernel\",\n  \"seed\": 1,\n  \"quick\": %s,\n",
+               quick() ? "true" : "false");
+  std::fprintf(f, "  \"cases\": [\n");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const KernelCase& c = cases[i];
+    std::fprintf(f,
+                 "    {\"name\": \"toposense_interval_%d\", \"receivers\": %d, "
+                 "\"intervals\": %d, \"wall_s\": %.6f, \"intervals_per_sec\": %.1f, "
+                 "\"nodes_per_sec\": %.1f}%s\n",
+                 c.receivers, c.receivers, c.intervals, c.wall_s, c.intervals_per_sec,
+                 c.nodes_per_sec, i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"peak_rss_bytes\": %llu\n}\n",
+               static_cast<unsigned long long>(peak_rss_bytes()));
+  std::fclose(f);
+}
+
+void write_e2e_json(const std::string& path, const E2eCase& c) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"e2e\",\n  \"seed\": 1,\n  \"quick\": %s,\n",
+               quick() ? "true" : "false");
+  std::fprintf(f,
+               "  \"scenario\": \"%s\",\n  \"sessions\": %d,\n  \"sim_seconds\": %.1f,\n"
+               "  \"wall_s\": %.6f,\n  \"events\": %llu,\n  \"events_per_sec\": %.1f,\n"
+               "  \"fingerprint\": \"%016llx\",\n  \"peak_rss_bytes\": %llu\n}\n",
+               c.name, c.sessions, c.sim_seconds, c.wall_s,
+               static_cast<unsigned long long>(c.events), c.events_per_sec,
+               static_cast<unsigned long long>(c.fingerprint),
+               static_cast<unsigned long long>(peak_rss_bytes()));
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const bool q = quick();
+
+  std::vector<KernelCase> kernel;
+  kernel.push_back(run_kernel_case(256, q ? 200 : 2000));
+  kernel.push_back(run_kernel_case(4096, q ? 50 : 500));
+  write_kernel_json(out_dir + "/BENCH_kernel.json", kernel);
+  for (const KernelCase& c : kernel) {
+    std::printf("kernel  receivers=%-5d intervals=%-5d wall=%.3fs  %.0f intervals/s  %.2fM nodes/s\n",
+                c.receivers, c.intervals, c.wall_s, c.intervals_per_sec, c.nodes_per_sec / 1e6);
+  }
+
+  const E2eCase e2e = run_e2e_case(4, Time::seconds(std::int64_t{q ? 60 : 600}));
+  write_e2e_json(out_dir + "/BENCH_e2e.json", e2e);
+  std::printf("e2e     %s sessions=%d sim=%.0fs wall=%.3fs  %.2fM events/s  fingerprint=%016llx\n",
+              e2e.name, e2e.sessions, e2e.sim_seconds, e2e.wall_s, e2e.events_per_sec / 1e6,
+              static_cast<unsigned long long>(e2e.fingerprint));
+  std::printf("wrote %s/BENCH_kernel.json and %s/BENCH_e2e.json\n", out_dir.c_str(),
+              out_dir.c_str());
+  return 0;
+}

@@ -1,54 +1,49 @@
 #include "core/capacity_estimator.hpp"
 
 #include <algorithm>
+#include <functional>
 
 namespace tsim::core {
 
-void CapacityEstimator::update(const std::vector<LinkObservation>& observations,
-                               sim::Time window) {
+void CapacityEstimator::update_aggregated(const LinkAggregates& agg, sim::Time window) {
+  estimates_.resize(links_.size());
+
   // Age existing estimates: inflate, and reset-to-infinity on schedule. The
   // reset point is staggered per link (deterministically, from the link key):
   // estimates are usually born together in one congestion episode, and
   // resetting them all at once would fire synchronized probe storms.
-  for (auto it = estimates_.begin(); it != estimates_.end();) {
-    LinkEstimate& est = it->second;
+  for (std::uint32_t id = 0; id < estimates_.size(); ++id) {
+    LinkEstimate& est = estimates_[id];
+    if (!est.finite()) continue;
     est.capacity_bps *= (1.0 + params_->capacity_growth);
     ++est.age_intervals;
-    const std::size_t h = std::hash<LinkKey>{}(it->first);
+    const std::size_t h = std::hash<LinkKey>{}(links_.key(id));
     const double jitter =
         1.0 + params_->capacity_reset_jitter * static_cast<double>(h % 1024) / 1024.0;
     const int reset_at =
         std::max(1, static_cast<int>(params_->capacity_reset_intervals * jitter));
     if (est.age_intervals >= reset_at) {
-      it = estimates_.erase(it);  // back to the infinite-capacity assumption
-    } else {
-      ++it;
+      est = LinkEstimate{};  // back to the infinite-capacity assumption
     }
   }
 
   const double window_s = window.as_seconds();
   if (window_s <= 0.0) return;
 
-  for (const LinkObservation& obs : observations) {
-    if (obs.sessions.empty()) continue;
-    if (params_->estimate_shared_links_only && obs.sessions.size() < 2) continue;
+  const std::size_t n = std::min<std::size_t>(agg.size(), estimates_.size());
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const LinkAggregate& a = agg.row(id);
+    if (a.sessions == 0) continue;
+    if (params_->estimate_shared_links_only && a.sessions < 2) continue;
 
-    bool all_above = true;
-    double weighted_loss = 0.0;
-    double total_bytes = 0.0;
-    for (const LinkSessionObservation& s : obs.sessions) {
-      all_above = all_above && s.loss_rate > params_->p_threshold;
-      weighted_loss += s.loss_rate * static_cast<double>(s.max_subtree_bytes);
-      total_bytes += static_cast<double>(s.max_subtree_bytes);
-    }
-    const double overall_loss = total_bytes > 0.0 ? weighted_loss / total_bytes : 0.0;
-
-    if (!all_above || overall_loss <= params_->p_threshold) continue;
+    const double overall_loss =
+        a.total_bytes > 0.0 ? a.weighted_loss / a.total_bytes : 0.0;
+    if (!a.all_above_threshold || overall_loss <= params_->p_threshold) continue;
 
     // Delivered bits/s across the link this interval. A session's traffic on
     // the link is the union of the layers any downstream receiver kept, which
     // the best downstream receiver's byte count approximates.
-    const double delivered_bps = total_bytes * 8.0 / window_s;
+    const double delivered_bps = a.total_bytes * 8.0 / window_s;
     if (delivered_bps <= 0.0) continue;
 
     // Delivered throughput under loss is a *lower bound* on capacity: during
@@ -56,16 +51,46 @@ void CapacityEstimator::update(const std::vector<LinkObservation>& observations,
     // link well, but in the collapse tail (sessions already backed off,
     // residual queue loss) it under-measures badly. Never lower an existing
     // estimate — downward adaptation is what the periodic reset is for.
-    const auto it = estimates_.find(obs.link);
-    if (it != estimates_.end() && it->second.capacity_bps >= delivered_bps) continue;
-    estimates_[obs.link] = LinkEstimate{delivered_bps, 0};
+    if (estimates_[id].finite() && estimates_[id].capacity_bps >= delivered_bps) continue;
+    estimates_[id] = LinkEstimate{delivered_bps, 0};
   }
 }
 
+void CapacityEstimator::update(const std::vector<LinkObservation>& observations,
+                               sim::Time window) {
+  LinkAggregates agg;
+  // Intern first so the aggregate table covers every observed link.
+  for (const LinkObservation& obs : observations) links_.intern(obs.link);
+  agg.reset(links_.size());
+  for (const LinkObservation& obs : observations) {
+    if (obs.sessions.empty()) continue;
+    LinkAggregate& a = agg.row(links_.find(obs.link));
+    for (const LinkSessionObservation& s : obs.sessions) {
+      ++a.sessions;
+      a.all_above_threshold =
+          a.all_above_threshold && s.loss_rate > params_->p_threshold;
+      a.weighted_loss += s.loss_rate * static_cast<double>(s.max_subtree_bytes);
+      a.total_bytes += static_cast<double>(s.max_subtree_bytes);
+    }
+  }
+  update_aggregated(agg, window);
+}
+
 double CapacityEstimator::capacity_bps(LinkKey link) const {
-  const auto it = estimates_.find(link);
-  return it == estimates_.end() ? std::numeric_limits<double>::infinity()
-                                : it->second.capacity_bps;
+  const std::uint32_t id = links_.find(link);
+  return id == kNoLinkId ? std::numeric_limits<double>::infinity() : capacity_by_id(id);
+}
+
+void CapacityEstimator::snapshot_capacities(std::vector<double>& out) const {
+  out.assign(links_.size(), std::numeric_limits<double>::infinity());
+  const std::size_t n = std::min(out.size(), estimates_.size());
+  for (std::size_t id = 0; id < n; ++id) out[id] = estimates_[id].capacity_bps;
+}
+
+std::size_t CapacityEstimator::finite_estimates() const {
+  std::size_t n = 0;
+  for (const LinkEstimate& est : estimates_) n += est.finite() ? 1 : 0;
+  return n;
 }
 
 }  // namespace tsim::core

@@ -2,9 +2,9 @@
 
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
+#include "core/link_interner.hpp"
 #include "core/params.hpp"
 #include "core/types.hpp"
 
@@ -21,6 +21,34 @@ struct LinkSessionObservation {
 struct LinkObservation {
   LinkKey link{};
   std::vector<LinkSessionObservation> sessions;
+};
+
+/// Per-link aggregate of one interval's session observations — everything the
+/// estimator needs, reduced at collection time so the hot path never builds
+/// per-link session vectors.
+struct LinkAggregate {
+  std::uint32_t sessions{0};
+  bool all_above_threshold{true};  ///< every session's loss > p_threshold
+  double weighted_loss{0.0};       ///< Σ loss * bytes
+  double total_bytes{0.0};         ///< Σ max_subtree_bytes
+};
+
+/// Flat per-link aggregate table indexed by interned link id. Owned by the
+/// caller and reused across intervals: `reset` only zeroes (and grows) the
+/// storage, it never shrinks or rehashes.
+class LinkAggregates {
+ public:
+  /// Prepares the table for an interval over `links` interned links.
+  void reset(std::size_t links) {
+    rows_.assign(links, LinkAggregate{});
+  }
+
+  [[nodiscard]] LinkAggregate& row(std::uint32_t id) { return rows_[id]; }
+  [[nodiscard]] const LinkAggregate& row(std::uint32_t id) const { return rows_[id]; }
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<LinkAggregate> rows_;
 };
 
 /// State of one link's capacity estimate.
@@ -40,27 +68,53 @@ struct LinkEstimate {
 /// miss in-flight bytes) and are reset to infinity every
 /// `capacity_reset_intervals` intervals so transient flows and downstream
 /// bottlenecks cannot poison the estimate forever.
+///
+/// Storage is dense: the estimator owns the LinkInterner that assigns every
+/// link a uint32 id (stable across intervals — a topology-epoch artifact),
+/// and estimates live in a flat vector indexed by id. Iteration order is
+/// id order, i.e. deterministic first-encounter order, not hash order.
 class CapacityEstimator {
  public:
   explicit CapacityEstimator(const Params& params) : params_{&params} {}
 
-  /// Processes one interval's observations. `window` is the measurement
+  /// The link id table shared with the passes (ids index this estimator's
+  /// storage and every per-link pass table).
+  [[nodiscard]] LinkInterner& links() { return links_; }
+  [[nodiscard]] const LinkInterner& links() const { return links_; }
+
+  /// Processes one interval's aggregated observations (hot path). `agg` must
+  /// be indexed by this estimator's link ids; `window` is the measurement
   /// window length.
+  void update_aggregated(const LinkAggregates& agg, sim::Time window);
+
+  /// Convenience wrapper for tests and offline callers: interns the observed
+  /// links, aggregates, and delegates to update_aggregated.
   void update(const std::vector<LinkObservation>& observations, sim::Time window);
 
   /// Current estimate for a link (+inf when unknown).
   [[nodiscard]] double capacity_bps(LinkKey link) const;
 
-  [[nodiscard]] const std::unordered_map<LinkKey, LinkEstimate>& estimates() const {
-    return estimates_;
+  /// Current estimate by interned id (+inf when unknown). O(1).
+  [[nodiscard]] double capacity_by_id(std::uint32_t id) const {
+    return id < estimates_.size() ? estimates_[id].capacity_bps
+                                  : std::numeric_limits<double>::infinity();
   }
 
-  /// Drops all finite estimates (used by tests).
-  void reset() { estimates_.clear(); }
+  /// Copies all per-id capacities into `out` (sized to links().size()) so the
+  /// passes can do branch-free array lookups.
+  void snapshot_capacities(std::vector<double>& out) const;
+
+  /// Number of links currently holding a finite estimate.
+  [[nodiscard]] std::size_t finite_estimates() const;
+
+  /// Drops all finite estimates (used by tests). Interned ids survive — they
+  /// are topology state, not estimate state.
+  void reset() { estimates_.assign(links_.size(), LinkEstimate{}); }
 
  private:
   const Params* params_;
-  std::unordered_map<LinkKey, LinkEstimate> estimates_;
+  LinkInterner links_;
+  std::vector<LinkEstimate> estimates_;  ///< indexed by link id
 };
 
 }  // namespace tsim::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace tsim::core {
+
+/// Sentinel link id for tree roots (which have no uplink).
+inline constexpr std::uint32_t kNoLinkId = static_cast<std::uint32_t>(-1);
+
+/// Interns LinkKeys to dense uint32 ids. Ids are assigned in first-encounter
+/// order, which is deterministic (session inputs arrive in a fixed order and
+/// trees are walked in BFS order), so "iterate links by id" is a reproducible
+/// iteration order — unlike the seed's unordered_map hash order. The table
+/// only grows on topology change (a new link appearing), never per interval;
+/// per-interval link state lives in flat vectors indexed by these ids.
+class LinkInterner {
+ public:
+  /// Returns the id for `key`, assigning the next dense id on first sight.
+  std::uint32_t intern(LinkKey key) {
+    const auto [it, inserted] = ids_.try_emplace(key, static_cast<std::uint32_t>(keys_.size()));
+    if (inserted) keys_.push_back(key);
+    return it->second;
+  }
+
+  /// Id for `key`, or kNoLinkId when never interned.
+  [[nodiscard]] std::uint32_t find(LinkKey key) const {
+    const auto it = ids_.find(key);
+    return it == ids_.end() ? kNoLinkId : it->second;
+  }
+
+  [[nodiscard]] LinkKey key(std::uint32_t id) const { return keys_[id]; }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+  void clear() {
+    ids_.clear();
+    keys_.clear();
+  }
+
+ private:
+  std::unordered_map<LinkKey, std::uint32_t> ids_;
+  std::vector<LinkKey> keys_;
+};
+
+}  // namespace tsim::core

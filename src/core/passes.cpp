@@ -18,7 +18,8 @@ LabeledTree::LabeledTree(TreeIndex t)
       max_subtree_bytes(tree.size(), 0),
       bottleneck_bps(tree.size(), kInf),
       max_handle_bps(tree.size(), kInf),
-      share_bps(tree.size(), kInf) {}
+      share_bps(tree.size(), kInf),
+      link_id(tree.size(), kNoLinkId) {}
 
 void label_congestion(LabeledTree& lt, const Params& params) {
   const TreeIndex& tree = lt.tree;
@@ -85,8 +86,22 @@ void label_congestion(LabeledTree& lt, const Params& params) {
   }
 }
 
+void assign_link_ids(LabeledTree& lt, LinkInterner& links) {
+  const TreeIndex& tree = lt.tree;
+  lt.link_id.assign(tree.size(), kNoLinkId);
+  for (const auto idx : tree.bfs_order()) {
+    const std::size_t i = static_cast<std::size_t>(idx);
+    const int p = tree.parent(i);
+    if (p < 0) continue;
+    lt.link_id[i] =
+        links.intern(LinkKey{tree.node(static_cast<std::size_t>(p)).node, tree.node(i).node});
+  }
+}
+
 std::vector<LinkObservation> collect_link_observations(const std::vector<LabeledTree>& trees) {
-  std::unordered_map<LinkKey, LinkObservation> by_link;
+  // First-encounter order (deterministic), with a side index for lookups.
+  std::vector<LinkObservation> result;
+  std::unordered_map<LinkKey, std::size_t> index;
   for (const LabeledTree& lt : trees) {
     const TreeIndex& tree = lt.tree;
     for (const auto idx : tree.bfs_order()) {
@@ -94,19 +109,34 @@ std::vector<LinkObservation> collect_link_observations(const std::vector<Labeled
       const int p = tree.parent(i);
       if (p < 0) continue;
       const LinkKey key{tree.node(static_cast<std::size_t>(p)).node, tree.node(i).node};
-      LinkObservation& obs = by_link[key];
-      obs.link = key;
-      obs.sessions.push_back(LinkSessionObservation{tree.session(), lt.loss[i],
-                                                    lt.max_subtree_bytes[i]});
+      const auto [it, inserted] = index.try_emplace(key, result.size());
+      if (inserted) result.push_back(LinkObservation{key, {}});
+      result[it->second].sessions.push_back(
+          LinkSessionObservation{tree.session(), lt.loss[i], lt.max_subtree_bytes[i]});
     }
   }
-  std::vector<LinkObservation> result;
-  result.reserve(by_link.size());
-  for (auto& [key, obs] : by_link) result.push_back(std::move(obs));
   return result;
 }
 
-void compute_bottlenecks(LabeledTree& lt, const CapacityEstimator& capacities) {
+void collect_link_aggregates(const std::vector<LabeledTree*>& trees, const Params& params,
+                             std::size_t link_count, LinkAggregates& out) {
+  out.reset(link_count);
+  for (const LabeledTree* lt : trees) {
+    const TreeIndex& tree = lt->tree;
+    for (const auto idx : tree.bfs_order()) {
+      const std::size_t i = static_cast<std::size_t>(idx);
+      const std::uint32_t id = lt->link_id[i];
+      if (id == kNoLinkId) continue;
+      LinkAggregate& a = out.row(id);
+      ++a.sessions;
+      a.all_above_threshold = a.all_above_threshold && lt->loss[i] > params.p_threshold;
+      a.weighted_loss += lt->loss[i] * static_cast<double>(lt->max_subtree_bytes[i]);
+      a.total_bytes += static_cast<double>(lt->max_subtree_bytes[i]);
+    }
+  }
+}
+
+void compute_bottlenecks(LabeledTree& lt, const std::vector<double>& cap_by_id) {
   const TreeIndex& tree = lt.tree;
   const auto& order = tree.bfs_order();
 
@@ -118,9 +148,9 @@ void compute_bottlenecks(LabeledTree& lt, const CapacityEstimator& capacities) {
       lt.bottleneck_bps[i] = kInf;
       continue;
     }
-    const std::size_t pi = static_cast<std::size_t>(p);
-    const LinkKey key{tree.node(pi).node, tree.node(i).node};
-    lt.bottleneck_bps[i] = std::min(lt.bottleneck_bps[pi], capacities.capacity_bps(key));
+    const std::uint32_t id = lt.link_id[i];
+    const double cap = id < cap_by_id.size() ? cap_by_id[id] : kInf;
+    lt.bottleneck_bps[i] = std::min(lt.bottleneck_bps[static_cast<std::size_t>(p)], cap);
   }
 
   // Bottom-up: the max bandwidth a node can handle is the max bottleneck of
@@ -139,17 +169,33 @@ void compute_bottlenecks(LabeledTree& lt, const CapacityEstimator& capacities) {
   }
 }
 
-void compute_fair_shares(std::vector<LabeledTree>& trees, const CapacityEstimator& capacities,
-                         const Params& params) {
+void compute_bottlenecks(LabeledTree& lt, const CapacityEstimator& capacities) {
+  // Resolve capacities through the estimator's interner, then run the dense
+  // pass. Trees on the hot path already carry matching link ids; trees built
+  // by tests may not, so ids are resolved (without interning) per call.
+  const TreeIndex& tree = lt.tree;
+  for (const auto idx : tree.bfs_order()) {
+    const std::size_t i = static_cast<std::size_t>(idx);
+    const int p = tree.parent(i);
+    lt.link_id[i] = p < 0 ? kNoLinkId
+                          : capacities.links().find(LinkKey{
+                                tree.node(static_cast<std::size_t>(p)).node, tree.node(i).node});
+  }
+  std::vector<double> cap_by_id;
+  capacities.snapshot_capacities(cap_by_id);
+  compute_bottlenecks(lt, cap_by_id);
+}
+
+void compute_fair_shares(const std::vector<LabeledTree*>& trees,
+                         const std::vector<double>& cap_by_id, const Params& params,
+                         PassWorkspace& ws) {
+  const std::size_t link_count = cap_by_id.size();
+
   // How many sessions cross each link (for the all-others-at-base headroom).
-  std::unordered_map<LinkKey, int> crossing;
-  for (const LabeledTree& lt : trees) {
-    const TreeIndex& tree = lt.tree;
-    for (const auto idx : tree.bfs_order()) {
-      const std::size_t i = static_cast<std::size_t>(idx);
-      const int p = tree.parent(i);
-      if (p < 0) continue;
-      ++crossing[LinkKey{tree.node(static_cast<std::size_t>(p)).node, tree.node(i).node}];
+  ws.crossing.assign(link_count, 0);
+  for (const LabeledTree* lt : trees) {
+    for (const std::uint32_t id : lt->link_id) {
+      if (id != kNoLinkId) ++ws.crossing[id];
     }
   }
 
@@ -158,56 +204,55 @@ void compute_fair_shares(std::vector<LabeledTree>& trees, const CapacityEstimato
   // Per session: top-down headroom if all other sessions sat at base layer,
   // then x at each leaf, then bottom-up max -> x_i per node (and so per link,
   // via the link's child endpoint).
-  std::vector<std::vector<double>> x(trees.size());
+  if (ws.x.size() < trees.size()) ws.x.resize(trees.size());
   for (std::size_t s = 0; s < trees.size(); ++s) {
-    const TreeIndex& tree = trees[s].tree;
-    std::vector<double> headroom(tree.size(), kInf);
+    const LabeledTree& lt = *trees[s];
+    const TreeIndex& tree = lt.tree;
+    ws.headroom.assign(tree.size(), kInf);
     for (const auto idx : tree.bfs_order()) {
       const std::size_t i = static_cast<std::size_t>(idx);
       const int p = tree.parent(i);
       if (p < 0) continue;
-      const std::size_t pi = static_cast<std::size_t>(p);
-      const LinkKey key{tree.node(pi).node, tree.node(i).node};
-      const double cap = capacities.capacity_bps(key);
+      const std::uint32_t id = lt.link_id[i];
+      const double cap = id < link_count ? cap_by_id[id] : kInf;
       double avail = kInf;
       if (cap != kInf) {
-        avail = cap - base * static_cast<double>(crossing[key] - 1);
+        avail = cap - base * static_cast<double>(ws.crossing[id] - 1);
         avail = std::max(avail, base);  // never below one base layer
       }
-      headroom[i] = std::min(headroom[pi], avail);
+      ws.headroom[i] = std::min(ws.headroom[static_cast<std::size_t>(p)], avail);
     }
-    x[s].assign(tree.size(), 0.0);
+    ws.x[s].assign(tree.size(), 0.0);
     const auto& order = tree.bfs_order();
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       const std::size_t i = static_cast<std::size_t>(*it);
       double xi = 0.0;
       if (tree.node(i).is_receiver) {
-        xi = headroom[i] == kInf
+        xi = ws.headroom[i] == kInf
                  ? static_cast<double>(params.layers.num_layers)
-                 : static_cast<double>(params.layers.max_layers_for_bandwidth(headroom[i]));
+                 : static_cast<double>(params.layers.max_layers_for_bandwidth(ws.headroom[i]));
       }
       for (const auto c : tree.children(i)) {
-        xi = std::max(xi, x[s][static_cast<std::size_t>(c)]);
+        xi = std::max(xi, ws.x[s][static_cast<std::size_t>(c)]);
       }
-      x[s][i] = std::max(xi, 1.0);
+      ws.x[s][i] = std::max(xi, 1.0);
     }
   }
 
   // Sum of x over sessions per link.
-  std::unordered_map<LinkKey, double> x_sum;
+  ws.x_sum.assign(link_count, 0.0);
   for (std::size_t s = 0; s < trees.size(); ++s) {
-    const TreeIndex& tree = trees[s].tree;
-    for (const auto idx : tree.bfs_order()) {
+    const LabeledTree& lt = *trees[s];
+    for (const auto idx : lt.tree.bfs_order()) {
       const std::size_t i = static_cast<std::size_t>(idx);
-      const int p = tree.parent(i);
-      if (p < 0) continue;
-      x_sum[LinkKey{tree.node(static_cast<std::size_t>(p)).node, tree.node(i).node}] += x[s][i];
+      const std::uint32_t id = lt.link_id[i];
+      if (id != kNoLinkId) ws.x_sum[id] += ws.x[s][i];
     }
   }
 
   // Per node: min over the path of the per-link share.
   for (std::size_t s = 0; s < trees.size(); ++s) {
-    LabeledTree& lt = trees[s];
+    LabeledTree& lt = *trees[s];
     const TreeIndex& tree = lt.tree;
     for (const auto idx : tree.bfs_order()) {
       const std::size_t i = static_cast<std::size_t>(idx);
@@ -216,21 +261,40 @@ void compute_fair_shares(std::vector<LabeledTree>& trees, const CapacityEstimato
         lt.share_bps[i] = kInf;
         continue;
       }
-      const std::size_t pi = static_cast<std::size_t>(p);
-      const LinkKey key{tree.node(pi).node, tree.node(i).node};
-      const double cap = capacities.capacity_bps(key);
+      const std::uint32_t id = lt.link_id[i];
+      const double cap = id < link_count ? cap_by_id[id] : kInf;
       double share = kInf;
       if (cap != kInf) {
-        if (crossing[key] > 1) {
-          share = x[s][i] * cap / x_sum[key];
+        if (ws.crossing[id] > 1) {
+          share = ws.x[s][i] * cap / ws.x_sum[id];
         } else {
           share = cap;
         }
         share = std::max(share, base);  // every session keeps its base layer
       }
-      lt.share_bps[i] = std::min(lt.share_bps[pi], share);
+      lt.share_bps[i] = std::min(lt.share_bps[static_cast<std::size_t>(p)], share);
     }
   }
+}
+
+void compute_fair_shares(std::vector<LabeledTree>& trees, const CapacityEstimator& capacities,
+                         const Params& params) {
+  // Assign link ids from a local interner (the estimator's interner may not
+  // cover edges of hand-built test trees, and it is const here), snapshot
+  // capacities per id, and delegate to the dense core.
+  LinkInterner links;
+  std::vector<LabeledTree*> ptrs;
+  ptrs.reserve(trees.size());
+  for (LabeledTree& lt : trees) {
+    assign_link_ids(lt, links);
+    ptrs.push_back(&lt);
+  }
+  std::vector<double> cap_by_id(links.size());
+  for (std::uint32_t id = 0; id < links.size(); ++id) {
+    cap_by_id[id] = capacities.capacity_bps(links.key(id));
+  }
+  PassWorkspace ws;
+  compute_fair_shares(ptrs, cap_by_id, params, ws);
 }
 
 }  // namespace tsim::core

@@ -270,24 +270,42 @@ AlgorithmOutput TopoSense::run_interval(const AlgorithmInput& input, sim::Time n
   AlgorithmOutput output;
 
   // Build and label all session trees first — capacity estimation and fair
-  // sharing need the cross-session view.
-  std::vector<LabeledTree> trees;
-  trees.reserve(input.sessions.size());
+  // sharing need the cross-session view. Trees are cached per session and
+  // rebuilt only when the structure signature changes (receiver churn, route
+  // change); otherwise only the measurements are refreshed in place.
+  active_trees_.clear();
   for (const SessionInput& session : input.sessions) {
     if (session.nodes.empty()) continue;
-    trees.emplace_back(TreeIndex{session});
-    label_congestion(trees.back(), params_);
+    const std::uint64_t signature = TreeIndex::structure_signature(session);
+    auto it = tree_cache_.find(session.session);
+    if (it == tree_cache_.end() || it->second.signature != signature) {
+      CachedTree fresh{signature, interval_count_, LabeledTree{TreeIndex{session}}};
+      if (it == tree_cache_.end()) {
+        it = tree_cache_.emplace(session.session, std::move(fresh)).first;
+      } else {
+        it->second = std::move(fresh);
+      }
+      assign_link_ids(it->second.lt, capacities_.links());
+    } else {
+      it->second.lt.tree.refresh_measurements(session);
+      it->second.last_seen_interval = interval_count_;
+    }
+    label_congestion(it->second.lt, params_);
+    active_trees_.push_back(&it->second.lt);
   }
 
-  capacities_.update(collect_link_observations(trees), input.window);
+  collect_link_aggregates(active_trees_, params_, capacities_.links().size(), ws_.aggregates);
+  capacities_.update_aggregated(ws_.aggregates, input.window);
+  capacities_.snapshot_capacities(ws_.cap_by_id);
 
-  for (LabeledTree& lt : trees) compute_bottlenecks(lt, capacities_);
-  compute_fair_shares(trees, capacities_, params_);
+  for (LabeledTree* lt : active_trees_) compute_bottlenecks(*lt, ws_.cap_by_id);
+  compute_fair_shares(active_trees_, ws_.cap_by_id, params_, ws_);
 
   const double window_s = std::max(input.window.as_seconds(), 1e-9);
   std::vector<int> demand;
   std::vector<int> supply;
-  for (LabeledTree& lt : trees) {
+  for (LabeledTree* lt_ptr : active_trees_) {
+    LabeledTree& lt = *lt_ptr;
     compute_demands(lt, demand, now, window_s);
     allocate_supply(lt, demand, supply);
 
@@ -318,6 +336,10 @@ AlgorithmOutput TopoSense::run_interval(const AlgorithmInput& input, sim::Time n
   if ((interval_count_ & 0x3F) == 0) {
     for (auto it = memory_.begin(); it != memory_.end();) {
       it = it->second.last_seen_interval + 64 < interval_count_ ? memory_.erase(it)
+                                                                : std::next(it);
+    }
+    for (auto it = tree_cache_.begin(); it != tree_cache_.end();) {
+      it = it->second.last_seen_interval + 64 < interval_count_ ? tree_cache_.erase(it)
                                                                 : std::next(it);
     }
   }

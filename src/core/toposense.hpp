@@ -81,9 +81,22 @@ class TopoSense {
   void allocate_supply(const LabeledTree& lt, const std::vector<int>& demand,
                        std::vector<int>& supply) const;
 
+  /// One session's labeled tree, cached across intervals. The TreeIndex (and
+  /// the interned link ids) are rebuilt only when the session's structure
+  /// signature changes — a topology epoch — so steady-state intervals touch
+  /// no hash tables and allocate nothing on the pass hot path.
+  struct CachedTree {
+    std::uint64_t signature{0};
+    std::uint64_t last_seen_interval{0};
+    LabeledTree lt;
+  };
+
   Params params_;
   sim::Rng rng_;
   CapacityEstimator capacities_;
+  PassWorkspace ws_;
+  std::unordered_map<net::SessionId, CachedTree> tree_cache_;
+  std::vector<LabeledTree*> active_trees_;  ///< this interval's trees, input order
   std::unordered_map<std::uint64_t, NodeMemory> memory_;
   /// (session,node) -> layer -> no-resubscribe-before time.
   std::unordered_map<std::uint64_t, std::unordered_map<int, sim::Time>> backoff_;

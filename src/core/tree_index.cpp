@@ -53,12 +53,14 @@ TreeIndex::TreeIndex(const SessionInput& input) : session_{input.session} {
   parents_.reserve(order.size());
   children_.resize(order.size());
   bfs_.reserve(order.size());
+  input_map_.assign(input.nodes.size(), -1);
   std::unordered_map<net::NodeId, std::int32_t> new_index;
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
     const SessionNodeInput& n = input.nodes[order[rank]];
     nodes_.push_back(n);
     new_index[n.node] = static_cast<std::int32_t>(rank);
     bfs_.push_back(static_cast<std::int32_t>(rank));
+    input_map_[order[rank]] = static_cast<std::int32_t>(rank);
   }
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
     const SessionNodeInput& n = nodes_[rank];
@@ -79,6 +81,36 @@ TreeIndex::TreeIndex(const SessionInput& input) : session_{input.session} {
 int TreeIndex::index_of(net::NodeId node) const {
   const auto it = by_id_.find(node);
   return it == by_id_.end() ? -1 : it->second;
+}
+
+std::uint64_t TreeIndex::structure_signature(const SessionInput& input) {
+  // FNV-1a over the structural fields, in input order.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(input.session);
+  mix(input.source);
+  mix(input.nodes.size());
+  for (const SessionNodeInput& n : input.nodes) {
+    mix(n.node);
+    mix(n.parent);
+    mix(n.is_receiver ? 1 : 0);
+  }
+  return h;
+}
+
+void TreeIndex::refresh_measurements(const SessionInput& input) {
+  for (std::size_t k = 0; k < input.nodes.size(); ++k) {
+    const std::int32_t idx = input_map_[k];
+    if (idx < 0) continue;  // node was unreachable from the source
+    SessionNodeInput& n = nodes_[static_cast<std::size_t>(idx)];
+    const SessionNodeInput& src = input.nodes[k];
+    n.loss_rate = src.loss_rate;
+    n.bytes_received = src.bytes_received;
+    n.subscription = src.subscription;
+  }
 }
 
 }  // namespace tsim::core

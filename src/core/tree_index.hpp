@@ -34,12 +34,24 @@ class TreeIndex {
 
   [[nodiscard]] net::SessionId session() const { return session_; }
 
+  /// Hash over everything that shapes the index: session, source, and each
+  /// node's (id, parent, is_receiver) in input order. Two inputs with equal
+  /// signatures index identically, so a cached TreeIndex can be reused across
+  /// intervals (a "topology epoch") with only the measurements refreshed.
+  [[nodiscard]] static std::uint64_t structure_signature(const SessionInput& input);
+
+  /// Overwrites the per-node measurements (loss, bytes, subscription) from a
+  /// new interval's input with the same structure_signature as the one this
+  /// index was built from. O(n), no hashing, no allocation.
+  void refresh_measurements(const SessionInput& input);
+
  private:
   net::SessionId session_{0};
   std::vector<SessionNodeInput> nodes_;
   std::vector<std::int32_t> parents_;
   std::vector<std::vector<std::int32_t>> children_;
   std::vector<std::int32_t> bfs_;
+  std::vector<std::int32_t> input_map_;  ///< input position -> index (-1 if dropped)
   std::unordered_map<net::NodeId, std::int32_t> by_id_;
 };
 

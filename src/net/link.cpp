@@ -1,5 +1,6 @@
 #include "net/link.hpp"
 
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -34,6 +35,18 @@ void Link::enqueue(const Packet& packet) {
   ++stats_.enqueued_packets;
 
   if (red_enabled_) {
+    // Idle-time decay (Floyd/Jacobson §4): arrivals stop while the link is
+    // idle, so the EWMA would otherwise freeze at its last (possibly high)
+    // value and spuriously early-drop the first packets of a new burst.
+    // Decay by the number of packets that *could* have been transmitted
+    // during the idle period, as if each had sampled an empty queue.
+    if (!transmitting_ && queue_.empty() && red_avg_ > 0.0) {
+      const double slot_s = transmission_time(packet.size_bytes).as_seconds();
+      const double idle_s = (simulation_.now() - idle_since_).as_seconds();
+      if (slot_s > 0.0 && idle_s > 0.0) {
+        red_avg_ *= std::pow(1.0 - red_.queue_weight, idle_s / slot_s);
+      }
+    }
     // EWMA of the instantaneous queue length, updated per arrival.
     red_avg_ = (1.0 - red_.queue_weight) * red_avg_ +
                red_.queue_weight * static_cast<double>(queue_.size());
@@ -92,6 +105,7 @@ void Link::on_transmission_complete(Packet packet) {
                       [this, next = std::move(next)]() { on_transmission_complete(next); });
   } else {
     transmitting_ = false;
+    idle_since_ = simulation_.now();
   }
 }
 

@@ -88,6 +88,7 @@ class Link {
   bool red_enabled_{false};
   RedConfig red_;
   double red_avg_{0.0};
+  sim::Time idle_since_{sim::Time::zero()};  ///< when the transmitter last went idle
   sim::Rng red_rng_;
 };
 

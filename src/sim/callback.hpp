@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tsim::sim {
+
+/// Move-only callable with inline storage: the scheduler's replacement for
+/// std::function<void()>. Every simulated packet schedules two events whose
+/// closures capture a Packet (~56 bytes) — past std::function's small-buffer
+/// limit, so the seed allocated twice per packet on the hot path. Callables
+/// up to kInlineBytes live inside the event entry itself; larger ones fall
+/// back to the heap (rare: only oversized captures in tests/benches).
+class SmallCallback {
+ public:
+  /// Sized for [this, Packet] captures with headroom for one extra pointer.
+  static constexpr std::size_t kInlineBytes = 88;
+
+  SmallCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept : ops_{other.ops_} {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buffer_, buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buffer_, buffer_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  void operator()() { ops_->invoke(buffer_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct into dst from src, then destroy src.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* storage) { (*std::launder(static_cast<Fn*>(storage)))(); },
+      [](void* src, void* dst) noexcept {
+        Fn* from = std::launder(static_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* storage) noexcept { std::launder(static_cast<Fn*>(storage))->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](void* storage) { (**std::launder(static_cast<Fn**>(storage)))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) Fn*(*std::launder(static_cast<Fn**>(src)));
+      },
+      [](void* storage) noexcept { delete *std::launder(static_cast<Fn**>(storage)); }};
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kInlineBytes];
+  const Ops* ops_{nullptr};
+};
+
+}  // namespace tsim::sim

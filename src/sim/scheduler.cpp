@@ -10,8 +10,18 @@ EventId Scheduler::schedule_at(Time when, Callback cb) {
   if (when < now_) {
     throw std::invalid_argument("Scheduler::schedule_at: time is in the past");
   }
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{});
+  }
+  slots_[slot].cancelled = false;
+  slots_[slot].cb = std::move(cb);
+  const std::uint64_t id = encode(slot, slots_[slot].generation);
+  queue_.push(Entry{when, next_seq_++, id});
   return EventId{id};
 }
 
@@ -20,23 +30,41 @@ EventId Scheduler::schedule_after(Time delay, Callback cb) {
 }
 
 void Scheduler::cancel(EventId id) {
-  if (id.value != 0) cancelled_.insert(id.value);
+  if (id.value == 0) return;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id.value & 0xFFFFFFFFu) - 1;
+  const std::uint32_t generation = static_cast<std::uint32_t>(id.value >> 32);
+  // Stale handles (event already fired, or never existed) miss on the
+  // generation check and are dropped — no tombstone accumulates.
+  if (slot >= slots_.size() || slots_[slot].generation != generation) return;
+  if (!slots_[slot].cancelled) {
+    slots_[slot].cancelled = true;
+    ++cancelled_pending_;
+  }
+}
+
+bool Scheduler::take_front(Callback& out) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(queue_.top().id & 0xFFFFFFFFu) - 1;
+  const bool cancelled = slots_[slot].cancelled;
+  if (cancelled) {
+    slots_[slot].cancelled = false;
+    slots_[slot].cb = Callback{};
+    --cancelled_pending_;
+  } else {
+    out = std::move(slots_[slot].cb);
+  }
+  ++slots_[slot].generation;  // invalidate outstanding handles to this event
+  free_slots_.push_back(slot);
+  queue_.pop();
+  return !cancelled;
 }
 
 bool Scheduler::step() {
   while (!queue_.empty()) {
-    // priority_queue::top is const; the callback is `mutable` so it can be
-    // moved out before pop (the entry is dead afterwards either way).
-    const Entry& top = queue_.top();
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    assert(top.when >= now_);
-    now_ = top.when;
-    Callback cb = std::move(top.cb);
-    queue_.pop();
+    const Time when = queue_.top().when;
+    assert(when >= now_);
+    Callback cb;
+    if (!take_front(cb)) continue;
+    now_ = when;
     ++executed_;
     cb();
     return true;
@@ -46,16 +74,11 @@ bool Scheduler::step() {
 
 void Scheduler::run_until(Time until) {
   while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    if (top.when > until) break;
-    now_ = top.when;
-    Callback cb = std::move(top.cb);
-    queue_.pop();
+    const Time when = queue_.top().when;
+    if (when > until) break;
+    Callback cb;
+    if (!take_front(cb)) continue;
+    now_ = when;
     ++executed_;
     cb();
   }

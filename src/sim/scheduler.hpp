@@ -1,16 +1,18 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace tsim::sim {
 
-/// Opaque handle to a scheduled event; used for cancellation.
+/// Opaque handle to a scheduled event; used for cancellation. Encodes a slot
+/// in the scheduler's cancellation pool plus a generation counter, so handles
+/// of already-fired events go stale automatically (cancelling one is a no-op
+/// instead of leaking tombstone state, as the seed's cancelled-id set did).
 struct EventId {
   std::uint64_t value{0};
   [[nodiscard]] friend bool operator==(EventId, EventId) = default;
@@ -22,9 +24,16 @@ struct EventId {
 /// requirement for reproducible experiments; parallelism in the benches comes
 /// from running independent simulations on separate threads, each with its
 /// own Scheduler.
+///
+/// Allocation behaviour: each pending event lives in a free-listed slot pool
+/// whose size is bounded by the maximum number of *concurrently pending*
+/// events, not by the total number of events ever scheduled or cancelled.
+/// Callbacks up to SmallCallback::kInlineBytes are stored inline in the slot
+/// (no per-event heap allocation), and the priority-queue entries are 24-byte
+/// PODs — heap sifts never move callback storage.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
   /// Schedules `cb` at absolute time `when` (must be >= now()).
   EventId schedule_at(Time when, Callback cb);
@@ -44,16 +53,18 @@ class Scheduler {
   bool step();
 
   [[nodiscard]] Time now() const { return now_; }
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_pending_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  /// Size of the cancellation slot pool — bounded by the peak number of
+  /// simultaneously pending events. Exposed so tests can pin the bound.
+  [[nodiscard]] std::size_t slot_pool_size() const { return slots_.size(); }
 
  private:
   struct Entry {
     Time when;
     std::uint64_t seq;
-    std::uint64_t id;
-    // Shared ownership not needed: callbacks are moved into the entry.
-    mutable Callback cb;
+    std::uint64_t id;  ///< encoded EventId (slot + generation)
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -61,13 +72,30 @@ class Scheduler {
       return a.seq > b.seq;
     }
   };
+  /// One pending event: its callback plus cancellation state. `generation`
+  /// is bumped when the slot is released, so EventIds referring to a previous
+  /// occupant miss.
+  struct Slot {
+    std::uint32_t generation{1};  ///< generation 0 never matches: EventId{0} is null
+    bool cancelled{false};
+    Callback cb;
+  };
+
+  static constexpr std::uint64_t encode(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<std::uint64_t>(generation) << 32) | (slot + 1);
+  }
+
+  /// Pops the queue front, releasing its cancellation slot. Returns true when
+  /// the entry was live (not cancelled); the callback is moved to `out`.
+  bool take_front(Callback& out);
 
   Time now_{Time::zero()};
   std::uint64_t next_seq_{0};
-  std::uint64_t next_id_{1};
   std::uint64_t executed_{0};
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t cancelled_pending_{0};
 };
 
 }  // namespace tsim::sim

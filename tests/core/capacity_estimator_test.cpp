@@ -158,7 +158,7 @@ TEST(CapacityEstimatorTest, ResetClearsEverything) {
   CapacityEstimator est{p};
   est.update({obs({1, 2}, {{0, 0.10, 125'000}})}, 1_s);
   est.reset();
-  EXPECT_TRUE(est.estimates().empty());
+  EXPECT_EQ(est.finite_estimates(), 0u);
   EXPECT_TRUE(std::isinf(est.capacity_bps(LinkKey{1, 2})));
 }
 

@@ -83,6 +83,65 @@ TEST_F(RedFixture, RedKeepsQueueShorter) {
   EXPECT_LT(red_queue, net2.link(l2).queue_length());
 }
 
+TEST_F(RedFixture, IdleDecayShrinksAverageQueue) {
+  // Floyd/Jacobson idle handling: the EWMA only updates on arrivals, so
+  // after an idle period the stale average must be decayed as if the queue
+  // had drained one packet per transmission slot.
+  build(200e3, 50, true);
+  traffic::CbrFlow::Config burst_cfg;
+  burst_cfg.src = a;
+  burst_cfg.dst = b;
+  burst_cfg.rate_bps = 300e3;  // 150% load for 30s builds the average up
+  burst_cfg.stop = 30_s;
+  traffic::CbrFlow burst{simulation, network, burst_cfg};
+  burst.start();
+  simulation.run_until(30_s);
+  const double busy_avg = network.link(link).red_average_queue();
+  ASSERT_GT(busy_avg, 1.0);
+
+  // Two idle minutes (the queue drains, no arrivals touch the EWMA)...
+  simulation.run_until(150_s);
+  EXPECT_DOUBLE_EQ(network.link(link).red_average_queue(), busy_avg);  // stale until an arrival
+
+  // ...then a single trickle arrival: the decay collapses the average.
+  traffic::CbrFlow::Config cfg;
+  cfg.src = a;
+  cfg.dst = b;
+  cfg.rate_bps = 8e3;  // one 1000-byte packet per second
+  cfg.start = 150_s;
+  cfg.stop = 152_s;
+  traffic::CbrFlow flow{simulation, network, cfg};
+  flow.start();
+  simulation.run_until(152_s);
+  EXPECT_LT(network.link(link).red_average_queue(), 0.05 * busy_avg);
+}
+
+TEST_F(RedFixture, NoSpuriousDropsAfterIdle) {
+  // Without idle decay, the stale average can sit above min_threshold and
+  // early-drop the first packets of a new burst on an empty queue.
+  build(200e3, 50, true);
+  traffic::CbrFlow::Config burst_cfg;
+  burst_cfg.src = a;
+  burst_cfg.dst = b;
+  burst_cfg.rate_bps = 300e3;
+  burst_cfg.stop = 30_s;
+  traffic::CbrFlow burst{simulation, network, burst_cfg};
+  burst.start();
+  simulation.run_until(150_s);
+  const auto drops_before = network.link(link).stats().dropped_packets;
+
+  traffic::CbrFlow::Config cfg;
+  cfg.src = a;
+  cfg.dst = b;
+  cfg.rate_bps = 100e3;  // 50% load: must sail through untouched
+  cfg.start = 150_s;
+  cfg.stop = 180_s;
+  traffic::CbrFlow flow{simulation, network, cfg};
+  flow.start();
+  simulation.run_until(180_s);
+  EXPECT_EQ(network.link(link).stats().dropped_packets, drops_before);
+}
+
 TEST_F(RedFixture, RedFlagAndAccessors) {
   build(1e6, 50, false);
   EXPECT_FALSE(network.link(link).red_enabled());

@@ -1,0 +1,123 @@
+// Tests for the scheduler's slot-pool cancellation state and SmallCallback
+// storage: the pool must stay bounded by the peak number of concurrently
+// pending events (the seed's cancelled-id set grew without bound), stale
+// handles must miss harmlessly, and FIFO tie-breaking must hold across both
+// inline and heap-allocated callback storage.
+
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace tsim::sim {
+namespace {
+
+using namespace tsim::sim::time_literals;
+
+TEST(SchedulerPoolTest, CancelledIdsDoNotAccumulate) {
+  Scheduler sched;
+  // The seed kept every cancelled id in a set forever; the slot pool must
+  // instead stay bounded by the peak number of concurrently pending events.
+  for (int i = 0; i < 10'000; ++i) {
+    const EventId keep = sched.schedule_after(1_s, [] {});
+    const EventId drop = sched.schedule_after(2_s, [] {});
+    sched.cancel(drop);
+    sched.run_until(sched.now() + 3_s);
+    (void)keep;
+  }
+  EXPECT_EQ(sched.pending_events(), 0u);
+  EXPECT_LE(sched.slot_pool_size(), 4u);  // peak concurrency was 2
+  EXPECT_EQ(sched.executed_events(), 10'000u);
+}
+
+TEST(SchedulerPoolTest, CancelAfterFireIsHarmless) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId id = sched.schedule_at(1_s, [&] { ++fired; });
+  sched.run_until(2_s);
+  EXPECT_EQ(fired, 1);
+  // The slot has been recycled; the stale handle must not cancel whatever
+  // occupies it now.
+  sched.cancel(id);
+  sched.schedule_at(3_s, [&] { ++fired; });
+  sched.run_until(4_s);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerPoolTest, StaleHandleMissesRecycledSlot) {
+  Scheduler sched;
+  bool first = false;
+  bool second = false;
+  const EventId a = sched.schedule_at(1_s, [&] { first = true; });
+  sched.run_until(1_s);  // slot freed, generation bumped
+  const EventId b = sched.schedule_at(2_s, [&] { second = true; });
+  sched.cancel(a);  // stale: same slot, old generation
+  sched.run_until(2_s);
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+  EXPECT_NE(a, b);
+}
+
+TEST(SchedulerPoolTest, DoubleCancelCountsOnce) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(1_s, [] {});
+  sched.schedule_at(1_s, [] {});
+  sched.cancel(id);
+  sched.cancel(id);  // must not double-decrement the pending count
+  EXPECT_EQ(sched.pending_events(), 1u);
+  sched.run_until(2_s);
+  EXPECT_EQ(sched.pending_events(), 0u);
+}
+
+TEST(SchedulerPoolTest, FifoOrderHoldsAcrossInlineAndHeapCallbacks) {
+  Scheduler sched;
+  std::vector<int> order;
+  // Alternate small captures (inline storage) with captures too large for the
+  // inline buffer (heap storage): the tie-break must depend only on schedule
+  // order, never on where the callback lives.
+  for (int i = 0; i < 16; ++i) {
+    if (i % 2 == 0) {
+      sched.schedule_at(1_s, [&order, i] { order.push_back(i); });
+    } else {
+      std::array<std::uint64_t, 32> payload{};  // 256 bytes: forces heap storage
+      payload[0] = static_cast<std::uint64_t>(i);
+      sched.schedule_at(1_s, [&order, payload] {
+        order.push_back(static_cast<int>(payload[0]));
+      });
+    }
+  }
+  sched.run_until(1_s);
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerPoolTest, HeapCallbackSurvivesSlotRecycling) {
+  Scheduler sched;
+  std::vector<int> seen;
+  std::array<std::uint64_t, 32> payload{};
+  payload[0] = 41;
+  const EventId id = sched.schedule_at(5_s, [&seen, payload] {
+    seen.push_back(static_cast<int>(payload[0]));
+  });
+  sched.cancel(id);
+  // Recycle the same slot with a different heap-stored callback.
+  payload[0] = 42;
+  sched.schedule_at(5_s, [&seen, payload] { seen.push_back(static_cast<int>(payload[0])); });
+  sched.run_until(10_s);
+  EXPECT_EQ(seen, (std::vector<int>{42}));
+}
+
+TEST(SchedulerPoolTest, CancelledEventDoesNotAdvanceClock) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(5_s, [] {});
+  sched.schedule_at(10_s, [] {});
+  sched.cancel(id);
+  EXPECT_TRUE(sched.step());  // skips the cancelled 5s event, runs the 10s one
+  EXPECT_EQ(sched.now(), 10_s);
+  EXPECT_EQ(sched.executed_events(), 1u);
+}
+
+}  // namespace
+}  // namespace tsim::sim
