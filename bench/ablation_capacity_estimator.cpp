@@ -38,7 +38,7 @@ int main() {
     topology.sessions = 4;
     const double true_capacity = topology.per_session_bps * topology.sessions;
 
-    auto scenario = scenarios::Scenario::topology_b(config, topology);
+    auto scenario = scenarios::ScenarioBuilder(config).topology_b(topology).build();
 
     // Sample the estimate for the shared link (ra=0 -> rb=1) once a second.
     double est_sum = 0.0;

@@ -35,7 +35,7 @@ int main() {
     options.cross_start = cross_start;
     options.cross_stop = cross_stop;
 
-    auto scenario = scenarios::Scenario::topology_a(config, options);
+    auto scenario = scenarios::ScenarioBuilder(config).topology_a(options).build();
     scenario->run();
 
     // Mean subscription of set-1 receivers during the squeeze and after.

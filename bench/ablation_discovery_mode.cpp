@@ -30,7 +30,7 @@ int main() {
       scenarios::TopologyAOptions options;
       options.receivers_per_set = n;
 
-      auto scenario = scenarios::Scenario::topology_a(config, options);
+      auto scenario = scenarios::ScenarioBuilder(config).topology_a(options).build();
       scenario->run();
 
       double dev = 0.0;

@@ -40,7 +40,7 @@ int main() {
     config.params.layers.base_rate_bps = enc.base_bps;
     config.params.layers.layer_growth = enc.growth;
 
-    auto scenario = scenarios::Scenario::topology_a(config, scenarios::TopologyAOptions{});
+    auto scenario = scenarios::ScenarioBuilder(config).topology_a(scenarios::TopologyAOptions{}).build();
     scenario->run();
 
     double dev = 0.0;

@@ -24,7 +24,7 @@ int main() {
 
       scenarios::TopologyBOptions topology;
       topology.sessions = sessions;
-      auto scenario = scenarios::Scenario::topology_b(config, topology);
+      auto scenario = scenarios::ScenarioBuilder(config).topology_b(topology).build();
       scenario->run();
 
       double dev = 0.0;

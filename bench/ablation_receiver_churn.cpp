@@ -40,7 +40,7 @@ int main() {
     options.leave_fraction = c.leave_fraction;
     if (c.leave_fraction > 0.0) options.leave_at = leave_at;
 
-    auto scenario = scenarios::Scenario::topology_a(config, options);
+    auto scenario = scenarios::ScenarioBuilder(config).topology_a(options).build();
     scenario->run();
 
     // Stayers: receiver 0 of each set always stays.

@@ -28,7 +28,7 @@ int main() {
     config.duration = bench::run_duration();
     config.report_period = Time::seconds(period);
 
-    auto scenario = scenarios::Scenario::topology_a(config, scenarios::TopologyAOptions{});
+    auto scenario = scenarios::ScenarioBuilder(config).topology_a(scenarios::TopologyAOptions{}).build();
     scenario->run();
 
     double dev = 0.0;

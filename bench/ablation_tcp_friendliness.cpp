@@ -31,7 +31,7 @@ LongLivedResult run_long_lived(bool with_multicast) {
   config.duration = bench::run_duration();
   if (!with_multicast) config.controller = scenarios::ControllerKind::kNone;
 
-  auto scenario = scenarios::Scenario::topology_a(config, scenarios::TopologyAOptions{});
+  auto scenario = scenarios::ScenarioBuilder(config).topology_a(scenarios::TopologyAOptions{}).build();
 
   transport::TcpFlow::Config tcfg;
   tcfg.src = 1;  // r0 (bottleneck head)
@@ -61,7 +61,7 @@ double run_short_transfers(bool with_multicast) {
   config.duration = Time::seconds(bench::quick_mode() ? 120 : 300);
   if (!with_multicast) config.controller = scenarios::ControllerKind::kNone;
 
-  auto scenario = scenarios::Scenario::topology_a(config, scenarios::TopologyAOptions{});
+  auto scenario = scenarios::ScenarioBuilder(config).topology_a(scenarios::TopologyAOptions{}).build();
 
   // One 100 KB transfer every 20 s, r0 -> set-1 receiver.
   std::vector<std::unique_ptr<transport::TcpFlow>> transfers;

@@ -54,7 +54,7 @@ int main() {
 
     scenarios::TopologyAOptions topology;
     topology.receivers_per_set = 4;
-    auto scenario = scenarios::Scenario::topology_a(config, topology);
+    auto scenario = scenarios::ScenarioBuilder(config).topology_a(topology).build();
     scenario->run();
     const Row row = summarize(*scenario, half, duration);
     std::printf("%-12s %-18s %16.3f %14d %12.2f\n", "A (8 recv)",
@@ -73,7 +73,7 @@ int main() {
 
     scenarios::TopologyBOptions topology;
     topology.sessions = 8;
-    auto scenario = scenarios::Scenario::topology_b(config, topology);
+    auto scenario = scenarios::ScenarioBuilder(config).topology_b(topology).build();
     scenario->run();
     const Row row = summarize(*scenario, half, duration);
     std::printf("%-12s %-18s %16.3f %14d %12.2f\n", "B (8 sess)",

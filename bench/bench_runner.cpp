@@ -3,8 +3,10 @@
 // BENCH_e2e.json so successive PRs accumulate a comparable perf trajectory
 // (see docs/benchmarking.md for the schema and how to compare runs).
 //
-// Usage: bench_runner [--out DIR]
+// Usage: bench_runner [--out DIR] [--fault]
 //   --out DIR   directory for the JSON files (default: current directory)
+//   --fault     run the fault-injection scenarios instead and write
+//               BENCH_fault.json (outage recovery + determinism check)
 // TOPOSENSE_BENCH_QUICK=1 shrinks the workloads for a smoke pass.
 
 #include <sys/resource.h>
@@ -13,11 +15,17 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/toposense.hpp"
+#include "fault/fault_plan.hpp"
+#include "metrics/recovery.hpp"
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
 
@@ -144,13 +152,193 @@ E2eCase run_e2e_case(int sessions, Time duration) {
   config.duration = duration;
   scenarios::TopologyBOptions topology;
   topology.sessions = sessions;
-  auto scenario = scenarios::Scenario::topology_b(config, topology);
+  auto scenario = scenarios::ScenarioBuilder(config).topology_b(topology).build();
   const auto start = Clock::now();
   scenario->run();
   const double wall = seconds_since(start);
   const std::uint64_t events = scenario->simulation().scheduler().executed_events();
   return E2eCase{"topology_b", sessions, duration.as_seconds(), wall,
                  events, static_cast<double>(events) / wall, fingerprint(*scenario)};
+}
+
+/// --- fault benches ---------------------------------------------------------
+
+struct FaultReceiverRow {
+  std::string name;
+  int optimal{0};
+  int final_subscription{0};
+  std::uint64_t unilateral_adds{0};
+  std::uint64_t unilateral_drops{0};
+  double max_suggestion_gap_s{0.0};
+  std::optional<double> recovery_s;  ///< time from repair to (optimal-1)+ held
+  bool recovered_within_1{false};
+};
+
+struct FaultCase {
+  std::string name;
+  std::string fault;  ///< human-readable description of the injected fault
+  double sim_seconds{0.0};
+  double wall_s{0.0};
+  std::uint64_t fingerprint{0};
+  bool deterministic{false};  ///< second same-seed run matched the fingerprint
+  std::vector<FaultReceiverRow> receivers;
+};
+
+/// Builds + runs the topology-A link-failure scenario once. The interesting
+/// receivers sit behind bottleneck 1, which is hard-down in [down, up).
+std::unique_ptr<scenarios::Scenario> run_link_failure(Time duration, Time down, Time up) {
+  scenarios::ScenarioConfig config;
+  config.seed = 42;
+  config.duration = duration;
+  fault::FaultPlan plan;
+  plan.link_outage("r0", "r1", down, up);
+  auto scenario = scenarios::ScenarioBuilder(config)
+                      .topology_a(scenarios::TopologyAOptions{})
+                      .with_faults(plan)
+                      .build();
+  scenario->run();
+  return scenario;
+}
+
+std::unique_ptr<scenarios::Scenario> run_controller_outage(Time duration, Time down, Time up) {
+  scenarios::ScenarioConfig config;
+  config.seed = 43;
+  config.duration = duration;
+  fault::FaultPlan plan;
+  plan.controller_outage(down, up);
+  // Cross traffic arrives mid-outage so the receivers must back off without
+  // any controller help — the paper's unilateral-decision rule under stress.
+  const Time cross_start = down + Time::seconds(5);
+  auto scenario = scenarios::ScenarioBuilder(config)
+                      .topology_a(scenarios::TopologyAOptions{})
+                      .with_faults(plan)
+                      .with_cross_traffic({"r0", "r2", 700e3, cross_start, up})
+                      .build();
+  scenario->run();
+  return scenario;
+}
+
+FaultCase summarize_fault_case(
+    const std::string& name, const std::string& fault_desc, Time duration, Time repair,
+    const std::function<std::unique_ptr<scenarios::Scenario>()>& run_once) {
+  const auto start = Clock::now();
+  auto first = run_once();
+  const double wall = seconds_since(start);
+  auto second = run_once();  // same seed: must reproduce bit-identically
+
+  FaultCase c;
+  c.name = name;
+  c.fault = fault_desc;
+  c.sim_seconds = duration.as_seconds();
+  c.wall_s = wall;
+  c.fingerprint = fingerprint(*first);
+  c.deterministic = c.fingerprint == fingerprint(*second);
+
+  const auto& agents = first->receiver_agents();
+  for (std::size_t i = 0; i < first->results().size(); ++i) {
+    const auto& r = first->results()[i];
+    FaultReceiverRow row;
+    row.name = r.name;
+    row.optimal = r.optimal;
+    row.final_subscription = r.final_subscription;
+    row.unilateral_adds = agents[i]->unilateral_adds();
+    row.unilateral_drops = agents[i]->unilateral_drops();
+    row.max_suggestion_gap_s = agents[i]->max_suggestion_gap().as_seconds();
+    metrics::RecoveryConfig rcfg;
+    rcfg.repair = repair;
+    rcfg.target = r.optimal;
+    rcfg.tolerance = 1;
+    rcfg.until = duration;
+    if (const auto rec = metrics::recovery_time(r.timeline, rcfg)) {
+      row.recovery_s = rec->as_seconds();
+    }
+    row.recovered_within_1 = r.final_subscription >= r.optimal - 1;
+    c.receivers.push_back(std::move(row));
+  }
+  return c;
+}
+
+void write_fault_json(const std::string& path, const std::vector<FaultCase>& cases) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fault\",\n  \"quick\": %s,\n  \"cases\": [\n",
+               quick() ? "true" : "false");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const FaultCase& c = cases[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"fault\": \"%s\", \"sim_seconds\": %.1f,\n"
+                 "     \"wall_s\": %.6f, \"fingerprint\": \"%016llx\", "
+                 "\"deterministic\": %s,\n     \"receivers\": [\n",
+                 c.name.c_str(), c.fault.c_str(), c.sim_seconds, c.wall_s,
+                 static_cast<unsigned long long>(c.fingerprint),
+                 c.deterministic ? "true" : "false");
+    for (std::size_t j = 0; j < c.receivers.size(); ++j) {
+      const FaultReceiverRow& r = c.receivers[j];
+      std::fprintf(f,
+                   "      {\"name\": \"%s\", \"optimal\": %d, \"final\": %d, "
+                   "\"unilateral_adds\": %llu, \"unilateral_drops\": %llu, "
+                   "\"max_suggestion_gap_s\": %.1f, \"recovery_s\": ",
+                   r.name.c_str(), r.optimal, r.final_subscription,
+                   static_cast<unsigned long long>(r.unilateral_adds),
+                   static_cast<unsigned long long>(r.unilateral_drops),
+                   r.max_suggestion_gap_s);
+      if (r.recovery_s) {
+        std::fprintf(f, "%.1f", *r.recovery_s);
+      } else {
+        std::fprintf(f, "null");
+      }
+      std::fprintf(f, ", \"recovered_within_1\": %s}%s\n",
+                   r.recovered_within_1 ? "true" : "false",
+                   j + 1 < c.receivers.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", i + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"peak_rss_bytes\": %llu\n}\n",
+               static_cast<unsigned long long>(peak_rss_bytes()));
+  std::fclose(f);
+}
+
+int run_fault_benches(const std::string& out_dir) {
+  const bool q = quick();
+  const Time duration = Time::seconds(std::int64_t{q ? 240 : 360});
+  const Time down = Time::seconds(std::int64_t{q ? 60 : 120});
+  const Time up = down + Time::seconds(std::int64_t{60});
+
+  std::vector<FaultCase> cases;
+  cases.push_back(summarize_fault_case(
+      "link_failure_topo_a", "link r0-r1 hard down, 60 s", duration, up,
+      [&]() { return run_link_failure(duration, down, up); }));
+  cases.push_back(summarize_fault_case(
+      "controller_outage_topo_a", "controller down 60 s + 700 kbps cross traffic", duration,
+      up, [&]() { return run_controller_outage(duration, down, up); }));
+
+  write_fault_json(out_dir + "/BENCH_fault.json", cases);
+  bool ok = true;
+  for (const FaultCase& c : cases) {
+    std::printf("fault   %-26s wall=%.3fs deterministic=%s fingerprint=%016llx\n",
+                c.name.c_str(), c.wall_s, c.deterministic ? "yes" : "NO",
+                static_cast<unsigned long long>(c.fingerprint));
+    for (const FaultReceiverRow& r : c.receivers) {
+      std::printf("        %-10s optimal=%d final=%d unilateral=%llu+/%llu- gap=%.1fs "
+                  "recovery=%s\n",
+                  r.name.c_str(), r.optimal, r.final_subscription,
+                  static_cast<unsigned long long>(r.unilateral_adds),
+                  static_cast<unsigned long long>(r.unilateral_drops), r.max_suggestion_gap_s,
+                  r.recovery_s ? (std::to_string(*r.recovery_s).substr(0, 5) + "s").c_str()
+                               : "never");
+      ok = ok && r.recovered_within_1;
+    }
+    ok = ok && c.deterministic;
+  }
+  std::printf("wrote %s/BENCH_fault.json\n", out_dir.c_str());
+  if (!ok) {
+    std::fprintf(stderr, "FAULT BENCH FAILURE: non-deterministic run or missed recovery\n");
+    return 1;
+  }
+  return 0;
 }
 
 void write_kernel_json(const std::string& path, const std::vector<KernelCase>& cases) {
@@ -199,14 +387,19 @@ void write_e2e_json(const std::string& path, const E2eCase& c) {
 
 int main(int argc, char** argv) {
   std::string out_dir = ".";
+  bool fault_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault") == 0) {
+      fault_mode = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--out DIR] [--fault]\n", argv[0]);
       return 2;
     }
   }
+
+  if (fault_mode) return run_fault_benches(out_dir);
 
   const bool q = quick();
 

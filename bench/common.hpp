@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 
 namespace bench {
 

@@ -31,7 +31,7 @@ int main() {
       scenarios::TopologyAOptions topology;
       topology.receivers_per_set = n;
 
-      auto scenario = scenarios::Scenario::topology_a(config, topology);
+      auto scenario = scenarios::ScenarioBuilder(config).topology_a(topology).build();
       scenario->run();
 
       int max_changes = 0;

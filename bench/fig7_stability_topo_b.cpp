@@ -29,7 +29,7 @@ int main() {
       scenarios::TopologyBOptions topology;
       topology.sessions = n;
 
-      auto scenario = scenarios::Scenario::topology_b(config, topology);
+      auto scenario = scenarios::ScenarioBuilder(config).topology_b(topology).build();
       scenario->run();
 
       int max_changes = 0;

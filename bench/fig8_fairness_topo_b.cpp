@@ -33,7 +33,7 @@ int main() {
       scenarios::TopologyBOptions topology;
       topology.sessions = n;
 
-      auto scenario = scenarios::Scenario::topology_b(config, topology);
+      auto scenario = scenarios::ScenarioBuilder(config).topology_b(topology).build();
       scenario->run();
 
       double dev_a = 0.0;

@@ -28,7 +28,7 @@ int main() {
   scenarios::TopologyBOptions topology;
   topology.sessions = 4;
 
-  auto scenario = scenarios::Scenario::topology_b(config, topology);
+  auto scenario = scenarios::ScenarioBuilder(config).topology_b(topology).build();
 
   // Per-second sampling of each receiver's subscription and window loss.
   struct Sample {

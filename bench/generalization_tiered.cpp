@@ -30,7 +30,7 @@ int main() {
     config.duration = duration;
     scenarios::TieredOptions options;
 
-    auto scenario = scenarios::Scenario::tiered(config, options);
+    auto scenario = scenarios::ScenarioBuilder(config).tiered(options).build();
     scenario->run();
 
     double dev = 0.0;

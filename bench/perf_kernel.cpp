@@ -6,6 +6,7 @@
 
 #include "core/toposense.hpp"
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 #include "sim/simulation.hpp"
 
 namespace {
@@ -51,7 +52,7 @@ void BM_ScenarioSimulatedMinute(benchmark::State& state) {
     config.duration = Time::seconds(std::int64_t{60});
     scenarios::TopologyBOptions topology;
     topology.sessions = static_cast<int>(state.range(0));
-    auto scenario = scenarios::Scenario::topology_b(config, topology);
+    auto scenario = scenarios::ScenarioBuilder(config).topology_b(topology).build();
     scenario->run();
     benchmark::DoNotOptimize(scenario->results().size());
   }

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 
 int main() {
   using namespace tsim;
@@ -23,7 +24,7 @@ int main() {
   topology.leave_fraction = 0.5;
   topology.leave_at = Time::seconds(150);
 
-  auto scenario = scenarios::Scenario::topology_a(config, topology);
+  auto scenario = scenarios::ScenarioBuilder(config).topology_a(topology).build();
   scenario->run();
 
   constexpr double kPerMegabyte = 0.05;   // volume part

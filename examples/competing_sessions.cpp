@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 
 namespace {
 
@@ -30,7 +31,7 @@ Outcome run(tsim::scenarios::ControllerKind kind, int sessions) {
   scenarios::TopologyBOptions topology;
   topology.sessions = sessions;
 
-  auto scenario = scenarios::Scenario::topology_b(config, topology);
+  auto scenario = scenarios::ScenarioBuilder(config).topology_b(topology).build();
   scenario->run();
 
   Outcome out{0.0, 0, 0.0};

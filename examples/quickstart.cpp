@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 
 int main() {
   using namespace tsim;
@@ -24,7 +25,7 @@ int main() {
   std::printf("bottlenecks: %.0f Kbps (optimal 3 layers), %.0f Kbps (optimal 5 layers)\n\n",
               topology.bottleneck1_bps / 1e3, topology.bottleneck2_bps / 1e3);
 
-  auto scenario = scenarios::Scenario::topology_a(config, topology);
+  auto scenario = scenarios::ScenarioBuilder(config).topology_a(topology).build();
   scenario->run();
 
   std::printf("%-10s %8s %8s %8s %14s %12s\n", "receiver", "optimal", "final", "changes",

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 
 int main() {
   using namespace tsim;
@@ -21,7 +22,7 @@ int main() {
     config.duration = Time::seconds(300);
     config.info_staleness = Time::seconds(staleness_s);
 
-    auto scenario = scenarios::Scenario::topology_a(config, scenarios::TopologyAOptions{});
+    auto scenario = scenarios::ScenarioBuilder(config).topology_a(scenarios::TopologyAOptions{}).build();
     scenario->run();
 
     double dev = 0.0;

@@ -92,6 +92,11 @@ int main(int argc, char** argv) {
                   ? "CBR"
                   : (config.peak_to_mean > 4 ? "VBR(P=6)" : "VBR(P=3)"));
 
+  if (!parsed.description->faults.empty()) {
+    std::printf("fault plan (%zu events):\n%s\n", parsed.description->faults.size(),
+                parsed.description->faults.summary().c_str());
+  }
+
   auto scenario = scenarios::Scenario::from_description(config, *parsed.description);
   scenario->run();
 
@@ -113,5 +118,33 @@ int main(int argc, char** argv) {
   std::printf("\ncontroller: %llu reports in, %llu suggestions out\n",
               static_cast<unsigned long long>(scenario->controller()->reports_received()),
               static_cast<unsigned long long>(scenario->controller()->suggestions_sent()));
+
+  if (!scenario->fault_injectors().empty()) {
+    std::uint64_t downs = 0;
+    std::uint64_t ups = 0;
+    std::uint64_t outages = 0;
+    std::uint64_t sugg_dropped = 0;
+    for (const auto& injector : scenario->fault_injectors()) {
+      downs += injector->stats().link_down_transitions;
+      ups += injector->stats().link_up_transitions;
+      outages += injector->stats().controller_outages;
+      sugg_dropped += injector->stats().suggestions_dropped;
+    }
+    std::printf(
+        "faults: %llu link-down / %llu link-up transitions, %llu controller outages, "
+        "%llu suggestions dropped\n",
+        static_cast<unsigned long long>(downs), static_cast<unsigned long long>(ups),
+        static_cast<unsigned long long>(outages), static_cast<unsigned long long>(sugg_dropped));
+    std::printf("%-14s %16s %18s %20s\n", "receiver", "unilateral", "max sugg gap[s]",
+                "blind time[s]");
+    const auto& agents = scenario->receiver_agents();
+    for (std::size_t i = 0; i < agents.size() && i < scenario->results().size(); ++i) {
+      std::printf("%-14s %10llu+%llu- %18.1f %20.1f\n", scenario->results()[i].name.c_str(),
+                  static_cast<unsigned long long>(agents[i]->unilateral_adds()),
+                  static_cast<unsigned long long>(agents[i]->unilateral_drops()),
+                  agents[i]->max_suggestion_gap().as_seconds(),
+                  agents[i]->suggestion_gap_time().as_seconds());
+    }
+  }
   return 0;
 }

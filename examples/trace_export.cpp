@@ -11,6 +11,7 @@
 #include "metrics/trace_writer.hpp"
 #include "net/dot_export.hpp"
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 
 int main() {
   using namespace tsim;
@@ -25,7 +26,7 @@ int main() {
   scenarios::TopologyBOptions topology;
   topology.sessions = 3;
 
-  auto scenario = scenarios::Scenario::topology_b(config, topology);
+  auto scenario = scenarios::ScenarioBuilder(config).topology_b(topology).build();
 
   metrics::TraceWriter trace{{"sub_s0", "sub_s1", "sub_s2", "loss_s0", "loss_s1", "loss_s2",
                               "shared_link_util"}};

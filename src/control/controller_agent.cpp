@@ -34,7 +34,18 @@ void ControllerAgent::start() {
   simulation_.at(config_.start, [this]() { run_interval(); });
 }
 
+void ControllerAgent::set_enabled(bool enabled) {
+  if (enabled == enabled_) return;
+  enabled_ = enabled;
+  if (!enabled_) {
+    ++outages_;
+    // The process died: its in-memory report history dies with it.
+    reports_.clear();
+  }
+}
+
 void ControllerAgent::handle_report(const net::Packet& packet) {
+  if (!enabled_) return;  // a dead controller reads nothing off the wire
   const auto* report = dynamic_cast<const transport::ReceiverReport*>(packet.control.get());
   if (report == nullptr) return;
   ++reports_received_;
@@ -92,6 +103,13 @@ ControllerAgent::ReportAggregate ControllerAgent::aggregate_reports(
 }
 
 void ControllerAgent::run_interval() {
+  if (!enabled_) {
+    // Keep the interval clock ticking through the outage so the epoch
+    // counter stays monotonic and the restart resumes on the same cadence.
+    ++epoch_;
+    simulation_.after(config_.params.interval, [this]() { run_interval(); });
+    return;
+  }
   ++epoch_;
   const sim::Time now = simulation_.now();
   const sim::Time report_cutoff = now - config_.info_staleness;

@@ -46,6 +46,14 @@ class ControllerAgent {
   /// Starts the periodic algorithm runs at config.start.
   void start();
 
+  /// Fault hook: while disabled the controller neither consumes reports nor
+  /// computes/sends suggestions (its interval timer keeps ticking so a
+  /// restart needs no rescheduling). Re-enabling models a process restart:
+  /// the stored report history is discarded and must be re-learned.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::uint64_t outages() const { return outages_; }
+
   [[nodiscard]] const core::TopoSense& algorithm() const { return algorithm_; }
   [[nodiscard]] const core::AlgorithmOutput& last_output() const { return last_output_; }
   [[nodiscard]] std::uint64_t reports_received() const { return reports_received_; }
@@ -84,6 +92,8 @@ class ControllerAgent {
   std::uint64_t reports_received_{0};
   std::uint64_t suggestions_sent_{0};
   std::uint32_t epoch_{0};
+  bool enabled_{true};
+  std::uint64_t outages_{0};
 };
 
 }  // namespace tsim::control

@@ -141,6 +141,10 @@ std::vector<std::pair<net::NodeId, net::NodeId>> MulticastRouter::session_tree_e
   return {edge_set.begin(), edge_set.end()};
 }
 
+void MulticastRouter::on_topology_change() {
+  for (auto& [group, state] : groups_) state.tree_dirty = true;
+}
+
 void MulticastRouter::route(net::NodeId node, const net::Packet& packet,
                             std::vector<net::LinkId>& out_links, bool& deliver_locally) {
   const auto git = groups_.find(packet.group);

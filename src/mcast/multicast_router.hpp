@@ -78,6 +78,11 @@ class MulticastRouter final : public net::MulticastForwarder {
   void route(net::NodeId node, const net::Packet& packet, std::vector<net::LinkId>& out_links,
              bool& deliver_locally) override;
 
+  /// Topology changed (link failure/repair): every group tree is marked dirty
+  /// and lazily rebuilt over the new unicast routes — members cut off from
+  /// the source are pruned, members with a restored path are re-grafted.
+  void on_topology_change() override;
+
   [[nodiscard]] const Config& config() const { return config_; }
 
  private:

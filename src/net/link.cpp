@@ -18,12 +18,34 @@ Link::Link(sim::Simulation& simulation, Network& network, LinkId id, NodeId from
       bandwidth_bps_{bandwidth_bps},
       latency_{latency},
       queue_limit_{queue_limit_packets},
-      red_rng_{simulation.rng_stream("link/" + std::to_string(id))} {}
+      red_rng_{simulation.rng_stream("link/" + std::to_string(id))},
+      fault_rng_{simulation.rng_stream("fault-loss/" + std::to_string(id))} {}
 
 void Link::enable_red(RedConfig config) {
   red_enabled_ = true;
   red_ = config;
   red_avg_ = 0.0;
+}
+
+void Link::count_drop(const Packet& packet, bool fault) {
+  ++stats_.dropped_packets;
+  stats_.dropped_bytes += packet.size_bytes;
+  if (fault) ++stats_.fault_dropped_packets;
+  if (packet.multicast) ++stats_.dropped_packets_by_group[packet.group];
+}
+
+void Link::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up_) {
+    // The cut loses everything waiting for the transmitter. The packet being
+    // transmitted (if any) fails in on_transmission_complete; packets already
+    // propagating were past the cut and still arrive downstream.
+    while (!queue_.empty()) {
+      count_drop(queue_.front(), /*fault=*/true);
+      queue_.pop_front();
+    }
+  }
 }
 
 sim::Time Link::transmission_time(std::uint32_t size_bytes) const {
@@ -33,6 +55,15 @@ sim::Time Link::transmission_time(std::uint32_t size_bytes) const {
 
 void Link::enqueue(const Packet& packet) {
   ++stats_.enqueued_packets;
+
+  if (!up_) {
+    count_drop(packet, /*fault=*/true);
+    return;
+  }
+  if (fault_loss_ > 0.0 && fault_rng_.bernoulli(fault_loss_)) {
+    count_drop(packet, /*fault=*/true);
+    return;
+  }
 
   if (red_enabled_) {
     // Idle-time decay (Floyd/Jacobson §4): arrivals stop while the link is
@@ -60,9 +91,7 @@ void Link::enqueue(const Packet& packet) {
       early_drop = red_rng_.bernoulli(p);
     }
     if (early_drop) {
-      ++stats_.dropped_packets;
-      stats_.dropped_bytes += packet.size_bytes;
-      if (packet.multicast) ++stats_.dropped_packets_by_group[packet.group];
+      count_drop(packet, /*fault=*/false);
       return;
     }
   }
@@ -72,9 +101,7 @@ void Link::enqueue(const Packet& packet) {
     return;
   }
   if (queue_.size() >= queue_limit_) {
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += packet.size_bytes;
-    if (packet.multicast) ++stats_.dropped_packets_by_group[packet.group];
+    count_drop(packet, /*fault=*/false);
     return;
   }
   queue_.push_back(packet);
@@ -87,6 +114,22 @@ void Link::start_transmission(const Packet& packet) {
 }
 
 void Link::on_transmission_complete(Packet packet) {
+  if (!up_) {
+    // The link failed while this packet was on the transmitter: it is lost.
+    count_drop(packet, /*fault=*/true);
+    if (!queue_.empty()) {
+      // set_up(false) drained the queue, but a repair may have raced new
+      // arrivals in; keep the transmitter pipeline alive for them.
+      Packet next = std::move(queue_.front());
+      queue_.pop_front();
+      simulation_.after(transmission_time(next.size_bytes),
+                        [this, next = std::move(next)]() { on_transmission_complete(next); });
+    } else {
+      transmitting_ = false;
+      idle_since_ = simulation_.now();
+    }
+    return;
+  }
   ++stats_.delivered_packets;
   stats_.delivered_bytes += packet.size_bytes;
   if (packet.multicast) stats_.delivered_bytes_by_group[packet.group] += packet.size_bytes;

@@ -23,6 +23,7 @@ struct LinkStats {
   std::uint64_t delivered_bytes{0};
   std::uint64_t dropped_packets{0};
   std::uint64_t dropped_bytes{0};
+  std::uint64_t fault_dropped_packets{0};  ///< subset of drops caused by injected faults
   std::map<GroupAddr, std::uint64_t> delivered_bytes_by_group;
   std::map<GroupAddr, std::uint64_t> dropped_packets_by_group;
 };
@@ -53,8 +54,26 @@ class Link {
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
 
-  /// Offers a packet to the link. Drops it (drop-tail) when the queue is full.
+  /// Offers a packet to the link. Drops it (drop-tail) when the queue is full,
+  /// unconditionally while the link is down, and with the configured Bernoulli
+  /// probability while a lossy-link fault is active.
   void enqueue(const Packet& packet);
+
+  /// --- Fault state (driven by fault::FaultInjector) ------------------------
+
+  /// Takes the link down or brings it back up. Going down drains the queue
+  /// (every queued packet is dropped) and fails the packet currently being
+  /// transmitted; packets already propagating were past the cut and still
+  /// arrive. While down the link accepts nothing. The caller is responsible
+  /// for recomputing routes (Network::on_topology_changed).
+  void set_up(bool up);
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  /// Bernoulli drop probability applied to every enqueue (0 disables). Draws
+  /// come from the link's own seeded fault stream, so enabling loss on one
+  /// link never perturbs any other component's randomness.
+  void set_fault_loss(double probability) { fault_loss_ = probability; }
+  [[nodiscard]] double fault_loss() const { return fault_loss_; }
 
   [[nodiscard]] LinkId id() const { return id_; }
   [[nodiscard]] NodeId from() const { return from_; }
@@ -90,6 +109,11 @@ class Link {
   double red_avg_{0.0};
   sim::Time idle_since_{sim::Time::zero()};  ///< when the transmitter last went idle
   sim::Rng red_rng_;
+  bool up_{true};
+  double fault_loss_{0.0};
+  sim::Rng fault_rng_;
+
+  void count_drop(const Packet& packet, bool fault);
 };
 
 }  // namespace tsim::net

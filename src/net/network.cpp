@@ -43,6 +43,7 @@ void Network::compute_routes() {
   std::vector<EdgeView> edges;
   edges.reserve(links_.size());
   for (const auto& link : links_) {
+    if (!link->is_up()) continue;  // failed links carry no routes
     edges.push_back(EdgeView{link->from(), link->to(), link->id(),
                              link->latency().as_seconds()});
   }
@@ -50,8 +51,32 @@ void Network::compute_routes() {
   routes_valid_ = true;
 }
 
+void Network::on_topology_changed() {
+  ++topology_version_;
+  compute_routes();
+  if (forwarder_ != nullptr) forwarder_->on_topology_change();
+}
+
+NodeId Network::find_node(std::string_view name) const {
+  for (const Node& node : nodes_) {
+    if (node.name == name) return node.id;
+  }
+  return kInvalidNode;
+}
+
+std::vector<LinkId> Network::links_between(NodeId a, NodeId b) const {
+  std::vector<LinkId> result;
+  for (const auto& link : links_) {
+    if ((link->from() == a && link->to() == b) || (link->from() == b && link->to() == a)) {
+      result.push_back(link->id());
+    }
+  }
+  return result;
+}
+
 void Network::send_unicast(Packet packet) {
   if (!routes_valid_) throw std::logic_error("Network: compute_routes() not called");
+  if (unicast_filter_ && !unicast_filter_(packet)) return;  // injected fault ate it
   packet.multicast = false;
   if (packet.uid == 0) packet.uid = next_packet_uid();
   packet.sent_at = simulation_.now();
@@ -87,7 +112,9 @@ void Network::on_packet_arrival(NodeId node_id, const Packet& packet) {
   }
   const LinkId hop = routing_.next_hop(node_id, packet.dst);
   if (hop == kInvalidLink) {
-    sim::Logger::log(sim::LogLevel::kWarn, simulation_.now(), "net",
+    // Info, not warn: with fault injection a partitioned network legitimately
+    // has unroutable control traffic for the whole outage window.
+    sim::Logger::log(sim::LogLevel::kInfo, simulation_.now(), "net",
                      "dropping unicast packet: no route from " + node.name);
     return;
   }

@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/link.hpp"
@@ -25,6 +26,11 @@ class MulticastForwarder {
   /// `deliver_locally` when the node hosts a subscribed receiver.
   virtual void route(NodeId node, const Packet& packet, std::vector<LinkId>& out_links,
                      bool& deliver_locally) = 0;
+
+  /// Invoked after the network topology changed (a link failed or was
+  /// repaired) and unicast routes were recomputed: distribution trees built
+  /// on the old routes must be pruned and re-grafted.
+  virtual void on_topology_change() {}
 };
 
 /// A named node. Behaviour lives in the Network (forwarding) and in local
@@ -61,8 +67,19 @@ class Network {
                                             std::size_t queue_limit_packets = 50);
 
   /// (Re)computes unicast shortest-path routes. Must be called after the
-  /// topology is final and before any traffic is sent.
+  /// topology is final and before any traffic is sent. Links that are down
+  /// are excluded, so failed links are routed around when an alternate path
+  /// exists.
   void compute_routes();
+
+  /// Declares a topology change (links went down or came back up): routes
+  /// are recomputed over the surviving links, the topology epoch is bumped,
+  /// and the multicast forwarder is told to prune/re-graft its trees.
+  void on_topology_changed();
+
+  /// Monotonic counter bumped by on_topology_changed(); lets caches keyed on
+  /// the physical topology (controller tree caches, snapshots) detect change.
+  [[nodiscard]] std::uint64_t topology_version() const { return topology_version_; }
 
   /// --- Sending -----------------------------------------------------------
 
@@ -83,9 +100,21 @@ class Network {
   void set_local_sink(NodeId node, std::function<void(const Packet&)> sink);
   void set_multicast_forwarder(MulticastForwarder* forwarder) { forwarder_ = forwarder; }
 
+  /// Optional egress filter consulted by send_unicast; returning false drops
+  /// the packet before it enters the network. Installed by the fault injector
+  /// for targeted control-plane loss (e.g. suggestion-packet drop).
+  void set_unicast_filter(std::function<bool(const Packet&)> filter) {
+    unicast_filter_ = std::move(filter);
+  }
+
   /// --- Introspection -------------------------------------------------------
 
   [[nodiscard]] std::uint32_t node_count() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  /// Node id by name (linear scan; topologies are tens of nodes).
+  /// Returns kInvalidNode when no node has that name.
+  [[nodiscard]] NodeId find_node(std::string_view name) const;
+  /// All links between `a` and `b` in either direction (a duplex pair).
+  [[nodiscard]] std::vector<LinkId> links_between(NodeId a, NodeId b) const;
   [[nodiscard]] std::uint32_t link_count() const { return static_cast<std::uint32_t>(links_.size()); }
   [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id]; }
   [[nodiscard]] Link& link(LinkId id) { return *links_[id]; }
@@ -102,7 +131,9 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   RoutingTable routing_;
   MulticastForwarder* forwarder_{nullptr};
+  std::function<bool(const Packet&)> unicast_filter_;
   std::uint64_t next_uid_{1};
+  std::uint64_t topology_version_{0};
   bool routes_valid_{false};
 };
 

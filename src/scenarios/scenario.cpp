@@ -59,8 +59,14 @@ void Scenario::add_receiver(net::NodeId node, net::SessionId session, int optima
 
   switch (config_.controller) {
     case ControllerKind::kTopoSense: {
-      receiver_agents_.push_back(std::make_unique<control::ReceiverAgent>(
-          *simulation_, endpoint, config_.receiver_agent));
+      control::ReceiverAgent::Config acfg = config_.receiver_agent;
+      // Wire the watchdog to the controller cadence it actually faces, unless
+      // the experiment pinned an explicit expectation.
+      if (acfg.expected_interval == Time::zero()) {
+        acfg.expected_interval = config_.params.interval;
+      }
+      receiver_agents_.push_back(
+          std::make_unique<control::ReceiverAgent>(*simulation_, endpoint, acfg));
       break;
     }
     case ControllerKind::kReceiverDriven: {
@@ -135,8 +141,52 @@ void Scenario::run_until(Time until) {
 
 void Scenario::run() { run_until(config_.duration); }
 
+fault::FaultInjector& Scenario::install_faults(const fault::FaultPlan& plan) {
+  fault::FaultInjector::Hooks hooks;
+  if (controller_) {
+    hooks.set_controller_enabled = [this](bool enabled) { controller_->set_enabled(enabled); };
+  }
+  fault_injectors_.push_back(
+      std::make_unique<fault::FaultInjector>(*simulation_, *network_, plan, hooks));
+  fault_injectors_.back()->start();
+  return *fault_injectors_.back();
+}
+
+void Scenario::add_cross_traffic(const CrossTrafficSpec& spec) {
+  const net::NodeId src = network_->find_node(spec.src);
+  const net::NodeId dst = network_->find_node(spec.dst);
+  if (src == net::kInvalidNode || dst == net::kInvalidNode) {
+    throw std::invalid_argument("cross-traffic endpoint '" +
+                                (src == net::kInvalidNode ? spec.src : spec.dst) +
+                                "' is not a node of this topology");
+  }
+  traffic::CbrFlow::Config xcfg;
+  xcfg.src = src;
+  xcfg.dst = dst;
+  xcfg.rate_bps = spec.rate_bps;
+  xcfg.start = spec.start;
+  xcfg.stop = spec.stop;
+  cross_flows_.push_back(std::make_unique<traffic::CbrFlow>(*simulation_, *network_, xcfg));
+  if (started_) cross_flows_.back()->start();
+}
+
 std::unique_ptr<Scenario> Scenario::topology_a(const ScenarioConfig& config,
                                                const TopologyAOptions& options) {
+  return build_topology_a(config, options);
+}
+
+std::unique_ptr<Scenario> Scenario::topology_b(const ScenarioConfig& config,
+                                               const TopologyBOptions& options) {
+  return build_topology_b(config, options);
+}
+
+std::unique_ptr<Scenario> Scenario::tiered(const ScenarioConfig& config,
+                                           const TieredOptions& options) {
+  return build_tiered(config, options);
+}
+
+std::unique_ptr<Scenario> Scenario::build_topology_a(const ScenarioConfig& config,
+                                                     const TopologyAOptions& options) {
   std::unique_ptr<Scenario> s{new Scenario{config}};
   net::Network& netw = *s->network_;
 
@@ -207,8 +257,8 @@ std::unique_ptr<Scenario> Scenario::topology_a(const ScenarioConfig& config,
   return s;
 }
 
-std::unique_ptr<Scenario> Scenario::topology_b(const ScenarioConfig& config,
-                                               const TopologyBOptions& options) {
+std::unique_ptr<Scenario> Scenario::build_topology_b(const ScenarioConfig& config,
+                                                     const TopologyBOptions& options) {
   std::unique_ptr<Scenario> s{new Scenario{config}};
   net::Network& netw = *s->network_;
 
@@ -264,8 +314,8 @@ std::unique_ptr<Scenario> Scenario::topology_b(const ScenarioConfig& config,
 }
 
 
-std::unique_ptr<Scenario> Scenario::tiered(const ScenarioConfig& config,
-                                           const TieredOptions& options) {
+std::unique_ptr<Scenario> Scenario::build_tiered(const ScenarioConfig& config,
+                                                 const TieredOptions& options) {
   std::unique_ptr<Scenario> s{new Scenario{config}};
   net::Network& netw = *s->network_;
   sim::Rng rng = s->simulation_->rng_stream("tiered-topology");
@@ -442,6 +492,7 @@ std::unique_ptr<Scenario> Scenario::from_description(const ScenarioConfig& confi
   }
 
   s->finalize();
+  if (!description.faults.events().empty()) s->install_faults(description.faults);
   return s;
 }
 

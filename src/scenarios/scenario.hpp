@@ -8,6 +8,8 @@
 #include "control/controller_agent.hpp"
 #include "control/receiver_agent.hpp"
 #include "core/params.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "mcast/multicast_router.hpp"
 #include "metrics/subscription_metrics.hpp"
 #include "net/network.hpp"
@@ -128,6 +130,17 @@ struct TieredOptions {
   double access_max_bps{1.5e6};
 };
 
+/// A unicast CBR cross-flow between two named nodes, active in
+/// [start, stop). Named endpoints make specs portable across topology
+/// factories and topology files.
+struct CrossTrafficSpec {
+  std::string src;
+  std::string dst;
+  double rate_bps{0.0};
+  sim::Time start{sim::Time::zero()};
+  sim::Time stop{sim::Time::max()};
+};
+
 /// One receiver's results after a run.
 struct ReceiverResult {
   net::NodeId node{net::kInvalidNode};
@@ -144,15 +157,19 @@ struct ReceiverResult {
 /// everything lives exactly as long as the Scenario.
 class Scenario {
  public:
-  static std::unique_ptr<Scenario> topology_a(const ScenarioConfig& config,
-                                              const TopologyAOptions& options);
-  static std::unique_ptr<Scenario> topology_b(const ScenarioConfig& config,
-                                              const TopologyBOptions& options);
-  static std::unique_ptr<Scenario> tiered(const ScenarioConfig& config,
-                                          const TieredOptions& options);
+  [[deprecated("use ScenarioBuilder(config).topology_a(options).build()")]] static std::
+      unique_ptr<Scenario>
+      topology_a(const ScenarioConfig& config, const TopologyAOptions& options);
+  [[deprecated("use ScenarioBuilder(config).topology_b(options).build()")]] static std::
+      unique_ptr<Scenario>
+      topology_b(const ScenarioConfig& config, const TopologyBOptions& options);
+  [[deprecated("use ScenarioBuilder(config).tiered(options).build()")]] static std::
+      unique_ptr<Scenario>
+      tiered(const ScenarioConfig& config, const TieredOptions& options);
   /// Builds a scenario from a parsed topology file (see topology_file.hpp).
   /// Per-receiver optima come from the offline allocator on the declared
-  /// capacities. Throws std::invalid_argument on unreachable receivers.
+  /// capacities; `fault` lines in the file are installed automatically.
+  /// Throws std::invalid_argument on unreachable receivers.
   static std::unique_ptr<Scenario> from_description(const ScenarioConfig& config,
                                                     const TopologyDescription& description);
 
@@ -164,6 +181,15 @@ class Scenario {
 
   /// Runs to an intermediate time (callable repeatedly, monotonic).
   void run_until(sim::Time until);
+
+  /// Installs a fault plan: validates it, resolves every named link against
+  /// the built network (throws std::invalid_argument on unknown names) and
+  /// schedules the events. Callable repeatedly; each call adds an injector.
+  /// Controller outage events require ControllerKind::kTopoSense.
+  fault::FaultInjector& install_faults(const fault::FaultPlan& plan);
+
+  /// Adds (and starts) a unicast CBR cross-flow between two named nodes.
+  void add_cross_traffic(const CrossTrafficSpec& spec);
 
   [[nodiscard]] const std::vector<ReceiverResult>& results() const { return results_; }
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
@@ -182,12 +208,31 @@ class Scenario {
   [[nodiscard]] const std::vector<std::unique_ptr<traffic::LayeredSource>>& sources() const {
     return sources_;
   }
+  [[nodiscard]] const std::vector<std::unique_ptr<fault::FaultInjector>>& fault_injectors()
+      const {
+    return fault_injectors_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<control::ReceiverAgent>>& receiver_agents()
+      const {
+    return receiver_agents_;
+  }
 
   /// Index into results()/endpoints() of receiver `r` (they are parallel).
   [[nodiscard]] const ReceiverResult& result(std::size_t i) const { return results_[i]; }
 
  private:
+  friend class ScenarioBuilder;
+
   explicit Scenario(const ScenarioConfig& config);
+
+  /// Factory bodies (the deprecated public factories and ScenarioBuilder both
+  /// forward here).
+  static std::unique_ptr<Scenario> build_topology_a(const ScenarioConfig& config,
+                                                    const TopologyAOptions& options);
+  static std::unique_ptr<Scenario> build_topology_b(const ScenarioConfig& config,
+                                                    const TopologyBOptions& options);
+  static std::unique_ptr<Scenario> build_tiered(const ScenarioConfig& config,
+                                                const TieredOptions& options);
 
   /// Adds one receiver (endpoint + policy agent + metrics) at `node`, active
   /// in [start, stop).
@@ -205,6 +250,7 @@ class Scenario {
   net::NodeId controller_node_{net::kInvalidNode};
   std::vector<std::unique_ptr<traffic::LayeredSource>> sources_;
   std::vector<std::unique_ptr<traffic::CbrFlow>> cross_flows_;
+  std::vector<std::unique_ptr<fault::FaultInjector>> fault_injectors_;
   std::vector<std::unique_ptr<transport::ReceiverEndpoint>> endpoints_;
   std::vector<std::unique_ptr<control::ReceiverAgent>> receiver_agents_;
   std::vector<std::unique_ptr<baseline::ReceiverDrivenController>> baseline_agents_;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 namespace tsim::scenarios {
 
@@ -34,6 +36,137 @@ bool parse_double(std::string_view s, double& out) {
   char* end = nullptr;
   out = std::strtod(copy.c_str(), &end);
   return end == copy.c_str() + copy.size() && !copy.empty();
+}
+
+bool parse_seconds(const std::string& token, sim::Time& out, std::string& error,
+                   const char* what) {
+  double value = 0.0;
+  if (!parse_double(token, value) || value < 0.0) {
+    error = std::string{"bad "} + what + " '" + token + "' (plain seconds, e.g. 60)";
+    return false;
+  }
+  out = sim::Time::seconds(value);
+  return true;
+}
+
+bool parse_probability(const std::string& token, double& out, std::string& error) {
+  if (!parse_double(token, out) || out < 0.0 || out > 1.0) {
+    error = "bad probability '" + token + "' (must be in [0, 1])";
+    return false;
+  }
+  return true;
+}
+
+/// Parses one `fault ...` directive (tokens[0] == "fault") into `plan`.
+bool parse_fault_line(const std::vector<std::string>& tokens, fault::FaultPlan& plan,
+                      std::string& error) {
+  if (tokens.size() < 2) {
+    error = "fault needs: link|controller|suggestions ...";
+    return false;
+  }
+  const std::string& target = tokens[1];
+
+  if (target == "link") {
+    if (tokens.size() < 5) {
+      error = "fault link needs: a b down|lossy|flap ...";
+      return false;
+    }
+    const std::string& a = tokens[2];
+    const std::string& b = tokens[3];
+    const std::string& mode = tokens[4];
+    if (mode == "down") {
+      // fault link a b down <t> [up <t>]
+      sim::Time down_at{};
+      if (tokens.size() != 6 && !(tokens.size() == 8 && tokens[6] == "up")) {
+        error = "fault link down needs: down <t> [up <t>]";
+        return false;
+      }
+      if (!parse_seconds(tokens[5], down_at, error, "down time")) return false;
+      if (tokens.size() == 8) {
+        sim::Time up_at{};
+        if (!parse_seconds(tokens[7], up_at, error, "up time")) return false;
+        plan.link_outage(a, b, down_at, up_at);
+      } else {
+        plan.link_down(a, b, down_at);
+      }
+      return true;
+    }
+    if (mode == "lossy") {
+      // fault link a b lossy <p> <t0> <t1>
+      if (tokens.size() != 8) {
+        error = "fault link lossy needs: lossy <p> <t0> <t1>";
+        return false;
+      }
+      double p = 0.0;
+      sim::Time from{};
+      sim::Time to{};
+      if (!parse_probability(tokens[5], p, error)) return false;
+      if (!parse_seconds(tokens[6], from, error, "start time")) return false;
+      if (!parse_seconds(tokens[7], to, error, "end time")) return false;
+      plan.link_lossy(a, b, p, from, to);
+      return true;
+    }
+    if (mode == "flap") {
+      // fault link a b flap <t0> <t1> period <seconds> [duty <d>]
+      if (tokens.size() != 9 && tokens.size() != 11) {
+        error = "fault link flap needs: flap <t0> <t1> period <seconds> [duty <d>]";
+        return false;
+      }
+      sim::Time from{};
+      sim::Time to{};
+      sim::Time period{};
+      double duty = 0.5;
+      if (!parse_seconds(tokens[5], from, error, "start time")) return false;
+      if (!parse_seconds(tokens[6], to, error, "end time")) return false;
+      if (tokens[7] != "period" || !parse_seconds(tokens[8], period, error, "period")) {
+        if (error.empty()) error = "fault link flap: expected 'period <seconds>'";
+        return false;
+      }
+      if (tokens.size() == 11) {
+        if (tokens[9] != "duty" || !parse_probability(tokens[10], duty, error)) {
+          if (error.empty()) error = "fault link flap: expected 'duty <fraction>'";
+          return false;
+        }
+      }
+      plan.link_flap(a, b, from, to, period, duty);
+      return true;
+    }
+    error = "unknown fault link mode '" + mode + "' (down|lossy|flap)";
+    return false;
+  }
+
+  if (target == "controller") {
+    // fault controller down <t0> up <t1>
+    if (tokens.size() != 6 || tokens[2] != "down" || tokens[4] != "up") {
+      error = "fault controller needs: down <t0> up <t1>";
+      return false;
+    }
+    sim::Time from{};
+    sim::Time to{};
+    if (!parse_seconds(tokens[3], from, error, "down time")) return false;
+    if (!parse_seconds(tokens[5], to, error, "up time")) return false;
+    plan.controller_outage(from, to);
+    return true;
+  }
+
+  if (target == "suggestions") {
+    // fault suggestions drop <p> <t0> <t1>
+    if (tokens.size() != 6 || tokens[2] != "drop") {
+      error = "fault suggestions needs: drop <p> <t0> <t1>";
+      return false;
+    }
+    double p = 0.0;
+    sim::Time from{};
+    sim::Time to{};
+    if (!parse_probability(tokens[3], p, error)) return false;
+    if (!parse_seconds(tokens[4], from, error, "start time")) return false;
+    if (!parse_seconds(tokens[5], to, error, "end time")) return false;
+    plan.drop_suggestions(p, from, to);
+    return true;
+  }
+
+  error = "unknown fault target '" + target + "' (link|controller|suggestions)";
+  return false;
 }
 
 }  // namespace
@@ -162,6 +295,9 @@ ParseResult parse_topology(std::string_view text) {
     } else if (directive == "controller") {
       if (tokens.size() != 2) return fail(line_no, "controller takes one node");
       desc.controller_node = tokens[1];
+    } else if (directive == "fault") {
+      std::string error;
+      if (!parse_fault_line(tokens, desc.faults, error)) return fail(line_no, error);
     } else {
       return fail(line_no, "unknown directive '" + directive + "'");
     }
@@ -184,6 +320,17 @@ ParseResult parse_topology(std::string_view text) {
       return fail(0, "receiver session " + std::to_string(rcv.session) + " has no source");
     }
   }
+  for (const auto& ev : desc.faults.events()) {
+    if (!ev.a.empty() && !known(ev.a)) {
+      return fail(0, "fault references undeclared node '" + ev.a + "'");
+    }
+    if (!ev.b.empty() && !known(ev.b)) {
+      return fail(0, "fault references undeclared node '" + ev.b + "'");
+    }
+  }
+  if (const std::string fault_error = desc.faults.validate(); !fault_error.empty()) {
+    return fail(0, "fault plan: " + fault_error);
+  }
   if (desc.receivers.empty()) return fail(0, "no receivers declared");
   if (desc.controller_node.empty()) return fail(0, "no controller declared");
   if (!known(desc.controller_node)) {
@@ -193,6 +340,18 @@ ParseResult parse_topology(std::string_view text) {
   ParseResult result;
   result.description = std::move(desc);
   return result;
+}
+
+TopologyDescription parse_topology_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot read topology file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  ParseResult result = parse_topology(text.str());
+  if (!result.ok()) {
+    throw std::runtime_error("topology file '" + path + "': " + result.error);
+  }
+  return std::move(*result.description);
 }
 
 }  // namespace tsim::scenarios

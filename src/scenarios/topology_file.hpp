@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "sim/time.hpp"
 
 namespace tsim::scenarios {
@@ -18,9 +19,15 @@ namespace tsim::scenarios {
 ///   source <session> <node>
 ///   receiver <node> <session> [start <seconds>] [stop <seconds>]
 ///   controller <node>
+///   fault link <a> <b> down <t> [up <t>]
+///   fault link <a> <b> lossy <p> <t0> <t1>
+///   fault link <a> <b> flap <t0> <t1> period <seconds> [duty <d>]
+///   fault controller down <t0> up <t1>
+///   fault suggestions drop <p> <t0> <t1>
 ///
 /// Bandwidth accepts `bps`, `kbps`, `Mbps` suffixes (case-insensitive);
-/// latency accepts `ms` and `s`. Links are duplex.
+/// latency accepts `ms` and `s`. Fault times are plain seconds. Links are
+/// duplex; link faults hit both directions.
 struct TopologyDescription {
   struct LinkSpec {
     std::string a;
@@ -46,6 +53,8 @@ struct TopologyDescription {
   std::vector<SourceSpec> sources;
   std::vector<ReceiverSpec> receivers;
   std::string controller_node;
+  /// Schedule parsed from `fault` directives (empty when the file has none).
+  fault::FaultPlan faults;
 };
 
 /// Parse result: either a description or a one-line error naming the line.
@@ -58,6 +67,11 @@ struct ParseResult {
 /// Parses the topology language. Validates that every referenced node is
 /// declared, every session has a source, and a controller is set.
 [[nodiscard]] ParseResult parse_topology(std::string_view text);
+
+/// Reads and parses a topology file from disk. Throws std::runtime_error on
+/// unreadable files or parse errors (message includes the parser's
+/// line-numbered diagnostic).
+[[nodiscard]] TopologyDescription parse_topology_file(const std::string& path);
 
 /// Parses "256kbps" / "1.5Mbps" / "8000bps" (case-insensitive suffix).
 /// Returns <= 0 on malformed input.

@@ -1,0 +1,136 @@
+// Failure-aware rerouting: a link failure bumps the topology epoch, unicast
+// routes recompute around the cut, and multicast trees prune the dead branch
+// and re-graft members over the surviving path (and back after repair).
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.hpp"
+#include "mcast/multicast_router.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace tsim::fault {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+/// Diamond: s -> a -> d is the fast path (10 ms hops), s -> b -> d the slow
+/// backup (50 ms hops). Dijkstra prefers the fast path until it fails.
+struct DiamondFixture : ::testing::Test {
+  sim::Simulation simulation{11};
+  net::Network network{simulation};
+  net::NodeId s{network.add_node("s")};
+  net::NodeId a{network.add_node("a")};
+  net::NodeId b{network.add_node("b")};
+  net::NodeId d{network.add_node("d")};
+  mcast::MulticastRouter router{simulation, network, {}};
+
+  DiamondFixture() {
+    network.add_duplex_link(s, a, 10e6, 10_ms);
+    network.add_duplex_link(a, d, 10e6, 10_ms);
+    network.add_duplex_link(s, b, 10e6, 50_ms);
+    network.add_duplex_link(b, d, 10e6, 50_ms);
+    network.compute_routes();
+    router.set_session_source(0, s);
+  }
+};
+
+TEST_F(DiamondFixture, UnicastReroutesAroundFailureAndBack) {
+  ASSERT_EQ(network.routes().path(s, d), (std::vector<net::NodeId>{s, a, d}));
+  const std::uint64_t epoch0 = network.topology_version();
+
+  FaultPlan plan;
+  plan.link_outage("s", "a", 1_s, 2_s);
+  FaultInjector injector{simulation, network, plan, {}};
+  injector.start();
+
+  simulation.run_until(Time::seconds(1.5));
+  EXPECT_EQ(network.routes().path(s, d), (std::vector<net::NodeId>{s, b, d}));
+  EXPECT_GT(network.topology_version(), epoch0);
+
+  simulation.run_until(Time::seconds(2.5));
+  EXPECT_EQ(network.routes().path(s, d), (std::vector<net::NodeId>{s, a, d}));
+}
+
+TEST_F(DiamondFixture, MulticastRegraftsOntoSurvivingPathAndBackAfterRepair) {
+  const net::GroupAddr g{0, 1};
+  router.join(d, g);
+
+  FaultPlan plan;
+  plan.link_outage("a", "d", 1_s, 10_s);
+  FaultInjector injector{simulation, network, plan, {}};
+  injector.start();
+
+  int delivered = 0;
+  network.set_local_sink(d, [&](const net::Packet&) { ++delivered; });
+  auto send = [this, g]() {
+    net::Packet p;
+    p.kind = net::PacketKind::kData;
+    p.size_bytes = 1000;
+    p.src = s;
+    p.multicast = true;
+    p.group = g;
+    network.send_multicast(p);
+  };
+
+  // Before the failure: delivered over the fast branch.
+  simulation.at(500_ms, send);
+  simulation.run_until(1_s);
+  EXPECT_EQ(delivered, 1);
+
+  // During the outage: tree re-grafts via b, member still served.
+  simulation.at(2_s, send);
+  simulation.run_until(4_s);
+  EXPECT_EQ(delivered, 2);
+  const mcast::GroupTree* tree = router.tree(g);
+  ASSERT_NE(tree, nullptr);
+  bool via_b = false;
+  for (const auto& [parent, child] : tree->edges) via_b = via_b || parent == b || child == b;
+  EXPECT_TRUE(via_b);
+
+  // After repair: back on the fast branch.
+  simulation.at(11_s, send);
+  simulation.run_until(13_s);
+  EXPECT_EQ(delivered, 3);
+  tree = router.tree(g);
+  ASSERT_NE(tree, nullptr);
+  bool via_a = false;
+  for (const auto& [parent, child] : tree->edges) via_a = via_a || parent == a || child == a;
+  EXPECT_TRUE(via_a);
+}
+
+TEST_F(DiamondFixture, PartitionedMemberIsPrunedUntilRepair) {
+  // Cut both branches to d: the member is unreachable, the tree must not
+  // forward anything (and must not crash); repair re-grafts it.
+  const net::GroupAddr g{0, 1};
+  router.join(d, g);
+
+  FaultPlan plan;
+  plan.link_outage("a", "d", 1_s, 5_s);
+  plan.link_outage("b", "d", 1_s, 5_s);
+  FaultInjector injector{simulation, network, plan, {}};
+  injector.start();
+
+  int delivered = 0;
+  network.set_local_sink(d, [&](const net::Packet&) { ++delivered; });
+  auto send = [this, g]() {
+    net::Packet p;
+    p.kind = net::PacketKind::kData;
+    p.size_bytes = 1000;
+    p.src = s;
+    p.multicast = true;
+    p.group = g;
+    network.send_multicast(p);
+  };
+
+  simulation.at(2_s, send);
+  simulation.run_until(4_s);
+  EXPECT_EQ(delivered, 0);
+
+  simulation.at(6_s, send);
+  simulation.run_until(8_s);
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace tsim::fault

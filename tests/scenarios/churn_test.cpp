@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 
 namespace tsim::scenarios {
 namespace {
@@ -19,7 +20,7 @@ TEST(ChurnTest, StaggeredJoinsStillConverge) {
   TopologyAOptions options;
   options.receivers_per_set = 3;
   options.join_stagger = 20_s;  // receivers join at 0/20/40 s
-  auto s = Scenario::topology_a(config, options);
+  auto s = ScenarioBuilder(config).topology_a(options).build();
   s->run();
   for (const auto& r : s->results()) {
     double mean = 0.0;
@@ -40,7 +41,7 @@ TEST(ChurnTest, LateJoinerDoesNotDisturbSettledReceivers) {
   TopologyAOptions options;
   options.receivers_per_set = 2;
   options.join_stagger = 60_s;  // second receiver of each set joins at 60 s
-  auto s = Scenario::topology_a(config, options);
+  auto s = ScenarioBuilder(config).topology_a(options).build();
   s->run();
   // The early receiver of set 1 must not be pushed below base by the
   // newcomer joining behind the same bottleneck.
@@ -56,7 +57,7 @@ TEST(ChurnTest, LeaversReleaseTheirGroups) {
   options.receivers_per_set = 2;
   options.leave_fraction = 0.5;  // one receiver per set leaves...
   options.leave_at = 100_s;      // ...at t=100 s
-  auto s = Scenario::topology_a(config, options);
+  auto s = ScenarioBuilder(config).topology_a(options).build();
   s->run();
   // Leavers end at level 0; stayers keep a sane level.
   EXPECT_EQ(s->results()[1].final_subscription, 0);
@@ -85,7 +86,7 @@ TEST(CrossTrafficTest, FlowSqueezesSubscriptionThenReleases) {
   options.cross_traffic_bps = 128e3;
   options.cross_start = 100_s;
   options.cross_stop = 250_s;
-  auto s = Scenario::topology_a(config, options);
+  auto s = ScenarioBuilder(config).topology_a(options).build();
   s->run();
 
   const auto& r = s->results()[0];  // a set-1 receiver
@@ -105,7 +106,7 @@ TEST(SessionStaggerTest, LateSessionGetsItsShare) {
   TopologyBOptions options;
   options.sessions = 4;
   options.session_stagger = 30_s;  // sessions start at 0/30/60/90 s
-  auto s = Scenario::topology_b(config, options);
+  auto s = ScenarioBuilder(config).topology_b(options).build();
   s->run();
   // Every session, including the latest joiner, converges near the fair
   // 4-layer point over the final stretch.

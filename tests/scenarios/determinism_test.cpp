@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 #include "transport/tcp_flow.hpp"
 
 namespace tsim::scenarios {
@@ -37,8 +38,8 @@ ScenarioConfig base_config(std::uint64_t seed) {
 }
 
 TEST(DeterminismTest, VbrTopologyA) {
-  auto a = Scenario::topology_a(base_config(5), TopologyAOptions{});
-  auto b = Scenario::topology_a(base_config(5), TopologyAOptions{});
+  auto a = ScenarioBuilder(base_config(5)).topology_a(TopologyAOptions{}).build();
+  auto b = ScenarioBuilder(base_config(5)).topology_a(TopologyAOptions{}).build();
   a->run();
   b->run();
   EXPECT_EQ(fingerprint(*a), fingerprint(*b));
@@ -52,8 +53,8 @@ TEST(DeterminismTest, ChurnAndCrossTraffic) {
   options.leave_at = 100_s;
   options.cross_traffic_bps = 96e3;
   options.cross_start = 50_s;
-  auto a = Scenario::topology_a(base_config(9), options);
-  auto b = Scenario::topology_a(base_config(9), options);
+  auto a = ScenarioBuilder(base_config(9)).topology_a(options).build();
+  auto b = ScenarioBuilder(base_config(9)).topology_a(options).build();
   a->run();
   b->run();
   EXPECT_EQ(fingerprint(*a), fingerprint(*b));
@@ -62,8 +63,8 @@ TEST(DeterminismTest, ChurnAndCrossTraffic) {
 TEST(DeterminismTest, MtraceDiscovery) {
   ScenarioConfig cfg = base_config(11);
   cfg.discovery = DiscoveryMode::kMtrace;
-  auto a = Scenario::topology_a(cfg, TopologyAOptions{});
-  auto b = Scenario::topology_a(cfg, TopologyAOptions{});
+  auto a = ScenarioBuilder(cfg).topology_a(TopologyAOptions{}).build();
+  auto b = ScenarioBuilder(cfg).topology_a(TopologyAOptions{}).build();
   a->run();
   b->run();
   EXPECT_EQ(fingerprint(*a), fingerprint(*b));
@@ -74,16 +75,16 @@ TEST(DeterminismTest, RedQueues) {
   cfg.red_queues = true;
   TopologyBOptions options;
   options.sessions = 3;
-  auto a = Scenario::topology_b(cfg, options);
-  auto b = Scenario::topology_b(cfg, options);
+  auto a = ScenarioBuilder(cfg).topology_b(options).build();
+  auto b = ScenarioBuilder(cfg).topology_b(options).build();
   a->run();
   b->run();
   EXPECT_EQ(fingerprint(*a), fingerprint(*b));
 }
 
 TEST(DeterminismTest, TieredGenerator) {
-  auto a = Scenario::tiered(base_config(17), TieredOptions{});
-  auto b = Scenario::tiered(base_config(17), TieredOptions{});
+  auto a = ScenarioBuilder(base_config(17)).tiered(TieredOptions{}).build();
+  auto b = ScenarioBuilder(base_config(17)).tiered(TieredOptions{}).build();
   a->run();
   b->run();
   EXPECT_EQ(fingerprint(*a), fingerprint(*b));
@@ -91,7 +92,7 @@ TEST(DeterminismTest, TieredGenerator) {
 
 TEST(DeterminismTest, TcpCrossTraffic) {
   auto run_once = [](std::uint64_t seed) {
-    auto s = Scenario::topology_a(base_config(seed), TopologyAOptions{});
+    auto s = ScenarioBuilder(base_config(seed)).topology_a(TopologyAOptions{}).build();
     transport::TcpFlow::Config tcfg;
     tcfg.src = 1;
     tcfg.dst = 4;
@@ -108,8 +109,8 @@ TEST(DeterminismTest, TcpCrossTraffic) {
 TEST(DeterminismTest, RunUntilSplitMatchesSingleRun) {
   // Driving the same scenario in two run_until() steps must not change
   // anything (no hidden wall-clock or iteration-order dependence).
-  auto a = Scenario::topology_b(base_config(23), TopologyBOptions{});
-  auto b = Scenario::topology_b(base_config(23), TopologyBOptions{});
+  auto a = ScenarioBuilder(base_config(23)).topology_b(TopologyBOptions{}).build();
+  auto b = ScenarioBuilder(base_config(23)).topology_b(TopologyBOptions{}).build();
   a->run();
   b->run_until(70_s);
   b->run_until(150_s);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 #include "topo/mtrace.hpp"
 
 namespace tsim::scenarios {
@@ -17,7 +18,7 @@ TEST(DiscoveryModeTest, MtraceDrivenControlConverges) {
   config.seed = 61;
   config.duration = 240_s;
   config.discovery = DiscoveryMode::kMtrace;
-  auto s = Scenario::topology_a(config, TopologyAOptions{});
+  auto s = ScenarioBuilder(config).topology_a(TopologyAOptions{}).build();
   s->run();
   for (const auto& r : s->results()) {
     double mean = 0.0;
@@ -39,8 +40,8 @@ TEST(DiscoveryModeTest, MtraceTrafficIsLinearInReceivers) {
   TopologyAOptions big;
   big.receivers_per_set = 4;
 
-  auto s1 = Scenario::topology_a(config, small);
-  auto s2 = Scenario::topology_a(config, big);
+  auto s1 = ScenarioBuilder(config).topology_a(small).build();
+  auto s2 = ScenarioBuilder(config).topology_a(big).build();
   s1->run();
   s2->run();
   const auto* d1 = dynamic_cast<topo::MtraceDiscovery*>(s1->discovery());
@@ -58,11 +59,11 @@ TEST(DiscoveryModeTest, OracleAndMtraceAgreeOnSteadyTopology) {
   ScenarioConfig oracle_cfg;
   oracle_cfg.seed = 63;
   oracle_cfg.duration = 60_s;
-  auto oracle = Scenario::topology_a(oracle_cfg, TopologyAOptions{});
+  auto oracle = ScenarioBuilder(oracle_cfg).topology_a(TopologyAOptions{}).build();
 
   ScenarioConfig mtrace_cfg = oracle_cfg;
   mtrace_cfg.discovery = DiscoveryMode::kMtrace;
-  auto mtrace = Scenario::topology_a(mtrace_cfg, TopologyAOptions{});
+  auto mtrace = ScenarioBuilder(mtrace_cfg).topology_a(TopologyAOptions{}).build();
 
   oracle->run_until(30_s);
   mtrace->run_until(30_s);

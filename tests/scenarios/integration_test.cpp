@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 
 namespace tsim::scenarios {
 namespace {
@@ -23,8 +24,7 @@ ScenarioConfig config(traffic::TrafficModel model, Time duration) {
 }
 
 TEST(IntegrationTopologyA, HeterogeneousSetsConvergeNearTheirOptima) {
-  auto s = Scenario::topology_a(config(traffic::TrafficModel::kCbr, 300_s),
-                                TopologyAOptions{});
+  auto s = ScenarioBuilder(config(traffic::TrafficModel::kCbr, 300_s)).topology_a(TopologyAOptions{}).build();
   s->run();
   // Paper claim (from [5], re-verified here): each set converges towards its
   // own bottleneck's optimum; after the convergence phase the deviation over
@@ -43,7 +43,7 @@ TEST(IntegrationTopologyA, HeterogeneousSetsConvergeNearTheirOptima) {
 TEST(IntegrationTopologyA, IntraSessionFairnessWithinSets) {
   TopologyAOptions opt;
   opt.receivers_per_set = 4;
-  auto s = Scenario::topology_a(config(traffic::TrafficModel::kCbr, 300_s), opt);
+  auto s = ScenarioBuilder(config(traffic::TrafficModel::kCbr, 300_s)).topology_a(opt).build();
   s->run();
   // Receivers within a set share the bottleneck: their time-average levels
   // should be close to one another.
@@ -65,8 +65,7 @@ TEST(IntegrationTopologyA, IntraSessionFairnessWithinSets) {
 }
 
 TEST(IntegrationTopologyA, CongestionIsControlled) {
-  auto s = Scenario::topology_a(config(traffic::TrafficModel::kCbr, 300_s),
-                                TopologyAOptions{});
+  auto s = ScenarioBuilder(config(traffic::TrafficModel::kCbr, 300_s)).topology_a(TopologyAOptions{}).build();
   s->run();
   // Sustained uncontrolled overload would push lifetime loss towards the
   // over-subscription ratio (>30%); control keeps it modest.
@@ -78,7 +77,7 @@ TEST(IntegrationTopologyA, CongestionIsControlled) {
 TEST(IntegrationTopologyB, SessionsShareTheLinkFairly) {
   TopologyBOptions opt;
   opt.sessions = 4;
-  auto s = Scenario::topology_b(config(traffic::TrafficModel::kCbr, 300_s), opt);
+  auto s = ScenarioBuilder(config(traffic::TrafficModel::kCbr, 300_s)).topology_b(opt).build();
   s->run();
   double total_dev = 0.0;
   for (const auto& r : s->results()) {
@@ -92,7 +91,7 @@ TEST(IntegrationTopologyB, VbrAlsoConverges) {
   opt.sessions = 2;
   ScenarioConfig cfg = config(traffic::TrafficModel::kVbr, 300_s);
   cfg.peak_to_mean = 3.0;
-  auto s = Scenario::topology_b(cfg, opt);
+  auto s = ScenarioBuilder(cfg).topology_b(opt).build();
   s->run();
   // Time-averaged levels (an instantaneous check can catch a receiver
   // mid-probe-collapse): each session must sit well above the base layer
@@ -108,8 +107,7 @@ TEST(IntegrationTopologyB, VbrAlsoConverges) {
 }
 
 TEST(IntegrationStability, SubscriptionIsMostlyStableAfterConvergence) {
-  auto s = Scenario::topology_a(config(traffic::TrafficModel::kCbr, 400_s),
-                                TopologyAOptions{});
+  auto s = ScenarioBuilder(config(traffic::TrafficModel::kCbr, 400_s)).topology_a(TopologyAOptions{}).build();
   s->run();
   for (const auto& r : s->results()) {
     // Long stable spells interspersed with short join/leave probes: mean gap
@@ -123,8 +121,8 @@ TEST(IntegrationStaleness, ModerateStalenessDegradesGracefully) {
   ScenarioConfig fresh = config(traffic::TrafficModel::kCbr, 300_s);
   ScenarioConfig stale = fresh;
   stale.info_staleness = 8_s;
-  auto a = Scenario::topology_a(fresh, TopologyAOptions{});
-  auto b = Scenario::topology_a(stale, TopologyAOptions{});
+  auto a = ScenarioBuilder(fresh).topology_a(TopologyAOptions{}).build();
+  auto b = ScenarioBuilder(stale).topology_a(TopologyAOptions{}).build();
   a->run();
   b->run();
   double dev_fresh = 0.0;

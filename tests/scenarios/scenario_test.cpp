@@ -1,4 +1,5 @@
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 
 #include <gtest/gtest.h>
 
@@ -18,7 +19,7 @@ ScenarioConfig quick_config() {
 TEST(ScenarioBuildTest, TopologyAHasExpectedShape) {
   TopologyAOptions opt;
   opt.receivers_per_set = 2;
-  auto s = Scenario::topology_a(quick_config(), opt);
+  auto s = ScenarioBuilder(quick_config()).topology_a(opt).build();
   // source, r0, r1, r2 + 4 receivers.
   EXPECT_EQ(s->network().node_count(), 8u);
   EXPECT_EQ(s->results().size(), 4u);
@@ -31,7 +32,7 @@ TEST(ScenarioBuildTest, TopologyAHasExpectedShape) {
 TEST(ScenarioBuildTest, TopologyBHasExpectedShape) {
   TopologyBOptions opt;
   opt.sessions = 4;
-  auto s = Scenario::topology_b(quick_config(), opt);
+  auto s = ScenarioBuilder(quick_config()).topology_b(opt).build();
   // ra, rb + 4 sources + 4 receivers.
   EXPECT_EQ(s->network().node_count(), 10u);
   EXPECT_EQ(s->results().size(), 4u);
@@ -42,7 +43,7 @@ TEST(ScenarioBuildTest, TopologyBHasExpectedShape) {
 TEST(ScenarioBuildTest, ControllerKindNoneRunsOpenLoop) {
   ScenarioConfig cfg = quick_config();
   cfg.controller = ControllerKind::kNone;
-  auto s = Scenario::topology_a(cfg, TopologyAOptions{});
+  auto s = ScenarioBuilder(cfg).topology_a(TopologyAOptions{}).build();
   EXPECT_EQ(s->controller(), nullptr);
   s->run();
   for (const auto& r : s->results()) {
@@ -54,7 +55,7 @@ TEST(ScenarioBuildTest, ReceiverDrivenBaselineAdapts) {
   ScenarioConfig cfg = quick_config();
   cfg.duration = 120_s;
   cfg.controller = ControllerKind::kReceiverDriven;
-  auto s = Scenario::topology_a(cfg, TopologyAOptions{});
+  auto s = ScenarioBuilder(cfg).topology_a(TopologyAOptions{}).build();
   s->run();
   int total = 0;
   for (const auto& r : s->results()) total += r.final_subscription;
@@ -62,7 +63,7 @@ TEST(ScenarioBuildTest, ReceiverDrivenBaselineAdapts) {
 }
 
 TEST(ScenarioRunTest, TimelinesRecordStartupJoin) {
-  auto s = Scenario::topology_a(quick_config(), TopologyAOptions{});
+  auto s = ScenarioBuilder(quick_config()).topology_a(TopologyAOptions{}).build();
   s->run();
   for (const auto& r : s->results()) {
     EXPECT_GE(r.timeline.change_count(Time::zero(), 60_s), 1);  // 0 -> 1 at start
@@ -71,7 +72,7 @@ TEST(ScenarioRunTest, TimelinesRecordStartupJoin) {
 }
 
 TEST(ScenarioRunTest, RunUntilIsMonotonicAndResumable) {
-  auto s = Scenario::topology_a(quick_config(), TopologyAOptions{});
+  auto s = ScenarioBuilder(quick_config()).topology_a(TopologyAOptions{}).build();
   s->run_until(10_s);
   const int early = s->results()[0].final_subscription;
   s->run_until(60_s);
@@ -80,8 +81,8 @@ TEST(ScenarioRunTest, RunUntilIsMonotonicAndResumable) {
 }
 
 TEST(ScenarioRunTest, DeterministicAcrossIdenticalRuns) {
-  auto a = Scenario::topology_b(quick_config(), TopologyBOptions{});
-  auto b = Scenario::topology_b(quick_config(), TopologyBOptions{});
+  auto a = ScenarioBuilder(quick_config()).topology_b(TopologyBOptions{}).build();
+  auto b = ScenarioBuilder(quick_config()).topology_b(TopologyBOptions{}).build();
   a->run();
   b->run();
   for (std::size_t i = 0; i < a->results().size(); ++i) {
@@ -97,8 +98,8 @@ TEST(ScenarioRunTest, DifferentSeedsDiverge) {
   c1.model = traffic::TrafficModel::kVbr;
   c2.model = traffic::TrafficModel::kVbr;
   c1.duration = c2.duration = 120_s;
-  auto a = Scenario::topology_b(c1, TopologyBOptions{});
-  auto b = Scenario::topology_b(c2, TopologyBOptions{});
+  auto a = ScenarioBuilder(c1).topology_b(TopologyBOptions{}).build();
+  auto b = ScenarioBuilder(c2).topology_b(TopologyBOptions{}).build();
   a->run();
   b->run();
   // Some observable difference in the change histories.

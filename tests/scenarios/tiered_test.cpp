@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
 
 namespace tsim::scenarios {
 namespace {
@@ -18,7 +19,7 @@ TEST(TieredTest, TopologyHasExpectedShape) {
   options.regionals = 3;
   options.locals_per_regional = 2;
   options.receivers_per_local = 2;
-  auto s = Scenario::tiered(config, options);
+  auto s = ScenarioBuilder(config).tiered(options).build();
   // source + national + 3 regionals + 6 locals + 12 receivers.
   EXPECT_EQ(s->network().node_count(), 23u);
   EXPECT_EQ(s->results().size(), 12u);
@@ -28,7 +29,7 @@ TEST(TieredTest, OptimaAreWithinLayerRangeAndHeterogeneous) {
   ScenarioConfig config;
   config.seed = 72;
   config.duration = 30_s;
-  auto s = Scenario::tiered(config, TieredOptions{});
+  auto s = ScenarioBuilder(config).tiered(TieredOptions{}).build();
   int lo = 7;
   int hi = -1;
   for (const auto& r : s->results()) {
@@ -47,8 +48,8 @@ TEST(TieredTest, DifferentSeedsGiveDifferentTopologies) {
   a.duration = 10_s;
   ScenarioConfig b = a;
   b.seed = 74;
-  auto sa = Scenario::tiered(a, TieredOptions{});
-  auto sb = Scenario::tiered(b, TieredOptions{});
+  auto sa = ScenarioBuilder(a).tiered(TieredOptions{}).build();
+  auto sb = ScenarioBuilder(b).tiered(TieredOptions{}).build();
   std::vector<int> oa;
   std::vector<int> ob;
   for (const auto& r : sa->results()) oa.push_back(r.optimal);
@@ -64,7 +65,7 @@ TEST(TieredTest, ConvergesTowardHeterogeneousOptima) {
   options.regionals = 2;
   options.locals_per_regional = 2;
   options.receivers_per_local = 1;
-  auto s = Scenario::tiered(config, options);
+  auto s = ScenarioBuilder(config).tiered(options).build();
   s->run();
   double total_dev = 0.0;
   int counted = 0;
