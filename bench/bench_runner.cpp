@@ -3,10 +3,13 @@
 // BENCH_e2e.json so successive PRs accumulate a comparable perf trajectory
 // (see docs/benchmarking.md for the schema and how to compare runs).
 //
-// Usage: bench_runner [--out DIR] [--fault]
+// Usage: bench_runner [--out DIR] [--fault] [--audit]
 //   --out DIR   directory for the JSON files (default: current directory)
 //   --fault     run the fault-injection scenarios instead and write
 //               BENCH_fault.json (outage recovery + determinism check)
+//   --audit     additionally run each kernel case with log-mode invariant
+//               auditing and record the throughput overhead in
+//               BENCH_kernel.json (budget: <= 15%, see docs/invariants.md)
 // TOPOSENSE_BENCH_QUICK=1 shrinks the workloads for a smoke pass.
 
 #include <sys/resource.h>
@@ -21,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant_auditor.hpp"
 #include "core/toposense.hpp"
 #include "fault/fault_plan.hpp"
 #include "metrics/recovery.hpp"
@@ -84,13 +88,20 @@ struct KernelCase {
   double wall_s;
   double intervals_per_sec;
   double nodes_per_sec;
+  /// --audit: the same case re-run with log-mode auditing of every pass.
+  std::optional<double> audit_wall_s;
+  std::optional<double> audit_overhead_pct;
+  std::uint64_t audit_violations{0};
 };
 
 /// Drives TopoSense::run_interval with deterministically varying loss reports
 /// (seeded, not time-based) so congestion histories, capacity estimation and
 /// fair-share arbitration all stay exercised — a pure steady-state input
-/// would measure only the cache-hit path.
-KernelCase run_kernel_case(int receivers, int intervals) {
+/// would measure only the cache-hit path. With `auditor` set, every pass is
+/// additionally fed through the controller-postcondition checks — the
+/// per-interval audit cost the --audit overhead number quantifies.
+KernelCase run_kernel_case(int receivers, int intervals,
+                           check::InvariantAuditor* auditor = nullptr) {
   core::Params params;
   core::TopoSense algo{params, sim::Rng{1}};
   core::AlgorithmInput input;
@@ -108,11 +119,18 @@ KernelCase run_kernel_case(int receivers, int intervals) {
     }
     const core::AlgorithmOutput out = algo.run_interval(input, now);
     if (out.prescriptions.empty()) std::abort();  // keep the optimizer honest
+    if (auditor != nullptr) {
+      auditor->set_now(now);
+      auditor->on_algorithm_output(input, out, algo);
+    }
     now += Time::seconds(std::int64_t{1});
   }
   const double wall = seconds_since(start);
   const double nodes = static_cast<double>(input.sessions[0].nodes.size());
-  return KernelCase{receivers, intervals, wall, intervals / wall, intervals * nodes / wall};
+  return KernelCase{receivers,       intervals,
+                    wall,            intervals / wall,
+                    intervals * nodes / wall, std::nullopt,
+                    std::nullopt,    0};
 }
 
 struct E2eCase {
@@ -180,6 +198,7 @@ struct FaultCase {
   double sim_seconds{0.0};
   double wall_s{0.0};
   std::uint64_t fingerprint{0};
+  std::uint64_t fingerprint_second{0};  ///< fingerprint of the same-seed re-run
   bool deterministic{false};  ///< second same-seed run matched the fingerprint
   std::vector<FaultReceiverRow> receivers;
 };
@@ -232,7 +251,8 @@ FaultCase summarize_fault_case(
   c.sim_seconds = duration.as_seconds();
   c.wall_s = wall;
   c.fingerprint = fingerprint(*first);
-  c.deterministic = c.fingerprint == fingerprint(*second);
+  c.fingerprint_second = fingerprint(*second);
+  c.deterministic = c.fingerprint == c.fingerprint_second;
 
   const auto& agents = first->receiver_agents();
   for (std::size_t i = 0; i < first->results().size(); ++i) {
@@ -271,9 +291,11 @@ void write_fault_json(const std::string& path, const std::vector<FaultCase>& cas
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"fault\": \"%s\", \"sim_seconds\": %.1f,\n"
                  "     \"wall_s\": %.6f, \"fingerprint\": \"%016llx\", "
-                 "\"deterministic\": %s,\n     \"receivers\": [\n",
+                 "\"fingerprint_second\": \"%016llx\", \"deterministic\": %s,\n"
+                 "     \"receivers\": [\n",
                  c.name.c_str(), c.fault.c_str(), c.sim_seconds, c.wall_s,
                  static_cast<unsigned long long>(c.fingerprint),
+                 static_cast<unsigned long long>(c.fingerprint_second),
                  c.deterministic ? "true" : "false");
     for (std::size_t j = 0; j < c.receivers.size(); ++j) {
       const FaultReceiverRow& r = c.receivers[j];
@@ -321,6 +343,12 @@ int run_fault_benches(const std::string& out_dir) {
     std::printf("fault   %-26s wall=%.3fs deterministic=%s fingerprint=%016llx\n",
                 c.name.c_str(), c.wall_s, c.deterministic ? "yes" : "NO",
                 static_cast<unsigned long long>(c.fingerprint));
+    if (!c.deterministic) {
+      std::fprintf(stderr,
+                   "FINGERPRINT MISMATCH %s: first=%016llx second=%016llx (same seed)\n",
+                   c.name.c_str(), static_cast<unsigned long long>(c.fingerprint),
+                   static_cast<unsigned long long>(c.fingerprint_second));
+    }
     for (const FaultReceiverRow& r : c.receivers) {
       std::printf("        %-10s optimal=%d final=%d unilateral=%llu+/%llu- gap=%.1fs "
                   "recovery=%s\n",
@@ -355,9 +383,17 @@ void write_kernel_json(const std::string& path, const std::vector<KernelCase>& c
     std::fprintf(f,
                  "    {\"name\": \"toposense_interval_%d\", \"receivers\": %d, "
                  "\"intervals\": %d, \"wall_s\": %.6f, \"intervals_per_sec\": %.1f, "
-                 "\"nodes_per_sec\": %.1f}%s\n",
+                 "\"nodes_per_sec\": %.1f",
                  c.receivers, c.receivers, c.intervals, c.wall_s, c.intervals_per_sec,
-                 c.nodes_per_sec, i + 1 < cases.size() ? "," : "");
+                 c.nodes_per_sec);
+    if (c.audit_wall_s && c.audit_overhead_pct) {
+      std::fprintf(f,
+                   ", \"audit_mode\": \"log\", \"audit_wall_s\": %.6f, "
+                   "\"audit_overhead_pct\": %.2f, \"audit_violations\": %llu",
+                   *c.audit_wall_s, *c.audit_overhead_pct,
+                   static_cast<unsigned long long>(c.audit_violations));
+    }
+    std::fprintf(f, "}%s\n", i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"peak_rss_bytes\": %llu\n}\n",
                static_cast<unsigned long long>(peak_rss_bytes()));
@@ -388,13 +424,16 @@ void write_e2e_json(const std::string& path, const E2eCase& c) {
 int main(int argc, char** argv) {
   std::string out_dir = ".";
   bool fault_mode = false;
+  bool audit_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--fault") == 0) {
       fault_mode = true;
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      audit_mode = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--out DIR] [--fault]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--out DIR] [--fault] [--audit]\n", argv[0]);
       return 2;
     }
   }
@@ -406,10 +445,36 @@ int main(int argc, char** argv) {
   std::vector<KernelCase> kernel;
   kernel.push_back(run_kernel_case(256, q ? 200 : 2000));
   kernel.push_back(run_kernel_case(4096, q ? 50 : 500));
+  if (audit_mode) {
+    // Re-run each case with log-mode auditing of every controller pass; the
+    // delta is the audit overhead the acceptance budget caps at 15%.
+    for (KernelCase& c : kernel) {
+      check::AuditConfig acfg;
+      acfg.mode = check::AuditMode::kLog;
+      acfg.log_to_stderr = false;  // keep bench output machine-parsable
+      check::InvariantAuditor auditor{acfg};
+      const KernelCase audited = run_kernel_case(c.receivers, c.intervals, &auditor);
+      c.audit_wall_s = audited.wall_s;
+      c.audit_overhead_pct = (audited.wall_s / c.wall_s - 1.0) * 100.0;
+      c.audit_violations = auditor.violation_count();
+    }
+  }
   write_kernel_json(out_dir + "/BENCH_kernel.json", kernel);
+  bool audit_budget_ok = true;
   for (const KernelCase& c : kernel) {
     std::printf("kernel  receivers=%-5d intervals=%-5d wall=%.3fs  %.0f intervals/s  %.2fM nodes/s\n",
                 c.receivers, c.intervals, c.wall_s, c.intervals_per_sec, c.nodes_per_sec / 1e6);
+    if (c.audit_overhead_pct) {
+      std::printf("        audit(log) wall=%.3fs overhead=%+.1f%% violations=%llu\n",
+                  *c.audit_wall_s, *c.audit_overhead_pct,
+                  static_cast<unsigned long long>(c.audit_violations));
+      if (*c.audit_overhead_pct > 15.0) audit_budget_ok = false;
+      if (c.audit_violations != 0) audit_budget_ok = false;
+    }
+  }
+  if (!audit_budget_ok) {
+    std::fprintf(stderr,
+                 "AUDIT BENCH FAILURE: overhead above 15%% budget or violations found\n");
   }
 
   const E2eCase e2e = run_e2e_case(4, Time::seconds(std::int64_t{q ? 60 : 600}));
@@ -419,5 +484,5 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(e2e.fingerprint));
   std::printf("wrote %s/BENCH_kernel.json and %s/BENCH_e2e.json\n", out_dir.c_str(),
               out_dir.c_str());
-  return 0;
+  return audit_budget_ok ? 0 : 1;
 }

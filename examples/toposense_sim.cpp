@@ -7,12 +7,19 @@
 //   toposense_sim my_topology.txt    # runs a topology file
 //   toposense_sim file.txt 600 vbr3  # duration [s] and traffic model
 //                                      (cbr | vbr3 | vbr6)
+//   toposense_sim --audit[=MODE] ... # invariant auditing: off | log | assert
+//                                      (bare --audit means log). Violations
+//                                      are printed as a JSON report and make
+//                                      the exit code non-zero.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "check/invariant_auditor.hpp"
 #include "scenarios/scenario.hpp"
 #include "scenarios/topology_file.hpp"
 
@@ -53,18 +60,41 @@ int main(int argc, char** argv) {
   using namespace tsim;
   using sim::Time;
 
+  check::AuditConfig audit;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (arg == "--audit") {
+      audit.mode = check::AuditMode::kLog;
+    } else if (arg.rfind("--audit=", 0) == 0) {
+      const std::string value{arg.substr(std::strlen("--audit="))};
+      const auto mode = check::parse_audit_mode(value);
+      if (!mode) {
+        std::fprintf(stderr, "error: bad --audit mode '%s' (off | log | assert)\n",
+                     value.c_str());
+        return 2;
+      }
+      audit.mode = *mode;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
   std::string text = kSampleTopology;
   std::string source_name = "<built-in sample>";
-  if (argc > 1) {
-    std::ifstream file{argv[1]};
+  if (!positional.empty()) {
+    std::ifstream file{positional[0]};
     if (!file) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", argv[1]);
+      std::fprintf(stderr, "error: cannot open '%s'\n", positional[0]);
       return 1;
     }
     std::ostringstream buffer;
     buffer << file.rdbuf();
     text = buffer.str();
-    source_name = argv[1];
+    source_name = positional[0];
   }
 
   const auto parsed = scenarios::parse_topology(text);
@@ -75,12 +105,14 @@ int main(int argc, char** argv) {
 
   scenarios::ScenarioConfig config;
   config.seed = 1;
-  config.duration = Time::seconds(std::int64_t{argc > 2 ? std::atol(argv[2]) : 300});
-  if (argc > 3) {
-    if (std::strcmp(argv[3], "vbr3") == 0) {
+  config.audit = audit;
+  config.duration =
+      Time::seconds(std::int64_t{positional.size() > 1 ? std::atol(positional[1]) : 300});
+  if (positional.size() > 2) {
+    if (std::strcmp(positional[2], "vbr3") == 0) {
       config.model = traffic::TrafficModel::kVbr;
       config.peak_to_mean = 3.0;
-    } else if (std::strcmp(argv[3], "vbr6") == 0) {
+    } else if (std::strcmp(positional[2], "vbr6") == 0) {
       config.model = traffic::TrafficModel::kVbr;
       config.peak_to_mean = 6.0;
     }
@@ -98,7 +130,15 @@ int main(int argc, char** argv) {
   }
 
   auto scenario = scenarios::Scenario::from_description(config, *parsed.description);
-  scenario->run();
+  try {
+    scenario->run();
+  } catch (const check::AuditError& e) {
+    std::fprintf(stderr, "audit failure: %s\n", e.what());
+    if (scenario->auditor() != nullptr) {
+      std::printf("%s\n", scenario->auditor()->report_json().c_str());
+    }
+    return 3;
+  }
 
   const Time tail_from = Time::seconds(config.duration.as_seconds() / 2.0);
   std::printf("%-14s %8s %12s %10s %14s %10s\n", "receiver", "optimal", "mean level",
@@ -145,6 +185,15 @@ int main(int argc, char** argv) {
                   agents[i]->max_suggestion_gap().as_seconds(),
                   agents[i]->suggestion_gap_time().as_seconds());
     }
+  }
+
+  if (const check::InvariantAuditor* auditor = scenario->auditor(); auditor != nullptr) {
+    std::printf("\naudit: mode=%s, %llu checks run, %llu violation(s)\n%s\n",
+                check::audit_mode_name(auditor->mode()),
+                static_cast<unsigned long long>(auditor->checks_run()),
+                static_cast<unsigned long long>(auditor->violation_count()),
+                auditor->report_json().c_str());
+    if (auditor->violation_count() > 0) return 3;
   }
   return 0;
 }

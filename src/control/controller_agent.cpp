@@ -1,6 +1,7 @@
 #include "control/controller_agent.hpp"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <unordered_set>
 
@@ -125,8 +126,10 @@ void ControllerAgent::run_interval() {
     session_input.session = session;
     session_input.source = snap->source;
 
-    // Collect tree nodes from the snapshot's edges (plus the source).
-    std::unordered_map<net::NodeId, net::NodeId> parent_of;
+    // Collect tree nodes from the snapshot's edges (plus the source). Ordered
+    // map: the iteration below fixes the node order of the algorithm input,
+    // which must not depend on hash-table layout (determinism lint).
+    std::map<net::NodeId, net::NodeId> parent_of;
     parent_of[snap->source] = net::kInvalidNode;
     for (const auto& [parent, child] : snap->edges) parent_of.emplace(child, parent);
     // Edges may mention parents the snapshot didn't root (stale artifacts);
@@ -155,6 +158,7 @@ void ControllerAgent::run_interval() {
 
   if (!input.sessions.empty()) {
     last_output_ = algorithm_.run_interval(input, now);
+    if (audit_hook_) audit_hook_(input, last_output_);
     for (const core::Prescription& p : last_output_.prescriptions) send_suggestion(p);
   }
 

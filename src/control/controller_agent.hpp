@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -63,6 +65,13 @@ class ControllerAgent {
   /// Usage accounting built from the received reports (§II billing).
   [[nodiscard]] const AccountingLedger& ledger() const { return ledger_; }
 
+  /// Invoked after every enabled interval that ran the algorithm, with the
+  /// exact input and output of that pass. The invariant auditor hangs its
+  /// controller-postcondition checks here; the hook must not mutate agent
+  /// state.
+  using AuditHook = std::function<void(const core::AlgorithmInput&, const core::AlgorithmOutput&)>;
+  void set_audit_hook(AuditHook hook) { audit_hook_ = std::move(hook); }
+
  private:
   void handle_report(const net::Packet& packet);
   void run_interval();
@@ -84,7 +93,9 @@ class ControllerAgent {
   topo::TopologyProvider& discovery_;
   Config config_;
   core::TopoSense algorithm_;
-  std::unordered_map<net::SessionId, std::vector<net::NodeId>> registered_;
+  /// Ordered map: run_interval iterates this to build AlgorithmInput, and the
+  /// session order must not depend on hash-table layout (determinism lint).
+  std::map<net::SessionId, std::vector<net::NodeId>> registered_;
   /// (session<<32|receiver) -> recent reports, newest at the back.
   std::unordered_map<std::uint64_t, std::deque<transport::ReceiverReport>> reports_;
   core::AlgorithmOutput last_output_;
@@ -94,6 +105,7 @@ class ControllerAgent {
   std::uint32_t epoch_{0};
   bool enabled_{true};
   std::uint64_t outages_{0};
+  AuditHook audit_hook_;
 };
 
 }  // namespace tsim::control

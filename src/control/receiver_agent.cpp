@@ -61,6 +61,9 @@ void ReceiverAgent::check_silence() {
         endpoint_.set_subscription(endpoint_.subscription() - 1);
         ++unilateral_drops_;
         last_suggestion_ = now;  // give the drop time to take effect
+        if (unilateral_hook_) {
+          unilateral_hook_(UnilateralAction{false, loss, starved, endpoint_.subscription()});
+        }
       } else if (config_.enable_unilateral_add && !starved &&
                  loss < config_.unilateral_add_loss && window.received_packets > 0 &&
                  endpoint_.subscription() <
@@ -72,6 +75,9 @@ void ReceiverAgent::check_silence() {
         endpoint_.set_subscription(endpoint_.subscription() + 1);
         ++unilateral_adds_;
         last_unilateral_add_ = now;
+        if (unilateral_hook_) {
+          unilateral_hook_(UnilateralAction{true, loss, starved, endpoint_.subscription()});
+        }
       }
     }
   }

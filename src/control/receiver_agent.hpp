@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/simulation.hpp"
 #include "transport/receiver_endpoint.hpp"
@@ -76,6 +77,21 @@ class ReceiverAgent {
   /// Silence horizon in force (derived from expected_interval when set).
   [[nodiscard]] sim::Time silence_horizon() const;
 
+  /// One unilateral watchdog decision, as observed at the instant it was
+  /// taken. The invariant auditor checks the watchdog sanity rules against
+  /// these (e.g. never add-probe while loss is at or above the add
+  /// threshold, never drop on a clean un-starved window).
+  struct UnilateralAction {
+    bool add{false};       ///< true: probed one layer up; false: dropped one
+    double loss{0.0};      ///< window loss rate that motivated the action
+    bool starved{false};   ///< subscribed but zero packets in the window
+    int level_after{0};    ///< subscription level after the action
+  };
+  using UnilateralHook = std::function<void(const UnilateralAction&)>;
+  void set_unilateral_hook(UnilateralHook hook) { unilateral_hook_ = std::move(hook); }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
  private:
   void check_silence();
   void note_gap(sim::Time now);
@@ -91,6 +107,7 @@ class ReceiverAgent {
   std::uint64_t unilateral_drops_{0};
   sim::Time max_gap_{sim::Time::zero()};
   sim::Time gap_time_{sim::Time::zero()};
+  UnilateralHook unilateral_hook_;
 };
 
 }  // namespace tsim::control

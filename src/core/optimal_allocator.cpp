@@ -57,7 +57,9 @@ double OptimalAllocator::link_usage(const std::vector<SessionInput>& sessions,
 
 bool OptimalAllocator::feasible(const std::vector<SessionInput>& sessions,
                                 const std::vector<int>& levels) const {
-  for (const auto& [link, capacity] : capacity_bps_) {
+  // Order-free conjunction: the result is "every link fits", independent of
+  // which infeasible link is met first.
+  for (const auto& [link, capacity] : capacity_bps_) {  // NOLINT-determinism(order-free)
     if (link_usage(sessions, levels, link) > capacity) return false;
   }
   return true;

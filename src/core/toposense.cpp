@@ -318,8 +318,18 @@ AlgorithmOutput TopoSense::run_interval(const AlgorithmInput& input, sim::Time n
         output.prescriptions.push_back(
             Prescription{n.node, lt.tree.session(), std::max(1, supply[i])});
       }
-      diag.nodes.push_back(NodeDiagnostics{n.node, n.is_receiver, lt.congested[i], lt.loss[i],
-                                           lt.bottleneck_bps[i], demand[i], supply[i]});
+      const int pi = lt.tree.parent(i);
+      NodeDiagnostics nd;
+      nd.node = n.node;
+      nd.parent = pi < 0 ? net::kInvalidNode : lt.tree.node(static_cast<std::size_t>(pi)).node;
+      nd.is_receiver = n.is_receiver;
+      nd.congested = lt.congested[i];
+      nd.loss_rate = lt.loss[i];
+      nd.bottleneck_bps = lt.bottleneck_bps[i];
+      nd.share_bps = lt.share_bps[i];
+      nd.demand = demand[i];
+      nd.supply = supply[i];
+      diag.nodes.push_back(nd);
     }
     output.diagnostics.push_back(std::move(diag));
   }

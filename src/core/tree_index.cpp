@@ -28,7 +28,8 @@ TreeIndex::TreeIndex(const SessionInput& input) : session_{input.session} {
     if (n.node == input.source) continue;
     kids[n.parent].push_back(i);
   }
-  for (auto& [id, v] : kids) {
+  // Each value vector is sorted independently; map iteration order is moot.
+  for (auto& [id, v] : kids) {  // NOLINT-determinism(per-key sort, order-free)
     std::sort(v.begin(), v.end(), [&](std::size_t a, std::size_t b) {
       return input.nodes[a].node < input.nodes[b].node;
     });

@@ -41,13 +41,16 @@ struct Prescription {
   int subscription{1};
 };
 
-/// Per-node diagnostics exposed for tests, traces and benches.
+/// Per-node diagnostics exposed for tests, traces, benches and the
+/// invariant auditor (which re-derives the pass postconditions from them).
 struct NodeDiagnostics {
   net::NodeId node{net::kInvalidNode};
+  net::NodeId parent{net::kInvalidNode};  ///< tree parent; kInvalidNode for the root
   bool is_receiver{false};
   bool congested{false};
   double loss_rate{0.0};
   double bottleneck_bps{0.0};  ///< min estimated capacity source -> node
+  double share_bps{0.0};       ///< fair share along the path source -> node
   int demand{0};
   int supply{0};
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <utility>
 
 namespace tsim::fault {
@@ -115,6 +116,36 @@ std::string FaultPlan::validate() const {
         break;
       default:
         break;
+    }
+  }
+
+  // Down/up pairing per link (both directions share one physical link): a
+  // second down while already down means two outage schedules overlap, and an
+  // up with no preceding down repairs nothing — both are authoring mistakes.
+  std::map<std::pair<std::string, std::string>, std::vector<std::pair<sim::Time, bool>>>
+      updown;
+  for (const FaultEvent& e : events_) {
+    if (e.kind != FaultKind::kLinkDown && e.kind != FaultKind::kLinkUp) continue;
+    auto key = e.a < e.b ? std::make_pair(e.a, e.b) : std::make_pair(e.b, e.a);
+    updown[std::move(key)].emplace_back(e.at, e.kind == FaultKind::kLinkDown);
+  }
+  for (const auto& [link, schedule] : updown) {
+    std::vector<std::pair<sim::Time, bool>> sorted = schedule;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto& x, const auto& y) { return x.first < y.first; });
+    bool down = false;
+    for (const auto& [at, is_down] : sorted) {
+      char when[32];
+      std::snprintf(when, sizeof when, "%.1f", at.as_seconds());
+      if (is_down && down) {
+        return "link " + link.first + "-" + link.second + ": down at t=" + when +
+               "s while already down (overlapping down/up schedules)";
+      }
+      if (!is_down && !down) {
+        return "link " + link.first + "-" + link.second + ": up at t=" + when +
+               "s without a preceding down";
+      }
+      down = is_down;
     }
   }
   return {};

@@ -86,7 +86,7 @@ std::vector<net::NodeId> MulticastRouter::members(net::GroupAddr group) const {
   std::vector<net::NodeId> result;
   const auto git = groups_.find(group);
   if (git == groups_.end()) return result;
-  for (const auto& [node, ms] : git->second.members) {
+  for (const auto& [node, ms] : git->second.members) {  // NOLINT-determinism(sorted below)
     if (ms.local_active) result.push_back(node);
   }
   std::sort(result.begin(), result.end());
@@ -101,7 +101,9 @@ void MulticastRouter::rebuild_tree(net::GroupAddr group, GroupState& state) {
   std::set<std::pair<net::NodeId, net::NodeId>> edge_set;
   const net::RoutingTable& routes = network_.routes();
 
-  for (const auto& [member, ms] : state.members) {
+  // Per-member work is independent and accumulates into the ordered edge_set,
+  // so the hash iteration order never reaches the finished tree.
+  for (const auto& [member, ms] : state.members) {  // NOLINT-determinism(order-free)
     const bool carries_traffic = ms.local_active || ms.forward_until > now;
     if (!carries_traffic) continue;
     if (ms.local_active) tree.entries[member].deliver_locally = true;
@@ -118,8 +120,10 @@ void MulticastRouter::rebuild_tree(net::GroupAddr group, GroupState& state) {
     tree.edges.emplace_back(parent, child);
   }
 
+  tree.built_topology_version = network_.topology_version();
   state.tree = std::move(tree);
   state.tree_dirty = false;
+  if (audit_hook_) audit_hook_(group, state.tree);
 }
 
 const GroupTree* MulticastRouter::tree(net::GroupAddr group) const {
@@ -128,6 +132,35 @@ const GroupTree* MulticastRouter::tree(net::GroupAddr group) const {
   if (git == self->groups_.end()) return nullptr;
   if (git->second.tree_dirty) self->rebuild_tree(group, git->second);
   return &git->second.tree;
+}
+
+const GroupTree* MulticastRouter::tree_if_clean(net::GroupAddr group) const {
+  const auto git = groups_.find(group);
+  if (git == groups_.end() || git->second.tree_dirty) return nullptr;
+  return &git->second.tree;
+}
+
+std::vector<net::GroupAddr> MulticastRouter::active_groups() const {
+  std::vector<net::GroupAddr> result;
+  result.reserve(groups_.size());
+  // Sorted afterwards, so the unordered iteration order never leaks out.
+  for (const auto& [group, state] : groups_) {  // NOLINT-determinism(sorted below)
+    result.push_back(group);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+void MulticastRouter::corrupt_tree_edge_for_test(net::GroupAddr group) {
+  GroupState& state = group_state(group);
+  if (state.tree_dirty) rebuild_tree(group, state);
+  GroupTree& tree = state.tree;
+  if (tree.edges.empty()) {
+    tree.edges.emplace_back(tree.source, tree.source);
+  } else {
+    // Reversing an edge gives the child a second parent and closes a cycle.
+    tree.edges.emplace_back(tree.edges.front().second, tree.edges.front().first);
+  }
 }
 
 std::vector<std::pair<net::NodeId, net::NodeId>> MulticastRouter::session_tree_edges(
@@ -142,7 +175,8 @@ std::vector<std::pair<net::NodeId, net::NodeId>> MulticastRouter::session_tree_e
 }
 
 void MulticastRouter::on_topology_change() {
-  for (auto& [group, state] : groups_) state.tree_dirty = true;
+  // Flag-setting only; every group gets the same write, order is irrelevant.
+  for (auto& [group, state] : groups_) state.tree_dirty = true;  // NOLINT-determinism(order-free)
 }
 
 void MulticastRouter::route(net::NodeId node, const net::Packet& packet,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -26,6 +27,11 @@ struct GroupTree {
   /// Tree edges as (parent, child) node pairs — what a topology discovery
   /// tool (mtrace-style) would reconstruct.
   std::vector<std::pair<net::NodeId, net::NodeId>> edges;
+
+  /// Network::topology_version() at the instant this tree was (re)built. A
+  /// clean tree whose stamp trails the network's current version is stale —
+  /// its edges may reference failed links (audited by check::InvariantAuditor).
+  std::uint64_t built_topology_version{0};
 };
 
 /// IGMP/PIM-flavoured group management and multicast forwarding.
@@ -69,6 +75,30 @@ class MulticastRouter final : public net::MulticastForwarder {
   /// Current forwarding tree (nullptr when the group has no state).
   [[nodiscard]] const GroupTree* tree(net::GroupAddr group) const;
 
+  /// Like tree(), but never triggers a lazy rebuild: returns nullptr when the
+  /// group is unknown OR its tree is dirty. The auditor uses this so periodic
+  /// sweeps observe without perturbing rebuild timing (a tree rebuilt early
+  /// could prune differently than one rebuilt at its natural first use).
+  [[nodiscard]] const GroupTree* tree_if_clean(net::GroupAddr group) const;
+
+  /// Groups with any state (members past or present), in deterministic
+  /// GroupAddr order.
+  [[nodiscard]] std::vector<net::GroupAddr> active_groups() const;
+
+  /// Invoked after every tree (re)build — prune, re-graft, or topology-driven
+  /// reroute — with the freshly built tree. This is the auditor's
+  /// well-formedness hook; the callback must not call tree()/route() for the
+  /// same group (the rebuild is already complete, reads are fine).
+  void set_audit_hook(std::function<void(net::GroupAddr, const GroupTree&)> hook) {
+    audit_hook_ = std::move(hook);
+  }
+
+  /// Test-only: appends a reversed copy of the first edge (or a self-edge for
+  /// an edgeless tree) to a group's built tree, breaking acyclicity /
+  /// well-formedness so auditor tests can prove detection. Forces a rebuild
+  /// first so there is a tree to corrupt. Never call outside tests.
+  void corrupt_tree_edge_for_test(net::GroupAddr group);
+
   /// Union of the per-layer tree edges of `session` for layers [1..max_layer]
   /// — the "multicast session topology" the paper's controller consumes.
   [[nodiscard]] std::vector<std::pair<net::NodeId, net::NodeId>> session_tree_edges(
@@ -105,6 +135,7 @@ class MulticastRouter final : public net::MulticastForwarder {
   Config config_;
   std::unordered_map<net::GroupAddr, GroupState> groups_;
   std::unordered_map<net::SessionId, net::NodeId> session_sources_;
+  std::function<void(net::GroupAddr, const GroupTree&)> audit_hook_;
 };
 
 }  // namespace tsim::mcast

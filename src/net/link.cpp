@@ -45,6 +45,7 @@ void Link::set_up(bool up) {
       count_drop(queue_.front(), /*fault=*/true);
       queue_.pop_front();
     }
+    queued_bytes_ = 0;
   }
 }
 
@@ -55,6 +56,7 @@ sim::Time Link::transmission_time(std::uint32_t size_bytes) const {
 
 void Link::enqueue(const Packet& packet) {
   ++stats_.enqueued_packets;
+  stats_.enqueued_bytes += packet.size_bytes;
 
   if (!up_) {
     count_drop(packet, /*fault=*/true);
@@ -105,10 +107,12 @@ void Link::enqueue(const Packet& packet) {
     return;
   }
   queue_.push_back(packet);
+  queued_bytes_ += packet.size_bytes;
 }
 
 void Link::start_transmission(const Packet& packet) {
   transmitting_ = true;
+  transmitting_bytes_ = packet.size_bytes;
   simulation_.after(transmission_time(packet.size_bytes),
                     [this, packet]() { on_transmission_complete(packet); });
 }
@@ -122,10 +126,13 @@ void Link::on_transmission_complete(Packet packet) {
       // arrivals in; keep the transmitter pipeline alive for them.
       Packet next = std::move(queue_.front());
       queue_.pop_front();
+      queued_bytes_ -= next.size_bytes;
+      transmitting_bytes_ = next.size_bytes;
       simulation_.after(transmission_time(next.size_bytes),
                         [this, next = std::move(next)]() { on_transmission_complete(next); });
     } else {
       transmitting_ = false;
+      transmitting_bytes_ = 0;
       idle_since_ = simulation_.now();
     }
     return;
@@ -143,11 +150,14 @@ void Link::on_transmission_complete(Packet packet) {
   if (!queue_.empty()) {
     Packet next = std::move(queue_.front());
     queue_.pop_front();
+    queued_bytes_ -= next.size_bytes;
+    transmitting_bytes_ = next.size_bytes;
     // Keep transmitting_ set: the transmitter goes straight to the next packet.
     simulation_.after(transmission_time(next.size_bytes),
                       [this, next = std::move(next)]() { on_transmission_complete(next); });
   } else {
     transmitting_ = false;
+    transmitting_bytes_ = 0;
     idle_since_ = simulation_.now();
   }
 }

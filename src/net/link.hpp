@@ -19,6 +19,7 @@ class Network;
 /// benches ground truth the algorithm itself never sees.
 struct LinkStats {
   std::uint64_t enqueued_packets{0};
+  std::uint64_t enqueued_bytes{0};
   std::uint64_t delivered_packets{0};
   std::uint64_t delivered_bytes{0};
   std::uint64_t dropped_packets{0};
@@ -86,6 +87,24 @@ class Link {
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = LinkStats{}; }
 
+  /// --- Conservation accounting (audited by check::InvariantAuditor) --------
+  /// Every packet offered to the link (stats().enqueued_*) is, at any instant,
+  /// in exactly one of: delivered, dropped, waiting in the queue, or occupying
+  /// the transmitter. Packets propagating after transmission count as
+  /// delivered. The auditor checks
+  ///   enqueued == delivered + dropped + queued + transmitting
+  /// at both packet and byte granularity.
+  [[nodiscard]] std::uint64_t queued_bytes() const { return queued_bytes_; }
+  [[nodiscard]] std::uint64_t transmitting_bytes() const { return transmitting_bytes_; }
+
+  /// Test-only: skips a byte credit (and a packet credit) so the conservation
+  /// invariants fail — used to prove the auditor detects accounting leaks.
+  /// Never call outside tests.
+  void corrupt_accounting_for_test() {
+    stats_.delivered_packets += 1;
+    stats_.delivered_bytes += 100;
+  }
+
   /// Serialization delay of one packet at this link's bandwidth.
   [[nodiscard]] sim::Time transmission_time(std::uint32_t size_bytes) const;
 
@@ -102,6 +121,8 @@ class Link {
   sim::Time latency_;
   std::size_t queue_limit_;
   std::deque<Packet> queue_;
+  std::uint64_t queued_bytes_{0};
+  std::uint64_t transmitting_bytes_{0};
   bool transmitting_{false};
   LinkStats stats_;
   bool red_enabled_{false};

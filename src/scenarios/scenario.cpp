@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <utility>
@@ -121,6 +122,37 @@ void Scenario::finalize() {
     }
     discovery_->start();
     controller_->start();
+  }
+
+  if (config_.audit.mode != check::AuditMode::kOff) {
+    auditor_ = std::make_unique<check::InvariantAuditor>(config_.audit);
+    auditor_->attach_simulation(*simulation_);
+    auditor_->attach_network(*network_);
+    auditor_->attach_multicast(*mcast_);
+    if (controller_) {
+      controller_->set_audit_hook(
+          [this](const core::AlgorithmInput& input, const core::AlgorithmOutput& output) {
+            auditor_->on_algorithm_output(input, output, controller_->algorithm());
+          });
+    }
+    // receiver_agents_ is built one per receiver, in add_receiver order, so
+    // it is index-parallel with results_.
+    for (std::size_t i = 0; i < receiver_agents_.size() && i < results_.size(); ++i) {
+      control::ReceiverAgent& agent = *receiver_agents_[i];
+      const net::NodeId node = results_[i].node;
+      agent.set_unilateral_hook(
+          [this, node, &agent](const control::ReceiverAgent::UnilateralAction& action) {
+            check::InvariantAuditor::WatchdogObservation obs;
+            obs.node = node;
+            obs.add = action.add;
+            obs.loss = action.loss;
+            obs.starved = action.starved;
+            obs.add_loss_threshold = agent.config().unilateral_add_loss;
+            obs.drop_loss_threshold = agent.config().unilateral_drop_loss;
+            auditor_->on_unilateral_action(obs);
+          });
+    }
+    auditor_->start();
   }
 
   for (const auto& source : sources_) source->start();
@@ -455,7 +487,9 @@ std::unique_ptr<Scenario> Scenario::from_description(const ScenarioConfig& confi
     core::SessionInput in;
     in.session = src.session;
     in.source = by_name.at(src.node);
-    std::unordered_map<net::NodeId, net::NodeId> parent_of;
+    // Ordered map: iteration below fixes the allocator's node (and thus
+    // tie-breaking) order, which must not depend on hash layout.
+    std::map<net::NodeId, net::NodeId> parent_of;
     parent_of[in.source] = net::kInvalidNode;
     std::set<net::NodeId> receiver_nodes;
     for (const auto& rcv : description.receivers) {

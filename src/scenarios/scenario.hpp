@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "baseline/receiver_driven.hpp"
+#include "check/invariant_auditor.hpp"
 #include "control/controller_agent.hpp"
 #include "control/receiver_agent.hpp"
 #include "core/params.hpp"
@@ -64,6 +65,9 @@ struct ScenarioConfig {
   mcast::MulticastRouter::Config mcast{};
   control::ReceiverAgent::Config receiver_agent{};
   baseline::ReceiverDrivenController::Config receiver_driven{};
+  /// Invariant auditing (off by default; see ScenarioBuilder::audit and the
+  /// --audit flag on toposense_sim / bench_runner).
+  check::AuditConfig audit{};
 };
 
 /// Topology A (Fig 5): one session, two receiver sets behind different
@@ -197,6 +201,8 @@ class Scenario {
   [[nodiscard]] net::Network& network() { return *network_; }
   [[nodiscard]] mcast::MulticastRouter& multicast() { return *mcast_; }
   [[nodiscard]] control::ControllerAgent* controller() { return controller_.get(); }
+  /// The invariant auditor, or nullptr when auditing is off.
+  [[nodiscard]] check::InvariantAuditor* auditor() { return auditor_.get(); }
   [[nodiscard]] topo::TopologyProvider* discovery() { return discovery_.get(); }
   /// Per-node packet demux registry — attach extra endpoints (e.g. TCP
   /// flows) to nodes without clobbering the scenario's own handlers.
@@ -254,6 +260,10 @@ class Scenario {
   std::vector<std::unique_ptr<transport::ReceiverEndpoint>> endpoints_;
   std::vector<std::unique_ptr<control::ReceiverAgent>> receiver_agents_;
   std::vector<std::unique_ptr<baseline::ReceiverDrivenController>> baseline_agents_;
+  /// Declared after everything it observes: the auditor is destroyed first,
+  /// and the hooks it installed are never invoked after teardown begins (no
+  /// events run during destruction).
+  std::unique_ptr<check::InvariantAuditor> auditor_;
   std::vector<ReceiverResult> results_;
   bool started_{false};
 };

@@ -54,6 +54,18 @@ class ScenarioBuilder {
     config_ = config;
     return *this;
   }
+  /// Enables invariant auditing (see check::InvariantAuditor). `cadence` is
+  /// the period of the sweeping checks; event-driven checks always fire.
+  ScenarioBuilder& audit(check::AuditMode mode,
+                         sim::Time cadence = sim::Time::seconds(1)) {
+    config_.audit.mode = mode;
+    config_.audit.cadence = cadence;
+    return *this;
+  }
+  ScenarioBuilder& audit(const check::AuditConfig& audit) {
+    config_.audit = audit;
+    return *this;
+  }
   [[nodiscard]] const ScenarioConfig& current_config() const { return config_; }
 
   /// --- topology selection (exactly one) -----------------------------------

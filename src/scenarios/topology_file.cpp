@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace tsim::scenarios {
 
@@ -54,6 +55,18 @@ bool parse_probability(const std::string& token, double& out, std::string& error
     error = "bad probability '" + token + "' (must be in [0, 1])";
     return false;
   }
+  return true;
+}
+
+bool parse_session(const std::string& token, std::uint16_t& out, std::string& error) {
+  unsigned value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() || value > 0xFFFFu) {
+    error = "bad session id '" + token + "' (integer in [0, 65535])";
+    return false;
+  }
+  out = static_cast<std::uint16_t>(value);
   return true;
 }
 
@@ -218,7 +231,8 @@ ParseResult parse_topology(std::string_view text) {
 
   auto fail = [](int line_no, const std::string& message) {
     ParseResult r;
-    r.error = "line " + std::to_string(line_no) + ": " + message;
+    // line 0 = file-level error with no single offending line
+    r.error = line_no > 0 ? "line " + std::to_string(line_no) + ": " + message : message;
     return r;
   };
 
@@ -240,11 +254,16 @@ ParseResult parse_topology(std::string_view text) {
     } else if (directive == "link") {
       if (tokens.size() < 5) return fail(line_no, "link needs: a b bandwidth latency");
       TopologyDescription::LinkSpec link;
+      link.line = line_no;
       link.a = tokens[1];
       link.b = tokens[2];
       link.bandwidth_bps = parse_bandwidth(tokens[3]);
       if (link.bandwidth_bps <= 0.0) {
         return fail(line_no, "bad bandwidth '" + tokens[3] + "' (use e.g. 256kbps, 1.5Mbps)");
+      }
+      if (link.bandwidth_bps > 1e12) {
+        return fail(line_no,
+                    "bandwidth '" + tokens[3] + "' out of range (max 1000Gbps)");
       }
       link.latency = parse_latency(tokens[4]);
       if (link.latency < sim::Time::zero()) {
@@ -270,18 +289,26 @@ ParseResult parse_topology(std::string_view text) {
     } else if (directive == "source") {
       if (tokens.size() != 3) return fail(line_no, "source needs: session node");
       TopologyDescription::SourceSpec src;
-      src.session = static_cast<std::uint16_t>(std::atoi(tokens[1].c_str()));
+      src.line = line_no;
+      std::string error;
+      if (!parse_session(tokens[1], src.session, error)) return fail(line_no, error);
       src.node = tokens[2];
       desc.sources.push_back(src);
     } else if (directive == "receiver") {
       if (tokens.size() < 3) return fail(line_no, "receiver needs: node session");
       TopologyDescription::ReceiverSpec rcv;
+      rcv.line = line_no;
       rcv.node = tokens[1];
-      rcv.session = static_cast<std::uint16_t>(std::atoi(tokens[2].c_str()));
-      for (std::size_t i = 3; i + 1 < tokens.size(); i += 2) {
+      std::string error;
+      if (!parse_session(tokens[2], rcv.session, error)) return fail(line_no, error);
+      for (std::size_t i = 3; i < tokens.size(); i += 2) {
+        if (i + 1 >= tokens.size()) {
+          return fail(line_no, "receiver option '" + tokens[i] + "' needs a value");
+        }
         double value = 0.0;
-        if (!parse_double(tokens[i + 1], value)) {
-          return fail(line_no, "bad time '" + tokens[i + 1] + "'");
+        if (!parse_double(tokens[i + 1], value) || value < 0.0) {
+          return fail(line_no,
+                      "bad time '" + tokens[i + 1] + "' (non-negative seconds)");
         }
         if (tokens[i] == "start") {
           rcv.start = sim::Time::seconds(value);
@@ -291,41 +318,74 @@ ParseResult parse_topology(std::string_view text) {
           return fail(line_no, "unknown receiver option '" + tokens[i] + "'");
         }
       }
+      if (rcv.stop <= rcv.start) {
+        return fail(line_no, "receiver stop must be after start");
+      }
       desc.receivers.push_back(rcv);
     } else if (directive == "controller") {
       if (tokens.size() != 2) return fail(line_no, "controller takes one node");
       desc.controller_node = tokens[1];
+      desc.controller_line = line_no;
     } else if (directive == "fault") {
       std::string error;
       if (!parse_fault_line(tokens, desc.faults, error)) return fail(line_no, error);
+      // resize only fills the events this directive just appended
+      desc.fault_lines.resize(desc.faults.size(), line_no);
     } else {
       return fail(line_no, "unknown directive '" + directive + "'");
     }
   }
 
-  // Semantic validation.
+  // Semantic validation. Every diagnostic points at the offending line.
   auto known = [&](const std::string& name) { return node_names.count(name) != 0; };
+  std::set<std::pair<std::string, std::string>> link_pairs;
   for (const auto& link : desc.links) {
-    if (!known(link.a)) return fail(0, "link references undeclared node '" + link.a + "'");
-    if (!known(link.b)) return fail(0, "link references undeclared node '" + link.b + "'");
+    if (!known(link.a)) {
+      return fail(link.line, "link references undeclared node '" + link.a + "'");
+    }
+    if (!known(link.b)) {
+      return fail(link.line, "link references undeclared node '" + link.b + "'");
+    }
+    link_pairs.insert(link.a < link.b ? std::make_pair(link.a, link.b)
+                                      : std::make_pair(link.b, link.a));
   }
   std::set<std::uint16_t> sessions_with_source;
   for (const auto& src : desc.sources) {
-    if (!known(src.node)) return fail(0, "source on undeclared node '" + src.node + "'");
+    if (!known(src.node)) {
+      return fail(src.line, "source on undeclared node '" + src.node + "'");
+    }
     sessions_with_source.insert(src.session);
   }
   for (const auto& rcv : desc.receivers) {
-    if (!known(rcv.node)) return fail(0, "receiver on undeclared node '" + rcv.node + "'");
+    if (!known(rcv.node)) {
+      return fail(rcv.line, "receiver on undeclared node '" + rcv.node + "'");
+    }
     if (sessions_with_source.count(rcv.session) == 0) {
-      return fail(0, "receiver session " + std::to_string(rcv.session) + " has no source");
+      return fail(rcv.line,
+                  "receiver session " + std::to_string(rcv.session) + " has no source");
     }
   }
-  for (const auto& ev : desc.faults.events()) {
+  const auto& fault_events = desc.faults.events();
+  for (std::size_t i = 0; i < fault_events.size(); ++i) {
+    const auto& ev = fault_events[i];
+    const int ev_line = i < desc.fault_lines.size() ? desc.fault_lines[i] : 0;
     if (!ev.a.empty() && !known(ev.a)) {
-      return fail(0, "fault references undeclared node '" + ev.a + "'");
+      return fail(ev_line, "fault references undeclared node '" + ev.a + "'");
     }
     if (!ev.b.empty() && !known(ev.b)) {
-      return fail(0, "fault references undeclared node '" + ev.b + "'");
+      return fail(ev_line, "fault references undeclared node '" + ev.b + "'");
+    }
+    const bool is_link_fault = ev.kind == fault::FaultKind::kLinkDown ||
+                               ev.kind == fault::FaultKind::kLinkUp ||
+                               ev.kind == fault::FaultKind::kLinkFlap ||
+                               ev.kind == fault::FaultKind::kLinkLossy;
+    if (is_link_fault) {
+      const auto pair = ev.a < ev.b ? std::make_pair(ev.a, ev.b)
+                                    : std::make_pair(ev.b, ev.a);
+      if (link_pairs.count(pair) == 0) {
+        return fail(ev_line, "fault on nonexistent link '" + ev.a + " " + ev.b +
+                                 "' (no such `link` declared)");
+      }
     }
   }
   if (const std::string fault_error = desc.faults.validate(); !fault_error.empty()) {
@@ -334,7 +394,8 @@ ParseResult parse_topology(std::string_view text) {
   if (desc.receivers.empty()) return fail(0, "no receivers declared");
   if (desc.controller_node.empty()) return fail(0, "no controller declared");
   if (!known(desc.controller_node)) {
-    return fail(0, "controller on undeclared node '" + desc.controller_node + "'");
+    return fail(desc.controller_line,
+                "controller on undeclared node '" + desc.controller_node + "'");
   }
 
   ParseResult result;

@@ -36,16 +36,19 @@ struct TopologyDescription {
     sim::Time latency{};
     std::optional<std::size_t> queue_packets;  ///< default: BDP sizing
     bool red{false};
+    int line{0};  ///< 1-based source line, for semantic diagnostics
   };
   struct SourceSpec {
     std::uint16_t session{0};
     std::string node;
+    int line{0};
   };
   struct ReceiverSpec {
     std::string node;
     std::uint16_t session{0};
     sim::Time start{sim::Time::zero()};
     sim::Time stop{sim::Time::max()};
+    int line{0};
   };
 
   std::vector<std::string> nodes;
@@ -53,8 +56,12 @@ struct TopologyDescription {
   std::vector<SourceSpec> sources;
   std::vector<ReceiverSpec> receivers;
   std::string controller_node;
+  int controller_line{0};
   /// Schedule parsed from `fault` directives (empty when the file has none).
   fault::FaultPlan faults;
+  /// Source line of each entry in `faults.events()`, same order (a directive
+  /// like `fault link a b down .. up ..` contributes two events, one line).
+  std::vector<int> fault_lines;
 };
 
 /// Parse result: either a description or a one-line error naming the line.

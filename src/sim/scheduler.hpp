@@ -60,6 +60,26 @@ class Scheduler {
   /// simultaneously pending events. Exposed so tests can pin the bound.
   [[nodiscard]] std::size_t slot_pool_size() const { return slots_.size(); }
 
+  /// --- Pool-consistency accessors (audited by check::InvariantAuditor) -----
+  /// Every slot is either on the free list or owned by exactly one queue
+  /// entry, so slot_pool_size() == free_slot_count() + queued_entries() holds
+  /// between events; cancelled entries still own their slot until popped, so
+  /// cancelled_pending() <= queued_entries().
+  [[nodiscard]] std::size_t free_slot_count() const { return free_slots_.size(); }
+  [[nodiscard]] std::size_t queued_entries() const { return queue_.size(); }
+  [[nodiscard]] std::size_t cancelled_pending() const { return cancelled_pending_; }
+
+  /// Earliest pending timestamp, Time::max() when the queue is empty. Never
+  /// earlier than now() — schedule_at refuses past times.
+  [[nodiscard]] Time next_event_time() const {
+    return queue_.empty() ? Time::max() : queue_.top().when;
+  }
+
+  /// Test-only: jumps the clock past pending events so the auditor's
+  /// event-in-the-past / monotonic-time invariants fire. Never call outside
+  /// tests — it breaks the scheduler's ordering contract by design.
+  void corrupt_clock_for_test(Time now) { now_ = now; }
+
  private:
   struct Entry {
     Time when;

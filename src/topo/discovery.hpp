@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -58,7 +59,9 @@ class DiscoveryService final : public TopologyProvider {
   sim::Simulation& simulation_;
   mcast::MulticastRouter& mcast_;
   Config config_;
-  std::unordered_map<net::SessionId, net::LayerId> tracked_;
+  // Ordered: sample_all() iterates tracked_ and its iteration order decides
+  // lazy tree-rebuild (and audit-hook) order, which must be deterministic.
+  std::map<net::SessionId, net::LayerId> tracked_;
   std::unordered_map<net::SessionId, std::deque<TopologySnapshot>> history_;
   bool started_{false};
 };

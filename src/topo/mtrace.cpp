@@ -105,24 +105,27 @@ void MtraceDiscovery::handle_response(const net::Packet& packet) {
 void MtraceDiscovery::assemble_round(std::uint32_t round) {
   if (round != round_) return;  // a newer round already started assembling
 
-  std::unordered_map<net::SessionId, std::set<std::pair<net::NodeId, net::NodeId>>> edges;
-  std::unordered_map<net::SessionId, std::vector<net::NodeId>> members;
+  std::unordered_map<net::SessionId, std::set<std::pair<net::NodeId, net::NodeId>>>
+      edges_by_session;
+  std::unordered_map<net::SessionId, std::vector<net::NodeId>> members_by_session;
   for (const MtraceResponse& r : pending_) {
     if (r.subscribed_layers < 1 || r.path.empty()) continue;
     for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
-      edges[r.session].emplace(r.path[i], r.path[i + 1]);
+      edges_by_session[r.session].emplace(r.path[i], r.path[i + 1]);
     }
-    members[r.session].push_back(r.receiver);
+    members_by_session[r.session].push_back(r.receiver);
   }
 
   for (const auto& [session, max_layer] : tracked_) {
     TopologySnapshot snap;
     snap.session = session;
     snap.source = mcast_.session_source(session);
-    const auto eit = edges.find(session);
-    if (eit != edges.end()) snap.edges.assign(eit->second.begin(), eit->second.end());
-    const auto mit = members.find(session);
-    if (mit != members.end()) {
+    const auto eit = edges_by_session.find(session);
+    if (eit != edges_by_session.end()) {
+      snap.edges.assign(eit->second.begin(), eit->second.end());
+    }
+    const auto mit = members_by_session.find(session);
+    if (mit != members_by_session.end()) {
       snap.receivers = mit->second;
       std::sort(snap.receivers.begin(), snap.receivers.end());
     }

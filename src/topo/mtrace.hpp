@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -78,8 +79,10 @@ class MtraceDiscovery final : public TopologyProvider {
   mcast::MulticastRouter& mcast_;
   transport::DemuxRegistry& demuxes_;
   Config config_;
-  std::unordered_map<net::SessionId, net::LayerId> tracked_;
-  std::unordered_map<net::SessionId, std::vector<net::NodeId>> receivers_;
+  // Ordered: run_round() iterates these and its iteration order decides the
+  // order queries enter the network, which must be deterministic.
+  std::map<net::SessionId, net::LayerId> tracked_;
+  std::map<net::SessionId, std::vector<net::NodeId>> receivers_;
   std::vector<MtraceResponse> pending_;  ///< responses of the current round
   std::unordered_map<net::SessionId, TopologySnapshot> latest_;
   std::uint32_t round_{0};

@@ -1,0 +1,141 @@
+// Every paper scenario (Fig 6-10 equivalents, shortened) and every fault kind
+// runs to completion with auditing in assert mode: a single invariant
+// violation throws and fails the test. Registered under the ctest label
+// `audit` (see tests/CMakeLists.txt); CI runs `ctest -L audit` explicitly.
+#include <gtest/gtest.h>
+
+#include "check/invariant_auditor.hpp"
+#include "fault/fault_plan.hpp"
+#include "scenarios/scenario.hpp"
+#include "scenarios/scenario_builder.hpp"
+
+namespace tsim::scenarios {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+ScenarioConfig audited_config(std::uint64_t seed, Time duration) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.duration = duration;
+  cfg.audit.mode = check::AuditMode::kAssert;
+  return cfg;
+}
+
+void run_audited(std::unique_ptr<Scenario> scenario) {
+  ASSERT_NE(scenario->auditor(), nullptr);
+  scenario->run();  // throws check::AuditError on any violation
+  EXPECT_EQ(scenario->auditor()->violation_count(), 0u);
+  EXPECT_GT(scenario->auditor()->checks_run(), 0u);
+}
+
+TEST(AuditScenarioTest, Fig6StabilityTopologyACbr) {
+  run_audited(ScenarioBuilder(audited_config(6, 120_s)).topology_a({}).build());
+}
+
+TEST(AuditScenarioTest, Fig6StabilityTopologyAVbr) {
+  ScenarioConfig cfg = audited_config(6, 120_s);
+  cfg.model = traffic::TrafficModel::kVbr;
+  cfg.peak_to_mean = 3.0;
+  TopologyAOptions opt;
+  opt.receivers_per_set = 4;
+  run_audited(ScenarioBuilder(cfg).topology_a(opt).build());
+}
+
+TEST(AuditScenarioTest, Fig7StabilityTopologyB) {
+  TopologyBOptions opt;
+  opt.sessions = 4;
+  run_audited(ScenarioBuilder(audited_config(7, 120_s)).topology_b(opt).build());
+}
+
+TEST(AuditScenarioTest, Fig8FairnessTopologyBVbr) {
+  ScenarioConfig cfg = audited_config(8, 120_s);
+  cfg.model = traffic::TrafficModel::kVbr;
+  TopologyBOptions opt;
+  opt.sessions = 8;
+  run_audited(ScenarioBuilder(cfg).topology_b(opt).build());
+}
+
+TEST(AuditScenarioTest, Fig9SubscriptionTraceVbr) {
+  ScenarioConfig cfg = audited_config(9, 120_s);
+  cfg.model = traffic::TrafficModel::kVbr;
+  cfg.peak_to_mean = 3.0;
+  TopologyBOptions opt;
+  opt.sessions = 4;
+  run_audited(ScenarioBuilder(cfg).topology_b(opt).build());
+}
+
+TEST(AuditScenarioTest, Fig10StaleInformationTopologyA) {
+  ScenarioConfig cfg = audited_config(10, 120_s);
+  cfg.model = traffic::TrafficModel::kVbr;
+  cfg.info_staleness = 6_s;
+  run_audited(ScenarioBuilder(cfg).topology_a({}).build());
+}
+
+TEST(AuditScenarioTest, MtraceDiscoveryStaysClean) {
+  ScenarioConfig cfg = audited_config(11, 90_s);
+  cfg.discovery = DiscoveryMode::kMtrace;
+  run_audited(ScenarioBuilder(cfg).topology_a({}).build());
+}
+
+TEST(AuditScenarioTest, ReceiverDrivenBaselineStaysClean) {
+  ScenarioConfig cfg = audited_config(12, 90_s);
+  cfg.controller = ControllerKind::kReceiverDriven;
+  run_audited(ScenarioBuilder(cfg).topology_a({}).build());
+}
+
+/// --- every fault kind, audited in assert mode ------------------------------
+
+TEST(AuditFaultTest, LinkOutageWithReroute) {
+  fault::FaultPlan plan;
+  plan.link_outage("r0", "r1", 30_s, 60_s);
+  run_audited(
+      ScenarioBuilder(audited_config(21, 120_s)).topology_a({}).with_faults(plan).build());
+}
+
+TEST(AuditFaultTest, PermanentLinkDown) {
+  fault::FaultPlan plan;
+  plan.link_down("r0", "r1", 30_s);
+  run_audited(
+      ScenarioBuilder(audited_config(22, 90_s)).topology_a({}).with_faults(plan).build());
+}
+
+TEST(AuditFaultTest, LinkFlap) {
+  fault::FaultPlan plan;
+  plan.link_flap("r0", "r1", 30_s, 70_s, 10_s, 0.5);
+  run_audited(
+      ScenarioBuilder(audited_config(23, 120_s)).topology_a({}).with_faults(plan).build());
+}
+
+TEST(AuditFaultTest, LossyLink) {
+  fault::FaultPlan plan;
+  plan.link_lossy("r0", "r1", 0.2, 30_s, 60_s);
+  run_audited(
+      ScenarioBuilder(audited_config(24, 120_s)).topology_a({}).with_faults(plan).build());
+}
+
+TEST(AuditFaultTest, ControllerOutage) {
+  fault::FaultPlan plan;
+  plan.controller_outage(30_s, 60_s);
+  run_audited(
+      ScenarioBuilder(audited_config(25, 120_s)).topology_a({}).with_faults(plan).build());
+}
+
+TEST(AuditFaultTest, SuggestionDrops) {
+  fault::FaultPlan plan;
+  plan.drop_suggestions(0.5, 30_s, 60_s);
+  run_audited(
+      ScenarioBuilder(audited_config(26, 120_s)).topology_a({}).with_faults(plan).build());
+}
+
+TEST(AuditFaultTest, CrossTrafficBurst) {
+  TopologyAOptions opt;
+  opt.cross_traffic_bps = 200e3;
+  opt.cross_start = 30_s;
+  opt.cross_stop = 60_s;
+  run_audited(ScenarioBuilder(audited_config(27, 120_s)).topology_a(opt).build());
+}
+
+}  // namespace
+}  // namespace tsim::scenarios

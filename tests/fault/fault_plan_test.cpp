@@ -71,6 +71,39 @@ TEST(FaultPlanTest, ValidateCatchesBadInput) {
   }
 }
 
+TEST(FaultPlanTest, ValidateRejectsOverlappingOutages) {
+  {
+    FaultPlan p;  // second down lands inside the first outage window
+    p.link_outage("a", "b", 10_s, 30_s).link_down("a", "b", 20_s);
+    EXPECT_NE(p.validate().find("overlapping"), std::string::npos) << p.validate();
+  }
+  {
+    FaultPlan p;  // same physical link, opposite endpoint order
+    p.link_outage("a", "b", 10_s, 30_s).link_outage("b", "a", 15_s, 40_s);
+    EXPECT_NE(p.validate().find("overlapping"), std::string::npos) << p.validate();
+  }
+  {
+    FaultPlan p;
+    p.link_up("a", "b", 10_s);  // repairs a link that never went down
+    EXPECT_NE(p.validate().find("without a preceding down"), std::string::npos);
+  }
+  {
+    FaultPlan p;  // back-to-back outages on one link are fine
+    p.link_outage("a", "b", 10_s, 20_s).link_outage("a", "b", 30_s, 40_s);
+    EXPECT_TRUE(p.validate().empty()) << p.validate();
+  }
+  {
+    FaultPlan p;  // permanent down after a completed outage is fine
+    p.link_outage("a", "b", 10_s, 20_s).link_down("a", "b", 50_s);
+    EXPECT_TRUE(p.validate().empty()) << p.validate();
+  }
+  {
+    FaultPlan p;  // distinct links may overlap freely
+    p.link_outage("a", "b", 10_s, 30_s).link_outage("b", "c", 15_s, 25_s);
+    EXPECT_TRUE(p.validate().empty()) << p.validate();
+  }
+}
+
 TEST(FaultPlanTest, SummaryMentionsEveryEvent) {
   FaultPlan plan;
   plan.link_outage("r0", "r1", 60_s, 120_s).controller_outage(10_s, 20_s);
@@ -146,6 +179,29 @@ TEST(FaultGrammarTest, RejectsUndeclaredNodes) {
   const auto result = parse_with("fault link r ghost down 60\n");
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.error.find("ghost"), std::string::npos);
+  // The diagnostic points at the fault line (base topology spans lines 1-9).
+  EXPECT_NE(result.error.find("line 10"), std::string::npos) << result.error;
+}
+
+TEST(FaultGrammarTest, RejectsFaultOnNonexistentLink) {
+  // s and d are both declared nodes, but no `link s d` exists.
+  const auto result = parse_with("fault link s d down 60\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("nonexistent link"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("line 10"), std::string::npos) << result.error;
+}
+
+TEST(FaultGrammarTest, RejectsOverlappingOutageSchedules) {
+  const auto result = parse_with(
+      "fault link r d down 10 up 50\n"
+      "fault link d r down 30 up 70\n");  // same link, reversed endpoints
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("overlapping"), std::string::npos) << result.error;
+
+  const auto sequential = parse_with(
+      "fault link r d down 10 up 50\n"
+      "fault link r d down 60 up 70\n");
+  EXPECT_TRUE(sequential.ok()) << sequential.error;
 }
 
 TEST(FaultGrammarTest, RejectsInvertedWindowViaPlanValidation) {

@@ -96,6 +96,68 @@ TEST(TopologyParseTest, DuplicateNodeFails) {
   EXPECT_FALSE(parse_topology("node a\nnode a\n").ok());
 }
 
+TEST(TopologyParseTest, SemanticErrorsNameTheOffendingLine) {
+  // Undeclared link endpoint: the error points at the link line, not "line 0".
+  const auto link = parse_topology("node a\nlink a b 10Mbps 5ms\n");
+  ASSERT_FALSE(link.ok());
+  EXPECT_NE(link.error.find("line 2"), std::string::npos) << link.error;
+
+  const auto rcv =
+      parse_topology("node a\nnode b\nsource 0 a\nreceiver b 7\ncontroller a\n");
+  ASSERT_FALSE(rcv.ok());
+  EXPECT_NE(rcv.error.find("line 4"), std::string::npos) << rcv.error;
+
+  const auto ctrl =
+      parse_topology("node a\nnode b\nsource 0 a\nreceiver b 0\ncontroller ghost\n");
+  ASSERT_FALSE(ctrl.ok());
+  EXPECT_NE(ctrl.error.find("line 5"), std::string::npos) << ctrl.error;
+}
+
+TEST(TopologyParseTest, RejectsBadSessionIds) {
+  const auto garbage =
+      parse_topology("node a\nnode b\nsource zero a\nreceiver b 0\ncontroller a\n");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.error.find("bad session id"), std::string::npos) << garbage.error;
+
+  const auto range =
+      parse_topology("node a\nnode b\nsource 0 a\nreceiver b 70000\ncontroller a\n");
+  ASSERT_FALSE(range.ok());
+  EXPECT_NE(range.error.find("bad session id"), std::string::npos) << range.error;
+
+  const auto trailing =
+      parse_topology("node a\nnode b\nsource 0x1 a\nreceiver b 0\ncontroller a\n");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.error.find("bad session id"), std::string::npos)
+      << trailing.error;
+}
+
+TEST(TopologyParseTest, RejectsOutOfRangeBandwidth) {
+  const auto result = parse_topology("node a\nnode b\nlink a b 5000Gbps 5ms\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("out of range"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("line 3"), std::string::npos) << result.error;
+}
+
+TEST(TopologyParseTest, RejectsBrokenReceiverWindows) {
+  // Unpaired trailing option token: an error, not silently dropped.
+  const auto unpaired = parse_topology(
+      "node a\nnode b\nsource 0 a\nreceiver b 0 start\ncontroller a\n");
+  ASSERT_FALSE(unpaired.ok());
+  EXPECT_NE(unpaired.error.find("needs a value"), std::string::npos)
+      << unpaired.error;
+
+  const auto negative = parse_topology(
+      "node a\nnode b\nsource 0 a\nreceiver b 0 start -5\ncontroller a\n");
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.error.find("bad time"), std::string::npos) << negative.error;
+
+  const auto inverted = parse_topology(
+      "node a\nnode b\nsource 0 a\nreceiver b 0 start 50 stop 10\ncontroller a\n");
+  ASSERT_FALSE(inverted.ok());
+  EXPECT_NE(inverted.error.find("stop must be after start"), std::string::npos)
+      << inverted.error;
+}
+
 TEST(FromDescriptionTest, BuildsAndRunsEndToEnd) {
   const auto parsed = parse_topology(kValid);
   ASSERT_TRUE(parsed.ok());

@@ -1,0 +1,323 @@
+// determinism_lint — standalone checker for sources that must stay bit-for-bit
+// deterministic across runs and platforms (the whole simulator under src/).
+//
+// Rules (each finding names its rule id):
+//   [wall-clock]         calls that read host time (std::chrono clocks,
+//                        gettimeofday, time(), localtime, ...). Simulated code
+//                        must use sim::Time only.
+//   [unseeded-rand]      std::random_device, rand()/srand()/drand48 — all
+//                        randomness must come from the seeded sim::Rng streams.
+//   [unordered-iteration] range-for over a std::unordered_{map,set}: iteration
+//                        order is implementation-defined, so anything it feeds
+//                        (output, event ordering, aggregate float sums) can
+//                        differ between libstdc++ versions. Iterate a sorted
+//                        copy or an ordered container instead.
+//   [pointer-ordering]   ordered containers keyed by pointer (std::map<T*,...>,
+//                        std::set<T*>, std::less<T*>): addresses vary run to
+//                        run, so the order is nondeterministic.
+//
+// Suppression: append  // NOLINT-determinism(reason)  to the offending line
+// (or the line directly above). The reason is mandatory; every suppression is
+// part of the audited allowlist in docs/invariants.md.
+//
+// Usage: determinism_lint <file-or-dir>...
+// Exit:  0 clean, 1 findings, 2 usage/IO error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+bool is_ident(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+/// True when `text` contains `token` starting at a non-identifier boundary.
+bool contains_token(const std::string& text, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(text[pos - 1]);
+    if (left_ok) return true;
+    pos += token.size();
+  }
+  return false;
+}
+
+/// Strips // and /* */ comments and string/char literals so tokens inside
+/// them are not flagged (the NOLINT marker is read from the raw line).
+std::vector<std::string> strip_comments(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block = false;
+  for (const std::string& line : lines) {
+    std::string clean;
+    clean.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (in_block) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block = false;
+          ++i;
+        }
+        continue;
+      }
+      if (line.compare(i, 2, "//") == 0) break;
+      if (line.compare(i, 2, "/*") == 0) {
+        in_block = true;
+        ++i;
+        continue;
+      }
+      if (line[i] == '"' || line[i] == '\'') {
+        const char quote = line[i];
+        clean += quote;
+        ++i;
+        while (i < line.size() && line[i] != quote) {
+          if (line[i] == '\\') ++i;
+          ++i;
+        }
+        if (i < line.size()) clean += quote;
+        continue;
+      }
+      clean += line[i];
+    }
+    out.push_back(std::move(clean));
+  }
+  return out;
+}
+
+/// True when raw line `idx` (or the line above) carries a NOLINT-determinism
+/// marker with a non-empty reason.
+bool suppressed(const std::vector<std::string>& raw, std::size_t idx) {
+  const auto has_marker = [](const std::string& line) {
+    const std::size_t pos = line.find("NOLINT-determinism(");
+    if (pos == std::string::npos) return false;
+    const std::size_t open = pos + std::string{"NOLINT-determinism("}.size() - 1;
+    const std::size_t close = line.find(')', open);
+    return close != std::string::npos && close > open + 1;
+  };
+  if (has_marker(raw[idx])) return true;
+  return idx > 0 && has_marker(raw[idx - 1]);
+}
+
+/// Names of variables/members declared as std::unordered_{map,set} in `text`
+/// (comment-stripped lines joined). Handles multi-line template arguments by
+/// matching angle brackets.
+std::set<std::string> unordered_names(const std::string& text) {
+  std::set<std::string> names;
+  for (const char* kind : {"unordered_map<", "unordered_set<"}) {
+    std::size_t pos = 0;
+    while ((pos = text.find(kind, pos)) != std::string::npos) {
+      std::size_t i = pos + std::string{kind}.size();
+      int depth = 1;
+      while (i < text.size() && depth > 0) {
+        if (text[i] == '<') ++depth;
+        if (text[i] == '>') --depth;
+        ++i;
+      }
+      // Skip refs/pointers/whitespace, then read the declared identifier.
+      while (i < text.size() &&
+             (std::isspace(static_cast<unsigned char>(text[i])) != 0 || text[i] == '&' ||
+              text[i] == '*')) {
+        ++i;
+      }
+      std::string name;
+      while (i < text.size() && is_ident(text[i])) name += text[i++];
+      if (!name.empty() && !std::isdigit(static_cast<unsigned char>(name[0]))) {
+        names.insert(name);
+      }
+      pos += std::string{kind}.size();
+    }
+  }
+  return names;
+}
+
+/// The last identifier of the range expression in a range-for on this line,
+/// e.g. "state.members" -> "members"; empty when the line has no range-for.
+std::string range_for_target(const std::string& line) {
+  const std::size_t f = line.find("for ");
+  const std::size_t f2 = f == std::string::npos ? line.find("for(") : f;
+  if (f2 == std::string::npos) return {};
+  const std::size_t colon = line.find(" : ", f2);
+  if (colon == std::string::npos) return {};
+  std::size_t end = line.size();
+  // Trim to the closing ')' of the for header if present.
+  const std::size_t close = line.find(')', colon);
+  if (close != std::string::npos) end = close;
+  std::string expr = line.substr(colon + 3, end - colon - 3);
+  // Drop a trailing call/index — "foo.bar()" orders by bar's result, not bar.
+  if (!expr.empty() && (expr.back() == ')' || expr.back() == ']')) return {};
+  std::size_t i = expr.size();
+  while (i > 0 && is_ident(expr[i - 1])) --i;
+  return expr.substr(i);
+}
+
+struct PointerKeyRule {
+  const char* prefix;
+  const char* what;
+};
+
+/// True when the template argument list opening right after `pos` starts with
+/// a type whose first top-level component is a pointer.
+bool first_arg_is_pointer(const std::string& text, std::size_t args_begin) {
+  int depth = 1;
+  for (std::size_t i = args_begin; i < text.size() && depth > 0; ++i) {
+    if (text[i] == '<' || text[i] == '(') ++depth;
+    if (text[i] == '>' || text[i] == ')') --depth;
+    if (depth == 1 && text[i] == ',') return false;  // first argument ended
+    if (depth >= 1 && text[i] == '*') return true;
+  }
+  return false;
+}
+
+void scan_file(const fs::path& path, const std::set<std::string>& extra_unordered,
+               std::vector<Finding>& findings) {
+  std::ifstream in{path};
+  std::vector<std::string> raw;
+  for (std::string line; std::getline(in, line);) raw.push_back(std::move(line));
+  const std::vector<std::string> clean = strip_comments(raw);
+
+  std::string joined;
+  for (const std::string& line : clean) {
+    joined += line;
+    joined += '\n';
+  }
+  std::set<std::string> unordered = unordered_names(joined);
+  unordered.insert(extra_unordered.begin(), extra_unordered.end());
+
+  static const std::vector<std::pair<const char*, const char*>> kWallClock = {
+      {"system_clock", "std::chrono::system_clock reads host time"},
+      {"steady_clock", "std::chrono::steady_clock reads host time"},
+      {"high_resolution_clock", "std::chrono::high_resolution_clock reads host time"},
+      {"gettimeofday", "gettimeofday reads host time"},
+      {"clock_gettime", "clock_gettime reads host time"},
+      {"localtime", "localtime reads host time"},
+      {"gmtime", "gmtime reads host time"},
+  };
+  static const std::vector<std::pair<const char*, const char*>> kRand = {
+      {"random_device", "std::random_device is nondeterministic; fork a seeded sim::Rng"},
+      {"srand", "srand/rand is un-seeded global state; fork a seeded sim::Rng"},
+      {"drand48", "drand48 is un-seeded global state; fork a seeded sim::Rng"},
+      {"lrand48", "lrand48 is un-seeded global state; fork a seeded sim::Rng"},
+  };
+  static const std::vector<PointerKeyRule> kPointerKeyed = {
+      {"std::map<", "std::map keyed by pointer"},
+      {"std::set<", "std::set keyed by pointer"},
+      {"std::less<", "std::less over a pointer type"},
+  };
+
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const std::string& line = clean[i];
+    if (line.empty()) continue;
+
+    for (const auto& [token, message] : kWallClock) {
+      if (contains_token(line, token) && !suppressed(raw, i)) {
+        findings.push_back({path.string(), i + 1, "wall-clock", message});
+      }
+    }
+    for (const auto& [token, message] : kRand) {
+      if (contains_token(line, token) && !suppressed(raw, i)) {
+        findings.push_back({path.string(), i + 1, "unseeded-rand", message});
+      }
+    }
+    // rand() needs the call parenthesis to avoid flagging e.g. "operand".
+    if ((contains_token(line, "rand ()") || contains_token(line, "rand()")) &&
+        !suppressed(raw, i)) {
+      findings.push_back({path.string(), i + 1, "unseeded-rand",
+                          "rand() is un-seeded global state; fork a seeded sim::Rng"});
+    }
+
+    for (const PointerKeyRule& rule : kPointerKeyed) {
+      std::size_t pos = 0;
+      while ((pos = line.find(rule.prefix, pos)) != std::string::npos) {
+        pos += std::string{rule.prefix}.size();
+        if (first_arg_is_pointer(line, pos) && !suppressed(raw, i)) {
+          findings.push_back({path.string(), i + 1, "pointer-ordering",
+                              std::string{rule.what} +
+                                  ": addresses differ between runs, so does the order"});
+          break;
+        }
+      }
+    }
+
+    const std::string target = range_for_target(line);
+    if (!target.empty() && unordered.count(target) != 0 && !suppressed(raw, i)) {
+      findings.push_back(
+          {path.string(), i + 1, "unordered-iteration",
+           "range-for over unordered container '" + target +
+               "': iteration order is implementation-defined; iterate a sorted copy"});
+    }
+  }
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" || ext == ".h";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path p{argv[i]};
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && lintable(entry.path())) files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "error: cannot read '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // Headers declare the members that .cpp files iterate, so unordered names
+  // are collected globally across the scanned set before any file is linted.
+  std::set<std::string> global_unordered;
+  for (const fs::path& file : files) {
+    std::ifstream in{file};
+    std::string text;
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(std::move(line));
+    for (const std::string& line : strip_comments(lines)) {
+      text += line;
+      text += '\n';
+    }
+    const std::set<std::string> names = unordered_names(text);
+    global_unordered.insert(names.begin(), names.end());
+  }
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) scan_file(file, global_unordered, findings);
+
+  for (const Finding& f : findings) {
+    std::printf("%s:%zu: [%s] %s (suppress with // NOLINT-determinism(reason))\n",
+                f.file.c_str(), f.line, f.rule.c_str(), f.message.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("determinism_lint: %zu finding(s) in %zu file(s)\n", findings.size(),
+                files.size());
+    return 1;
+  }
+  std::printf("determinism_lint: clean (%zu files)\n", files.size());
+  return 0;
+}
