@@ -22,7 +22,7 @@ ControllerAgent::ControllerAgent(sim::Simulation& simulation, net::Network& netw
       config_{config},
       algorithm_{config.params, simulation.rng_stream("controller")} {
   demux.add_handler(net::PacketKind::kReport,
-                    [this](const net::Packet& p) { handle_report(p); });
+                    [this](const net::PacketRef& p) { handle_report(*p); });
 }
 
 void ControllerAgent::register_receiver(net::SessionId session, net::NodeId receiver) {

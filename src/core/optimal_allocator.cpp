@@ -71,6 +71,47 @@ std::vector<Prescription> OptimalAllocator::allocate(
   std::vector<int> levels(refs.size(), 0);
   std::vector<bool> blocked(refs.size(), false);
 
+  // Raising one receiver only changes usage on the links of its own root
+  // path, and only where the new level exceeds the session's current subtree
+  // maximum below that link — so each greedy step needs those few links, not
+  // the full feasible() rescan (which walks every receiver for every link and
+  // made building a ~1000-receiver tiered scenario take minutes). The usage
+  // deltas are differences of exact integer-valued layer rates, so the
+  // incremental accounting blocks each receiver at exactly the same step the
+  // full rescan would.
+  struct TrackedLink {
+    double capacity;
+    double usage{0.0};
+    std::vector<int> session_max;  ///< parallel to `sessions`
+  };
+  std::vector<TrackedLink> links;
+  std::unordered_map<LinkKey, std::size_t> link_index;
+  std::vector<TreeIndex> trees;
+  trees.reserve(sessions.size());
+  for (const SessionInput& session : sessions) trees.emplace_back(session);
+
+  // Per-receiver path: tracked (capacity-constrained) tree links from the
+  // receiver up to its session root, discovered in deterministic ref order.
+  std::vector<std::vector<std::size_t>> paths(refs.size());
+  for (std::size_t r = 0; r < refs.size(); ++r) {
+    const std::size_t si = refs[r].session_index;
+    const TreeIndex& tree = trees[si];
+    for (int i = tree.index_of(sessions[si].nodes[refs[r].node_index].node); i >= 0;) {
+      const int p = tree.parent(static_cast<std::size_t>(i));
+      if (p < 0) break;
+      const LinkKey key{tree.node(static_cast<std::size_t>(p)).node,
+                        tree.node(static_cast<std::size_t>(i)).node};
+      if (const auto cap = capacity_bps_.find(key); cap != capacity_bps_.end()) {
+        const auto [it, inserted] = link_index.try_emplace(key, links.size());
+        if (inserted) {
+          links.push_back(TrackedLink{cap->second, 0.0, std::vector<int>(sessions.size(), 0)});
+        }
+        paths[r].push_back(it->second);
+      }
+      i = p;
+    }
+  }
+
   // Greedy lexicographic max-min: repeatedly raise the lowest unblocked
   // receiver (ties by discovery order); stop when all are blocked or maxed.
   while (true) {
@@ -83,10 +124,30 @@ std::vector<Prescription> OptimalAllocator::allocate(
     }
     if (best < 0) break;
     const auto r = static_cast<std::size_t>(best);
-    ++levels[r];
-    if (!feasible(sessions, levels)) {
-      --levels[r];
+    const std::size_t si = refs[r].session_index;
+    const int next = levels[r] + 1;
+    bool ok = true;
+    for (const std::size_t li : paths[r]) {
+      const TrackedLink& link = links[li];
+      if (next <= link.session_max[si]) continue;  // this link's max is elsewhere
+      const double usage = link.usage - layers_.cumulative_rate_bps(link.session_max[si]) +
+                           layers_.cumulative_rate_bps(next);
+      if (usage > link.capacity) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
       blocked[r] = true;
+      continue;
+    }
+    levels[r] = next;
+    for (const std::size_t li : paths[r]) {
+      TrackedLink& link = links[li];
+      if (next <= link.session_max[si]) continue;
+      link.usage += layers_.cumulative_rate_bps(next) -
+                    layers_.cumulative_rate_bps(link.session_max[si]);
+      link.session_max[si] = next;
     }
   }
 

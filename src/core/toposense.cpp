@@ -52,6 +52,7 @@ bool TopoSense::backing_off(net::SessionId session, net::NodeId node, int layer,
 
 bool TopoSense::backoff_on_path(const TreeIndex& tree, std::size_t node_index, int layer,
                                 sim::Time now) const {
+  if (backoff_.empty()) return false;  // common case: nothing is backed off
   // A backoff set at any ancestor covers the whole subtree: that is how the
   // controller coordinates receivers behind the same bottleneck.
   int i = static_cast<int>(node_index);
@@ -64,8 +65,16 @@ bool TopoSense::backoff_on_path(const TreeIndex& tree, std::size_t node_index, i
   return false;
 }
 
-void TopoSense::compute_demands(LabeledTree& lt, std::vector<int>& demand, sim::Time now,
-                                double window_s) {
+void TopoSense::bind_memory_slots(CachedTree& ct) {
+  const TreeIndex& tree = ct.lt.tree;
+  ct.mem_slots.resize(tree.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    ct.mem_slots[i] = &memory_[memory_key(tree.session(), tree.node(i).node)];
+  }
+}
+
+void TopoSense::compute_demands(LabeledTree& lt, const std::vector<NodeMemory*>& slots,
+                                std::vector<int>& demand, sim::Time now, double window_s) {
   const TreeIndex& tree = lt.tree;
   demand.assign(tree.size(), 0);
   const auto& order = tree.bfs_order();
@@ -97,7 +106,7 @@ void TopoSense::compute_demands(LabeledTree& lt, std::vector<int>& demand, sim::
     bytes_now[i] = b_now;
     sub_level[i] = std::max(sub_agg, 1);
 
-    NodeMemory& mem = memory_[memory_key(tree.session(), n.node)];
+    NodeMemory& mem = *slots[i];
     mem.last_seen_interval = interval_count_;
     const std::uint64_t b_prev = mem.bytes_cur;  // T0–T1 window
     const BwEquality eq = classify_equality(b_prev, b_now);
@@ -274,24 +283,27 @@ AlgorithmOutput TopoSense::run_interval(const AlgorithmInput& input, sim::Time n
   // rebuilt only when the structure signature changes (receiver churn, route
   // change); otherwise only the measurements are refreshed in place.
   active_trees_.clear();
+  active_cached_.clear();
   for (const SessionInput& session : input.sessions) {
     if (session.nodes.empty()) continue;
     const std::uint64_t signature = TreeIndex::structure_signature(session);
     auto it = tree_cache_.find(session.session);
     if (it == tree_cache_.end() || it->second.signature != signature) {
-      CachedTree fresh{signature, interval_count_, LabeledTree{TreeIndex{session}}};
+      CachedTree fresh{signature, interval_count_, LabeledTree{TreeIndex{session}}, {}};
       if (it == tree_cache_.end()) {
         it = tree_cache_.emplace(session.session, std::move(fresh)).first;
       } else {
         it->second = std::move(fresh);
       }
       assign_link_ids(it->second.lt, capacities_.links());
+      bind_memory_slots(it->second);
     } else {
       it->second.lt.tree.refresh_measurements(session);
       it->second.last_seen_interval = interval_count_;
     }
     label_congestion(it->second.lt, params_);
     active_trees_.push_back(&it->second.lt);
+    active_cached_.push_back(&it->second);
   }
 
   collect_link_aggregates(active_trees_, params_, capacities_.links().size(), ws_.aggregates);
@@ -304,9 +316,9 @@ AlgorithmOutput TopoSense::run_interval(const AlgorithmInput& input, sim::Time n
   const double window_s = std::max(input.window.as_seconds(), 1e-9);
   std::vector<int> demand;
   std::vector<int> supply;
-  for (LabeledTree* lt_ptr : active_trees_) {
-    LabeledTree& lt = *lt_ptr;
-    compute_demands(lt, demand, now, window_s);
+  for (CachedTree* ct : active_cached_) {
+    LabeledTree& lt = ct->lt;
+    compute_demands(lt, ct->mem_slots, demand, now, window_s);
     allocate_supply(lt, demand, supply);
 
     SessionDiagnostics diag;

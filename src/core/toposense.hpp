@@ -73,9 +73,10 @@ class TopoSense {
   [[nodiscard]] bool backoff_on_path(const TreeIndex& tree, std::size_t node_index, int layer,
                                      sim::Time now) const;
 
-  /// Bottom-up demand computation over a labeled tree (Table I).
-  void compute_demands(LabeledTree& lt, std::vector<int>& demand, sim::Time now,
-                       double window_s);
+  /// Bottom-up demand computation over a labeled tree (Table I). `slots`
+  /// maps node index -> this node's cross-interval memory (see CachedTree).
+  void compute_demands(LabeledTree& lt, const std::vector<NodeMemory*>& slots,
+                       std::vector<int>& demand, sim::Time now, double window_s);
 
   /// Top-down supply allocation under fair share + bottleneck caps.
   void allocate_supply(const LabeledTree& lt, const std::vector<int>& demand,
@@ -89,14 +90,24 @@ class TopoSense {
     std::uint64_t signature{0};
     std::uint64_t last_seen_interval{0};
     LabeledTree lt;
+    /// memory_ entry per node index, resolved once per structure rebuild so
+    /// the per-interval demand pass never hashes (session, node). Pointers
+    /// into memory_ are stable (unordered_map never moves values); the expiry
+    /// sweep cannot dangle them because a tree and its node memories share
+    /// last-seen stamps and expire on the same sweep.
+    std::vector<NodeMemory*> mem_slots;
   };
+
+  /// Re-resolves `ct.mem_slots` against memory_ (interning missing nodes).
+  void bind_memory_slots(CachedTree& ct);
 
   Params params_;
   sim::Rng rng_;
   CapacityEstimator capacities_;
   PassWorkspace ws_;
   std::unordered_map<net::SessionId, CachedTree> tree_cache_;
-  std::vector<LabeledTree*> active_trees_;  ///< this interval's trees, input order
+  std::vector<LabeledTree*> active_trees_;    ///< this interval's trees, input order
+  std::vector<CachedTree*> active_cached_;  ///< same trees, with memory slots
   std::unordered_map<std::uint64_t, NodeMemory> memory_;
   /// (session,node) -> layer -> no-resubscribe-before time.
   std::unordered_map<std::uint64_t, std::unordered_map<int, sim::Time>> backoff_;

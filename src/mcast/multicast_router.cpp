@@ -25,7 +25,13 @@ net::NodeId MulticastRouter::session_source(net::SessionId session) const {
 }
 
 MulticastRouter::GroupState& MulticastRouter::group_state(net::GroupAddr group) {
-  return groups_[group];
+  const auto [it, inserted] = groups_.try_emplace(group);
+  if (inserted) {
+    const std::uint32_t gid = network_.intern_group(group);
+    if (gid >= groups_by_stats_id_.size()) groups_by_stats_id_.resize(gid + 1, nullptr);
+    groups_by_stats_id_[gid] = &it->second;
+  }
+  return it->second;
 }
 
 void MulticastRouter::join(net::NodeId member, net::GroupAddr group) {
@@ -120,6 +126,13 @@ void MulticastRouter::rebuild_tree(net::GroupAddr group, GroupState& state) {
     tree.edges.emplace_back(parent, child);
   }
 
+  // Flatten for the per-hop path. Writes land in distinct NodeId slots, so
+  // the hash iteration order never shows.
+  tree.forward.assign(network_.node_count(), {});
+  for (const auto& [node, entry] : tree.entries) {  // NOLINT-determinism(order-free)
+    tree.forward[node] = entry;
+  }
+
   tree.built_topology_version = network_.topology_version();
   state.tree = std::move(tree);
   state.tree_dirty = false;
@@ -181,14 +194,28 @@ void MulticastRouter::on_topology_change() {
 
 void MulticastRouter::route(net::NodeId node, const net::Packet& packet,
                             std::vector<net::LinkId>& out_links, bool& deliver_locally) {
-  const auto git = groups_.find(packet.group);
-  if (git == groups_.end()) return;
-  GroupState& state = git->second;
-  if (state.tree_dirty) rebuild_tree(packet.group, state);
-  const auto eit = state.tree.entries.find(node);
-  if (eit == state.tree.entries.end()) return;
-  out_links.insert(out_links.end(), eit->second.out_links.begin(), eit->second.out_links.end());
-  deliver_locally = eit->second.deliver_locally;
+  // Fast path: the dense id send_multicast stamped indexes straight into the
+  // group table. A stamped packet whose slot is missing or null belongs to a
+  // group no one ever joined (group_state is what fills the slot), so the
+  // verdict is final without touching the hash table. The hash lookup only
+  // remains for packets injected without a stamp (e.g. tests driving route()
+  // directly).
+  GroupState* state = nullptr;
+  if (packet.group_stats_id != net::kInvalidGroupStatsId) {
+    if (packet.group_stats_id >= groups_by_stats_id_.size()) return;
+    state = groups_by_stats_id_[packet.group_stats_id];
+    if (state == nullptr) return;
+  } else {
+    const auto git = groups_.find(packet.group);
+    if (git == groups_.end()) return;
+    state = &git->second;
+  }
+  if (state->tree_dirty) rebuild_tree(packet.group, *state);
+  const GroupTree& tree = state->tree;
+  if (node >= tree.forward.size()) return;
+  const GroupTree::ForwardEntry& entry = tree.forward[node];
+  out_links.insert(out_links.end(), entry.out_links.begin(), entry.out_links.end());
+  deliver_locally = entry.deliver_locally;
 }
 
 }  // namespace tsim::mcast

@@ -24,6 +24,11 @@ struct GroupTree {
   };
   std::unordered_map<net::NodeId, ForwardEntry> entries;
 
+  /// entries flattened to a NodeId-indexed array — the per-hop route() path
+  /// reads this instead of hashing the node id. `entries` stays the sparse
+  /// view for auditors and tests.
+  std::vector<ForwardEntry> forward;
+
   /// Tree edges as (parent, child) node pairs — what a topology discovery
   /// tool (mtrace-style) would reconstruct.
   std::vector<std::pair<net::NodeId, net::NodeId>> edges;
@@ -134,6 +139,10 @@ class MulticastRouter final : public net::MulticastForwarder {
   net::Network& network_;
   Config config_;
   std::unordered_map<net::GroupAddr, GroupState> groups_;
+  /// groups_ values indexed by the Network's dense group-stats id (stamped
+  /// into every multicast packet), so route() skips the GroupAddr hash on the
+  /// per-hop path. Pointers are stable: unordered_map never moves its values.
+  std::vector<GroupState*> groups_by_stats_id_;
   std::unordered_map<net::SessionId, net::NodeId> session_sources_;
   std::function<void(net::GroupAddr, const GroupTree&)> audit_hook_;
 };

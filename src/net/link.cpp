@@ -27,11 +27,39 @@ void Link::enable_red(RedConfig config) {
   red_avg_ = 0.0;
 }
 
+namespace {
+/// Grow-on-demand add into a dense-id-indexed counter array.
+void bump_group_counter(std::vector<std::uint64_t>& counters, std::uint32_t id,
+                        std::uint64_t delta) {
+  if (id >= counters.size()) counters.resize(id + 1, 0);
+  counters[id] += delta;
+}
+}  // namespace
+
+std::uint32_t Link::group_stats_index(const Packet& packet) const {
+  if (packet.group_stats_id != kInvalidGroupStatsId) return packet.group_stats_id;
+  return network_.intern_group(packet.group);
+}
+
+std::uint64_t Link::delivered_bytes_for_group(GroupAddr group) const {
+  const std::uint32_t id = network_.find_group_id(group);
+  if (id == kInvalidGroupStatsId || id >= stats_.delivered_bytes_by_group.size()) return 0;
+  return stats_.delivered_bytes_by_group[id];
+}
+
+std::uint64_t Link::dropped_packets_for_group(GroupAddr group) const {
+  const std::uint32_t id = network_.find_group_id(group);
+  if (id == kInvalidGroupStatsId || id >= stats_.dropped_packets_by_group.size()) return 0;
+  return stats_.dropped_packets_by_group[id];
+}
+
 void Link::count_drop(const Packet& packet, bool fault) {
   ++stats_.dropped_packets;
   stats_.dropped_bytes += packet.size_bytes;
   if (fault) ++stats_.fault_dropped_packets;
-  if (packet.multicast) ++stats_.dropped_packets_by_group[packet.group];
+  if (packet.multicast) {
+    bump_group_counter(stats_.dropped_packets_by_group, group_stats_index(packet), 1);
+  }
 }
 
 void Link::set_up(bool up) {
@@ -42,7 +70,7 @@ void Link::set_up(bool up) {
     // transmitted (if any) fails in on_transmission_complete; packets already
     // propagating were past the cut and still arrive downstream.
     while (!queue_.empty()) {
-      count_drop(queue_.front(), /*fault=*/true);
+      count_drop(*queue_.front(), /*fault=*/true);
       queue_.pop_front();
     }
     queued_bytes_ = 0;
@@ -54,16 +82,16 @@ sim::Time Link::transmission_time(std::uint32_t size_bytes) const {
   return sim::Time::seconds(seconds);
 }
 
-void Link::enqueue(const Packet& packet) {
+void Link::enqueue(const PacketRef& packet) {
   ++stats_.enqueued_packets;
-  stats_.enqueued_bytes += packet.size_bytes;
+  stats_.enqueued_bytes += packet->size_bytes;
 
   if (!up_) {
-    count_drop(packet, /*fault=*/true);
+    count_drop(*packet, /*fault=*/true);
     return;
   }
   if (fault_loss_ > 0.0 && fault_rng_.bernoulli(fault_loss_)) {
-    count_drop(packet, /*fault=*/true);
+    count_drop(*packet, /*fault=*/true);
     return;
   }
 
@@ -74,7 +102,7 @@ void Link::enqueue(const Packet& packet) {
     // Decay by the number of packets that *could* have been transmitted
     // during the idle period, as if each had sampled an empty queue.
     if (!transmitting_ && queue_.empty() && red_avg_ > 0.0) {
-      const double slot_s = transmission_time(packet.size_bytes).as_seconds();
+      const double slot_s = transmission_time(packet->size_bytes).as_seconds();
       const double idle_s = (simulation_.now() - idle_since_).as_seconds();
       if (slot_s > 0.0 && idle_s > 0.0) {
         red_avg_ *= std::pow(1.0 - red_.queue_weight, idle_s / slot_s);
@@ -93,7 +121,7 @@ void Link::enqueue(const Packet& packet) {
       early_drop = red_rng_.bernoulli(p);
     }
     if (early_drop) {
-      count_drop(packet, /*fault=*/false);
+      count_drop(*packet, /*fault=*/false);
       return;
     }
   }
@@ -103,43 +131,52 @@ void Link::enqueue(const Packet& packet) {
     return;
   }
   if (queue_.size() >= queue_limit_) {
-    count_drop(packet, /*fault=*/false);
+    count_drop(*packet, /*fault=*/false);
     return;
   }
   queue_.push_back(packet);
-  queued_bytes_ += packet.size_bytes;
+  queued_bytes_ += packet->size_bytes;
 }
 
-void Link::start_transmission(const Packet& packet) {
+void Link::start_transmission(const PacketRef& packet) {
   transmitting_ = true;
-  transmitting_bytes_ = packet.size_bytes;
-  simulation_.after(transmission_time(packet.size_bytes),
+  transmitting_bytes_ = packet->size_bytes;
+  simulation_.after(transmission_time(packet->size_bytes),
                     [this, packet]() { on_transmission_complete(packet); });
 }
 
-void Link::on_transmission_complete(Packet packet) {
+void Link::begin_next_or_idle() {
+  if (!queue_.empty()) {
+    PacketRef next = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= next->size_bytes;
+    transmitting_bytes_ = next->size_bytes;
+    // transmitting_ stays set: the transmitter goes straight to the next packet.
+    // The delay must be computed before the capture moves `next` out.
+    const sim::Time tx = transmission_time(next->size_bytes);
+    simulation_.after(tx, [this, next = std::move(next)]() { on_transmission_complete(next); });
+  } else {
+    transmitting_ = false;
+    transmitting_bytes_ = 0;
+    idle_since_ = simulation_.now();
+  }
+}
+
+void Link::on_transmission_complete(PacketRef packet) {
   if (!up_) {
     // The link failed while this packet was on the transmitter: it is lost.
-    count_drop(packet, /*fault=*/true);
-    if (!queue_.empty()) {
-      // set_up(false) drained the queue, but a repair may have raced new
-      // arrivals in; keep the transmitter pipeline alive for them.
-      Packet next = std::move(queue_.front());
-      queue_.pop_front();
-      queued_bytes_ -= next.size_bytes;
-      transmitting_bytes_ = next.size_bytes;
-      simulation_.after(transmission_time(next.size_bytes),
-                        [this, next = std::move(next)]() { on_transmission_complete(next); });
-    } else {
-      transmitting_ = false;
-      transmitting_bytes_ = 0;
-      idle_since_ = simulation_.now();
-    }
+    // (A repair may have raced new arrivals into the queue, so keep the
+    // transmitter pipeline alive for them either way.)
+    count_drop(*packet, /*fault=*/true);
+    begin_next_or_idle();
     return;
   }
   ++stats_.delivered_packets;
-  stats_.delivered_bytes += packet.size_bytes;
-  if (packet.multicast) stats_.delivered_bytes_by_group[packet.group] += packet.size_bytes;
+  stats_.delivered_bytes += packet->size_bytes;
+  if (packet->multicast) {
+    bump_group_counter(stats_.delivered_bytes_by_group, group_stats_index(*packet),
+                       packet->size_bytes);
+  }
 
   // Propagation is pipelined: the next packet starts transmitting while this
   // one is in flight.
@@ -147,19 +184,7 @@ void Link::on_transmission_complete(Packet packet) {
     network_.on_packet_arrival(to_, packet);
   });
 
-  if (!queue_.empty()) {
-    Packet next = std::move(queue_.front());
-    queue_.pop_front();
-    queued_bytes_ -= next.size_bytes;
-    transmitting_bytes_ = next.size_bytes;
-    // Keep transmitting_ set: the transmitter goes straight to the next packet.
-    simulation_.after(transmission_time(next.size_bytes),
-                      [this, next = std::move(next)]() { on_transmission_complete(next); });
-  } else {
-    transmitting_ = false;
-    transmitting_bytes_ = 0;
-    idle_since_ = simulation_.now();
-  }
+  begin_next_or_idle();
 }
 
 }  // namespace tsim::net

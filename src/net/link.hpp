@@ -2,8 +2,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/random.hpp"
@@ -25,8 +25,13 @@ struct LinkStats {
   std::uint64_t dropped_packets{0};
   std::uint64_t dropped_bytes{0};
   std::uint64_t fault_dropped_packets{0};  ///< subset of drops caused by injected faults
-  std::map<GroupAddr, std::uint64_t> delivered_bytes_by_group;
-  std::map<GroupAddr, std::uint64_t> dropped_packets_by_group;
+  /// Flat per-group counters indexed by the Network's dense group-stats id
+  /// (Network::intern_group / group_stats_key), grown on demand. Replaces the
+  /// seed's std::map<GroupAddr, ...>, which paid a tree walk (and sometimes a
+  /// node allocation) on every multicast enqueue/deliver. Query by GroupAddr
+  /// via Link::delivered_bytes_for_group / dropped_packets_for_group.
+  std::vector<std::uint64_t> delivered_bytes_by_group;
+  std::vector<std::uint64_t> dropped_packets_by_group;
 };
 
 /// A unidirectional link with finite bandwidth, fixed propagation latency and
@@ -58,7 +63,7 @@ class Link {
   /// Offers a packet to the link. Drops it (drop-tail) when the queue is full,
   /// unconditionally while the link is down, and with the configured Bernoulli
   /// probability while a lossy-link fault is active.
-  void enqueue(const Packet& packet);
+  void enqueue(const PacketRef& packet);
 
   /// --- Fault state (driven by fault::FaultInjector) ------------------------
 
@@ -87,6 +92,11 @@ class Link {
   [[nodiscard]] const LinkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = LinkStats{}; }
 
+  /// Per-group counters by address (the flat arrays are indexed by dense id);
+  /// 0 for groups this link never saw.
+  [[nodiscard]] std::uint64_t delivered_bytes_for_group(GroupAddr group) const;
+  [[nodiscard]] std::uint64_t dropped_packets_for_group(GroupAddr group) const;
+
   /// --- Conservation accounting (audited by check::InvariantAuditor) --------
   /// Every packet offered to the link (stats().enqueued_*) is, at any instant,
   /// in exactly one of: delivered, dropped, waiting in the queue, or occupying
@@ -109,8 +119,13 @@ class Link {
   [[nodiscard]] sim::Time transmission_time(std::uint32_t size_bytes) const;
 
  private:
-  void start_transmission(const Packet& packet);
-  void on_transmission_complete(Packet packet);
+  void start_transmission(const PacketRef& packet);
+  void on_transmission_complete(PacketRef packet);
+  /// Pulls the next queued packet onto the transmitter, or parks it idle.
+  void begin_next_or_idle();
+  /// Dense stats index for a multicast packet: the stamped id, or an
+  /// on-the-fly intern for packets that bypassed Network::send_multicast.
+  [[nodiscard]] std::uint32_t group_stats_index(const Packet& packet) const;
 
   sim::Simulation& simulation_;
   Network& network_;
@@ -120,7 +135,7 @@ class Link {
   double bandwidth_bps_;
   sim::Time latency_;
   std::size_t queue_limit_;
-  std::deque<Packet> queue_;
+  std::deque<PacketRef> queue_;
   std::uint64_t queued_bytes_{0};
   std::uint64_t transmitting_bytes_{0};
   bool transmitting_{false};

@@ -80,7 +80,7 @@ void Network::send_unicast(Packet packet) {
   packet.multicast = false;
   if (packet.uid == 0) packet.uid = next_packet_uid();
   packet.sent_at = simulation_.now();
-  on_packet_arrival(packet.src, packet);
+  on_packet_arrival(packet.src, PacketRef::make(std::move(packet)));
 }
 
 void Network::send_multicast(Packet packet) {
@@ -88,29 +88,41 @@ void Network::send_multicast(Packet packet) {
   packet.multicast = true;
   if (packet.uid == 0) packet.uid = next_packet_uid();
   packet.sent_at = simulation_.now();
-  on_packet_arrival(packet.src, packet);
+  packet.group_stats_id = intern_group(packet.group);
+  on_packet_arrival(packet.src, PacketRef::make(std::move(packet)));
 }
 
-void Network::on_packet_arrival(NodeId node_id, const Packet& packet) {
+std::uint32_t Network::intern_group_slow(GroupAddr group) {
+  const std::uint32_t key = group.key();
+  if (key >= group_stats_table_.size()) {
+    group_stats_table_.resize(key + 1, kInvalidGroupStatsId);
+  }
+  const std::uint32_t id = group_stats_count();
+  group_stats_table_[key] = id;
+  group_stats_keys_.push_back(group);
+  return id;
+}
+
+void Network::on_packet_arrival(NodeId node_id, const PacketRef& packet) {
   Node& node = nodes_[node_id];
 
-  if (packet.multicast) {
+  if (packet->multicast) {
     if (forwarder_ == nullptr) return;  // no multicast routing installed
     thread_local std::vector<LinkId> out_links;
     out_links.clear();
     bool deliver_locally = false;
-    forwarder_->route(node_id, packet, out_links, deliver_locally);
+    forwarder_->route(node_id, *packet, out_links, deliver_locally);
     if (deliver_locally && node.local_sink) node.local_sink(packet);
     for (const LinkId link_id : out_links) links_[link_id]->enqueue(packet);
     return;
   }
 
   // Unicast path.
-  if (packet.dst == node_id) {
+  if (packet->dst == node_id) {
     if (node.local_sink) node.local_sink(packet);
     return;
   }
-  const LinkId hop = routing_.next_hop(node_id, packet.dst);
+  const LinkId hop = routing_.next_hop(node_id, packet->dst);
   if (hop == kInvalidLink) {
     // Info, not warn: with fault injection a partitioned network legitimately
     // has unroutable control traffic for the whole outage window.
@@ -121,7 +133,7 @@ void Network::on_packet_arrival(NodeId node_id, const Packet& packet) {
   links_[hop]->enqueue(packet);
 }
 
-void Network::set_local_sink(NodeId node, std::function<void(const Packet&)> sink) {
+void Network::set_local_sink(NodeId node, std::function<void(const PacketRef&)> sink) {
   nodes_[node].local_sink = std::move(sink);
 }
 

@@ -39,7 +39,7 @@ struct Node {
   NodeId id{kInvalidNode};
   std::string name;
   std::vector<LinkId> out_links;
-  std::function<void(const Packet&)> local_sink;  ///< invoked on local delivery
+  std::function<void(const PacketRef&)> local_sink;  ///< invoked on local delivery
 };
 
 /// The simulated network: nodes, links, unicast routing and the packet
@@ -93,11 +93,11 @@ class Network {
   void send_multicast(Packet packet);
 
   /// Internal: invoked by links when a packet finishes traversing them.
-  void on_packet_arrival(NodeId node, const Packet& packet);
+  void on_packet_arrival(NodeId node, const PacketRef& packet);
 
   /// --- Wiring ------------------------------------------------------------
 
-  void set_local_sink(NodeId node, std::function<void(const Packet&)> sink);
+  void set_local_sink(NodeId node, std::function<void(const PacketRef&)> sink);
   void set_multicast_forwarder(MulticastForwarder* forwarder) { forwarder_ = forwarder; }
 
   /// Optional egress filter consulted by send_unicast; returning false drops
@@ -125,7 +125,39 @@ class Network {
   /// Fresh globally-unique packet uid.
   [[nodiscard]] std::uint64_t next_packet_uid() { return next_uid_++; }
 
+  /// --- Group stats interning ----------------------------------------------
+  /// Dense ids for multicast groups, in first-encounter order. Links index
+  /// their per-group stats arrays by these instead of hashing GroupAddr per
+  /// packet; send_multicast stamps the id into the packet once per send.
+
+  /// Id for `group`, interning it on first sight. The flat table makes the
+  /// hit path (every send_multicast) an array load; the miss path lives in
+  /// the .cpp.
+  [[nodiscard]] std::uint32_t intern_group(GroupAddr group) {
+    const std::uint32_t key = group.key();
+    if (key < group_stats_table_.size() &&
+        group_stats_table_[key] != kInvalidGroupStatsId) {
+      return group_stats_table_[key];
+    }
+    return intern_group_slow(group);
+  }
+  /// Id for `group`, or kInvalidGroupStatsId when it was never interned.
+  [[nodiscard]] std::uint32_t find_group_id(GroupAddr group) const {
+    const std::uint32_t key = group.key();
+    return key < group_stats_table_.size() ? group_stats_table_[key]
+                                           : kInvalidGroupStatsId;
+  }
+  [[nodiscard]] std::uint32_t group_stats_count() const {
+    return static_cast<std::uint32_t>(group_stats_keys_.size());
+  }
+  /// The GroupAddr behind a dense id (inverse of intern_group).
+  [[nodiscard]] GroupAddr group_stats_key(std::uint32_t id) const {
+    return group_stats_keys_[id];
+  }
+
  private:
+  [[nodiscard]] std::uint32_t intern_group_slow(GroupAddr group);
+
   sim::Simulation& simulation_;
   std::vector<Node> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
@@ -135,6 +167,11 @@ class Network {
   std::uint64_t next_uid_{1};
   std::uint64_t topology_version_{0};
   bool routes_valid_{false};
+  /// GroupAddr::key() -> dense id, kInvalidGroupStatsId for never-seen keys.
+  /// key() packs (session, layer) into a small integer, so a grow-on-demand
+  /// flat table beats a hash map on the per-send hit path.
+  std::vector<std::uint32_t> group_stats_table_;
+  std::vector<GroupAddr> group_stats_keys_;
 };
 
 }  // namespace tsim::net

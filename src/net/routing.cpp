@@ -12,62 +12,67 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 void RoutingTable::build(std::uint32_t node_count, const std::vector<EdgeView>& edges) {
   node_count_ = node_count;
   const std::size_t n = node_count;
-  next_hop_.assign(n * n, kInvalidLink);
-  next_node_.assign(n * n, kInvalidNode);
-  cost_.assign(n * n, kInf);
 
-  // Adjacency lists.
-  std::vector<std::vector<EdgeView>> adj(n);
-  for (const EdgeView& e : edges) adj[e.from].push_back(e);
+  // CSR adjacency via counting sort, stable in input (add_link) order so the
+  // relaxation order — and therefore equal-cost tie-breaking — matches the
+  // seed's per-source adjacency lists exactly.
+  adj_offset_.assign(n + 1, 0);
+  for (const EdgeView& e : edges) ++adj_offset_[e.from + 1];
+  for (std::size_t i = 1; i <= n; ++i) adj_offset_[i] += adj_offset_[i - 1];
+  adj_edges_.resize(edges.size());
+  std::vector<std::uint32_t> cursor(adj_offset_.begin(), adj_offset_.end() - 1);
+  for (const EdgeView& e : edges) adj_edges_[cursor[e.from]++] = e;
+
+  rows_.clear();
+  rows_.resize(n);
+  computed_rows_ = 0;
+}
+
+const RoutingTable::Row& RoutingTable::row(NodeId from) const {
+  std::unique_ptr<Row>& slot = rows_[from];
+  if (slot != nullptr) return *slot;
+
+  const std::size_t n = node_count_;
+  auto fresh = std::make_unique<Row>();
+  fresh->next_hop.assign(n, kInvalidLink);
+  fresh->next_node.assign(n, kInvalidNode);
+  fresh->cost.assign(n, kInf);
+  std::vector<LinkId>& first_link = fresh->next_hop;
+  std::vector<NodeId>& first_node = fresh->next_node;
+  std::vector<double>& dist = fresh->cost;
+  dist[from] = 0.0;
 
   struct QItem {
     double dist;
     NodeId node;
     bool operator>(const QItem& o) const { return dist > o.dist; }
   };
-
-  std::vector<double> dist(n);
-  std::vector<LinkId> first_link(n);
-  std::vector<NodeId> first_node(n);
-  std::vector<NodeId> prev(n);
-
-  for (NodeId src = 0; src < node_count; ++src) {
-    std::fill(dist.begin(), dist.end(), kInf);
-    std::fill(first_link.begin(), first_link.end(), kInvalidLink);
-    std::fill(first_node.begin(), first_node.end(), kInvalidNode);
-    std::fill(prev.begin(), prev.end(), kInvalidNode);
-    dist[src] = 0.0;
-
-    std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
-    pq.push({0.0, src});
-    while (!pq.empty()) {
-      const auto [d, u] = pq.top();
-      pq.pop();
-      if (d > dist[u]) continue;
-      for (const EdgeView& e : adj[u]) {
-        const double nd = d + e.cost;
-        if (nd < dist[e.to]) {
-          dist[e.to] = nd;
-          prev[e.to] = u;
-          if (u == src) {
-            first_link[e.to] = e.link;
-            first_node[e.to] = e.to;
-          } else {
-            first_link[e.to] = first_link[u];
-            first_node[e.to] = first_node[u];
-          }
-          pq.push({nd, e.to});
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  pq.push({0.0, from});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (std::uint32_t i = adj_offset_[u]; i < adj_offset_[u + 1]; ++i) {
+      const EdgeView& e = adj_edges_[i];
+      const double nd = d + e.cost;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        if (u == from) {
+          first_link[e.to] = e.link;
+          first_node[e.to] = e.to;
+        } else {
+          first_link[e.to] = first_link[u];
+          first_node[e.to] = first_node[u];
         }
+        pq.push({nd, e.to});
       }
     }
-
-    const std::size_t row = static_cast<std::size_t>(src) * n;
-    for (NodeId dst = 0; dst < node_count; ++dst) {
-      cost_[row + dst] = dist[dst];
-      next_hop_[row + dst] = first_link[dst];
-      next_node_[row + dst] = first_node[dst];
-    }
   }
+
+  ++computed_rows_;
+  slot = std::move(fresh);
+  return *slot;
 }
 
 std::vector<NodeId> RoutingTable::path(NodeId from, NodeId to) const {
@@ -77,7 +82,9 @@ std::vector<NodeId> RoutingTable::path(NodeId from, NodeId to) const {
   result.push_back(from);
   NodeId cur = from;
   while (cur != to) {
-    cur = next_node_[static_cast<std::size_t>(cur) * node_count_ + to];
+    // Each hop's successor toward `to` comes from that hop's own row: rows
+    // store the first hop of from->dst, not the predecessor tree.
+    cur = row(cur).next_node[to];
     if (cur == kInvalidNode) return {};
     result.push_back(cur);
   }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -16,23 +17,35 @@ struct EdgeView {
   double cost;  ///< routing metric; we use propagation latency in seconds
 };
 
-/// All-pairs next-hop routing computed with Dijkstra per source node.
-/// The simulated topologies are small (tens of nodes), so the O(V·E·logV)
-/// build cost is negligible and lookups are O(1) array reads on the hot path.
+/// Next-hop routing with per-source rows computed lazily by Dijkstra.
+///
+/// The seed computed the full all-pairs table eagerly, which is O(V²) memory
+/// and O(V·E·logV) build time — at the scale tier's ~10k receivers that is
+/// gigabytes of tables rebuilt on every topology change, even though only a
+/// handful of nodes ever originate unicast traffic (sources, receivers that
+/// report, the controller). Now build() just snapshots the adjacency (CSR
+/// layout) and each source's row is computed on first lookup and cached, so
+/// memory scales with the nodes that actually send. Rows are invalidated
+/// wholesale by the next build().
+///
+/// Determinism: a row's content depends only on the adjacency snapshot (the
+/// per-source Dijkstra relaxation order matches the seed's), never on lookup
+/// order. Lookups are logically const; the row cache is a mutable memo.
+/// Single-threaded by design, like the Scheduler.
 class RoutingTable {
  public:
-  /// Builds next-hop tables for `node_count` nodes over the given edges.
-  /// Unreachable pairs get kInvalidLink.
+  /// Snapshots the adjacency for `node_count` nodes and drops all cached
+  /// rows. Unreachable pairs get kInvalidLink / +inf cost.
   void build(std::uint32_t node_count, const std::vector<EdgeView>& edges);
 
   /// Next-hop link id on the path `from` -> `to` (kInvalidLink if none).
   [[nodiscard]] LinkId next_hop(NodeId from, NodeId to) const {
-    return next_hop_[static_cast<std::size_t>(from) * node_count_ + to];
+    return row(from).next_hop[to];
   }
 
   /// Total path cost (sum of edge costs) from -> to; +inf if unreachable.
   [[nodiscard]] double path_cost(NodeId from, NodeId to) const {
-    return cost_[static_cast<std::size_t>(from) * node_count_ + to];
+    return row(from).cost[to];
   }
 
   /// Ordered node sequence from -> to, inclusive; empty if unreachable.
@@ -40,11 +53,29 @@ class RoutingTable {
 
   [[nodiscard]] std::uint32_t node_count() const { return node_count_; }
 
+  /// Number of per-source rows materialized since the last build() — exposed
+  /// so tests and the scale bench can pin the lazy behaviour.
+  [[nodiscard]] std::size_t computed_rows() const { return computed_rows_; }
+
  private:
+  /// One source's shortest-path tree, flattened for O(1) lookups.
+  struct Row {
+    std::vector<LinkId> next_hop;
+    std::vector<NodeId> next_node;  ///< successor node along the path
+    std::vector<double> cost;
+  };
+
+  /// The cached row for `from`, running Dijkstra to materialize it if needed.
+  [[nodiscard]] const Row& row(NodeId from) const;
+
   std::uint32_t node_count_{0};
-  std::vector<LinkId> next_hop_;
-  std::vector<double> cost_;
-  std::vector<NodeId> next_node_;  ///< successor node along the path
+  /// Adjacency in CSR form: edges of node u are
+  /// adj_edges_[adj_offset_[u] .. adj_offset_[u + 1]), in add_link order.
+  std::vector<std::uint32_t> adj_offset_;
+  std::vector<EdgeView> adj_edges_;
+  /// Lazily materialized rows (memo — see class comment).
+  mutable std::vector<std::unique_ptr<Row>> rows_;
+  mutable std::size_t computed_rows_{0};
 };
 
 }  // namespace tsim::net

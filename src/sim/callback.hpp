@@ -9,14 +9,16 @@ namespace tsim::sim {
 
 /// Move-only callable with inline storage: the scheduler's replacement for
 /// std::function<void()>. Every simulated packet schedules two events whose
-/// closures capture a Packet (~56 bytes) — past std::function's small-buffer
-/// limit, so the seed allocated twice per packet on the hot path. Callables
-/// up to kInlineBytes live inside the event entry itself; larger ones fall
-/// back to the heap (rare: only oversized captures in tests/benches).
+/// closures capture the packet — since the PacketRef flyweight that is an
+/// 8-byte handle, so the hot-path captures are [this, PacketRef] = 16 bytes.
+/// Callables up to kInlineBytes live inside the event entry itself; larger
+/// ones fall back to the heap (rare: one-shot setup/fault lambdas and
+/// oversized captures in tests/benches).
 class SmallCallback {
  public:
-  /// Sized for [this, Packet] captures with headroom for one extra pointer.
-  static constexpr std::size_t kInlineBytes = 88;
+  /// Sized for [this, PacketRef, two words of context]; keeps the
+  /// scheduler's Slot (callback + cancellation state) to one cache line.
+  static constexpr std::size_t kInlineBytes = 40;
 
   SmallCallback() noexcept = default;
 

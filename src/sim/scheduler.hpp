@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "sim/callback.hpp"
@@ -18,6 +17,15 @@ struct EventId {
   [[nodiscard]] friend bool operator==(EventId, EventId) = default;
 };
 
+/// Which event-queue structure backs the scheduler. Both execute events in
+/// the identical total order (timestamp, then schedule sequence), so runs are
+/// bit-for-bit reproducible across implementations — the equivalence test in
+/// tests/sim pins this.
+enum class QueueImpl {
+  kCalendar,  ///< two-level calendar queue (default; O(1) amortized)
+  kHeap,      ///< binary heap — reference implementation, kept for tests
+};
+
 /// Discrete-event scheduler: a time-ordered queue of callbacks with
 /// deterministic FIFO tie-breaking (events scheduled earlier at the same
 /// timestamp fire first). Single-threaded by design — determinism is a core
@@ -25,15 +33,26 @@ struct EventId {
 /// from running independent simulations on separate threads, each with its
 /// own Scheduler.
 ///
+/// Queue structure: a two-level calendar queue (R. Brown, CACM '88 — the
+/// structure ns-2 uses). Near-future events live in a ring of time buckets
+/// whose occupancy is tracked in a bitmap, so pop scans empty buckets a word
+/// at a time; far-future events wait in a sorted overflow band and migrate
+/// into fresh buckets when the window advances. Bucket count and width adapt
+/// to the pending population at each migration, keeping both dense packet
+/// bursts and sparse second-scale timers O(1) amortized per event, where the
+/// seed's binary heap paid O(log n) sifts on every operation.
+///
 /// Allocation behaviour: each pending event lives in a free-listed slot pool
 /// whose size is bounded by the maximum number of *concurrently pending*
 /// events, not by the total number of events ever scheduled or cancelled.
 /// Callbacks up to SmallCallback::kInlineBytes are stored inline in the slot
-/// (no per-event heap allocation), and the priority-queue entries are 24-byte
-/// PODs — heap sifts never move callback storage.
+/// (no per-event heap allocation), and the queue entries are 24-byte PODs —
+/// bucket and heap shuffles never move callback storage.
 class Scheduler {
  public:
   using Callback = SmallCallback;
+
+  explicit Scheduler(QueueImpl impl = QueueImpl::kCalendar) : impl_{impl} {}
 
   /// Schedules `cb` at absolute time `when` (must be >= now()).
   EventId schedule_at(Time when, Callback cb);
@@ -53,7 +72,8 @@ class Scheduler {
   bool step();
 
   [[nodiscard]] Time now() const { return now_; }
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size() - cancelled_pending_; }
+  [[nodiscard]] QueueImpl queue_impl() const { return impl_; }
+  [[nodiscard]] std::size_t pending_events() const { return entries_ - cancelled_pending_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
   /// Size of the cancellation slot pool — bounded by the peak number of
@@ -66,14 +86,12 @@ class Scheduler {
   /// between events; cancelled entries still own their slot until popped, so
   /// cancelled_pending() <= queued_entries().
   [[nodiscard]] std::size_t free_slot_count() const { return free_slots_.size(); }
-  [[nodiscard]] std::size_t queued_entries() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queued_entries() const { return entries_; }
   [[nodiscard]] std::size_t cancelled_pending() const { return cancelled_pending_; }
 
   /// Earliest pending timestamp, Time::max() when the queue is empty. Never
   /// earlier than now() — schedule_at refuses past times.
-  [[nodiscard]] Time next_event_time() const {
-    return queue_.empty() ? Time::max() : queue_.top().when;
-  }
+  [[nodiscard]] Time next_event_time() const;
 
   /// Test-only: jumps the clock past pending events so the auditor's
   /// event-in-the-past / monotonic-time invariants fire. Never call outside
@@ -81,15 +99,18 @@ class Scheduler {
   void corrupt_clock_for_test(Time now) { now_ = now; }
 
  private:
+  /// One queue entry: 24-byte POD so bucket inserts and heap sifts move no
+  /// callback storage.
   struct Entry {
-    Time when;
+    std::int64_t when_ns;
     std::uint64_t seq;
     std::uint64_t id;  ///< encoded EventId (slot + generation)
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+
+    /// The execution total order: timestamp, then schedule sequence (FIFO at
+    /// equal timestamps). Both queue implementations order by exactly this.
+    [[nodiscard]] friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.when_ns != b.when_ns) return a.when_ns < b.when_ns;
+      return a.seq < b.seq;
     }
   };
   /// One pending event: its callback plus cancellation state. `generation`
@@ -105,14 +126,98 @@ class Scheduler {
     return (static_cast<std::uint64_t>(generation) << 32) | (slot + 1);
   }
 
-  /// Pops the queue front, releasing its cancellation slot. Returns true when
-  /// the entry was live (not cancelled); the callback is moved to `out`.
-  bool take_front(Callback& out);
+  /// --- queue structure (behind impl_) --------------------------------------
+
+  void push_entry(Entry entry);
+  /// Removes and returns the (when, seq)-minimum entry. Pre: entries_ > 0.
+  Entry pop_min();
+  /// Pops the minimum entry into `out` if its timestamp is <= `until_ns`;
+  /// returns false (leaving the queue untouched) when the queue is empty or
+  /// the minimum lies beyond the bound. One positioning pass — the run loop's
+  /// peek-then-pop fused.
+  bool pop_min_upto(std::int64_t until_ns, Entry& out);
+  /// Releases `entry`'s slot. True when the entry was live (not cancelled);
+  /// the callback and fire time are moved to `out` / `when`.
+  bool resolve_entry(const Entry& entry, Callback& out, Time& when);
+  /// Timestamp of the minimum entry without removing it; INT64_MAX when
+  /// empty. Const: scans without committing cursor movement or migrations.
+  [[nodiscard]] std::int64_t peek_min_when() const;
+
+  // calendar internals
+  void insert_into_bucket(Entry entry, std::size_t idx);
+  void start_window(std::int64_t anchor_ns);
+  void migrate_overflow();
+  void rebuild_window();
+  [[nodiscard]] std::size_t bucket_index(std::int64_t when_ns) const {
+    return static_cast<std::size_t>((when_ns - win_start_ns_) >> shift_);
+  }
+  void mark_occupied(std::size_t idx) {
+    occupancy_[idx >> 6] |= (std::uint64_t{1} << (idx & 63));
+  }
+  void mark_empty(std::size_t idx) {
+    occupancy_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  }
+  /// First non-empty bucket at or after `from`; bucket_count_ when none.
+  [[nodiscard]] std::size_t next_occupied(std::size_t from) const;
+
+  /// Pops the queue minimum, releasing its cancellation slot. Returns true
+  /// when the entry was live (not cancelled); the callback is moved to `out`.
+  bool take_front(Callback& out, Time& when);
 
   Time now_{Time::zero()};
+  QueueImpl impl_;
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::size_t entries_{0};  ///< live + cancelled entries across both levels
+
+  /// Calendar level 1: buckets_[i] covers
+  /// [win_start + (i << shift), win_start + ((i + 1) << shift)). `head` marks
+  /// consumed slots; [head, entries.size()) is sorted ascending unless
+  /// `dirty`. Inserts into not-yet-draining buckets are O(1) appends (the
+  /// bucket is lazily sorted once when the cursor reaches it), so clustered
+  /// timestamps never degenerate into per-insert memmoves; pop is an O(1)
+  /// index bump.
+  struct Bucket {
+    std::vector<Entry> entries;
+    std::size_t head{0};
+    bool dirty{false};
+  };
+  /// Mutable so the logically-const peek path can commit a pending lazy sort.
+  mutable std::vector<Bucket> buckets_;
+  /// Sorts buckets_[idx]'s live suffix if an out-of-order append left it dirty.
+  /// Inline dirty check so hot pop/peek paths pay one branch when clean; the
+  /// actual sort lives out of line.
+  void ensure_sorted(std::size_t idx) const {
+    Bucket& bucket = buckets_[idx];
+    if (bucket.dirty) sort_bucket(bucket);
+  }
+  static void sort_bucket(Bucket& bucket);
+  std::vector<std::uint64_t> occupancy_;  ///< bit i set <=> buckets_[i] non-empty
+  std::size_t bucket_count_{0};           ///< power of two (0 until first use)
+  int shift_{20};                         ///< bucket width = 1 << shift_ ns (~1 ms)
+  std::int64_t win_start_ns_{0};
+  /// Buckets below the cursor are empty. Mutable: peek_min_when() memoizes
+  /// its occupancy scan here without changing observable state.
+  mutable std::size_t cursor_{0};
+
+  /// Calendar level 2 / heap impl: a binary min-heap on (when, seq). The
+  /// calendar parks far-future events here; the reference impl keeps
+  /// everything here.
+  std::vector<Entry> overflow_;
+
+  /// EWMA (1/8 weight) of the timestamp gap between consecutively popped
+  /// entries — the head-of-queue event density migrate_overflow() sizes
+  /// bucket width from. Derived purely from popped timestamps, so it is
+  /// deterministic and identical across queue implementations.
+  std::int64_t exec_gap_ewma_ns_{0};
+  std::int64_t last_pop_when_ns_{0};
+  std::uint64_t exec_gap_samples_{0};
+  void note_popped(std::int64_t when_ns) {
+    exec_gap_ewma_ns_ += (when_ns - last_pop_when_ns_ - exec_gap_ewma_ns_) >> 3;
+    last_pop_when_ns_ = when_ns;
+    ++exec_gap_samples_;
+  }
+
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::size_t cancelled_pending_{0};

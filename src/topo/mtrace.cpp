@@ -16,7 +16,7 @@ MtraceDiscovery::MtraceDiscovery(sim::Simulation& simulation, net::Network& netw
       config_{config} {
   demuxes_.at(config_.tool_node)
       .add_handler(net::PacketKind::kMtraceResponse,
-                   [this](const net::Packet& p) { handle_response(p); });
+                   [this](const net::PacketRef& p) { handle_response(*p); });
 }
 
 void MtraceDiscovery::track_session(net::SessionId session, net::LayerId max_layer) {
@@ -32,8 +32,8 @@ void MtraceDiscovery::register_receiver(net::SessionId session, net::NodeId rece
   // The path comes from the routing state real mtrace would collect hop by
   // hop; membership is the host's own group table.
   demuxes_.at(receiver).add_handler(
-      net::PacketKind::kMtraceQuery, [this, receiver](const net::Packet& p) {
-        const auto* query = dynamic_cast<const MtraceQuery*>(p.control.get());
+      net::PacketKind::kMtraceQuery, [this, receiver](const net::PacketRef& p) {
+        const auto* query = dynamic_cast<const MtraceQuery*>(p->control.get());
         if (query == nullptr || query->receiver != receiver) return;
 
         auto response = std::make_shared<MtraceResponse>();

@@ -12,7 +12,12 @@ LayeredSource::LayeredSource(sim::Simulation& simulation, net::Network& network,
       config_{config},
       rng_{simulation.rng_stream("source/" + std::to_string(config.session))},
       next_seq_(static_cast<std::size_t>(config.layers.num_layers), 0),
-      sent_packets_(static_cast<std::size_t>(config.layers.num_layers), 0) {}
+      sent_packets_(static_cast<std::size_t>(config.layers.num_layers), 0) {
+  pps_by_layer_.reserve(static_cast<std::size_t>(config_.layers.num_layers));
+  for (int l = 1; l <= config_.layers.num_layers; ++l) {
+    pps_by_layer_.push_back(config_.layers.packets_per_second(static_cast<net::LayerId>(l)));
+  }
+}
 
 void LayeredSource::start() {
   for (int l = 1; l <= config_.layers.num_layers; ++l) {
@@ -48,7 +53,7 @@ void LayeredSource::emit(net::LayerId layer) {
 void LayeredSource::schedule_cbr_layer(net::LayerId layer) {
   if (simulation_.now() >= config_.stop) return;
   emit(layer);
-  const double pps = config_.layers.packets_per_second(layer);
+  const double pps = pps_by_layer_[layer - 1];
   // +/-10% spacing jitter (mean-preserving): without it, a layer whose packet
   // period exactly matches a link's service time phase-locks with the
   // transmitter and captures the whole drop-tail queue — an artifact real,
@@ -61,7 +66,7 @@ void LayeredSource::schedule_cbr_layer(net::LayerId layer) {
 void LayeredSource::schedule_vbr_interval(net::LayerId layer) {
   if (simulation_.now() >= config_.stop) return;
 
-  const double avg = config_.layers.packets_per_second(layer);  // A
+  const double avg = pps_by_layer_[layer - 1];  // A
   const double p = std::max(1.0, config_.peak_to_mean);         // P
   // n = 1 w.p. 1-1/P, n = P*A + 1 - P w.p. 1/P, so E[n] = A.
   long n = 1;

@@ -62,6 +62,9 @@ class LayeredSource {
   sim::Rng rng_;
   std::vector<std::uint32_t> next_seq_;
   std::vector<std::uint64_t> sent_packets_;
+  /// packets_per_second(layer), precomputed once — the formula calls pow(),
+  /// which is far too slow to re-evaluate on every emitted packet.
+  std::vector<double> pps_by_layer_;
   std::uint64_t sent_bytes_total_{0};
 };
 

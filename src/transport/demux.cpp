@@ -8,8 +8,8 @@ void PacketDemux::add_handler(net::PacketKind kind, Handler handler) {
   handlers_[static_cast<int>(kind)].push_back(std::move(handler));
 }
 
-void PacketDemux::dispatch(const net::Packet& packet) const {
-  const auto it = handlers_.find(static_cast<int>(packet.kind));
+void PacketDemux::dispatch(const net::PacketRef& packet) const {
+  const auto it = handlers_.find(static_cast<int>(packet->kind));
   if (it == handlers_.end()) return;
   for (const Handler& h : it->second) h(packet);
 }
@@ -19,7 +19,7 @@ PacketDemux& DemuxRegistry::at(net::NodeId node) {
   if (it == demuxes_.end()) {
     it = demuxes_.emplace(node, std::make_unique<PacketDemux>()).first;
     PacketDemux* demux = it->second.get();
-    network_.set_local_sink(node, [demux](const net::Packet& p) { demux->dispatch(p); });
+    network_.set_local_sink(node, [demux](const net::PacketRef& p) { demux->dispatch(p); });
   }
   return *it->second;
 }

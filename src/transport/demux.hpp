@@ -16,10 +16,10 @@ namespace tsim::transport {
 /// node).
 class PacketDemux {
  public:
-  using Handler = std::function<void(const net::Packet&)>;
+  using Handler = std::function<void(const net::PacketRef&)>;
 
   void add_handler(net::PacketKind kind, Handler handler);
-  void dispatch(const net::Packet& packet) const;
+  void dispatch(const net::PacketRef& packet) const;
 
  private:
   std::unordered_map<int, std::vector<Handler>> handlers_;

@@ -14,9 +14,9 @@ ReceiverEndpoint::ReceiverEndpoint(sim::Simulation& simulation, net::Network& ne
       config_{config},
       tracks_(static_cast<std::size_t>(config.layers.num_layers)) {
   demux.add_handler(net::PacketKind::kData,
-                    [this](const net::Packet& p) { handle_data(p); });
+                    [this](const net::PacketRef& p) { handle_data(*p); });
   demux.add_handler(net::PacketKind::kSuggestion,
-                    [this](const net::Packet& p) { handle_suggestion(p); });
+                    [this](const net::PacketRef& p) { handle_suggestion(*p); });
 }
 
 void ReceiverEndpoint::start() {

@@ -19,16 +19,16 @@ TcpFlow::TcpFlow(sim::Simulation& simulation, net::Network& network,
       ssthresh_{config.initial_ssthresh_packets} {
   // Receiver side: ACK every arriving segment of this flow.
   demuxes.at(config_.dst).add_handler(
-      net::PacketKind::kTcpData, [this](const net::Packet& p) {
-        if (p.src != config_.src || p.dst != config_.dst) return;
-        const auto* segment = dynamic_cast<const TcpSegment*>(p.control.get());
+      net::PacketKind::kTcpData, [this](const net::PacketRef& p) {
+        if (p->src != config_.src || p->dst != config_.dst) return;
+        const auto* segment = dynamic_cast<const TcpSegment*>(p->control.get());
         if (segment != nullptr && !segment->ack) on_data_at_receiver(*segment);
       });
   // Sender side: process ACKs.
   demuxes.at(config_.src).add_handler(
-      net::PacketKind::kTcpAck, [this](const net::Packet& p) {
-        if (p.src != config_.dst || p.dst != config_.src) return;
-        const auto* segment = dynamic_cast<const TcpSegment*>(p.control.get());
+      net::PacketKind::kTcpAck, [this](const net::PacketRef& p) {
+        if (p->src != config_.dst || p->dst != config_.src) return;
+        const auto* segment = dynamic_cast<const TcpSegment*>(p->control.get());
         if (segment != nullptr && segment->ack) on_ack(segment->ack_seq);
       });
 }

@@ -47,7 +47,7 @@ struct InjectorFixture : ::testing::Test {
 
 TEST_F(InjectorFixture, LinkOutageBlocksDeliveryAndRepairRestoresIt) {
   int delivered = 0;
-  network.set_local_sink(b, [&](const net::Packet&) { ++delivered; });
+  network.set_local_sink(b, [&](const net::PacketRef&) { ++delivered; });
 
   FaultPlan plan;
   plan.link_outage("a", "b", 1_s, 2_s);
@@ -68,7 +68,7 @@ TEST_F(InjectorFixture, LinkDownDrainsQueuedPackets) {
   // Saturate the link so packets queue, then cut it: the queue must drain as
   // fault drops and the in-flight packet must not arrive.
   int delivered = 0;
-  network.set_local_sink(b, [&](const net::Packet&) { ++delivered; });
+  network.set_local_sink(b, [&](const net::PacketRef&) { ++delivered; });
   simulation.at(100_ms, [this]() {
     for (int i = 0; i < 20; ++i) network.send_unicast(packet());
   });
@@ -87,7 +87,7 @@ TEST_F(InjectorFixture, LinkDownDrainsQueuedPackets) {
 
 TEST_F(InjectorFixture, LossyWindowThinsTraffic) {
   int delivered = 0;
-  network.set_local_sink(b, [&](const net::Packet&) { ++delivered; });
+  network.set_local_sink(b, [&](const net::PacketRef&) { ++delivered; });
 
   FaultPlan plan;
   plan.link_lossy("a", "b", 0.5, Time::zero(), 10_s);
@@ -134,8 +134,8 @@ TEST_F(InjectorFixture, FlapFollowsGoldenTransitionTimeline) {
 TEST_F(InjectorFixture, SuggestionDropFilterDropsOnlySuggestions) {
   int data = 0;
   int suggestions = 0;
-  network.set_local_sink(b, [&](const net::Packet& p) {
-    if (p.kind == net::PacketKind::kSuggestion) {
+  network.set_local_sink(b, [&](const net::PacketRef& p) {
+    if (p->kind == net::PacketKind::kSuggestion) {
       ++suggestions;
     } else {
       ++data;

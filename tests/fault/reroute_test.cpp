@@ -62,7 +62,7 @@ TEST_F(DiamondFixture, MulticastRegraftsOntoSurvivingPathAndBackAfterRepair) {
   injector.start();
 
   int delivered = 0;
-  network.set_local_sink(d, [&](const net::Packet&) { ++delivered; });
+  network.set_local_sink(d, [&](const net::PacketRef&) { ++delivered; });
   auto send = [this, g]() {
     net::Packet p;
     p.kind = net::PacketKind::kData;
@@ -112,7 +112,7 @@ TEST_F(DiamondFixture, PartitionedMemberIsPrunedUntilRepair) {
   injector.start();
 
   int delivered = 0;
-  network.set_local_sink(d, [&](const net::Packet&) { ++delivered; });
+  network.set_local_sink(d, [&](const net::PacketRef&) { ++delivered; });
   auto send = [this, g]() {
     net::Packet p;
     p.kind = net::PacketKind::kData;

@@ -74,8 +74,8 @@ TEST_F(McastFixture, PacketsReachAllMembers) {
   router.join(b, g);
   int at_a = 0;
   int at_b = 0;
-  network.set_local_sink(a, [&](const net::Packet&) { ++at_a; });
-  network.set_local_sink(b, [&](const net::Packet&) { ++at_b; });
+  network.set_local_sink(a, [&](const net::PacketRef&) { ++at_a; });
+  network.set_local_sink(b, [&](const net::PacketRef&) { ++at_b; });
   network.send_multicast(packet(g));
   simulation.run_until(1_s);
   EXPECT_EQ(at_a, 1);
@@ -86,7 +86,7 @@ TEST_F(McastFixture, NonMembersGetNothing) {
   const net::GroupAddr g{0, 1};
   router.join(a, g);
   int at_b = 0;
-  network.set_local_sink(b, [&](const net::Packet&) { ++at_b; });
+  network.set_local_sink(b, [&](const net::PacketRef&) { ++at_b; });
   network.send_multicast(packet(g));
   simulation.run_until(1_s);
   EXPECT_EQ(at_b, 0);
@@ -165,7 +165,7 @@ TEST_F(McastFixture, SourceAsMemberDeliversLocally) {
   const net::GroupAddr g{0, 1};
   router.join(src, g);
   int at_src = 0;
-  network.set_local_sink(src, [&](const net::Packet&) { ++at_src; });
+  network.set_local_sink(src, [&](const net::PacketRef&) { ++at_src; });
   network.send_multicast(packet(g));
   simulation.run_until(1_s);
   EXPECT_EQ(at_src, 1);

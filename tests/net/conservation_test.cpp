@@ -45,8 +45,8 @@ TEST_P(ConservationProperty, LinkCountersBalance) {
 
   std::uint64_t received_a = 0;
   std::uint64_t received_b = 0;
-  network.set_local_sink(a, [&](const Packet&) { ++received_a; });
-  network.set_local_sink(b, [&](const Packet&) { ++received_b; });
+  network.set_local_sink(a, [&](const PacketRef&) { ++received_a; });
+  network.set_local_sink(b, [&](const PacketRef&) { ++received_b; });
 
   source.start();
   simulation.run_until(60_s);
@@ -97,7 +97,7 @@ TEST_P(ConservationProperty, PerGroupBytesSumToTotal) {
 
   const LinkStats& stats = network.link(link).stats();
   std::uint64_t by_group = 0;
-  for (const auto& [group, bytes] : stats.delivered_bytes_by_group) by_group += bytes;
+  for (const std::uint64_t bytes : stats.delivered_bytes_by_group) by_group += bytes;
   EXPECT_EQ(by_group, stats.delivered_bytes);
 }
 

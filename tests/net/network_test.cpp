@@ -60,7 +60,7 @@ TEST_F(NetworkFixture, UnicastTraversesMultipleHops) {
   network.compute_routes();
 
   int got = 0;
-  network.set_local_sink(b, [&](const Packet&) { ++got; });
+  network.set_local_sink(b, [&](const PacketRef&) { ++got; });
   Packet p;
   p.kind = PacketKind::kReport;
   p.size_bytes = 64;
@@ -77,7 +77,7 @@ TEST_F(NetworkFixture, LocalDeliveryWhenSrcEqualsDst) {
   const NodeId a = network.add_node();
   network.compute_routes();
   int got = 0;
-  network.set_local_sink(a, [&](const Packet&) { ++got; });
+  network.set_local_sink(a, [&](const PacketRef&) { ++got; });
   Packet p;
   p.src = a;
   p.dst = a;

@@ -21,8 +21,8 @@ struct CrossTrafficFixture : ::testing::Test {
   CrossTrafficFixture() {
     network.add_duplex_link(a, b, 10e6, 10_ms, 200);
     network.compute_routes();
-    network.set_local_sink(b, [this](const net::Packet& p) {
-      received_bytes += p.size_bytes;
+    network.set_local_sink(b, [this](const net::PacketRef& p) {
+      received_bytes += p->size_bytes;
       ++received_packets;
     });
   }

@@ -40,9 +40,9 @@ struct SourceFixture : ::testing::Test {
     forwarder.link = link;
     forwarder.origin = src;
     network.set_multicast_forwarder(&forwarder);
-    network.set_local_sink(dst, [this](const net::Packet& p) {
-      ++received[p.group.layer];
-      max_seq[p.group.layer] = std::max(max_seq[p.group.layer], p.seq);
+    network.set_local_sink(dst, [this](const net::PacketRef& p) {
+      ++received[p->group.layer];
+      max_seq[p->group.layer] = std::max(max_seq[p->group.layer], p->seq);
     });
   }
 
@@ -91,9 +91,9 @@ TEST_F(SourceFixture, VbrIsBurstierThanCbr) {
   LayeredSource source{simulation, network, config(TrafficModel::kVbr, 3.0)};
   source.start();
   std::map<std::int64_t, int> per_second;
-  network.set_local_sink(dst, [&](const net::Packet& p) {
-    if (p.group.layer == 1) {
-      ++per_second[p.sent_at.as_nanoseconds() / 1'000'000'000];
+  network.set_local_sink(dst, [&](const net::PacketRef& p) {
+    if (p->group.layer == 1) {
+      ++per_second[p->sent_at.as_nanoseconds() / 1'000'000'000];
     }
   });
   simulation.run_until(300_s);
@@ -135,7 +135,7 @@ TEST_F(SourceFixture, DeterministicAcrossRuns) {
     f.origin = s;
     local_net.set_multicast_forwarder(&f);
     int count = 0;
-    local_net.set_local_sink(d, [&](const net::Packet&) { ++count; });
+    local_net.set_local_sink(d, [&](const net::PacketRef&) { ++count; });
     LayeredSource::Config cfg;
     cfg.session = 0;
     cfg.node = s;

@@ -30,8 +30,8 @@ struct EndpointFixture : ::testing::Test {
 
   EndpointFixture() {
     mcast.set_session_source(0, src);
-    demuxes.at(src).add_handler(net::PacketKind::kReport, [this](const net::Packet& p) {
-      const auto* r = dynamic_cast<const ReceiverReport*>(p.control.get());
+    demuxes.at(src).add_handler(net::PacketKind::kReport, [this](const net::PacketRef& p) {
+      const auto* r = dynamic_cast<const ReceiverReport*>(p->control.get());
       if (r != nullptr) reports_at_src.push_back(*r);
     });
   }

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_e2e.json against the committed baseline.
+
+Usage: check_perf_baseline.py CANDIDATE BASELINE [THRESHOLD]
+
+Fails (exit 1) when either:
+  * the candidate's events_per_sec is below baseline/THRESHOLD (default 2.0
+    — generous on purpose: CI runners are noisy and differ from the machine
+    that recorded the baseline, so this gates algorithmic regressions, not
+    percent-level drift), or
+  * the fingerprint differs. The fingerprint is machine-independent, so it
+    is compared exactly; an intentional behaviour change must re-record the
+    baseline (see docs/benchmarking.md).
+
+Both files must agree on "quick" mode — quick and full workloads are never
+comparable.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        candidate = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+    threshold = float(sys.argv[3]) if len(sys.argv) == 4 else 2.0
+
+    failures = []
+    if candidate.get("quick") != baseline.get("quick"):
+        failures.append(
+            f"mode mismatch: candidate quick={candidate.get('quick')} "
+            f"vs baseline quick={baseline.get('quick')}"
+        )
+    if candidate.get("fingerprint") != baseline.get("fingerprint"):
+        failures.append(
+            f"fingerprint changed: {candidate.get('fingerprint')} "
+            f"vs baseline {baseline.get('fingerprint')} — behaviour changed; "
+            "if intentional, re-record bench/baselines/e2e_quick_baseline.json"
+        )
+    base_eps = float(baseline["events_per_sec"])
+    cand_eps = float(candidate["events_per_sec"])
+    floor = base_eps / threshold
+    if cand_eps < floor:
+        failures.append(
+            f"throughput regression: {cand_eps:.0f} events/s is below "
+            f"{floor:.0f} (baseline {base_eps:.0f} / threshold {threshold:g})"
+        )
+
+    print(
+        f"perf smoke: {cand_eps / 1e6:.2f}M events/s "
+        f"(baseline {base_eps / 1e6:.2f}M, floor {floor / 1e6:.2f}M), "
+        f"fingerprint {candidate.get('fingerprint')}"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
