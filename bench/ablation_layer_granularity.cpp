@@ -37,7 +37,7 @@ int main() {
     config.model = traffic::TrafficModel::kCbr;
     config.duration = bench::run_duration();
     config.params.layers.num_layers = enc.num_layers;
-    config.params.layers.base_rate_bps = enc.base_bps;
+    config.params.layers.base_rate = tsim::units::BitsPerSec{enc.base_bps};
     config.params.layers.layer_growth = enc.growth;
 
     auto scenario = scenarios::ScenarioBuilder(config).topology_a(scenarios::TopologyAOptions{}).build();

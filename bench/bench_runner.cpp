@@ -105,7 +105,7 @@ core::SessionInput fat_tree(int receivers) {
     rcv.node = static_cast<net::NodeId>(1000 + i);
     rcv.parent = static_cast<net::NodeId>(10 + (i % 16));
     rcv.is_receiver = true;
-    rcv.bytes_received = 28'000;
+    rcv.bytes_received = tsim::units::Bytes{28'000};
     rcv.subscription = 3;
     s.nodes.push_back(rcv);
   }
@@ -145,7 +145,8 @@ KernelCase run_kernel_case(int receivers, int intervals,
     for (core::SessionNodeInput& n : input.sessions[0].nodes) {
       if (!n.is_receiver) continue;
       // ~1/7 of receivers congested each interval, drifting deterministically.
-      n.loss_rate = loss_rng.bernoulli(1.0 / 7.0) ? loss_rng.uniform(0.03, 0.15) : 0.0;
+      n.loss_rate = tsim::units::LossFraction{
+          loss_rng.bernoulli(1.0 / 7.0) ? loss_rng.uniform(0.03, 0.15) : 0.0};
     }
     const core::AlgorithmOutput out = algo.run_interval(input, now);
     if (out.prescriptions.empty()) std::abort();  // keep the optimizer honest
@@ -499,7 +500,7 @@ StarRun run_star_once(int receivers, Time duration, std::uint64_t seed) {
   links.reserve(static_cast<std::size_t>(receivers));
   for (int i = 0; i < receivers; ++i) {
     const net::NodeId rcv = network.add_node();
-    links.push_back(network.add_link(src, rcv, 10e6, Time::milliseconds(5), 64));
+    links.push_back(network.add_link(src, rcv, tsim::units::BitsPerSec{10e6}, Time::milliseconds(5), 64));
   }
   network.compute_routes();
 

@@ -41,7 +41,7 @@ int main() {
     Sample s{};
     for (int k = 0; k < 4; ++k) {
       s.sub[k] = endpoints[k]->subscription();
-      s.loss[k] = endpoints[k]->last_completed_window().loss_rate();
+      s.loss[k] = endpoints[k]->last_completed_window().loss_rate().value();
     }
     trace.push_back(s);
     scenario->simulation().after(Time::seconds(1), sample);

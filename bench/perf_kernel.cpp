@@ -81,8 +81,8 @@ core::AlgorithmInput fat_tree_input(int receivers) {
     rcv.node = static_cast<net::NodeId>(1000 + i);
     rcv.parent = static_cast<net::NodeId>(10 + (i % 16));
     rcv.is_receiver = true;
-    rcv.loss_rate = (i % 7 == 0) ? 0.1 : 0.0;
-    rcv.bytes_received = 28'000;
+    rcv.loss_rate = tsim::units::LossFraction{(i % 7 == 0) ? 0.1 : 0.0};
+    rcv.bytes_received = tsim::units::Bytes{28'000};
     rcv.subscription = 3;
     s.nodes.push_back(rcv);
   }

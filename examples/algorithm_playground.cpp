@@ -22,8 +22,8 @@ core::SessionNodeInput receiver(net::NodeId id, net::NodeId parent, double loss,
                                 std::uint64_t bytes, int sub) {
   core::SessionNodeInput n = router(id, parent);
   n.is_receiver = true;
-  n.loss_rate = loss;
-  n.bytes_received = bytes;
+  n.loss_rate = tsim::units::LossFraction{loss};
+  n.bytes_received = tsim::units::Bytes{bytes};
   n.subscription = sub;
   return n;
 }
@@ -48,9 +48,9 @@ int main() {
   for (int interval = 1; interval <= 15; ++interval) {
     // Crude plant model: the subtree under router 2 holds 96 Kbps (2 layers);
     // subscriptions above that suffer loss proportional to the overreach.
-    const double cap2 = params.layers.cumulative_rate_bps(2);
+    const double cap2 = params.layers.cumulative_rate(2).bps();
     auto plant = [&](int sub) {
-      const double want = params.layers.cumulative_rate_bps(sub);
+      const double want = params.layers.cumulative_rate(sub).bps();
       const double loss = want > cap2 ? (want - cap2) / want : 0.0;
       const auto bytes =
           static_cast<std::uint64_t>(std::min(want, cap2) / 8.0 * params.interval.as_seconds());
@@ -59,7 +59,7 @@ int main() {
     const auto [loss3, bytes3] = plant(sub3);
     const auto [loss4, bytes4] = plant(sub4);
     const auto bytes6 = static_cast<std::uint64_t>(
-        params.layers.cumulative_rate_bps(sub6) / 8.0 * params.interval.as_seconds());
+        params.layers.cumulative_rate(sub6).bps() / 8.0 * params.interval.as_seconds());
 
     core::AlgorithmInput in;
     in.window = params.interval;

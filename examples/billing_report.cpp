@@ -40,11 +40,11 @@ int main() {
     const auto& r = scenario->results()[i];
     const auto account = ledger.account(r.session, r.node);
     std::printf("%-10s %10u %14.2f %14.3f %9.2f$\n", r.name.c_str(), account.reports,
-                static_cast<double>(account.bytes) / 1e6, account.layer_seconds / 3600.0,
+                static_cast<double>(account.bytes.count()) / 1e6, account.layer_seconds / 3600.0,
                 account.charge(kPerMegabyte, kPerLayerHour));
   }
   std::printf("\ntotal delivered (billed) volume: %.2f MB\n",
-              static_cast<double>(ledger.total_bytes()) / 1e6);
+              static_cast<double>(ledger.total_bytes().count()) / 1e6);
   std::printf("note: set1/1 and set2/1 left at t=150 s — their accounts froze there.\n");
   return 0;
 }

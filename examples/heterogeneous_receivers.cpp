@@ -33,7 +33,7 @@ int main() {
   // Tiers: source -> national -> regional x3 -> receivers.
   const auto source = network.add_node("source");
   const auto national = network.add_node("national");
-  network.add_duplex_link(source, national, 45e6, Time::milliseconds(50), 50);
+  network.add_duplex_link(source, national, tsim::units::BitsPerSec{45e6}, Time::milliseconds(50), 50);
 
   struct Tier {
     const char* name;
@@ -66,10 +66,10 @@ int main() {
 
   for (const Tier& tier : tiers) {
     const auto hub = network.add_node(std::string{tier.name} + "_hub");
-    network.add_duplex_link(national, hub, tier.bps, Time::milliseconds(100), 30);
+    network.add_duplex_link(national, hub, tsim::units::BitsPerSec{tier.bps}, Time::milliseconds(100), 30);
     for (int i = 0; i < tier.receivers; ++i) {
       const auto rcv = network.add_node(std::string{tier.name} + std::to_string(i));
-      network.add_duplex_link(hub, rcv, 10e6, Time::milliseconds(20), 30);
+      network.add_duplex_link(hub, rcv, tsim::units::BitsPerSec{10e6}, Time::milliseconds(20), 30);
 
       transport::ReceiverEndpoint::Config ecfg;
       ecfg.node = rcv;
@@ -82,7 +82,7 @@ int main() {
           simulation, *endpoints.back(), control::ReceiverAgent::Config{}));
       controller.register_receiver(0, rcv);
       names.push_back(std::string{tier.name} + std::to_string(i));
-      optima.push_back(ccfg.params.layers.max_layers_for_bandwidth(tier.bps));
+      optima.push_back(ccfg.params.layers.max_layers_for_bandwidth(tsim::units::BitsPerSec{tier.bps}));
     }
   }
 
@@ -99,7 +99,7 @@ int main() {
 
   for (std::size_t i = 0; i < endpoints.size(); ++i) {
     std::printf("%-12s %8d %8d %9.2f%%\n", names[i].c_str(), optima[i],
-                endpoints[i]->subscription(), 100.0 * endpoints[i]->lifetime_loss_rate());
+                endpoints[i]->subscription(), 100.0 * endpoints[i]->lifetime_loss_rate().value());
   }
   std::printf(
       "\nNote how each tier settles near its own bottleneck's optimum —\n"

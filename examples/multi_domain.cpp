@@ -31,7 +31,7 @@ int main() {
 
   const auto source = network.add_node("source");
   const auto core = network.add_node("core");
-  network.add_duplex_link(source, core, 45e6, Time::milliseconds(50), 100);
+  network.add_duplex_link(source, core, tsim::units::BitsPerSec{45e6}, Time::milliseconds(50), 100);
 
   struct Domain {
     net::NodeId router{};
@@ -58,11 +58,11 @@ int main() {
   for (int d = 0; d < 2; ++d) {
     Domain& domain = domains[d];
     domain.router = network.add_node("d" + std::to_string(d + 1));
-    network.add_duplex_link(core, domain.router, domain_bps[d], Time::milliseconds(100), 50);
-    domain.optimal = params.layers.max_layers_for_bandwidth(domain_bps[d]);
+    network.add_duplex_link(core, domain.router, tsim::units::BitsPerSec{domain_bps[d]}, Time::milliseconds(100), 50);
+    domain.optimal = params.layers.max_layers_for_bandwidth(tsim::units::BitsPerSec{domain_bps[d]});
     for (int i = 0; i < 2; ++i) {
       const auto rcv = network.add_node("d" + std::to_string(d + 1) + "_r" + std::to_string(i));
-      network.add_duplex_link(domain.router, rcv, 10e6, Time::milliseconds(20), 50);
+      network.add_duplex_link(domain.router, rcv, tsim::units::BitsPerSec{10e6}, Time::milliseconds(20), 50);
       domain.receivers.push_back(rcv);
     }
   }

@@ -39,12 +39,12 @@ int main() {
     std::vector<double> row;
     for (int k = 0; k < 3; ++k) row.push_back(endpoints[k]->subscription());
     for (int k = 0; k < 3; ++k) {
-      row.push_back(endpoints[k]->last_completed_window().loss_rate());
+      row.push_back(endpoints[k]->last_completed_window().loss_rate().value());
     }
     row.push_back(monitor.samples().empty()
                       ? 0.0
-                      : monitor.samples().back().throughput_bps /
-                            scenario->network().link(0).bandwidth_bps());
+                      : monitor.samples().back().throughput /
+                            scenario->network().link(0).bandwidth());
     trace.add_row(scenario->simulation().now(), row);
     scenario->simulation().after(Time::seconds(1), sample);
   };

@@ -27,7 +27,7 @@ void ReceiverDrivenController::start() {
 void ReceiverDrivenController::tick() {
   const sim::Time now = simulation_.now();
   const auto& window = endpoint_.last_completed_window();
-  const double loss = window.loss_rate();
+  const double loss = window.loss_rate().value();
   const int sub = endpoint_.subscription();
 
   if (loss > config_.drop_loss) {

@@ -161,15 +161,15 @@ void InvariantAuditor::check_links() {
                            std::to_string(in_transmitter)});
     }
 
-    const std::uint64_t bytes_out =
+    const units::Bytes bytes_out =
         s.delivered_bytes + s.dropped_bytes + link.queued_bytes() + link.transmitting_bytes();
     if (s.enqueued_bytes != bytes_out) {
       report(Violation{"link.byte_conservation", now(), epoch(), link.from(), id,
-                       "enqueued " + std::to_string(s.enqueued_bytes) + "B != delivered " +
-                           std::to_string(s.delivered_bytes) + "B + dropped " +
-                           std::to_string(s.dropped_bytes) + "B + queued " +
-                           std::to_string(link.queued_bytes()) + "B + in-flight " +
-                           std::to_string(link.transmitting_bytes()) + "B"});
+                       "enqueued " + std::to_string(s.enqueued_bytes.count()) + "B != delivered " +
+                           std::to_string(s.delivered_bytes.count()) + "B + dropped " +
+                           std::to_string(s.dropped_bytes.count()) + "B + queued " +
+                           std::to_string(link.queued_bytes().count()) + "B + in-flight " +
+                           std::to_string(link.transmitting_bytes().count()) + "B"});
     }
   }
 }
@@ -327,7 +327,7 @@ void InvariantAuditor::on_algorithm_output(const core::AlgorithmInput& input,
                                            const core::TopoSense& algorithm) {
   if (!enabled()) return;
   (void)input;
-  const double base_rate = algorithm.params().layers.base_rate_bps;
+  const double base_rate = algorithm.params().layers.base_rate.bps();
   const int num_layers = algorithm.params().layers.num_layers;
   const sim::Time t = now();
   const std::uint64_t ep = epoch();
@@ -403,15 +403,15 @@ void InvariantAuditor::on_algorithm_output(const core::AlgorithmInput& input,
       }
       if (nd.parent == net::kInvalidNode) continue;
 
-      if (std::isfinite(nd.share_bps)) {
+      if (std::isfinite(nd.share.bps())) {
         if (scratch_.child_stamp[nd.node] != pass_stamp) {
           scratch_.child_stamp[nd.node] = pass_stamp;
           scratch_.child_parent[nd.node] = nd.parent;
-          scratch_.child_sum[nd.node] = nd.share_bps;
+          scratch_.child_sum[nd.node] = nd.share.bps();
           scratch_.child_sessions[nd.node] = 1;
           scratch_.touched_children.push_back(nd.node);
         } else if (scratch_.child_parent[nd.node] == nd.parent) {
-          scratch_.child_sum[nd.node] += nd.share_bps;
+          scratch_.child_sum[nd.node] += nd.share.bps();
           scratch_.child_sessions[nd.node] += 1;
         } else {
           // Same child under a different parent in another session's tree:
@@ -421,13 +421,13 @@ void InvariantAuditor::on_algorithm_output(const core::AlgorithmInput& input,
           bool found = false;
           for (PassScratch::Spill& s : scratch_.spill) {
             if (s.key == key) {
-              s.sum += nd.share_bps;
+              s.sum += nd.share.bps();
               s.sessions += 1;
               found = true;
               break;
             }
           }
-          if (!found) scratch_.spill.push_back({key, nd.share_bps, 1});
+          if (!found) scratch_.spill.push_back({key, nd.share.bps(), 1});
         }
       }
 
@@ -438,17 +438,17 @@ void InvariantAuditor::on_algorithm_output(const core::AlgorithmInput& input,
         continue;
       }
       const core::NodeDiagnostics& pd = diag.nodes[scratch_.node_row[nd.parent]];
-      if (nd.bottleneck_bps > pd.bottleneck_bps * (1.0 + kRelTol)) {
+      if (nd.bottleneck > pd.bottleneck * (1.0 + kRelTol)) {
         report(Violation{"control.bottleneck_monotone", t, ep, nd.node, net::kInvalidLink,
-                         tag + ": bottleneck " + std::to_string(nd.bottleneck_bps) +
+                         tag + ": bottleneck " + std::to_string(nd.bottleneck.bps()) +
                              " bps exceeds parent " + std::to_string(nd.parent) + "'s " +
-                             std::to_string(pd.bottleneck_bps) + " bps"});
+                             std::to_string(pd.bottleneck.bps()) + " bps"});
       }
-      if (nd.share_bps > pd.share_bps * (1.0 + kRelTol)) {
+      if (nd.share > pd.share * (1.0 + kRelTol)) {
         report(Violation{"control.share_monotone", t, ep, nd.node, net::kInvalidLink,
-                         tag + ": fair share " + std::to_string(nd.share_bps) +
+                         tag + ": fair share " + std::to_string(nd.share.bps()) +
                              " bps exceeds parent " + std::to_string(nd.parent) + "'s " +
-                             std::to_string(pd.share_bps) + " bps"});
+                             std::to_string(pd.share.bps()) + " bps"});
       }
       if (nd.supply > std::max(pd.supply, 1)) {
         report(Violation{"control.layer_bounds", t, ep, nd.node, net::kInvalidLink,

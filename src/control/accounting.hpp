@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 #include "traffic/layer_spec.hpp"
@@ -19,7 +20,7 @@ namespace tsim::control {
 class AccountingLedger {
  public:
   struct Account {
-    std::uint64_t bytes{0};          ///< data bytes delivered
+    units::Bytes bytes{};            ///< data bytes delivered
     double layer_seconds{0.0};       ///< Σ subscription_level * window length
     std::uint32_t reports{0};        ///< reports folded in
     sim::Time first_activity{};
@@ -27,7 +28,7 @@ class AccountingLedger {
 
     /// Two-part tariff: volume (per MB delivered) + quality (per layer-hour).
     [[nodiscard]] double charge(double per_megabyte, double per_layer_hour) const {
-      return static_cast<double>(bytes) / 1e6 * per_megabyte +
+      return static_cast<double>(bytes.count()) / 1e6 * per_megabyte +
              layer_seconds / 3600.0 * per_layer_hour;
     }
   };
@@ -42,11 +43,11 @@ class AccountingLedger {
   [[nodiscard]] std::vector<std::pair<std::pair<net::SessionId, net::NodeId>, Account>>
   accounts() const;
 
-  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] units::Bytes total_bytes() const { return total_bytes_; }
 
  private:
   std::map<std::pair<net::SessionId, net::NodeId>, Account> accounts_;
-  std::uint64_t total_bytes_{0};
+  units::Bytes total_bytes_{};
 };
 
 }  // namespace tsim::control

@@ -69,9 +69,9 @@ ControllerAgent::ReportAggregate ControllerAgent::aggregate_reports(
   // previous one stands in) — reports ride the data path and arrive a few
   // hundred ms late, so exact alignment can never be assumed.
   const sim::Time oldest_usable = window_end - config_.params.interval * 3;
-  std::uint64_t bytes = 0;
-  std::uint64_t received = 0;
-  std::uint64_t lost = 0;
+  units::Bytes bytes{};
+  units::PacketCount received{};
+  units::PacketCount lost{};
   sim::Time span_end{};
   sim::Time span_start{};
   for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
@@ -95,10 +95,9 @@ ControllerAgent::ReportAggregate ControllerAgent::aggregate_reports(
     // reporting cadence differs from the algorithm cadence.
     const double span_s = std::max((span_end - span_start).as_seconds(), 1e-9);
     const double scale = config_.params.interval.as_seconds() / span_s;
-    agg.bytes = static_cast<std::uint64_t>(static_cast<double>(bytes) * scale);
-    const std::uint64_t expected = received + lost;
-    agg.loss_rate =
-        expected == 0 ? 0.0 : static_cast<double>(lost) / static_cast<double>(expected);
+    agg.bytes = units::Bytes{
+        static_cast<std::uint64_t>(static_cast<double>(bytes.count()) * scale)};
+    agg.loss_rate = units::LossFraction::from_counts(lost, received + lost);
   }
   return agg;
 }

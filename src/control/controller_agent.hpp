@@ -81,8 +81,8 @@ class ControllerAgent {
   /// window (respecting staleness).
   struct ReportAggregate {
     bool valid{false};
-    double loss_rate{0.0};
-    std::uint64_t bytes{0};
+    units::LossFraction loss_rate{};
+    units::Bytes bytes{};
     int subscription{1};
   };
   [[nodiscard]] ReportAggregate aggregate_reports(net::SessionId session, net::NodeId receiver,

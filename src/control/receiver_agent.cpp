@@ -42,12 +42,13 @@ void ReceiverAgent::check_silence() {
   if (endpoint_.active()) {
     note_gap(now);
     const auto& window = endpoint_.last_completed_window();
-    const double loss = window.loss_rate();
+    const double loss = window.loss_rate().value();
     // Total silence on the data plane is invisible to sequence-gap loss
     // detection (no packets, no gaps), so a subscribed-but-starved receiver
     // must be treated like a catastrophic-loss one: the path is likely down.
-    const bool starved = endpoint_.subscription() > 0 && window.received_packets == 0 &&
-                         window.lost_packets == 0;
+    const bool starved = endpoint_.subscription() > 0 &&
+                         window.received_packets == units::PacketCount::zero() &&
+                         window.lost_packets == units::PacketCount::zero();
     const sim::Time horizon = silence_horizon();
     const sim::Time emergency =
         std::min(horizon, std::max(config_.emergency_timeout, config_.check_period));
@@ -65,7 +66,8 @@ void ReceiverAgent::check_silence() {
           unilateral_hook_(UnilateralAction{false, loss, starved, endpoint_.subscription()});
         }
       } else if (config_.enable_unilateral_add && !starved &&
-                 loss < config_.unilateral_add_loss && window.received_packets > 0 &&
+                 loss < config_.unilateral_add_loss &&
+                 window.received_packets > units::PacketCount::zero() &&
                  endpoint_.subscription() <
                      static_cast<int>(endpoint_.config().layers.num_layers) &&
                  now - last_unilateral_add_ >= config_.add_holdoff) {

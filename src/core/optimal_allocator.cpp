@@ -8,8 +8,8 @@
 namespace tsim::core {
 
 OptimalAllocator::OptimalAllocator(traffic::LayerSpec layers,
-                                   std::unordered_map<LinkKey, double> capacity_bps)
-    : layers_{layers}, capacity_bps_{std::move(capacity_bps)} {}
+                                   std::unordered_map<LinkKey, units::BitsPerSec> capacities)
+    : layers_{layers}, capacities_{std::move(capacities)} {}
 
 std::vector<OptimalAllocator::ReceiverRef> OptimalAllocator::receivers_of(
     const std::vector<SessionInput>& sessions) const {
@@ -22,12 +22,13 @@ std::vector<OptimalAllocator::ReceiverRef> OptimalAllocator::receivers_of(
   return refs;
 }
 
-double OptimalAllocator::link_usage(const std::vector<SessionInput>& sessions,
-                                    const std::vector<int>& levels, LinkKey link) const {
+units::BitsPerSec OptimalAllocator::link_usage(const std::vector<SessionInput>& sessions,
+                                               const std::vector<int>& levels,
+                                               LinkKey link) const {
   // A session's traffic on a tree link is the cumulative rate of the highest
   // level subscribed by any receiver below the link's child endpoint.
   const auto refs = receivers_of(sessions);
-  double usage = 0.0;
+  units::BitsPerSec usage = units::BitsPerSec::zero();
   for (std::size_t s = 0; s < sessions.size(); ++s) {
     const TreeIndex tree{sessions[s]};
     const int child = tree.index_of(link.to);
@@ -50,7 +51,7 @@ double OptimalAllocator::link_usage(const std::vector<SessionInput>& sessions,
       }
       if (below) max_level = std::max(max_level, levels[r]);
     }
-    usage += layers_.cumulative_rate_bps(max_level);
+    usage += layers_.cumulative_rate(max_level);
   }
   return usage;
 }
@@ -59,7 +60,7 @@ bool OptimalAllocator::feasible(const std::vector<SessionInput>& sessions,
                                 const std::vector<int>& levels) const {
   // Order-free conjunction: the result is "every link fits", independent of
   // which infeasible link is met first.
-  for (const auto& [link, capacity] : capacity_bps_) {  // NOLINT-determinism(order-free)
+  for (const auto& [link, capacity] : capacities_) {  // NOLINT-determinism(order-free)
     if (link_usage(sessions, levels, link) > capacity) return false;
   }
   return true;
@@ -101,10 +102,11 @@ std::vector<Prescription> OptimalAllocator::allocate(
       if (p < 0) break;
       const LinkKey key{tree.node(static_cast<std::size_t>(p)).node,
                         tree.node(static_cast<std::size_t>(i)).node};
-      if (const auto cap = capacity_bps_.find(key); cap != capacity_bps_.end()) {
+      if (const auto cap = capacities_.find(key); cap != capacities_.end()) {
         const auto [it, inserted] = link_index.try_emplace(key, links.size());
         if (inserted) {
-          links.push_back(TrackedLink{cap->second, 0.0, std::vector<int>(sessions.size(), 0)});
+          links.push_back(
+              TrackedLink{cap->second.bps(), 0.0, std::vector<int>(sessions.size(), 0)});
         }
         paths[r].push_back(it->second);
       }
@@ -130,8 +132,8 @@ std::vector<Prescription> OptimalAllocator::allocate(
     for (const std::size_t li : paths[r]) {
       const TrackedLink& link = links[li];
       if (next <= link.session_max[si]) continue;  // this link's max is elsewhere
-      const double usage = link.usage - layers_.cumulative_rate_bps(link.session_max[si]) +
-                           layers_.cumulative_rate_bps(next);
+      const double usage = link.usage - layers_.cumulative_rate(link.session_max[si]).bps() +
+                           layers_.cumulative_rate(next).bps();
       if (usage > link.capacity) {
         ok = false;
         break;
@@ -145,8 +147,8 @@ std::vector<Prescription> OptimalAllocator::allocate(
     for (const std::size_t li : paths[r]) {
       TrackedLink& link = links[li];
       if (next <= link.session_max[si]) continue;
-      link.usage += layers_.cumulative_rate_bps(next) -
-                    layers_.cumulative_rate_bps(link.session_max[si]);
+      link.usage += layers_.cumulative_rate(next).bps() -
+                    layers_.cumulative_rate(link.session_max[si]).bps();
       link.session_max[si] = next;
     }
   }

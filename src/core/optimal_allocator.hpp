@@ -23,7 +23,7 @@ namespace tsim::core {
 class OptimalAllocator {
  public:
   OptimalAllocator(traffic::LayerSpec layers,
-                   std::unordered_map<LinkKey, double> capacity_bps);
+                   std::unordered_map<LinkKey, units::BitsPerSec> capacities);
 
   /// Computes the allocation for the given session trees. Receivers start at
   /// level 0; any receiver that cannot even hold the base layer stays at 0.
@@ -35,9 +35,9 @@ class OptimalAllocator {
   [[nodiscard]] bool feasible(const std::vector<SessionInput>& sessions,
                               const std::vector<int>& levels) const;
 
-  /// Aggregate bits/s the allocation would place on `link`.
-  [[nodiscard]] double link_usage(const std::vector<SessionInput>& sessions,
-                                  const std::vector<int>& levels, LinkKey link) const;
+  /// Aggregate rate the allocation would place on `link`.
+  [[nodiscard]] units::BitsPerSec link_usage(const std::vector<SessionInput>& sessions,
+                                             const std::vector<int>& levels, LinkKey link) const;
 
  private:
   struct ReceiverRef {
@@ -48,7 +48,7 @@ class OptimalAllocator {
       const std::vector<SessionInput>& sessions) const;
 
   traffic::LayerSpec layers_;
-  std::unordered_map<LinkKey, double> capacity_bps_;
+  std::unordered_map<LinkKey, units::BitsPerSec> capacities_;
 };
 
 }  // namespace tsim::core

@@ -30,14 +30,14 @@ void label_congestion(LabeledTree& lt, const Params& params) {
     const std::size_t i = static_cast<std::size_t>(*it);
     const SessionNodeInput& n = tree.node(i);
     if (tree.is_leaf(i)) {
-      lt.loss[i] = n.is_receiver ? n.loss_rate : 0.0;
-      lt.max_subtree_bytes[i] = n.is_receiver ? n.bytes_received : 0;
-      lt.congested[i] = n.is_receiver && n.loss_rate > params.p_threshold;
+      lt.loss[i] = n.is_receiver ? n.loss_rate.value() : 0.0;
+      lt.max_subtree_bytes[i] = n.is_receiver ? n.bytes_received.count() : 0;
+      lt.congested[i] = n.is_receiver && n.loss_rate.value() > params.p_threshold;
       continue;
     }
     double min_loss = kInf;
     double sum_loss = 0.0;
-    std::uint64_t max_bytes = n.is_receiver ? n.bytes_received : 0;
+    std::uint64_t max_bytes = n.is_receiver ? n.bytes_received.count() : 0;
     std::size_t child_count = 0;
     std::size_t above_threshold = 0;
     for (const auto c : tree.children(i)) {
@@ -51,10 +51,10 @@ void label_congestion(LabeledTree& lt, const Params& params) {
     // A receiver can be co-located with an internal node; fold its own loss
     // in as one more "child" observation.
     if (n.is_receiver) {
-      min_loss = std::min(min_loss, n.loss_rate);
-      sum_loss += n.loss_rate;
+      min_loss = std::min(min_loss, n.loss_rate.value());
+      sum_loss += n.loss_rate.value();
       ++child_count;
-      if (n.loss_rate > params.p_threshold) ++above_threshold;
+      if (n.loss_rate.value() > params.p_threshold) ++above_threshold;
     }
     lt.loss[i] = min_loss;
     lt.max_subtree_bytes[i] = max_bytes;
@@ -66,7 +66,7 @@ void label_congestion(LabeledTree& lt, const Params& params) {
       const double mean = sum_loss / static_cast<double>(child_count);
       const double band = std::max(params.similar_band, params.similar_rel * mean);
       std::size_t similar =
-          n.is_receiver && std::abs(n.loss_rate - mean) <= band ? 1 : 0;
+          n.is_receiver && std::abs(n.loss_rate.value() - mean) <= band ? 1 : 0;
       for (const auto c : tree.children(i)) {
         if (std::abs(lt.loss[static_cast<std::size_t>(c)] - mean) <= band) {
           ++similar;
@@ -199,7 +199,7 @@ void compute_fair_shares(const std::vector<LabeledTree*>& trees,
     }
   }
 
-  const double base = params.layers.base_rate_bps;
+  const double base = params.layers.base_rate.bps();
 
   // Per session: top-down headroom if all other sessions sat at base layer,
   // then x at each leaf, then bottom-up max -> x_i per node (and so per link,
@@ -230,7 +230,8 @@ void compute_fair_shares(const std::vector<LabeledTree*>& trees,
       if (tree.node(i).is_receiver) {
         xi = ws.headroom[i] == kInf
                  ? static_cast<double>(params.layers.num_layers)
-                 : static_cast<double>(params.layers.max_layers_for_bandwidth(ws.headroom[i]));
+                 : static_cast<double>(
+                       params.layers.max_layers_for_bandwidth(units::BitsPerSec{ws.headroom[i]}));
       }
       for (const auto c : tree.children(i)) {
         xi = std::max(xi, ws.x[s][static_cast<std::size_t>(c)]);

@@ -13,17 +13,17 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 TopoSense::TopoSense(Params params, sim::Rng rng)
     : params_{params}, rng_{rng}, capacities_{params_} {}
 
-BwEquality TopoSense::classify_equality(std::uint64_t prev, std::uint64_t cur) const {
-  const double a = static_cast<double>(prev);
-  const double b = static_cast<double>(cur);
+BwEquality TopoSense::classify_equality(units::Bytes prev, units::Bytes cur) const {
+  const double a = static_cast<double>(prev.count());
+  const double b = static_cast<double>(cur.count());
   const double scale = std::max({a, b, 1.0});
   if (std::abs(a - b) <= params_.bw_equal_tolerance * scale) return BwEquality::kEqual;
   return a < b ? BwEquality::kLesser : BwEquality::kGreater;
 }
 
-int TopoSense::layers_for_bw(double bps) const {
-  if (bps == kInf) return params_.layers.num_layers;
-  return params_.layers.max_layers_for_bandwidth(bps);
+int TopoSense::layers_for_bw(units::BitsPerSec bw) const {
+  if (bw.bps() == kInf) return params_.layers.num_layers;
+  return params_.layers.max_layers_for_bandwidth(bw);
 }
 
 void TopoSense::set_backoff(net::SessionId session, net::NodeId node, int layer, sim::Time now) {
@@ -82,7 +82,7 @@ void TopoSense::compute_demands(LabeledTree& lt, const std::vector<NodeMemory*>&
 
   // Per-node current-window bytes (leaf: reported; internal: max of children),
   // needed before the memory shift so compute bottom-up alongside demand.
-  std::vector<std::uint64_t> bytes_now(tree.size(), 0);
+  std::vector<units::Bytes> bytes_now(tree.size(), units::Bytes::zero());
   // Actual subscribed level per node (leaf: reported subscription; internal:
   // max over children) — distinct from demand, which may include adds the
   // receivers have not applied yet.
@@ -94,7 +94,7 @@ void TopoSense::compute_demands(LabeledTree& lt, const std::vector<NodeMemory*>&
     const int p = tree.parent(i);
     const bool parent_congested = p >= 0 && lt.congested[static_cast<std::size_t>(p)];
 
-    std::uint64_t b_now = n.is_receiver ? n.bytes_received : 0;
+    units::Bytes b_now = n.is_receiver ? n.bytes_received : units::Bytes::zero();
     int agg = 0;
     int sub_agg = n.is_receiver ? std::max(n.subscription, 1) : 0;
     for (const auto c : tree.children(i)) {
@@ -108,7 +108,7 @@ void TopoSense::compute_demands(LabeledTree& lt, const std::vector<NodeMemory*>&
 
     NodeMemory& mem = *slots[i];
     mem.last_seen_interval = interval_count_;
-    const std::uint64_t b_prev = mem.bytes_cur;  // T0–T1 window
+    const units::Bytes b_prev = mem.bytes_cur;  // T0–T1 window
     const BwEquality eq = classify_equality(b_prev, b_now);
     const CongestionHistory hist = push_history(mem.hist, lt.congested[i]);
     mem.hist = hist;
@@ -147,8 +147,8 @@ void TopoSense::compute_demands(LabeledTree& lt, const std::vector<NodeMemory*>&
     }
     const int stable_level = mem.stable_level;
 
-    const double prev_supply_bps = static_cast<double>(b_prev) * 8.0 / window_s;
-    const double cur_supply_bps = static_cast<double>(b_now) * 8.0 / window_s;
+    const units::BitsPerSec prev_supply{b_prev.bits() / window_s};
+    const units::BitsPerSec cur_supply{b_now.bits() / window_s};
 
     int d = 0;
     if (tree.is_leaf(i)) {
@@ -168,7 +168,7 @@ void TopoSense::compute_demands(LabeledTree& lt, const std::vector<NodeMemory*>&
             // — e.g. a session knocked below its fair point by another
             // session's failed experiment may climb straight back.
             const int share_cap =
-                lt.share_bps[i] == kInf ? 0 : layers_for_bw(lt.share_bps[i]);
+                lt.share_bps[i] == kInf ? 0 : layers_for_bw(units::BitsPerSec{lt.share_bps[i]});
             const bool proven_safe = next <= share_cap || next <= stable_level;
             const bool blocked = !proven_safe && backoff_on_path(tree, i, next, now);
             // Pace blind probes to the feedback latency of the control loop;
@@ -194,10 +194,10 @@ void TopoSense::compute_demands(LabeledTree& lt, const std::vector<NodeMemory*>&
           case LeafAction::kMaintain:
             break;
           case LeafAction::kReduceToPrevSupply:
-            d = std::min(sub, std::max(1, layers_for_bw(prev_supply_bps)));
+            d = std::min(sub, std::max(1, layers_for_bw(prev_supply)));
             break;
           case LeafAction::kHalvePrevSupply:
-            d = std::min(sub, std::max(1, layers_for_bw(prev_supply_bps / 2.0)));
+            d = std::min(sub, std::max(1, layers_for_bw(prev_supply / 2.0)));
             if (d < sub) {
               maybe_backoff(tree.session(), n.node, std::max(sub, backoff_layer_floor),
                             stable_level, now);
@@ -205,7 +205,7 @@ void TopoSense::compute_demands(LabeledTree& lt, const std::vector<NodeMemory*>&
             break;
           case LeafAction::kHalveIfVeryHighLoss:
             if (lt.loss[i] > params_.very_high_loss) {
-              d = std::min(sub, std::max(1, layers_for_bw(prev_supply_bps / 2.0)));
+              d = std::min(sub, std::max(1, layers_for_bw(prev_supply / 2.0)));
             }
             break;
         }
@@ -224,7 +224,7 @@ void TopoSense::compute_demands(LabeledTree& lt, const std::vector<NodeMemory*>&
             d = std::min(agg, std::max(mem.last_demand, 1));
             break;
           case InternalAction::kHalveCurrentSupply: {
-            const int cap = std::max(1, layers_for_bw(cur_supply_bps / 2.0));
+            const int cap = std::max(1, layers_for_bw(cur_supply / 2.0));
             d = std::min(agg, cap);
             if (d < agg) {
               maybe_backoff(tree.session(), n.node, std::max(agg, backoff_layer_floor),
@@ -233,7 +233,7 @@ void TopoSense::compute_demands(LabeledTree& lt, const std::vector<NodeMemory*>&
             break;
           }
           case InternalAction::kHalvePrevSupply: {
-            const int cap = std::max(1, layers_for_bw(prev_supply_bps / 2.0));
+            const int cap = std::max(1, layers_for_bw(prev_supply / 2.0));
             d = std::min(agg, cap);
             if (d < agg) {
               maybe_backoff(tree.session(), n.node, std::max(agg, backoff_layer_floor),
@@ -268,8 +268,8 @@ void TopoSense::allocate_supply(const LabeledTree& lt, const std::vector<int>& d
     // The subtree may not subscribe past its fair share on shared links nor
     // past the best bottleneck of any receiver below (§III).
     int cap = params_.layers.num_layers;
-    cap = std::min(cap, layers_for_bw(lt.share_bps[i]));
-    cap = std::min(cap, layers_for_bw(lt.max_handle_bps[i]));
+    cap = std::min(cap, layers_for_bw(units::BitsPerSec{lt.share_bps[i]}));
+    cap = std::min(cap, layers_for_bw(units::BitsPerSec{lt.max_handle_bps[i]}));
     supply[i] = std::max(1, std::min({demand[i], supply[pi], cap}));
   }
 }
@@ -336,9 +336,9 @@ AlgorithmOutput TopoSense::run_interval(const AlgorithmInput& input, sim::Time n
       nd.parent = pi < 0 ? net::kInvalidNode : lt.tree.node(static_cast<std::size_t>(pi)).node;
       nd.is_receiver = n.is_receiver;
       nd.congested = lt.congested[i];
-      nd.loss_rate = lt.loss[i];
-      nd.bottleneck_bps = lt.bottleneck_bps[i];
-      nd.share_bps = lt.share_bps[i];
+      nd.loss_rate = units::LossFraction{lt.loss[i]};
+      nd.bottleneck = units::BitsPerSec{lt.bottleneck_bps[i]};
+      nd.share = units::BitsPerSec{lt.share_bps[i]};
       nd.demand = demand[i];
       nd.supply = supply[i];
       diag.nodes.push_back(nd);

@@ -39,8 +39,8 @@ class TopoSense {
  private:
   struct NodeMemory {
     CongestionHistory hist{0};
-    std::uint64_t bytes_prev{0};  ///< bytes in T0–T1 (older completed interval)
-    std::uint64_t bytes_cur{0};   ///< bytes in T1–T2 (latest completed interval)
+    units::Bytes bytes_prev{};  ///< bytes in T0–T1 (older completed interval)
+    units::Bytes bytes_cur{};   ///< bytes in T1–T2 (latest completed interval)
     int last_demand{1};
     /// Demand held when the current congestion episode started; backoffs are
     /// pinned to this layer (the probe that caused the episode), so the
@@ -64,8 +64,8 @@ class TopoSense {
     return (static_cast<std::uint64_t>(session) << 32) | node;
   }
 
-  [[nodiscard]] BwEquality classify_equality(std::uint64_t prev, std::uint64_t cur) const;
-  [[nodiscard]] int layers_for_bw(double bps) const;
+  [[nodiscard]] BwEquality classify_equality(units::Bytes prev, units::Bytes cur) const;
+  [[nodiscard]] int layers_for_bw(units::BitsPerSec bw) const;
   void set_backoff(net::SessionId session, net::NodeId node, int layer, sim::Time now);
   /// set_backoff guarded by the node's proven-stable level.
   void maybe_backoff(net::SessionId session, net::NodeId node, int layer, int stable_level,

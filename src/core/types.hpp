@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
@@ -16,8 +17,8 @@ struct SessionNodeInput {
   net::NodeId node{net::kInvalidNode};
   net::NodeId parent{net::kInvalidNode};
   bool is_receiver{false};
-  double loss_rate{0.0};            ///< receiver's loss over the last window
-  std::uint64_t bytes_received{0};  ///< receiver's bytes over the last window
+  units::LossFraction loss_rate{};  ///< receiver's loss over the last window
+  units::Bytes bytes_received{};    ///< receiver's bytes over the last window
   int subscription{0};              ///< receiver's current layer count
 };
 
@@ -48,9 +49,9 @@ struct NodeDiagnostics {
   net::NodeId parent{net::kInvalidNode};  ///< tree parent; kInvalidNode for the root
   bool is_receiver{false};
   bool congested{false};
-  double loss_rate{0.0};
-  double bottleneck_bps{0.0};  ///< min estimated capacity source -> node
-  double share_bps{0.0};       ///< fair share along the path source -> node
+  units::LossFraction loss_rate{};
+  units::BitsPerSec bottleneck{};  ///< min estimated capacity source -> node
+  units::BitsPerSec share{};       ///< fair share along the path source -> node
   int demand{0};
   int supply{0};
 };

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <compare>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+
+#include "sim/time.hpp"
+
+// Strongly-typed physical quantities for the simulator's public interfaces.
+//
+// The algorithm's correctness hinges on quantities the compiler could not
+// previously tell apart: bandwidths, byte counts, packet counts and loss
+// fractions all flowed as raw `double` / `std::uint64_t`, so a swapped
+// argument or a bits-vs-bytes slip compiled clean and only surfaced as a
+// wrong Table-I decision. These wrappers make such slips type errors:
+//
+//   - construction from the raw representation is `explicit` (and deleted
+//     for lossy cross-type conversions, e.g. Bytes from double);
+//   - arithmetic exists only where dimensionally sound (Bytes + Bytes is a
+//     Bytes; Bytes + BitsPerSec does not compile);
+//   - unit conversions are spelled as operations: Bytes / sim::Time is a
+//     BitsPerSec, BitsPerSec * sim::Time is a Bytes.
+//
+// The wrappers are representationally transparent: each holds exactly the
+// raw value the code stored before the migration and every conversion uses
+// the exact expression the call sites used, so simulation fingerprints are
+// bit-for-bit unchanged. The `raw-units` check of tools/lint/toposense_lint
+// enforces that new public-header members and parameters use these types
+// instead of raw `double *_bps` / `*_bytes` / `*_fraction` declarations.
+namespace tsim::units {
+
+class Bytes;
+
+/// A bandwidth or data rate in bits per second. Holds a double because the
+/// paper's capacity estimates are continuous (and +infinity is the estimator's
+/// "unknown" value).
+class BitsPerSec {
+ public:
+  constexpr BitsPerSec() = default;
+  explicit constexpr BitsPerSec(double bps) : bps_{bps} {}
+
+  [[nodiscard]] constexpr double bps() const { return bps_; }
+
+  [[nodiscard]] static constexpr BitsPerSec zero() { return BitsPerSec{0.0}; }
+  [[nodiscard]] static constexpr BitsPerSec infinite() {
+    return BitsPerSec{std::numeric_limits<double>::infinity()};
+  }
+  [[nodiscard]] constexpr bool finite() const {
+    return bps_ != std::numeric_limits<double>::infinity();
+  }
+
+  constexpr auto operator<=>(const BitsPerSec&) const = default;
+
+  constexpr BitsPerSec& operator+=(BitsPerSec rhs) {
+    bps_ += rhs.bps_;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr BitsPerSec operator+(BitsPerSec a, BitsPerSec b) {
+    return BitsPerSec{a.bps_ + b.bps_};
+  }
+  [[nodiscard]] friend constexpr BitsPerSec operator-(BitsPerSec a, BitsPerSec b) {
+    return BitsPerSec{a.bps_ - b.bps_};
+  }
+  /// Scaling by a dimensionless factor (layer growth, halving, inflation).
+  [[nodiscard]] friend constexpr BitsPerSec operator*(BitsPerSec a, double k) {
+    return BitsPerSec{a.bps_ * k};
+  }
+  [[nodiscard]] friend constexpr BitsPerSec operator*(double k, BitsPerSec a) {
+    return BitsPerSec{k * a.bps_};
+  }
+  [[nodiscard]] friend constexpr BitsPerSec operator/(BitsPerSec a, double k) {
+    return BitsPerSec{a.bps_ / k};
+  }
+  /// Ratio of two rates is dimensionless.
+  [[nodiscard]] friend constexpr double operator/(BitsPerSec a, BitsPerSec b) {
+    return a.bps_ / b.bps_;
+  }
+
+ private:
+  double bps_{0.0};
+};
+
+/// An exact byte count (payload sizes, per-window byte totals, link counters).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  template <std::integral T>
+  explicit constexpr Bytes(T count) : count_{static_cast<std::uint64_t>(count)} {}
+  /// Byte counts are exact; constructing one from a floating value would hide
+  /// a lossy conversion. Convert explicitly at the call site instead.
+  template <std::floating_point T>
+  explicit Bytes(T) = delete;
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return count_; }
+  [[nodiscard]] static constexpr Bytes zero() { return Bytes{0}; }
+
+  /// This many bytes as a (floating) number of bits — the exact expression
+  /// `static_cast<double>(bytes) * 8.0` the raw code used, so rate arithmetic
+  /// built on it is bit-identical.
+  [[nodiscard]] constexpr double bits() const { return static_cast<double>(count_) * 8.0; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes rhs) {
+    count_ += rhs.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes rhs) {
+    count_ -= rhs.count_;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.count_ + b.count_};
+  }
+  [[nodiscard]] friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes{a.count_ - b.count_};
+  }
+
+  /// Average rate of this many bytes over a window: Bytes / Time -> BitsPerSec.
+  [[nodiscard]] friend constexpr BitsPerSec operator/(Bytes b, sim::Time window) {
+    return BitsPerSec{b.bits() / window.as_seconds()};
+  }
+
+ private:
+  std::uint64_t count_{0};
+};
+
+/// Volume transferred at a rate over a duration: BitsPerSec * Time -> Bytes.
+/// Truncates to whole bytes, as the raw `static_cast<std::uint64_t>` did.
+[[nodiscard]] constexpr Bytes operator*(BitsPerSec rate, sim::Time duration) {
+  return Bytes{static_cast<std::uint64_t>(rate.bps() * duration.as_seconds() / 8.0)};
+}
+[[nodiscard]] constexpr Bytes operator*(sim::Time duration, BitsPerSec rate) {
+  return rate * duration;
+}
+
+/// An exact packet count (received/lost/expected tallies).
+class PacketCount {
+ public:
+  constexpr PacketCount() = default;
+  template <std::integral T>
+  explicit constexpr PacketCount(T count) : count_{static_cast<std::uint64_t>(count)} {}
+  template <std::floating_point T>
+  explicit PacketCount(T) = delete;
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return count_; }
+  [[nodiscard]] static constexpr PacketCount zero() { return PacketCount{0}; }
+
+  constexpr auto operator<=>(const PacketCount&) const = default;
+
+  constexpr PacketCount& operator++() {
+    ++count_;
+    return *this;
+  }
+  constexpr PacketCount& operator+=(PacketCount rhs) {
+    count_ += rhs.count_;
+    return *this;
+  }
+  constexpr PacketCount& operator-=(PacketCount rhs) {
+    count_ -= rhs.count_;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr PacketCount operator+(PacketCount a, PacketCount b) {
+    return PacketCount{a.count_ + b.count_};
+  }
+  [[nodiscard]] friend constexpr PacketCount operator-(PacketCount a, PacketCount b) {
+    return PacketCount{a.count_ - b.count_};
+  }
+
+ private:
+  std::uint64_t count_{0};
+};
+
+/// A loss fraction in [0, 1] (the paper's p). Plain comparisons exist (they
+/// are dimensionless thresholds); additive arithmetic does not — summing loss
+/// fractions across windows is almost always a bug (weight by packets first).
+class LossFraction {
+ public:
+  constexpr LossFraction() = default;
+  explicit constexpr LossFraction(double value) : value_{value} {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] static constexpr LossFraction zero() { return LossFraction{0.0}; }
+
+  /// lost / (received + lost), 0 when nothing was expected — the one formula
+  /// every report producer used, kept in one place.
+  [[nodiscard]] static constexpr LossFraction from_counts(PacketCount lost,
+                                                          PacketCount expected) {
+    return expected.count() == 0
+               ? LossFraction{0.0}
+               : LossFraction{static_cast<double>(lost.count()) /
+                              static_cast<double>(expected.count())};
+  }
+
+  constexpr auto operator<=>(const LossFraction&) const = default;
+
+ private:
+  double value_{0.0};
+};
+
+}  // namespace tsim::units

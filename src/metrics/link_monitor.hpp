@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/network.hpp"
 #include "sim/simulation.hpp"
 
@@ -14,7 +15,7 @@ class LinkMonitor {
  public:
   struct Sample {
     sim::Time at{};
-    double throughput_bps{0.0};
+    units::BitsPerSec throughput{};
     double drop_rate{0.0};       ///< dropped / enqueued in the period
     std::size_t queue_length{0};
   };
@@ -35,9 +36,9 @@ class LinkMonitor {
   /// Mean utilization (delivered / capacity) across all samples.
   [[nodiscard]] double mean_utilization() const {
     if (samples_.empty()) return 0.0;
-    double total = 0.0;
-    for (const Sample& s : samples_) total += s.throughput_bps;
-    return total / static_cast<double>(samples_.size()) / network_.link(link_).bandwidth_bps();
+    units::BitsPerSec total = units::BitsPerSec::zero();
+    for (const Sample& s : samples_) total += s.throughput;
+    return total / static_cast<double>(samples_.size()) / network_.link(link_).bandwidth();
   }
 
  private:
@@ -45,8 +46,7 @@ class LinkMonitor {
     const auto& stats = network_.link(link_).stats();
     Sample s;
     s.at = simulation_.now();
-    s.throughput_bps = static_cast<double>(stats.delivered_bytes - last_delivered_bytes_) *
-                       8.0 / period_.as_seconds();
+    s.throughput = (stats.delivered_bytes - last_delivered_bytes_) / period_;
     const auto enq = stats.enqueued_packets - last_enqueued_;
     const auto drop = stats.dropped_packets - last_dropped_;
     s.drop_rate = enq == 0 ? 0.0 : static_cast<double>(drop) / static_cast<double>(enq);
@@ -62,7 +62,7 @@ class LinkMonitor {
   net::Network& network_;
   net::LinkId link_;
   sim::Time period_;
-  std::uint64_t last_delivered_bytes_{0};
+  units::Bytes last_delivered_bytes_{};
   std::uint64_t last_enqueued_{0};
   std::uint64_t last_dropped_{0};
   std::vector<Sample> samples_;

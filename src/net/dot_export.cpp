@@ -46,7 +46,7 @@ std::string to_dot(const Network& network,
     const bool hot = highlighted.count({link.from(), link.to()}) != 0;
     std::snprintf(attrs, sizeof(attrs),
                   " [label=\"%s %.0fms\", fontsize=9%s];\n",
-                  bandwidth_label(link.bandwidth_bps()).c_str(),
+                  bandwidth_label(link.bandwidth().bps()).c_str(),
                   link.latency().as_milliseconds(),
                   hot ? ", color=red, penwidth=2" : "");
     out += "  n" + std::to_string(link.from()) + " -- n" + std::to_string(link.to()) + attrs;

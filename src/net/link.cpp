@@ -9,13 +9,13 @@
 namespace tsim::net {
 
 Link::Link(sim::Simulation& simulation, Network& network, LinkId id, NodeId from, NodeId to,
-           double bandwidth_bps, sim::Time latency, std::size_t queue_limit_packets)
+           units::BitsPerSec bandwidth, sim::Time latency, std::size_t queue_limit_packets)
     : simulation_{simulation},
       network_{network},
       id_{id},
       from_{from},
       to_{to},
-      bandwidth_bps_{bandwidth_bps},
+      bandwidth_{bandwidth},
       latency_{latency},
       queue_limit_{queue_limit_packets},
       red_rng_{simulation.rng_stream("link/" + std::to_string(id))},
@@ -41,10 +41,12 @@ std::uint32_t Link::group_stats_index(const Packet& packet) const {
   return network_.intern_group(packet.group);
 }
 
-std::uint64_t Link::delivered_bytes_for_group(GroupAddr group) const {
+units::Bytes Link::delivered_bytes_for_group(GroupAddr group) const {
   const std::uint32_t id = network_.find_group_id(group);
-  if (id == kInvalidGroupStatsId || id >= stats_.delivered_bytes_by_group.size()) return 0;
-  return stats_.delivered_bytes_by_group[id];
+  if (id == kInvalidGroupStatsId || id >= stats_.delivered_bytes_by_group.size()) {
+    return units::Bytes::zero();
+  }
+  return units::Bytes{stats_.delivered_bytes_by_group[id]};
 }
 
 std::uint64_t Link::dropped_packets_for_group(GroupAddr group) const {
@@ -55,7 +57,7 @@ std::uint64_t Link::dropped_packets_for_group(GroupAddr group) const {
 
 void Link::count_drop(const Packet& packet, bool fault) {
   ++stats_.dropped_packets;
-  stats_.dropped_bytes += packet.size_bytes;
+  stats_.dropped_bytes += units::Bytes{packet.size_bytes};
   if (fault) ++stats_.fault_dropped_packets;
   if (packet.multicast) {
     bump_group_counter(stats_.dropped_packets_by_group, group_stats_index(packet), 1);
@@ -73,18 +75,18 @@ void Link::set_up(bool up) {
       count_drop(*queue_.front(), /*fault=*/true);
       queue_.pop_front();
     }
-    queued_bytes_ = 0;
+    queued_bytes_ = units::Bytes::zero();
   }
 }
 
 sim::Time Link::transmission_time(std::uint32_t size_bytes) const {
-  const double seconds = static_cast<double>(size_bytes) * 8.0 / bandwidth_bps_;
+  const double seconds = units::Bytes{size_bytes}.bits() / bandwidth_.bps();
   return sim::Time::seconds(seconds);
 }
 
 void Link::enqueue(const PacketRef& packet) {
   ++stats_.enqueued_packets;
-  stats_.enqueued_bytes += packet->size_bytes;
+  stats_.enqueued_bytes += units::Bytes{packet->size_bytes};
 
   if (!up_) {
     count_drop(*packet, /*fault=*/true);
@@ -135,12 +137,12 @@ void Link::enqueue(const PacketRef& packet) {
     return;
   }
   queue_.push_back(packet);
-  queued_bytes_ += packet->size_bytes;
+  queued_bytes_ += units::Bytes{packet->size_bytes};
 }
 
 void Link::start_transmission(const PacketRef& packet) {
   transmitting_ = true;
-  transmitting_bytes_ = packet->size_bytes;
+  transmitting_bytes_ = units::Bytes{packet->size_bytes};
   simulation_.after(transmission_time(packet->size_bytes),
                     [this, packet]() { on_transmission_complete(packet); });
 }
@@ -149,15 +151,15 @@ void Link::begin_next_or_idle() {
   if (!queue_.empty()) {
     PacketRef next = std::move(queue_.front());
     queue_.pop_front();
-    queued_bytes_ -= next->size_bytes;
-    transmitting_bytes_ = next->size_bytes;
+    queued_bytes_ -= units::Bytes{next->size_bytes};
+    transmitting_bytes_ = units::Bytes{next->size_bytes};
     // transmitting_ stays set: the transmitter goes straight to the next packet.
     // The delay must be computed before the capture moves `next` out.
     const sim::Time tx = transmission_time(next->size_bytes);
     simulation_.after(tx, [this, next = std::move(next)]() { on_transmission_complete(next); });
   } else {
     transmitting_ = false;
-    transmitting_bytes_ = 0;
+    transmitting_bytes_ = units::Bytes::zero();
     idle_since_ = simulation_.now();
   }
 }
@@ -172,7 +174,7 @@ void Link::on_transmission_complete(PacketRef packet) {
     return;
   }
   ++stats_.delivered_packets;
-  stats_.delivered_bytes += packet->size_bytes;
+  stats_.delivered_bytes += units::Bytes{packet->size_bytes};
   if (packet->multicast) {
     bump_group_counter(stats_.delivered_bytes_by_group, group_stats_index(*packet),
                        packet->size_bytes);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/packet.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
@@ -19,11 +20,11 @@ class Network;
 /// benches ground truth the algorithm itself never sees.
 struct LinkStats {
   std::uint64_t enqueued_packets{0};
-  std::uint64_t enqueued_bytes{0};
+  units::Bytes enqueued_bytes{};
   std::uint64_t delivered_packets{0};
-  std::uint64_t delivered_bytes{0};
+  units::Bytes delivered_bytes{};
   std::uint64_t dropped_packets{0};
-  std::uint64_t dropped_bytes{0};
+  units::Bytes dropped_bytes{};
   std::uint64_t fault_dropped_packets{0};  ///< subset of drops caused by injected faults
   /// Flat per-group counters indexed by the Network's dense group-stats id
   /// (Network::intern_group / group_stats_key), grown on demand. Replaces the
@@ -50,7 +51,7 @@ class Link {
   };
 
   Link(sim::Simulation& simulation, Network& network, LinkId id, NodeId from, NodeId to,
-       double bandwidth_bps, sim::Time latency, std::size_t queue_limit_packets);
+       units::BitsPerSec bandwidth, sim::Time latency, std::size_t queue_limit_packets);
 
   /// Switches the queue from drop-tail to RED. Call before traffic flows.
   void enable_red(RedConfig config);
@@ -84,7 +85,7 @@ class Link {
   [[nodiscard]] LinkId id() const { return id_; }
   [[nodiscard]] NodeId from() const { return from_; }
   [[nodiscard]] NodeId to() const { return to_; }
-  [[nodiscard]] double bandwidth_bps() const { return bandwidth_bps_; }
+  [[nodiscard]] units::BitsPerSec bandwidth() const { return bandwidth_; }
   [[nodiscard]] sim::Time latency() const { return latency_; }
   [[nodiscard]] std::size_t queue_limit() const { return queue_limit_; }
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
@@ -94,7 +95,7 @@ class Link {
 
   /// Per-group counters by address (the flat arrays are indexed by dense id);
   /// 0 for groups this link never saw.
-  [[nodiscard]] std::uint64_t delivered_bytes_for_group(GroupAddr group) const;
+  [[nodiscard]] units::Bytes delivered_bytes_for_group(GroupAddr group) const;
   [[nodiscard]] std::uint64_t dropped_packets_for_group(GroupAddr group) const;
 
   /// --- Conservation accounting (audited by check::InvariantAuditor) --------
@@ -104,15 +105,15 @@ class Link {
   /// delivered. The auditor checks
   ///   enqueued == delivered + dropped + queued + transmitting
   /// at both packet and byte granularity.
-  [[nodiscard]] std::uint64_t queued_bytes() const { return queued_bytes_; }
-  [[nodiscard]] std::uint64_t transmitting_bytes() const { return transmitting_bytes_; }
+  [[nodiscard]] units::Bytes queued_bytes() const { return queued_bytes_; }
+  [[nodiscard]] units::Bytes transmitting_bytes() const { return transmitting_bytes_; }
 
   /// Test-only: skips a byte credit (and a packet credit) so the conservation
   /// invariants fail — used to prove the auditor detects accounting leaks.
   /// Never call outside tests.
   void corrupt_accounting_for_test() {
     stats_.delivered_packets += 1;
-    stats_.delivered_bytes += 100;
+    stats_.delivered_bytes += units::Bytes{100};
   }
 
   /// Serialization delay of one packet at this link's bandwidth.
@@ -132,12 +133,12 @@ class Link {
   LinkId id_;
   NodeId from_;
   NodeId to_;
-  double bandwidth_bps_;
+  units::BitsPerSec bandwidth_;
   sim::Time latency_;
   std::size_t queue_limit_;
   std::deque<PacketRef> queue_;
-  std::uint64_t queued_bytes_{0};
-  std::uint64_t transmitting_bytes_{0};
+  units::Bytes queued_bytes_{};
+  units::Bytes transmitting_bytes_{};
   bool transmitting_{false};
   LinkStats stats_;
   bool red_enabled_{false};

@@ -15,27 +15,27 @@ NodeId Network::add_node(std::string name) {
   return id;
 }
 
-LinkId Network::add_link(NodeId from, NodeId to, double bandwidth_bps, sim::Time latency,
+LinkId Network::add_link(NodeId from, NodeId to, units::BitsPerSec bandwidth, sim::Time latency,
                          std::size_t queue_limit_packets) {
   if (from >= nodes_.size() || to >= nodes_.size()) {
     throw std::out_of_range("Network::add_link: unknown node");
   }
-  if (bandwidth_bps <= 0.0) {
+  if (bandwidth <= units::BitsPerSec::zero()) {
     throw std::invalid_argument("Network::add_link: bandwidth must be positive");
   }
   const LinkId id = static_cast<LinkId>(links_.size());
-  links_.push_back(std::make_unique<Link>(simulation_, *this, id, from, to, bandwidth_bps,
+  links_.push_back(std::make_unique<Link>(simulation_, *this, id, from, to, bandwidth,
                                           latency, queue_limit_packets));
   nodes_[from].out_links.push_back(id);
   routes_valid_ = false;
   return id;
 }
 
-std::pair<LinkId, LinkId> Network::add_duplex_link(NodeId a, NodeId b, double bandwidth_bps,
+std::pair<LinkId, LinkId> Network::add_duplex_link(NodeId a, NodeId b, units::BitsPerSec bandwidth,
                                                    sim::Time latency,
                                                    std::size_t queue_limit_packets) {
-  const LinkId ab = add_link(a, b, bandwidth_bps, latency, queue_limit_packets);
-  const LinkId ba = add_link(b, a, bandwidth_bps, latency, queue_limit_packets);
+  const LinkId ab = add_link(a, b, bandwidth, latency, queue_limit_packets);
+  const LinkId ba = add_link(b, a, bandwidth, latency, queue_limit_packets);
   return {ab, ba};
 }
 

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/routing.hpp"
@@ -58,11 +59,11 @@ class Network {
 
   /// Adds a unidirectional link. Queue limit defaults to the ns drop-tail
   /// default of 50 packets.
-  LinkId add_link(NodeId from, NodeId to, double bandwidth_bps, sim::Time latency,
+  LinkId add_link(NodeId from, NodeId to, units::BitsPerSec bandwidth, sim::Time latency,
                   std::size_t queue_limit_packets = 50);
 
   /// Adds a duplex link (two unidirectional links); returns {a->b, b->a}.
-  std::pair<LinkId, LinkId> add_duplex_link(NodeId a, NodeId b, double bandwidth_bps,
+  std::pair<LinkId, LinkId> add_duplex_link(NodeId a, NodeId b, units::BitsPerSec bandwidth,
                                             sim::Time latency,
                                             std::size_t queue_limit_packets = 50);
 

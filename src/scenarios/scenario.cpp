@@ -167,7 +167,7 @@ void Scenario::run_until(Time until) {
   simulation_->run_until(until);
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     results_[i].final_subscription = endpoints_[i]->subscription();
-    results_[i].loss_overall = endpoints_[i]->lifetime_loss_rate();
+    results_[i].loss_overall = endpoints_[i]->lifetime_loss_rate().value();
   }
 }
 
@@ -226,11 +226,11 @@ std::unique_ptr<Scenario> Scenario::build_topology_a(const ScenarioConfig& confi
   const net::NodeId r0 = netw.add_node("r0");
   const net::NodeId r1 = netw.add_node("r1");
   const net::NodeId r2 = netw.add_node("r2");
-  netw.add_duplex_link(source, r0, options.backbone_bps, config.link_latency,
+  netw.add_duplex_link(source, r0, units::BitsPerSec{options.backbone_bps}, config.link_latency,
                        queue_limit_for(config, options.backbone_bps));
-  netw.add_duplex_link(r0, r1, options.bottleneck1_bps, config.link_latency,
+  netw.add_duplex_link(r0, r1, units::BitsPerSec{options.bottleneck1_bps}, config.link_latency,
                        queue_limit_for(config, options.bottleneck1_bps));
-  netw.add_duplex_link(r0, r2, options.bottleneck2_bps, config.link_latency,
+  netw.add_duplex_link(r0, r2, units::BitsPerSec{options.bottleneck2_bps}, config.link_latency,
                        queue_limit_for(config, options.bottleneck2_bps));
 
   s->controller_node_ = source;
@@ -246,9 +246,9 @@ std::unique_ptr<Scenario> Scenario::build_topology_a(const ScenarioConfig& confi
       std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
 
   const int optimal1 =
-      config.params.layers.max_layers_for_bandwidth(options.bottleneck1_bps);
+      config.params.layers.max_layers_for_bandwidth(units::BitsPerSec{options.bottleneck1_bps});
   const int optimal2 =
-      config.params.layers.max_layers_for_bandwidth(options.bottleneck2_bps);
+      config.params.layers.max_layers_for_bandwidth(units::BitsPerSec{options.bottleneck2_bps});
 
   const int leavers = static_cast<int>(
       std::ceil(options.leave_fraction * options.receivers_per_set));
@@ -261,14 +261,14 @@ std::unique_ptr<Scenario> Scenario::build_topology_a(const ScenarioConfig& confi
 
   for (int i = 0; i < options.receivers_per_set; ++i) {
     const net::NodeId rcv = netw.add_node("set1_recv" + std::to_string(i));
-    netw.add_duplex_link(r1, rcv, options.access_bps, config.link_latency,
+    netw.add_duplex_link(r1, rcv, units::BitsPerSec{options.access_bps}, config.link_latency,
                          queue_limit_for(config, options.access_bps));
     const auto [start, stop] = window_for(i);
     s->add_receiver(rcv, 0, optimal1, "set1/" + std::to_string(i), start, stop);
   }
   for (int i = 0; i < options.receivers_per_set; ++i) {
     const net::NodeId rcv = netw.add_node("set2_recv" + std::to_string(i));
-    netw.add_duplex_link(r2, rcv, options.access_bps, config.link_latency,
+    netw.add_duplex_link(r2, rcv, units::BitsPerSec{options.access_bps}, config.link_latency,
                          queue_limit_for(config, options.access_bps));
     const auto [start, stop] = window_for(i);
     s->add_receiver(rcv, 0, optimal2, "set2/" + std::to_string(i), start, stop);
@@ -297,15 +297,15 @@ std::unique_ptr<Scenario> Scenario::build_topology_b(const ScenarioConfig& confi
   const net::NodeId ra = netw.add_node("ra");
   const net::NodeId rb = netw.add_node("rb");
   const double shared_bps = options.per_session_bps * options.sessions;
-  netw.add_duplex_link(ra, rb, shared_bps, config.link_latency,
+  netw.add_duplex_link(ra, rb, units::BitsPerSec{shared_bps}, config.link_latency,
                        queue_limit_for(config, shared_bps));
 
-  const int optimal = config.params.layers.max_layers_for_bandwidth(options.per_session_bps);
+  const int optimal = config.params.layers.max_layers_for_bandwidth(units::BitsPerSec{options.per_session_bps});
 
   std::vector<net::NodeId> source_nodes;
   for (int k = 0; k < options.sessions; ++k) {
     const net::NodeId src = netw.add_node("source" + std::to_string(k));
-    netw.add_duplex_link(src, ra, options.access_bps, config.link_latency,
+    netw.add_duplex_link(src, ra, units::BitsPerSec{options.access_bps}, config.link_latency,
                          queue_limit_for(config, options.access_bps));
     source_nodes.push_back(src);
     s->mcast_->set_session_source(static_cast<net::SessionId>(k), src);
@@ -324,7 +324,7 @@ std::unique_ptr<Scenario> Scenario::build_topology_b(const ScenarioConfig& confi
 
   for (int k = 0; k < options.sessions; ++k) {
     const net::NodeId rcv = netw.add_node("recv" + std::to_string(k));
-    netw.add_duplex_link(rb, rcv, options.access_bps, config.link_latency,
+    netw.add_duplex_link(rb, rcv, units::BitsPerSec{options.access_bps}, config.link_latency,
                          queue_limit_for(config, options.access_bps));
     s->add_receiver(rcv, static_cast<net::SessionId>(k), optimal,
                     "session" + std::to_string(k), options.session_stagger * k);
@@ -354,12 +354,12 @@ std::unique_ptr<Scenario> Scenario::build_tiered(const ScenarioConfig& config,
 
   // Physical tree, remembering each link's true capacity for the offline
   // optimal computation (TopoSense never sees these numbers).
-  std::unordered_map<core::LinkKey, double> capacities;
+  std::unordered_map<core::LinkKey, units::BitsPerSec> capacities;
   const net::NodeId source = netw.add_node("source");
   const net::NodeId national = netw.add_node("national");
-  netw.add_duplex_link(source, national, options.backbone_bps, config.link_latency,
+  netw.add_duplex_link(source, national, units::BitsPerSec{options.backbone_bps}, config.link_latency,
                        queue_limit_for(config, options.backbone_bps));
-  capacities[core::LinkKey{source, national}] = options.backbone_bps;
+  capacities[core::LinkKey{source, national}] = units::BitsPerSec{options.backbone_bps};
 
   struct PendingReceiver {
     net::NodeId node;
@@ -379,8 +379,9 @@ std::unique_ptr<Scenario> Scenario::build_tiered(const ScenarioConfig& config,
 
   auto add_tier_node = [&](const std::string& name, net::NodeId parent, double bps) {
     const net::NodeId id = netw.add_node(name);
-    netw.add_duplex_link(parent, id, bps, config.link_latency, queue_limit_for(config, bps));
-    capacities[core::LinkKey{parent, id}] = bps;
+    netw.add_duplex_link(parent, id, units::BitsPerSec{bps}, config.link_latency,
+                         queue_limit_for(config, bps));
+    capacities[core::LinkKey{parent, id}] = units::BitsPerSec{bps};
     core::SessionNodeInput n;
     n.node = id;
     n.parent = parent;
@@ -450,19 +451,19 @@ std::unique_ptr<Scenario> Scenario::from_description(const ScenarioConfig& confi
     by_name[name] = netw.add_node(name);
   }
 
-  std::unordered_map<core::LinkKey, double> capacities;
+  std::unordered_map<core::LinkKey, units::BitsPerSec> capacities;
   for (const auto& link : description.links) {
     const net::NodeId a = by_name.at(link.a);
     const net::NodeId b = by_name.at(link.b);
     const std::size_t queue =
-        link.queue_packets.value_or(queue_limit_for(config, link.bandwidth_bps));
-    const auto [ab, ba] = netw.add_duplex_link(a, b, link.bandwidth_bps, link.latency, queue);
+        link.queue_packets.value_or(queue_limit_for(config, link.bandwidth.bps()));
+    const auto [ab, ba] = netw.add_duplex_link(a, b, link.bandwidth, link.latency, queue);
     if (link.red || config.red_queues) {
       netw.link(ab).enable_red({});
       netw.link(ba).enable_red({});
     }
-    capacities[core::LinkKey{a, b}] = link.bandwidth_bps;
-    capacities[core::LinkKey{b, a}] = link.bandwidth_bps;
+    capacities[core::LinkKey{a, b}] = link.bandwidth;
+    capacities[core::LinkKey{b, a}] = link.bandwidth;
   }
   netw.compute_routes();
 

@@ -184,7 +184,7 @@ bool parse_fault_line(const std::vector<std::string>& tokens, fault::FaultPlan& 
 
 }  // namespace
 
-double parse_bandwidth(std::string_view token) {
+units::BitsPerSec parse_bandwidth(std::string_view token) {
   const std::string t = lower(token);
   double scale = 1.0;
   std::string_view digits = t;
@@ -200,11 +200,11 @@ double parse_bandwidth(std::string_view token) {
   } else if (t.size() > 3 && t.substr(t.size() - 3) == "bps") {
     digits = std::string_view{t}.substr(0, t.size() - 3);
   } else {
-    return -1.0;
+    return units::BitsPerSec{-1.0};
   }
   double value = 0.0;
-  if (!parse_double(digits, value) || value <= 0.0) return -1.0;
-  return value * scale;
+  if (!parse_double(digits, value) || value <= 0.0) return units::BitsPerSec{-1.0};
+  return units::BitsPerSec{value * scale};
 }
 
 sim::Time parse_latency(std::string_view token) {
@@ -257,11 +257,11 @@ ParseResult parse_topology(std::string_view text) {
       link.line = line_no;
       link.a = tokens[1];
       link.b = tokens[2];
-      link.bandwidth_bps = parse_bandwidth(tokens[3]);
-      if (link.bandwidth_bps <= 0.0) {
+      link.bandwidth = parse_bandwidth(tokens[3]);
+      if (link.bandwidth <= units::BitsPerSec::zero()) {
         return fail(line_no, "bad bandwidth '" + tokens[3] + "' (use e.g. 256kbps, 1.5Mbps)");
       }
-      if (link.bandwidth_bps > 1e12) {
+      if (link.bandwidth > units::BitsPerSec{1e12}) {
         return fail(line_no,
                     "bandwidth '" + tokens[3] + "' out of range (max 1000Gbps)");
       }

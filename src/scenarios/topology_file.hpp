@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/units.hpp"
 #include "fault/fault_plan.hpp"
 #include "sim/time.hpp"
 
@@ -32,7 +33,7 @@ struct TopologyDescription {
   struct LinkSpec {
     std::string a;
     std::string b;
-    double bandwidth_bps{0.0};
+    units::BitsPerSec bandwidth{};
     sim::Time latency{};
     std::optional<std::size_t> queue_packets;  ///< default: BDP sizing
     bool red{false};
@@ -81,8 +82,8 @@ struct ParseResult {
 [[nodiscard]] TopologyDescription parse_topology_file(const std::string& path);
 
 /// Parses "256kbps" / "1.5Mbps" / "8000bps" (case-insensitive suffix).
-/// Returns <= 0 on malformed input.
-[[nodiscard]] double parse_bandwidth(std::string_view token);
+/// Returns a rate <= 0 on malformed input.
+[[nodiscard]] units::BitsPerSec parse_bandwidth(std::string_view token);
 
 /// Parses "200ms" / "1.5s". Returns negative time on malformed input.
 [[nodiscard]] sim::Time parse_latency(std::string_view token);

@@ -4,31 +4,31 @@
 
 namespace tsim::traffic {
 
-double LayerSpec::layer_rate_bps(net::LayerId layer) const {
-  return base_rate_bps * std::pow(layer_growth, static_cast<int>(layer) - 1);
+units::BitsPerSec LayerSpec::layer_rate(net::LayerId layer) const {
+  return base_rate * std::pow(layer_growth, static_cast<int>(layer) - 1);
 }
 
-double LayerSpec::cumulative_rate_bps(int k) const {
-  double total = 0.0;
+units::BitsPerSec LayerSpec::cumulative_rate(int k) const {
+  units::BitsPerSec total = units::BitsPerSec::zero();
   for (int l = 1; l <= k && l <= num_layers; ++l) {
-    total += layer_rate_bps(static_cast<net::LayerId>(l));
+    total += layer_rate(static_cast<net::LayerId>(l));
   }
   return total;
 }
 
-int LayerSpec::max_layers_for_bandwidth(double bandwidth_bps) const {
+int LayerSpec::max_layers_for_bandwidth(units::BitsPerSec bandwidth) const {
   int k = 0;
-  double total = 0.0;
+  units::BitsPerSec total = units::BitsPerSec::zero();
   while (k < num_layers) {
-    total += layer_rate_bps(static_cast<net::LayerId>(k + 1));
-    if (total > bandwidth_bps) break;
+    total += layer_rate(static_cast<net::LayerId>(k + 1));
+    if (total > bandwidth) break;
     ++k;
   }
   return k;
 }
 
 double LayerSpec::packets_per_second(net::LayerId layer) const {
-  return layer_rate_bps(layer) / (8.0 * static_cast<double>(packet_size_bytes));
+  return layer_rate(layer).bps() / (8.0 * static_cast<double>(packet_size_bytes));
 }
 
 }  // namespace tsim::traffic

@@ -3,29 +3,30 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/units.hpp"
 #include "net/packet.hpp"
 
 namespace tsim::traffic {
 
 /// The layered encoding the paper simulates: `num_layers` cumulative layers,
-/// base layer at `base_rate_bps`, each subsequent layer doubling (geometric
+/// base layer at `base_rate`, each subsequent layer doubling (geometric
 /// factor configurable for the §V layer-granularity ablation). Layers are
 /// 1-based: layer 1 is the base layer; a receiver at subscription level k
 /// receives layers 1..k.
 struct LayerSpec {
   int num_layers{6};
-  double base_rate_bps{32'000.0};
+  units::BitsPerSec base_rate{32'000.0};
   double layer_growth{2.0};
   std::uint32_t packet_size_bytes{1000};
 
-  /// Rate of layer `layer` (1-based) in bits/s.
-  [[nodiscard]] double layer_rate_bps(net::LayerId layer) const;
+  /// Rate of layer `layer` (1-based).
+  [[nodiscard]] units::BitsPerSec layer_rate(net::LayerId layer) const;
 
-  /// Total rate of layers 1..k in bits/s (0 for k <= 0).
-  [[nodiscard]] double cumulative_rate_bps(int k) const;
+  /// Total rate of layers 1..k (zero for k <= 0).
+  [[nodiscard]] units::BitsPerSec cumulative_rate(int k) const;
 
-  /// Largest k (possibly 0) with cumulative_rate_bps(k) <= bandwidth_bps.
-  [[nodiscard]] int max_layers_for_bandwidth(double bandwidth_bps) const;
+  /// Largest k (possibly 0) with cumulative_rate(k) <= bandwidth.
+  [[nodiscard]] int max_layers_for_bandwidth(units::BitsPerSec bandwidth) const;
 
   /// Average packets per second of layer `layer`.
   [[nodiscard]] double packets_per_second(net::LayerId layer) const;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "core/units.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
@@ -14,11 +15,11 @@ namespace tsim::transport {
 struct ReceiverReport final : net::ControlPayload {
   net::NodeId receiver{net::kInvalidNode};
   net::SessionId session{0};
-  int subscription{0};             ///< layers currently subscribed (0..num_layers)
-  double loss_rate{0.0};           ///< fraction of expected packets lost in the window
-  std::uint64_t bytes_received{0};  ///< data bytes received in the window
-  std::uint64_t received_packets{0};
-  std::uint64_t lost_packets{0};
+  int subscription{0};               ///< layers currently subscribed (0..num_layers)
+  units::LossFraction loss_rate{};   ///< fraction of expected packets lost in the window
+  units::Bytes bytes_received{};     ///< data bytes received in the window
+  units::PacketCount received_packets{};
+  units::PacketCount lost_packets{};
   sim::Time window_start{};
   sim::Time window_end{};
   std::uint32_t report_seq{0};

@@ -5,13 +5,12 @@
 namespace tsim::transport {
 
 void PacketDemux::add_handler(net::PacketKind kind, Handler handler) {
-  handlers_[static_cast<int>(kind)].push_back(std::move(handler));
+  handlers_[static_cast<std::size_t>(kind)].push_back(std::move(handler));
 }
 
 void PacketDemux::dispatch(const net::PacketRef& packet) const {
-  const auto it = handlers_.find(static_cast<int>(packet->kind));
-  if (it == handlers_.end()) return;
-  for (const Handler& h : it->second) h(packet);
+  const auto& handlers = handlers_[static_cast<std::size_t>(packet->kind)];
+  for (const Handler& h : handlers) h(packet);
 }
 
 PacketDemux& DemuxRegistry::at(net::NodeId node) {

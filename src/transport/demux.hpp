@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -22,7 +23,10 @@ class PacketDemux {
   void dispatch(const net::PacketRef& packet) const;
 
  private:
-  std::unordered_map<int, std::vector<Handler>> handlers_;
+  // PacketKind is a dense 7-value enum, so a flat per-kind array beats a hash
+  // map on the per-packet dispatch path: one indexed load, no hashing, and
+  // kinds with no handlers cost a single empty-vector check.
+  std::array<std::vector<Handler>, net::kPacketKindCount> handlers_{};
 };
 
 /// Owns one PacketDemux per node and installs it as the node's local sink on

@@ -72,9 +72,9 @@ void ReceiverEndpoint::handle_data(const net::Packet& packet) {
     track.have_window_max = true;
   }
   ++window_.received_packets;
-  window_.bytes += packet.size_bytes;
+  window_.bytes += units::Bytes{packet.size_bytes};
   ++total_packets_;
-  total_bytes_ += packet.size_bytes;
+  total_bytes_ += units::Bytes{packet.size_bytes};
 }
 
 void ReceiverEndpoint::handle_suggestion(const net::Packet& packet) {
@@ -94,7 +94,7 @@ void ReceiverEndpoint::close_window() {
         track.window_max_seq > track.prev_max_seq) {
       const std::uint64_t expected = track.window_max_seq - track.prev_max_seq;
       if (expected > track.window_received) {
-        window_.lost_packets += expected - track.window_received;
+        window_.lost_packets += units::PacketCount{expected - track.window_received};
       }
     }
     if (track.have_window_max) {

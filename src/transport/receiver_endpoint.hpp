@@ -50,24 +50,22 @@ class ReceiverEndpoint {
 
   /// Stats of the current (in-progress) report window.
   struct WindowStats {
-    std::uint64_t received_packets{0};
-    std::uint64_t lost_packets{0};
-    std::uint64_t bytes{0};
-    [[nodiscard]] double loss_rate() const {
-      const std::uint64_t expected = received_packets + lost_packets;
-      return expected == 0 ? 0.0 : static_cast<double>(lost_packets) / static_cast<double>(expected);
+    units::PacketCount received_packets{};
+    units::PacketCount lost_packets{};
+    units::Bytes bytes{};
+    [[nodiscard]] units::LossFraction loss_rate() const {
+      return units::LossFraction::from_counts(lost_packets, received_packets + lost_packets);
     }
   };
   [[nodiscard]] const WindowStats& window() const { return window_; }
   [[nodiscard]] const WindowStats& last_completed_window() const { return last_window_; }
-  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
-  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
-  [[nodiscard]] std::uint64_t total_lost_packets() const { return total_lost_packets_; }
+  [[nodiscard]] units::Bytes total_bytes() const { return total_bytes_; }
+  [[nodiscard]] units::PacketCount total_packets() const { return total_packets_; }
+  [[nodiscard]] units::PacketCount total_lost_packets() const { return total_lost_packets_; }
   /// Lifetime loss fraction across all closed windows.
-  [[nodiscard]] double lifetime_loss_rate() const {
-    const std::uint64_t expected = total_packets_ + total_lost_packets_;
-    return expected == 0 ? 0.0
-                         : static_cast<double>(total_lost_packets_) / static_cast<double>(expected);
+  [[nodiscard]] units::LossFraction lifetime_loss_rate() const {
+    return units::LossFraction::from_counts(total_lost_packets_,
+                                            total_packets_ + total_lost_packets_);
   }
   [[nodiscard]] const Config& config() const { return config_; }
 
@@ -106,9 +104,9 @@ class ReceiverEndpoint {
   WindowStats window_{};
   WindowStats last_window_{};
   sim::Time window_start_{};
-  std::uint64_t total_bytes_{0};
-  std::uint64_t total_packets_{0};
-  std::uint64_t total_lost_packets_{0};
+  units::Bytes total_bytes_{};
+  units::PacketCount total_packets_{};
+  units::PacketCount total_lost_packets_{};
   std::uint32_t report_seq_{0};
   std::vector<std::function<void(sim::Time, int, int)>> change_callbacks_;
   std::vector<std::function<void(const Suggestion&)>> suggestion_callbacks_;

@@ -77,7 +77,7 @@ struct LinkAuditFixture : ::testing::Test {
   net::NodeId b{network.add_node("b")};
 
   LinkAuditFixture() {
-    network.add_duplex_link(a, b, 10e6, 10_ms);
+    network.add_duplex_link(a, b, tsim::units::BitsPerSec{10e6}, 10_ms);
     network.compute_routes();
   }
 };
@@ -141,9 +141,9 @@ struct TreeAuditFixture : ::testing::Test {
   mcast::MulticastRouter router{simulation, network, {Time::zero(), 1_s}};
 
   TreeAuditFixture() {
-    network.add_duplex_link(src, r, 10e6, 10_ms);
-    network.add_duplex_link(r, a, 10e6, 10_ms);
-    network.add_duplex_link(r, b, 10e6, 10_ms);
+    network.add_duplex_link(src, r, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(r, a, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(r, b, tsim::units::BitsPerSec{10e6}, 10_ms);
     network.compute_routes();
     router.set_session_source(0, src);
   }

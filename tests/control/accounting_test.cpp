@@ -13,7 +13,7 @@ transport::ReceiverReport report(net::SessionId session, net::NodeId receiver,
   transport::ReceiverReport r;
   r.session = session;
   r.receiver = receiver;
-  r.bytes_received = bytes;
+  r.bytes_received = tsim::units::Bytes{bytes};
   r.subscription = subscription;
   r.window_start = start;
   r.window_end = end;
@@ -23,7 +23,7 @@ transport::ReceiverReport report(net::SessionId session, net::NodeId receiver,
 TEST(AccountingTest, UnknownAccountIsZero) {
   const AccountingLedger ledger;
   const auto account = ledger.account(1, 2);
-  EXPECT_EQ(account.bytes, 0u);
+  EXPECT_EQ(account.bytes.count(), 0u);
   EXPECT_DOUBLE_EQ(account.layer_seconds, 0.0);
   EXPECT_EQ(account.reports, 0u);
 }
@@ -35,7 +35,7 @@ TEST(AccountingTest, AccumulatesBytesAndLayerSeconds) {
   ledger.on_report(report(0, 10, 28'000, 3, 4_s, 6_s));
 
   const auto account = ledger.account(0, 10);
-  EXPECT_EQ(account.bytes, 144'000u);
+  EXPECT_EQ(account.bytes.count(), 144'000u);
   EXPECT_DOUBLE_EQ(account.layer_seconds, 4 * 2 + 4 * 2 + 3 * 2);
   EXPECT_EQ(account.reports, 3u);
   EXPECT_EQ(account.first_activity, Time::zero());
@@ -48,10 +48,10 @@ TEST(AccountingTest, AccountsAreSeparatedBySessionAndReceiver) {
   ledger.on_report(report(0, 11, 2000, 2, Time::zero(), 1_s));
   ledger.on_report(report(1, 10, 3000, 3, Time::zero(), 1_s));
 
-  EXPECT_EQ(ledger.account(0, 10).bytes, 1000u);
-  EXPECT_EQ(ledger.account(0, 11).bytes, 2000u);
-  EXPECT_EQ(ledger.account(1, 10).bytes, 3000u);
-  EXPECT_EQ(ledger.total_bytes(), 6000u);
+  EXPECT_EQ(ledger.account(0, 10).bytes.count(), 1000u);
+  EXPECT_EQ(ledger.account(0, 11).bytes.count(), 2000u);
+  EXPECT_EQ(ledger.account(1, 10).bytes.count(), 3000u);
+  EXPECT_EQ(ledger.total_bytes().count(), 6000u);
   EXPECT_EQ(ledger.accounts().size(), 3u);
 }
 

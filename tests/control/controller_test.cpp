@@ -35,8 +35,8 @@ struct ControlFixture : ::testing::Test {
 
   void build(double bottleneck_bps, Time staleness = Time::zero(),
              Time report_period = 2_s) {
-    network.add_duplex_link(src, r, 10e6, 200_ms, 30);
-    network.add_duplex_link(r, rcv, bottleneck_bps, 200_ms, 30);
+    network.add_duplex_link(src, r, tsim::units::BitsPerSec{10e6}, 200_ms, 30);
+    network.add_duplex_link(r, rcv, tsim::units::BitsPerSec{bottleneck_bps}, 200_ms, 30);
     network.compute_routes();
     mcast.set_session_source(0, src);
 
@@ -94,7 +94,7 @@ TEST_F(ControlFixture, ConvergesNearBottleneckOptimal) {
   EXPECT_GE(endpoint->subscription(), 2);
   EXPECT_LE(endpoint->subscription(), 4);
   // Loss must be controlled after convergence: check recent window.
-  EXPECT_LT(endpoint->last_completed_window().loss_rate(), 0.3);
+  EXPECT_LT(endpoint->last_completed_window().loss_rate().value(), 0.3);
 }
 
 TEST_F(ControlFixture, IntervalsKeepRunning) {
@@ -144,7 +144,7 @@ TEST(ReceiverAgentTest, UnilateralDropOnSuggestionSilence) {
   net::Network network{simulation};
   const net::NodeId src = network.add_node("src");
   const net::NodeId rcv = network.add_node("rcv");
-  network.add_duplex_link(src, rcv, 128e3, 200_ms, 10);  // ~1.5 layers
+  network.add_duplex_link(src, rcv, tsim::units::BitsPerSec{128e3}, 200_ms, 10);  // ~1.5 layers
   network.compute_routes();
   mcast::MulticastRouter mcast{simulation, network, {}};
   mcast.set_session_source(0, src);

@@ -34,8 +34,8 @@ SessionNodeInput receiver(net::NodeId id, net::NodeId parent, double loss, std::
                           int sub) {
   SessionNodeInput n = node(id, parent);
   n.is_receiver = true;
-  n.loss_rate = loss;
-  n.bytes_received = bytes;
+  n.loss_rate = tsim::units::LossFraction{loss};
+  n.bytes_received = tsim::units::Bytes{bytes};
   n.subscription = sub;
   return n;
 }
@@ -126,7 +126,7 @@ void reference_fair_shares(std::vector<LabeledTree>& trees, const CapacityEstima
     }
   }
 
-  const double base = p.layers.base_rate_bps;
+  const double base = p.layers.base_rate.bps();
   std::vector<std::vector<double>> x(trees.size());
   for (std::size_t s = 0; s < trees.size(); ++s) {
     const LabeledTree& lt = trees[s];
@@ -153,7 +153,8 @@ void reference_fair_shares(std::vector<LabeledTree>& trees, const CapacityEstima
       if (tree.node(i).is_receiver) {
         xi = headroom[i] == kInf
                  ? static_cast<double>(p.layers.num_layers)
-                 : static_cast<double>(p.layers.max_layers_for_bandwidth(headroom[i]));
+                 : static_cast<double>(p.layers.max_layers_for_bandwidth(
+                           tsim::units::BitsPerSec{headroom[i]}));
       }
       for (const auto c : tree.children(i)) {
         xi = std::max(xi, x[s][static_cast<std::size_t>(c)]);
@@ -276,8 +277,9 @@ TEST(GoldenPassesTest, TwoAlgorithmRunsAreIdentical) {
       for (SessionInput& s : input.sessions) {
         for (SessionNodeInput& n : s.nodes) {
           if (!n.is_receiver) continue;
-          n.loss_rate = loss_rng.bernoulli(0.3) ? loss_rng.uniform(0.03, 0.2) : 0.0;
-          n.bytes_received = static_cast<std::uint64_t>(loss_rng.uniform_int(10'000, 100'000));
+          n.loss_rate = tsim::units::LossFraction{
+              loss_rng.bernoulli(0.3) ? loss_rng.uniform(0.03, 0.2) : 0.0};
+          n.bytes_received = tsim::units::Bytes{loss_rng.uniform_int(10'000, 100'000)};
         }
       }
       outs.push_back(algo.run_interval(input, sim::Time::seconds(1 + k)));

@@ -26,7 +26,7 @@ int level_of(const std::vector<Prescription>& alloc, net::NodeId rcv) {
 /// and 1 Mbps bottlenecks.
 struct TopologyAProblem {
   std::vector<SessionInput> sessions;
-  std::unordered_map<LinkKey, double> capacities;
+  std::unordered_map<LinkKey, units::BitsPerSec> capacities;
 
   TopologyAProblem() {
     SessionInput in;
@@ -36,13 +36,13 @@ struct TopologyAProblem {
                 node(3, 1),                 node(10, 2, true), node(11, 2, true),
                 node(20, 3, true),          node(21, 3, true)};
     sessions.push_back(in);
-    capacities[{0, 1}] = 10e6;
-    capacities[{1, 2}] = 256e3;
-    capacities[{1, 3}] = 1e6;
-    capacities[{2, 10}] = 10e6;
-    capacities[{2, 11}] = 10e6;
-    capacities[{3, 20}] = 10e6;
-    capacities[{3, 21}] = 10e6;
+    capacities[{0, 1}] = units::BitsPerSec{10e6};
+    capacities[{1, 2}] = units::BitsPerSec{256e3};
+    capacities[{1, 3}] = units::BitsPerSec{1e6};
+    capacities[{2, 10}] = units::BitsPerSec{10e6};
+    capacities[{2, 11}] = units::BitsPerSec{10e6};
+    capacities[{3, 20}] = units::BitsPerSec{10e6};
+    capacities[{3, 21}] = units::BitsPerSec{10e6};
   }
 };
 
@@ -59,8 +59,8 @@ TEST(OptimalAllocatorTest, TopologyAMatchesClosedForm) {
 TEST(OptimalAllocatorTest, TopologyBMatchesClosedForm) {
   // 4 single-receiver sessions over one shared 2 Mbps link.
   std::vector<SessionInput> sessions;
-  std::unordered_map<LinkKey, double> caps;
-  caps[{1, 2}] = 2e6;
+  std::unordered_map<LinkKey, units::BitsPerSec> caps;
+  caps[{1, 2}] = units::BitsPerSec{2e6};
   for (net::SessionId k = 0; k < 4; ++k) {
     SessionInput in;
     in.session = k;
@@ -68,7 +68,7 @@ TEST(OptimalAllocatorTest, TopologyBMatchesClosedForm) {
     in.nodes = {node(1, net::kInvalidNode), node(2, 1),
                 node(static_cast<net::NodeId>(100 + k), 2, true)};
     sessions.push_back(in);
-    caps[{2, static_cast<net::NodeId>(100 + k)}] = 10e6;
+    caps[{2, static_cast<net::NodeId>(100 + k)}] = units::BitsPerSec{10e6};
   }
   const OptimalAllocator allocator{traffic::LayerSpec{}, caps};
   const auto alloc = allocator.allocate(sessions);
@@ -86,10 +86,10 @@ TEST(OptimalAllocatorTest, SharedLayersAreFreeForSiblings) {
   in.source = 0;
   in.nodes = {node(0, net::kInvalidNode), node(1, 0), node(10, 1, true), node(11, 1, true)};
   sessions.push_back(in);
-  std::unordered_map<LinkKey, double> caps;
-  caps[{0, 1}] = 256e3;
-  caps[{1, 10}] = 10e6;
-  caps[{1, 11}] = 10e6;
+  std::unordered_map<LinkKey, units::BitsPerSec> caps;
+  caps[{0, 1}] = units::BitsPerSec{256e3};
+  caps[{1, 10}] = units::BitsPerSec{10e6};
+  caps[{1, 11}] = units::BitsPerSec{10e6};
   const OptimalAllocator allocator{traffic::LayerSpec{}, caps};
   const auto alloc = allocator.allocate(sessions);
   EXPECT_EQ(level_of(alloc, 10), 3);
@@ -103,8 +103,8 @@ TEST(OptimalAllocatorTest, StarvedReceiverStaysAtZero) {
   in.source = 0;
   in.nodes = {node(0, net::kInvalidNode), node(10, 0, true)};
   sessions.push_back(in);
-  std::unordered_map<LinkKey, double> caps;
-  caps[{0, 10}] = 10e3;  // below even the 32 Kbps base layer
+  std::unordered_map<LinkKey, units::BitsPerSec> caps;
+  caps[{0, 10}] = units::BitsPerSec{10e3};  // below even the 32 Kbps base layer
   const OptimalAllocator allocator{traffic::LayerSpec{}, caps};
   const auto alloc = allocator.allocate(sessions);
   EXPECT_EQ(level_of(alloc, 10), 0);
@@ -128,14 +128,14 @@ TEST(OptimalAllocatorTest, LinkUsageCountsSubtreeMaximum) {
   // Levels in discovery order: receivers 10, 11, 20, 21.
   const std::vector<int> levels{2, 3, 1, 5};
   const traffic::LayerSpec spec;
-  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{1, 2}),
-                   spec.cumulative_rate_bps(3));
-  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{1, 3}),
-                   spec.cumulative_rate_bps(5));
-  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{0, 1}),
-                   spec.cumulative_rate_bps(5));
-  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{2, 10}),
-                   spec.cumulative_rate_bps(2));
+  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{1, 2}).bps(),
+                   spec.cumulative_rate(3).bps());
+  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{1, 3}).bps(),
+                   spec.cumulative_rate(5).bps());
+  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{0, 1}).bps(),
+                   spec.cumulative_rate(5).bps());
+  EXPECT_DOUBLE_EQ(allocator.link_usage(problem.sessions, levels, LinkKey{2, 10}).bps(),
+                   spec.cumulative_rate(2).bps());
 }
 
 // Properties over random trees: the greedy result is feasible, and maximal
@@ -145,7 +145,7 @@ class AllocatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(AllocatorProperty, FeasibleAndPerReceiverMaximal) {
   sim::Rng rng{GetParam()};
   std::vector<SessionInput> sessions;
-  std::unordered_map<LinkKey, double> caps;
+  std::unordered_map<LinkKey, units::BitsPerSec> caps;
   SessionInput in;
   in.session = 0;
   in.source = 0;
@@ -157,7 +157,7 @@ TEST_P(AllocatorProperty, FeasibleAndPerReceiverMaximal) {
     const auto id = static_cast<net::NodeId>(i);
     const bool receiver = i > 4;
     in.nodes.push_back(node(id, parent, receiver));
-    caps[{parent, id}] = rng.uniform(64e3, 3e6);
+    caps[{parent, id}] = units::BitsPerSec{rng.uniform(64e3, 3e6)};
     if (!receiver) attach.push_back(id);
   }
   sessions.push_back(in);

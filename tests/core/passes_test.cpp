@@ -20,8 +20,8 @@ SessionNodeInput receiver(net::NodeId id, net::NodeId parent, double loss, std::
                           int sub) {
   SessionNodeInput n = node(id, parent);
   n.is_receiver = true;
-  n.loss_rate = loss;
-  n.bytes_received = bytes;
+  n.loss_rate = tsim::units::LossFraction{loss};
+  n.bytes_received = tsim::units::Bytes{bytes};
   n.subscription = sub;
   return n;
 }
@@ -246,7 +246,7 @@ TEST(FairShareTest, NeverBelowBaseLayer) {
   compute_fair_shares(trees, est, p);
   for (const auto& lt : trees) {
     const auto leaf = static_cast<std::size_t>(lt.tree.size() - 1);
-    EXPECT_GE(lt.share_bps[leaf], p.layers.base_rate_bps - 1e-9);
+    EXPECT_GE(lt.share_bps[leaf], p.layers.base_rate.bps() - 1e-9);
   }
 }
 

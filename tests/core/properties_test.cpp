@@ -46,8 +46,8 @@ struct RandomScenario {
           rng.uniform_int(0, static_cast<std::int64_t>(internal.size()) - 1))];
       rcv.is_receiver = true;
       rcv.subscription = static_cast<int>(rng.uniform_int(1, 6));
-      rcv.loss_rate = rng.bernoulli(0.3) ? rng.uniform(0.0, 0.6) : 0.0;
-      rcv.bytes_received = static_cast<std::uint64_t>(rng.uniform(1e3, 3e5));
+      rcv.loss_rate = tsim::units::LossFraction{rng.bernoulli(0.3) ? rng.uniform(0.0, 0.6) : 0.0};
+      rcv.bytes_received = tsim::units::Bytes{static_cast<std::uint64_t>(rng.uniform(1e3, 3e5))};
       in.nodes.push_back(rcv);
     }
     return in;
@@ -129,7 +129,7 @@ TEST_P(AlgorithmProperties, CleanNetworkNeverLabelsCongestion) {
   AlgorithmInput in;
   in.window = 1_s;
   SessionInput session = scenario.make_session(0, 4, 8);
-  for (auto& n : session.nodes) n.loss_rate = 0.0;  // force clean
+  for (auto& n : session.nodes) n.loss_rate = tsim::units::LossFraction::zero();  // force clean
   in.sessions.push_back(session);
   const AlgorithmOutput out = algo.run_interval(in, 1_s);
   for (const NodeDiagnostics& d : out.diagnostics[0].nodes) {
@@ -161,16 +161,16 @@ TEST_P(AlgorithmProperties, SubtreeIndependenceUnderPerturbation) {
       left.parent = 10;
       left.is_receiver = true;
       left.subscription = 3;
-      left.loss_rate = left_loss;
-      left.bytes_received = 28'000;
+      left.loss_rate = tsim::units::LossFraction{left_loss};
+      left.bytes_received = tsim::units::Bytes{28'000};
       in.nodes.push_back(left);
       SessionNodeInput right;
       right.node = static_cast<net::NodeId>(200 + i);
       right.parent = 20;
       right.is_receiver = true;
       right.subscription = 4;
-      right.loss_rate = 0.0;
-      right.bytes_received = 60'000;
+      right.loss_rate = tsim::units::LossFraction::zero();
+      right.bytes_received = tsim::units::Bytes{60'000};
       in.nodes.push_back(right);
     }
     return in;

@@ -23,8 +23,8 @@ SessionNodeInput receiver(net::NodeId id, net::NodeId parent, double loss, std::
                           int sub) {
   SessionNodeInput n = node(id, parent);
   n.is_receiver = true;
-  n.loss_rate = loss;
-  n.bytes_received = bytes;
+  n.loss_rate = tsim::units::LossFraction{loss};
+  n.bytes_received = tsim::units::Bytes{bytes};
   n.subscription = sub;
   return n;
 }
@@ -38,7 +38,7 @@ Params test_params() {
 }
 
 std::uint64_t bytes_for(const traffic::LayerSpec& spec, int sub) {
-  return static_cast<std::uint64_t>(spec.cumulative_rate_bps(sub) / 8.0);
+  return static_cast<std::uint64_t>(spec.cumulative_rate(sub).bps() / 8.0);
 }
 
 int prescription_for(const AlgorithmOutput& out, net::NodeId rcv) {

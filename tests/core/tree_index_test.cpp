@@ -114,13 +114,13 @@ TEST(TreeIndexTest, SingleNodeTree) {
 
 TEST(TreeIndexTest, ReceiverPayloadPreserved) {
   SessionInput in = chain3();
-  in.nodes[2].loss_rate = 0.25;
-  in.nodes[2].bytes_received = 4096;
+  in.nodes[2].loss_rate = tsim::units::LossFraction{0.25};
+  in.nodes[2].bytes_received = tsim::units::Bytes{4096};
   in.nodes[2].subscription = 3;
   const TreeIndex tree{in};
   const auto i = static_cast<std::size_t>(tree.index_of(30));
-  EXPECT_DOUBLE_EQ(tree.node(i).loss_rate, 0.25);
-  EXPECT_EQ(tree.node(i).bytes_received, 4096u);
+  EXPECT_DOUBLE_EQ(tree.node(i).loss_rate.value(), 0.25);
+  EXPECT_EQ(tree.node(i).bytes_received.count(), 4096u);
   EXPECT_EQ(tree.node(i).subscription, 3);
 }
 

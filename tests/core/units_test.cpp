@@ -1,0 +1,156 @@
+#include "core/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <type_traits>
+
+#include "sim/time.hpp"
+
+namespace tsim::units {
+namespace {
+
+// ---- Compile-time contract: explicit construction, no implicit mixing. ----
+
+// Raw representations do not silently become typed quantities.
+static_assert(!std::is_convertible_v<double, BitsPerSec>);
+static_assert(!std::is_convertible_v<std::uint64_t, Bytes>);
+static_assert(!std::is_convertible_v<std::uint64_t, PacketCount>);
+static_assert(!std::is_convertible_v<double, LossFraction>);
+
+// Typed quantities do not silently decay back to raw representations.
+static_assert(!std::is_convertible_v<BitsPerSec, double>);
+static_assert(!std::is_convertible_v<Bytes, std::uint64_t>);
+
+// Distinct dimensions are not interchangeable.
+static_assert(!std::is_convertible_v<Bytes, PacketCount>);
+static_assert(!std::is_convertible_v<PacketCount, Bytes>);
+static_assert(!std::is_convertible_v<BitsPerSec, LossFraction>);
+static_assert(!std::is_constructible_v<Bytes, PacketCount>);
+static_assert(!std::is_constructible_v<PacketCount, Bytes>);
+
+// Exact counters refuse floating-point construction (deleted overloads).
+static_assert(!std::is_constructible_v<Bytes, double>);
+static_assert(!std::is_constructible_v<PacketCount, double>);
+
+// Dimensionally unsound arithmetic does not exist.
+template <typename A, typename B, typename = void>
+struct CanAdd : std::false_type {};
+template <typename A, typename B>
+struct CanAdd<A, B, std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+static_assert(CanAdd<Bytes, Bytes>::value);
+static_assert(CanAdd<BitsPerSec, BitsPerSec>::value);
+static_assert(!CanAdd<Bytes, BitsPerSec>::value);
+static_assert(!CanAdd<Bytes, PacketCount>::value);
+static_assert(!CanAdd<LossFraction, LossFraction>::value);
+
+// Conversions have the expected result types.
+static_assert(std::is_same_v<decltype(std::declval<Bytes>() / std::declval<sim::Time>()),
+                             BitsPerSec>);
+static_assert(std::is_same_v<decltype(std::declval<BitsPerSec>() * std::declval<sim::Time>()),
+                             Bytes>);
+static_assert(std::is_same_v<decltype(std::declval<BitsPerSec>() / std::declval<BitsPerSec>()),
+                             double>);
+
+// ---- Runtime behavior. ----
+
+TEST(UnitsTest, BytesBitsMatchesRawExpression) {
+  const Bytes b{12'500};
+  EXPECT_EQ(b.count(), 12'500u);
+  EXPECT_DOUBLE_EQ(b.bits(), static_cast<double>(12'500) * 8.0);
+}
+
+TEST(UnitsTest, BytesOverWindowIsAverageRate) {
+  // 125'000 bytes over 1 s is exactly 1 Mbit/s.
+  const BitsPerSec rate = Bytes{125'000} / sim::Time::seconds(1.0);
+  EXPECT_DOUBLE_EQ(rate.bps(), 1e6);
+
+  // Matches the raw expression the migrated code used, bit for bit.
+  const std::uint64_t raw_bytes = 987'654;
+  const sim::Time window = sim::Time::milliseconds(250);
+  const double raw = static_cast<double>(raw_bytes) * 8.0 / window.as_seconds();
+  EXPECT_EQ((Bytes{raw_bytes} / window).bps(), raw);
+}
+
+TEST(UnitsTest, RateTimesWindowRoundTripsThroughBytes) {
+  const BitsPerSec rate{1e6};
+  const sim::Time window = sim::Time::seconds(2.0);
+  const Bytes volume = rate * window;
+  EXPECT_EQ(volume.count(), 250'000u);
+
+  // Round trip: volume back over the same window recovers the rate.
+  EXPECT_DOUBLE_EQ((volume / window).bps(), 1e6);
+
+  // Commutative spelling.
+  EXPECT_EQ((window * rate).count(), volume.count());
+}
+
+TEST(UnitsTest, ByteArithmeticIsExact) {
+  Bytes total = Bytes::zero();
+  total += Bytes{1'000};
+  total += Bytes{500};
+  EXPECT_EQ(total.count(), 1'500u);
+  total -= Bytes{300};
+  EXPECT_EQ(total.count(), 1'200u);
+  EXPECT_EQ((Bytes{7} + Bytes{8}).count(), 15u);
+  EXPECT_EQ((Bytes{8} - Bytes{7}).count(), 1u);
+  EXPECT_LT(Bytes{7}, Bytes{8});
+}
+
+TEST(UnitsTest, PacketCountArithmetic) {
+  PacketCount received = PacketCount::zero();
+  ++received;
+  ++received;
+  received += PacketCount{3};
+  EXPECT_EQ(received.count(), 5u);
+  EXPECT_EQ((received - PacketCount{2}).count(), 3u);
+  EXPECT_GT(received, PacketCount{4});
+}
+
+TEST(UnitsTest, LossFractionFromCounts) {
+  // No expected packets -> zero loss, not NaN.
+  EXPECT_EQ(LossFraction::from_counts(PacketCount{0}, PacketCount{0}).value(), 0.0);
+
+  const LossFraction p = LossFraction::from_counts(PacketCount{5}, PacketCount{100});
+  EXPECT_DOUBLE_EQ(p.value(), 0.05);
+
+  // Matches the raw expression used by the report producers.
+  const std::uint64_t lost = 13;
+  const std::uint64_t expected = 977;
+  EXPECT_EQ(LossFraction::from_counts(PacketCount{lost}, PacketCount{expected}).value(),
+            static_cast<double>(lost) / static_cast<double>(expected));
+}
+
+TEST(UnitsTest, LossFractionThresholdComparisons) {
+  const LossFraction p{0.04};
+  EXPECT_LT(p, LossFraction{0.05});
+  EXPECT_GT(p, LossFraction::zero());
+  EXPECT_EQ(LossFraction{0.04}, p);
+}
+
+TEST(UnitsTest, BitsPerSecScalingAndRatios) {
+  const BitsPerSec base{32'000.0};
+  EXPECT_DOUBLE_EQ((base * 2.0).bps(), 64'000.0);
+  EXPECT_DOUBLE_EQ((2.0 * base).bps(), 64'000.0);
+  EXPECT_DOUBLE_EQ((base / 2.0).bps(), 16'000.0);
+  EXPECT_DOUBLE_EQ(BitsPerSec{64'000.0} / base, 2.0);
+
+  BitsPerSec sum = BitsPerSec::zero();
+  sum += base;
+  sum += base;
+  EXPECT_DOUBLE_EQ(sum.bps(), 64'000.0);
+  EXPECT_DOUBLE_EQ((base + base).bps(), 64'000.0);
+  EXPECT_DOUBLE_EQ((sum - base).bps(), 32'000.0);
+}
+
+TEST(UnitsTest, BitsPerSecInfinity) {
+  EXPECT_FALSE(BitsPerSec::infinite().finite());
+  EXPECT_TRUE(BitsPerSec{1e9}.finite());
+  EXPECT_EQ(BitsPerSec::infinite().bps(), std::numeric_limits<double>::infinity());
+  EXPECT_LT(BitsPerSec{1e12}, BitsPerSec::infinite());
+}
+
+}  // namespace
+}  // namespace tsim::units

@@ -24,7 +24,7 @@ struct InjectorFixture : ::testing::Test {
   net::NodeId b{network.add_node("b")};
 
   InjectorFixture() {
-    network.add_duplex_link(a, b, 1e6, 10_ms);
+    network.add_duplex_link(a, b, tsim::units::BitsPerSec{1e6}, 10_ms);
     network.compute_routes();
   }
 

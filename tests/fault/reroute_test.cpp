@@ -26,10 +26,10 @@ struct DiamondFixture : ::testing::Test {
   mcast::MulticastRouter router{simulation, network, {}};
 
   DiamondFixture() {
-    network.add_duplex_link(s, a, 10e6, 10_ms);
-    network.add_duplex_link(a, d, 10e6, 10_ms);
-    network.add_duplex_link(s, b, 10e6, 50_ms);
-    network.add_duplex_link(b, d, 10e6, 50_ms);
+    network.add_duplex_link(s, a, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(a, d, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(s, b, tsim::units::BitsPerSec{10e6}, 50_ms);
+    network.add_duplex_link(b, d, tsim::units::BitsPerSec{10e6}, 50_ms);
     network.compute_routes();
     router.set_session_source(0, s);
   }

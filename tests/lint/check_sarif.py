@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Structural validity check for toposense_lint's SARIF 2.1.0 output.
+
+Runs the lint binary over the determinism fixture tree, then asserts the
+emitted SARIF log has the shape CI viewers (and the SARIF 2.1.0 schema)
+require. Pure stdlib on purpose: the CI image has no jsonschema package.
+
+Usage: check_sarif.py <toposense_lint-binary> <fixture-dir>
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def fail(message):
+    print(f"check_sarif: FAIL: {message}")
+    sys.exit(1)
+
+
+def require(condition, message):
+    if not condition:
+        fail(message)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_sarif.py <toposense_lint-binary> <fixture-dir>")
+    lint_bin, fixture_dir = sys.argv[1], sys.argv[2]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sarif_path = os.path.join(tmp, "lint.sarif")
+        proc = subprocess.run(
+            [lint_bin, "--checks", "determinism", "--sarif", sarif_path, "src"],
+            cwd=fixture_dir,
+            capture_output=True,
+            text=True,
+        )
+        # Findings are expected (exit 1); anything else is a tool error.
+        require(proc.returncode == 1,
+                f"expected exit 1 (findings), got {proc.returncode}: {proc.stderr}")
+        with open(sarif_path, encoding="utf-8") as f:
+            log = json.load(f)
+
+    require(log.get("version") == "2.1.0", "version must be 2.1.0")
+    require("sarif-2.1.0" in log.get("$schema", ""), "$schema must name sarif-2.1.0")
+
+    runs = log.get("runs")
+    require(isinstance(runs, list) and len(runs) == 1, "exactly one run")
+    run = runs[0]
+
+    driver = run.get("tool", {}).get("driver", {})
+    require(driver.get("name") == "toposense_lint", "driver name")
+    require(isinstance(driver.get("version"), str), "driver version")
+    rules = driver.get("rules")
+    require(isinstance(rules, list) and rules, "driver rules non-empty")
+    rule_ids = set()
+    for rule in rules:
+        require(isinstance(rule.get("id"), str) and rule["id"], "rule id")
+        require(rule["id"] not in rule_ids, f"duplicate rule id {rule['id']}")
+        rule_ids.add(rule["id"])
+        require(isinstance(rule.get("shortDescription", {}).get("text"), str),
+                f"rule {rule['id']} shortDescription.text")
+
+    results = run.get("results")
+    require(isinstance(results, list), "results array")
+    # The determinism fixture produces exactly 4 findings (see clock_abuse.cpp).
+    require(len(results) == 4, f"expected 4 results, got {len(results)}")
+    for result in results:
+        rule_id = result.get("ruleId", "")
+        require("/" in rule_id, f"ruleId '{rule_id}' must be check/rule")
+        require(rule_id.split("/", 1)[0] in rule_ids,
+                f"ruleId '{rule_id}' check not in driver rules")
+        require(result.get("level") == "warning", "result level")
+        require(result.get("baselineState") in ("new", "unchanged"),
+                "result baselineState")
+        require(isinstance(result.get("message", {}).get("text"), str),
+                "result message.text")
+        locations = result.get("locations")
+        require(isinstance(locations, list) and len(locations) == 1,
+                "one location per result")
+        physical = locations[0].get("physicalLocation", {})
+        uri = physical.get("artifactLocation", {}).get("uri")
+        require(isinstance(uri, str) and uri.startswith("src/"),
+                f"artifact uri '{uri}' must be repo-relative")
+        start_line = physical.get("region", {}).get("startLine")
+        require(isinstance(start_line, int) and start_line >= 1,
+                "region.startLine must be a positive int")
+    # No baseline was passed, so every result must be new.
+    require(all(r["baselineState"] == "new" for r in results),
+            "all results new without a baseline")
+
+    print(f"check_sarif: OK ({len(results)} results, {len(rule_ids)} rules)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+// Fixture: this-capturing callbacks handed to the scheduler. Two findings —
+// the fire-and-forget sites; the site that retains the EventId is clean.
+namespace fixture {
+
+struct EventId {};
+
+struct FakeSim {
+  template <typename F>
+  EventId after(double delay, F&& fn);
+  template <typename F>
+  EventId at(double when, F&& fn);
+};
+
+struct Agent {
+  void start() {
+    sim_.after(1.0, [this] { tick(); });
+    sim_.at(2.0, [this] { tick(); });
+    timer_ = sim_.after(3.0, [this] { tick(); });
+  }
+  void tick();
+
+  FakeSim sim_;
+  EventId timer_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: a fire-and-forget this-capturing callback whose lifetime is
+// actually safe (the agent outlives the simulation), suppressed in place.
+namespace fixture {
+
+struct EventId {};
+
+struct FakeSim {
+  template <typename F>
+  EventId after(double delay, F&& fn);
+};
+
+struct ImmortalAgent {
+  void start() {
+    sim_.after(1.0, [this] { tick(); });  // NOLINT(callback-lifetime) fixture: agent outlives sim
+  }
+  void tick();
+
+  FakeSim sim_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: every determinism rule fires exactly once in this file. The
+// fixture test asserts the exact total, so keep the counts in sync with
+// tests/lint/CMakeLists.txt if you edit it.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+int wall_clock_and_rand() {
+  const auto now = std::chrono::steady_clock::now();
+  const int draw = rand();
+  return static_cast<int>(now.time_since_epoch().count()) + draw;
+}
+
+int pointer_keyed_and_unordered_iteration() {
+  std::map<int*, int> by_address;
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total + static_cast<int>(by_address.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: the same patterns as clock_abuse.cpp, each suppressed with a
+// NOLINT marker. None of these may count toward the fixture total.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+int suppressed_wall_clock() {
+  // NOLINT(determinism): fixture exercising next-line suppression
+  const auto now = std::chrono::steady_clock::now();
+  const int draw = rand();  // NOLINT(determinism) fixture same-line suppression
+  const int wild = rand();  // NOLINT(*) fixture wildcard suppression
+  return static_cast<int>(now.time_since_epoch().count()) + draw + wild;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: one order-sensitive double accumulation inside a range-for. The
+// integer count and the accumulation outside any loop are negatives.
+#include <vector>
+
+namespace fixture {
+
+double total(const std::vector<double>& xs) {
+  double sum = 0.0;
+  int count = 0;
+  for (const double x : xs) {
+    sum += x;
+    count += 1;
+  }
+  double outside = 0.0;
+  outside += static_cast<double>(count);
+  return sum + outside;
+}
+
+}  // namespace fixture

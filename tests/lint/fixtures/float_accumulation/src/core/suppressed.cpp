@@ -1,0 +1,15 @@
+// Fixture: a loop accumulation whose order is fixed by construction (sorted
+// input), suppressed in place.
+#include <vector>
+
+namespace fixture {
+
+double total_sorted(const std::vector<double>& sorted_xs) {
+  double sum = 0.0;
+  for (const double x : sorted_xs) {
+    sum += x;  // NOLINT(float-accumulation) fixture: input is order-fixed
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: three raw-unit doubles in a public header, one per suffix the
+// check knows. The fixture test asserts the exact total.
+#pragma once
+
+namespace fixture {
+
+struct TunerConfig {
+  double target_bps{0.0};
+  double window_bytes{0.0};
+  double decay_fraction{0.0};
+  // Negatives: no unit suffix, pointer, and a function declaration.
+  double plain{0.0};
+  double* scratch_bps{nullptr};
+  double rate_bps();
+};
+
+}  // namespace fixture

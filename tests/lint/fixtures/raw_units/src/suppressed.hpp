@@ -1,0 +1,12 @@
+// Fixture: raw-unit doubles that stay raw on purpose, suppressed in place.
+#pragma once
+
+namespace fixture {
+
+struct LegacyWireFormat {
+  double encoded_bps{0.0};  // NOLINT(raw-units) fixture: external wire format
+  // NOLINT(raw-units): fixture exercising next-line suppression
+  double encoded_bytes{0.0};
+};
+
+}  // namespace fixture

@@ -23,9 +23,9 @@ struct McastFixture : ::testing::Test {
   MulticastRouter router{simulation, network, {Time::zero(), 1_s}};
 
   McastFixture() {
-    network.add_duplex_link(src, r, 10e6, 10_ms);
-    network.add_duplex_link(r, a, 10e6, 10_ms);
-    network.add_duplex_link(r, b, 10e6, 10_ms);
+    network.add_duplex_link(src, r, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(r, a, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(r, b, tsim::units::BitsPerSec{10e6}, 10_ms);
     network.compute_routes();
     router.set_session_source(0, src);
   }

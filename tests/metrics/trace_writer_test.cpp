@@ -59,8 +59,8 @@ TEST(LinkMonitorTest, MeasuresThroughputAndDrops) {
   const auto a = network.add_node();
   const auto b = network.add_node();
   // 200 Kbps link offered 400 Kbps: ~50% drops, full utilization.
-  const auto link = network.add_link(a, b, 200e3, 10_ms, 5);
-  network.add_link(b, a, 200e3, 10_ms, 5);
+  const auto link = network.add_link(a, b, tsim::units::BitsPerSec{200e3}, 10_ms, 5);
+  network.add_link(b, a, tsim::units::BitsPerSec{200e3}, 10_ms, 5);
   network.compute_routes();
 
   traffic::CbrFlow::Config cfg;
@@ -87,14 +87,14 @@ TEST(LinkMonitorTest, IdleLinkShowsZero) {
   net::Network network{simulation};
   const auto a = network.add_node();
   const auto b = network.add_node();
-  const auto link = network.add_link(a, b, 1e6, 10_ms, 5);
+  const auto link = network.add_link(a, b, tsim::units::BitsPerSec{1e6}, 10_ms, 5);
   network.compute_routes();
   LinkMonitor monitor{simulation, network, link, 1_s};
   monitor.start();
   simulation.run_until(10_s);
   EXPECT_DOUBLE_EQ(monitor.mean_utilization(), 0.0);
   for (const auto& s : monitor.samples()) {
-    EXPECT_DOUBLE_EQ(s.throughput_bps, 0.0);
+    EXPECT_DOUBLE_EQ(s.throughput.bps(), 0.0);
     EXPECT_DOUBLE_EQ(s.drop_rate, 0.0);
   }
 }

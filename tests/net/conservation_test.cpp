@@ -24,9 +24,9 @@ TEST_P(ConservationProperty, LinkCountersBalance) {
   const NodeId a = network.add_node("a");
   const NodeId b = network.add_node("b");
   // Narrow middle link forces drops; receivers on fat access links.
-  network.add_duplex_link(src, r, 200e3, 100_ms, 8);
-  network.add_duplex_link(r, a, 10e6, 50_ms, 8);
-  network.add_duplex_link(r, b, 10e6, 50_ms, 8);
+  network.add_duplex_link(src, r, tsim::units::BitsPerSec{200e3}, 100_ms, 8);
+  network.add_duplex_link(r, a, tsim::units::BitsPerSec{10e6}, 50_ms, 8);
+  network.add_duplex_link(r, b, tsim::units::BitsPerSec{10e6}, 50_ms, 8);
   network.compute_routes();
 
   mcast::MulticastRouter mcast{simulation, network, {}};
@@ -79,7 +79,7 @@ TEST_P(ConservationProperty, PerGroupBytesSumToTotal) {
   Network network{simulation};
   const NodeId src = network.add_node("src");
   const NodeId dst = network.add_node("dst");
-  const LinkId link = network.add_link(src, dst, 10e6, 10_ms, 100);
+  const LinkId link = network.add_link(src, dst, tsim::units::BitsPerSec{10e6}, 10_ms, 100);
   network.compute_routes();
 
   mcast::MulticastRouter mcast{simulation, network, {}};
@@ -98,7 +98,7 @@ TEST_P(ConservationProperty, PerGroupBytesSumToTotal) {
   const LinkStats& stats = network.link(link).stats();
   std::uint64_t by_group = 0;
   for (const std::uint64_t bytes : stats.delivered_bytes_by_group) by_group += bytes;
-  EXPECT_EQ(by_group, stats.delivered_bytes);
+  EXPECT_EQ(by_group, stats.delivered_bytes.count());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConservationProperty, ::testing::Values(1u, 17u, 333u));

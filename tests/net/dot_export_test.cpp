@@ -14,7 +14,7 @@ TEST(DotExportTest, EmitsNodesAndCollapsedEdges) {
   Network network{simulation};
   const NodeId a = network.add_node("alpha");
   const NodeId b = network.add_node("beta");
-  network.add_duplex_link(a, b, 1.5e6, 200_ms);
+  network.add_duplex_link(a, b, tsim::units::BitsPerSec{1.5e6}, 200_ms);
 
   const std::string dot = to_dot(network);
   EXPECT_NE(dot.find("graph network {"), std::string::npos);
@@ -32,8 +32,8 @@ TEST(DotExportTest, HighlightsGivenEdges) {
   const NodeId a = network.add_node();
   const NodeId b = network.add_node();
   const NodeId c = network.add_node();
-  network.add_duplex_link(a, b, 1e6, 10_ms);
-  network.add_duplex_link(b, c, 64e3, 10_ms);
+  network.add_duplex_link(a, b, tsim::units::BitsPerSec{1e6}, 10_ms);
+  network.add_duplex_link(b, c, tsim::units::BitsPerSec{64e3}, 10_ms);
 
   const std::string dot = to_dot(network, {{b, c}});
   // Highlighted edge is red; the other is not.
@@ -51,8 +51,8 @@ TEST(DotExportTest, BandwidthUnitsScale) {
   const NodeId a = network.add_node();
   const NodeId b = network.add_node();
   const NodeId c = network.add_node();
-  network.add_link(a, b, 800.0, 1_ms);
-  network.add_link(b, c, 64e3, 1_ms);
+  network.add_link(a, b, tsim::units::BitsPerSec{800.0}, 1_ms);
+  network.add_link(b, c, tsim::units::BitsPerSec{64e3}, 1_ms);
   const std::string dot = to_dot(network);
   EXPECT_NE(dot.find("800bps"), std::string::npos);
   EXPECT_NE(dot.find("64kbps"), std::string::npos);

@@ -34,13 +34,13 @@ struct LinkFixture : ::testing::Test {
 };
 
 TEST_F(LinkFixture, TransmissionTimeMatchesBandwidth) {
-  const LinkId id = network.add_link(a, b, 8000.0, 100_ms);  // 1000 B/s
+  const LinkId id = network.add_link(a, b, tsim::units::BitsPerSec{8000.0}, 100_ms);  // 1000 B/s
   EXPECT_EQ(network.link(id).transmission_time(1000), Time::seconds(std::int64_t{1}));
   EXPECT_EQ(network.link(id).transmission_time(500), 500_ms);
 }
 
 TEST_F(LinkFixture, DeliversAfterSerializationPlusLatency) {
-  const LinkId id = network.add_link(a, b, 8'000'000.0, 200_ms);  // 1 ms / 1000 B
+  const LinkId id = network.add_link(a, b, tsim::units::BitsPerSec{8'000'000.0}, 200_ms);  // 1 ms / 1000 B
   network.compute_routes();
   wire_sink();
   network.send_unicast(data_packet(1000));
@@ -52,7 +52,7 @@ TEST_F(LinkFixture, DeliversAfterSerializationPlusLatency) {
 }
 
 TEST_F(LinkFixture, SerializesBackToBackPackets) {
-  network.add_link(a, b, 8000.0, Time::zero(), 10);  // 1 s per 1000 B packet
+  network.add_link(a, b, tsim::units::BitsPerSec{8000.0}, Time::zero(), 10);  // 1 s per 1000 B packet
   network.compute_routes();
   wire_sink();
   for (int i = 0; i < 3; ++i) network.send_unicast(data_packet(1000));
@@ -65,7 +65,7 @@ TEST_F(LinkFixture, SerializesBackToBackPackets) {
 }
 
 TEST_F(LinkFixture, DropTailWhenQueueFull) {
-  const LinkId id = network.add_link(a, b, 8000.0, Time::zero(), 2);  // queue of 2
+  const LinkId id = network.add_link(a, b, tsim::units::BitsPerSec{8000.0}, Time::zero(), 2);  // queue of 2
   network.compute_routes();
   wire_sink();
   // One transmitting + 2 queued = 3 accepted; the 4th and 5th drop.
@@ -73,12 +73,12 @@ TEST_F(LinkFixture, DropTailWhenQueueFull) {
   simulation.run_until(10_s);
   EXPECT_EQ(delivered.size(), 3u);
   EXPECT_EQ(network.link(id).stats().dropped_packets, 2u);
-  EXPECT_EQ(network.link(id).stats().dropped_bytes, 2000u);
+  EXPECT_EQ(network.link(id).stats().dropped_bytes.count(), 2000u);
   EXPECT_EQ(network.link(id).stats().enqueued_packets, 5u);
 }
 
 TEST_F(LinkFixture, QueueDrainsAndAcceptsAgain) {
-  const LinkId id = network.add_link(a, b, 8000.0, Time::zero(), 1);
+  const LinkId id = network.add_link(a, b, tsim::units::BitsPerSec{8000.0}, Time::zero(), 1);
   network.compute_routes();
   wire_sink();
   network.send_unicast(data_packet(1000));
@@ -92,7 +92,7 @@ TEST_F(LinkFixture, QueueDrainsAndAcceptsAgain) {
 }
 
 TEST_F(LinkFixture, PerGroupStatsTrackMulticastBytes) {
-  const LinkId id = network.add_link(a, b, 8'000'000.0, 1_ms);
+  const LinkId id = network.add_link(a, b, tsim::units::BitsPerSec{8'000'000.0}, 1_ms);
   network.compute_routes();
 
   // Stub forwarder: everything at `a` goes out on link `id`.
@@ -114,12 +114,12 @@ TEST_F(LinkFixture, PerGroupStatsTrackMulticastBytes) {
   network.send_multicast(p);
   simulation.run_until(1_s);
   const auto& stats = network.link(id).stats();
-  EXPECT_EQ(network.link(id).delivered_bytes_for_group(GroupAddr{7, 2}), 1000u);
+  EXPECT_EQ(network.link(id).delivered_bytes_for_group(GroupAddr{7, 2}).count(), 1000u);
 }
 
 TEST_F(LinkFixture, ZeroBandwidthRejected) {
-  EXPECT_THROW(network.add_link(a, b, 0.0, 1_ms), std::invalid_argument);
-  EXPECT_THROW(network.add_link(a, b, -5.0, 1_ms), std::invalid_argument);
+  EXPECT_THROW(network.add_link(a, b, tsim::units::BitsPerSec{0.0}, 1_ms), std::invalid_argument);
+  EXPECT_THROW(network.add_link(a, b, tsim::units::BitsPerSec{-5.0}, 1_ms), std::invalid_argument);
 }
 
 }  // namespace

@@ -27,7 +27,7 @@ TEST_F(NetworkFixture, NodesGetSequentialIdsAndDefaultNames) {
 TEST_F(NetworkFixture, DuplexLinkCreatesBothDirections) {
   const NodeId a = network.add_node();
   const NodeId b = network.add_node();
-  const auto [ab, ba] = network.add_duplex_link(a, b, 1e6, 10_ms);
+  const auto [ab, ba] = network.add_duplex_link(a, b, tsim::units::BitsPerSec{1e6}, 10_ms);
   EXPECT_EQ(network.link(ab).from(), a);
   EXPECT_EQ(network.link(ab).to(), b);
   EXPECT_EQ(network.link(ba).from(), b);
@@ -37,13 +37,13 @@ TEST_F(NetworkFixture, DuplexLinkCreatesBothDirections) {
 
 TEST_F(NetworkFixture, AddLinkValidatesNodes) {
   network.add_node();
-  EXPECT_THROW(network.add_link(0, 5, 1e6, 1_ms), std::out_of_range);
+  EXPECT_THROW(network.add_link(0, 5, tsim::units::BitsPerSec{1e6}, 1_ms), std::out_of_range);
 }
 
 TEST_F(NetworkFixture, SendBeforeRoutesComputedThrows) {
   const NodeId a = network.add_node();
   const NodeId b = network.add_node();
-  network.add_link(a, b, 1e6, 1_ms);
+  network.add_link(a, b, tsim::units::BitsPerSec{1e6}, 1_ms);
   Packet p;
   p.src = a;
   p.dst = b;
@@ -55,8 +55,8 @@ TEST_F(NetworkFixture, UnicastTraversesMultipleHops) {
   const NodeId a = network.add_node();
   const NodeId m = network.add_node();
   const NodeId b = network.add_node();
-  network.add_duplex_link(a, m, 8e6, 100_ms);
-  network.add_duplex_link(m, b, 8e6, 100_ms);
+  network.add_duplex_link(a, m, tsim::units::BitsPerSec{8e6}, 100_ms);
+  network.add_duplex_link(m, b, tsim::units::BitsPerSec{8e6}, 100_ms);
   network.compute_routes();
 
   int got = 0;

@@ -19,8 +19,8 @@ struct RedFixture : ::testing::Test {
   LinkId link{};
 
   void build(double bps, std::size_t queue, bool red) {
-    link = network.add_link(a, b, bps, 10_ms, queue);
-    network.add_link(b, a, bps, 10_ms, queue);
+    link = network.add_link(a, b, tsim::units::BitsPerSec{bps}, 10_ms, queue);
+    network.add_link(b, a, tsim::units::BitsPerSec{bps}, 10_ms, queue);
     network.compute_routes();
     if (red) network.link(link).enable_red({});
   }
@@ -69,8 +69,8 @@ TEST_F(RedFixture, RedKeepsQueueShorter) {
   Network net2{sim2};
   const NodeId a2 = net2.add_node();
   const NodeId b2 = net2.add_node();
-  const LinkId l2 = net2.add_link(a2, b2, 200e3, 10_ms, 50);
-  net2.add_link(b2, a2, 200e3, 10_ms, 50);
+  const LinkId l2 = net2.add_link(a2, b2, tsim::units::BitsPerSec{200e3}, 10_ms, 50);
+  net2.add_link(b2, a2, tsim::units::BitsPerSec{200e3}, 10_ms, 50);
   net2.compute_routes();
   traffic::CbrFlow::Config cfg;
   cfg.src = a2;

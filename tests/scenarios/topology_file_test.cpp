@@ -25,18 +25,18 @@ controller src
 )";
 
 TEST(BandwidthParseTest, AcceptsSuffixes) {
-  EXPECT_DOUBLE_EQ(parse_bandwidth("256kbps"), 256e3);
-  EXPECT_DOUBLE_EQ(parse_bandwidth("1.5Mbps"), 1.5e6);
-  EXPECT_DOUBLE_EQ(parse_bandwidth("2Gbps"), 2e9);
-  EXPECT_DOUBLE_EQ(parse_bandwidth("8000bps"), 8000.0);
-  EXPECT_DOUBLE_EQ(parse_bandwidth("64KBPS"), 64e3);  // case-insensitive
+  EXPECT_DOUBLE_EQ(parse_bandwidth("256kbps").bps(), 256e3);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("1.5Mbps").bps(), 1.5e6);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("2Gbps").bps(), 2e9);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("8000bps").bps(), 8000.0);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("64KBPS").bps(), 64e3);  // case-insensitive
 }
 
 TEST(BandwidthParseTest, RejectsGarbage) {
-  EXPECT_LT(parse_bandwidth("fast"), 0.0);
-  EXPECT_LT(parse_bandwidth("10"), 0.0);
-  EXPECT_LT(parse_bandwidth("-5Mbps"), 0.0);
-  EXPECT_LT(parse_bandwidth("Mbps"), 0.0);
+  EXPECT_LT(parse_bandwidth("fast").bps(), 0.0);
+  EXPECT_LT(parse_bandwidth("10").bps(), 0.0);
+  EXPECT_LT(parse_bandwidth("-5Mbps").bps(), 0.0);
+  EXPECT_LT(parse_bandwidth("Mbps").bps(), 0.0);
 }
 
 TEST(LatencyParseTest, AcceptsUnits) {
@@ -56,7 +56,7 @@ TEST(TopologyParseTest, ParsesValidFile) {
   const auto& d = *result.description;
   EXPECT_EQ(d.nodes.size(), 3u);
   ASSERT_EQ(d.links.size(), 2u);
-  EXPECT_DOUBLE_EQ(d.links[1].bandwidth_bps, 256e3);
+  EXPECT_DOUBLE_EQ(d.links[1].bandwidth.bps(), 256e3);
   EXPECT_EQ(d.links[1].latency, 100_ms);
   EXPECT_TRUE(d.links[1].red);
   ASSERT_TRUE(d.links[1].queue_packets.has_value());

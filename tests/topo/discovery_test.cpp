@@ -20,9 +20,9 @@ struct DiscoveryFixture : ::testing::Test {
   mcast::MulticastRouter mcast{simulation, network, {}};
 
   DiscoveryFixture() {
-    network.add_duplex_link(src, r, 10e6, 10_ms);
-    network.add_duplex_link(r, a, 10e6, 10_ms);
-    network.add_duplex_link(r, b, 10e6, 10_ms);
+    network.add_duplex_link(src, r, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(r, a, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(r, b, tsim::units::BitsPerSec{10e6}, 10_ms);
     network.compute_routes();
     mcast.set_session_source(0, src);
   }

@@ -26,12 +26,12 @@ struct DomainFixture : ::testing::Test {
   mcast::MulticastRouter mcast{simulation, network, {}};
 
   DomainFixture() {
-    network.add_duplex_link(src, core, 10e6, 10_ms);
-    network.add_duplex_link(core, d1, 10e6, 10_ms);
-    network.add_duplex_link(core, d2, 10e6, 10_ms);
-    network.add_duplex_link(d1, a1, 10e6, 10_ms);
-    network.add_duplex_link(d1, a2, 10e6, 10_ms);
-    network.add_duplex_link(d2, b1, 10e6, 10_ms);
+    network.add_duplex_link(src, core, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(core, d1, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(core, d2, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(d1, a1, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(d1, a2, tsim::units::BitsPerSec{10e6}, 10_ms);
+    network.add_duplex_link(d2, b1, tsim::units::BitsPerSec{10e6}, 10_ms);
     network.compute_routes();
     mcast.set_session_source(0, src);
     mcast.join(a1, net::GroupAddr{0, 1});

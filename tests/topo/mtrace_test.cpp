@@ -23,9 +23,9 @@ struct MtraceFixture : ::testing::Test {
   std::unique_ptr<MtraceDiscovery> discovery;
 
   MtraceFixture() {
-    network.add_duplex_link(src, r, 10e6, 50_ms);
-    network.add_duplex_link(r, a, 10e6, 50_ms);
-    network.add_duplex_link(r, b, 10e6, 50_ms);
+    network.add_duplex_link(src, r, tsim::units::BitsPerSec{10e6}, 50_ms);
+    network.add_duplex_link(r, a, tsim::units::BitsPerSec{10e6}, 50_ms);
+    network.add_duplex_link(r, b, tsim::units::BitsPerSec{10e6}, 50_ms);
     network.compute_routes();
     mcast.set_session_source(0, src);
 

@@ -19,7 +19,7 @@ struct CrossTrafficFixture : ::testing::Test {
   int received_packets{0};
 
   CrossTrafficFixture() {
-    network.add_duplex_link(a, b, 10e6, 10_ms, 200);
+    network.add_duplex_link(a, b, tsim::units::BitsPerSec{10e6}, 10_ms, 200);
     network.compute_routes();
     network.set_local_sink(b, [this](const net::PacketRef& p) {
       received_bytes += p->size_bytes;
@@ -94,7 +94,7 @@ TEST_F(CrossTrafficFixture, DeterministicAcrossSeeds) {
     net::Network local_net{local_sim};
     const auto na = local_net.add_node();
     const auto nb = local_net.add_node();
-    local_net.add_duplex_link(na, nb, 10e6, 10_ms, 200);
+    local_net.add_duplex_link(na, nb, tsim::units::BitsPerSec{10e6}, 10_ms, 200);
     local_net.compute_routes();
     OnOffFlow::Config cfg;
     cfg.src = na;

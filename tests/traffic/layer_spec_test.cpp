@@ -7,36 +7,36 @@ namespace {
 
 TEST(LayerSpecTest, PaperRatesDoublePerLayer) {
   const LayerSpec spec;
-  EXPECT_DOUBLE_EQ(spec.layer_rate_bps(1), 32e3);
-  EXPECT_DOUBLE_EQ(spec.layer_rate_bps(2), 64e3);
-  EXPECT_DOUBLE_EQ(spec.layer_rate_bps(3), 128e3);
-  EXPECT_DOUBLE_EQ(spec.layer_rate_bps(6), 1024e3);
+  EXPECT_DOUBLE_EQ(spec.layer_rate(1).bps(), 32e3);
+  EXPECT_DOUBLE_EQ(spec.layer_rate(2).bps(), 64e3);
+  EXPECT_DOUBLE_EQ(spec.layer_rate(3).bps(), 128e3);
+  EXPECT_DOUBLE_EQ(spec.layer_rate(6).bps(), 1024e3);
 }
 
 TEST(LayerSpecTest, CumulativeRatesMatchPaper) {
   const LayerSpec spec;
-  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(0), 0.0);
-  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(1), 32e3);
-  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(2), 96e3);
-  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(3), 224e3);
-  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(4), 480e3);
-  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(5), 992e3);
-  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(6), 2016e3);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate(0).bps(), 0.0);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate(1).bps(), 32e3);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate(2).bps(), 96e3);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate(3).bps(), 224e3);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate(4).bps(), 480e3);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate(5).bps(), 992e3);
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate(6).bps(), 2016e3);
 }
 
 TEST(LayerSpecTest, CumulativeClampsAtNumLayers) {
   const LayerSpec spec;
-  EXPECT_DOUBLE_EQ(spec.cumulative_rate_bps(10), spec.cumulative_rate_bps(6));
+  EXPECT_DOUBLE_EQ(spec.cumulative_rate(10).bps(), spec.cumulative_rate(6).bps());
 }
 
 TEST(LayerSpecTest, MaxLayersForPaperBottlenecks) {
   const LayerSpec spec;
-  EXPECT_EQ(spec.max_layers_for_bandwidth(256e3), 3);   // Topology A set 1
-  EXPECT_EQ(spec.max_layers_for_bandwidth(1e6), 5);     // Topology A set 2
-  EXPECT_EQ(spec.max_layers_for_bandwidth(500e3), 4);   // Topology B per session
-  EXPECT_EQ(spec.max_layers_for_bandwidth(31e3), 0);
-  EXPECT_EQ(spec.max_layers_for_bandwidth(32e3), 1);
-  EXPECT_EQ(spec.max_layers_for_bandwidth(1e9), 6);
+  EXPECT_EQ(spec.max_layers_for_bandwidth(tsim::units::BitsPerSec{256e3}), 3);   // Topology A set 1
+  EXPECT_EQ(spec.max_layers_for_bandwidth(tsim::units::BitsPerSec{1e6}), 5);     // Topology A set 2
+  EXPECT_EQ(spec.max_layers_for_bandwidth(tsim::units::BitsPerSec{500e3}), 4);   // Topology B per session
+  EXPECT_EQ(spec.max_layers_for_bandwidth(tsim::units::BitsPerSec{31e3}), 0);
+  EXPECT_EQ(spec.max_layers_for_bandwidth(tsim::units::BitsPerSec{32e3}), 1);
+  EXPECT_EQ(spec.max_layers_for_bandwidth(tsim::units::BitsPerSec{1e9}), 6);
 }
 
 TEST(LayerSpecTest, PacketsPerSecond) {
@@ -49,8 +49,8 @@ TEST(LayerSpecTest, CustomGrowthForGranularityAblation) {
   LayerSpec fine;
   fine.num_layers = 12;
   fine.layer_growth = 1.5;
-  EXPECT_GT(fine.cumulative_rate_bps(12), fine.cumulative_rate_bps(11));
-  EXPECT_EQ(fine.max_layers_for_bandwidth(fine.cumulative_rate_bps(7)), 7);
+  EXPECT_GT(fine.cumulative_rate(12).bps(), fine.cumulative_rate(11).bps());
+  EXPECT_EQ(fine.max_layers_for_bandwidth(fine.cumulative_rate(7)), 7);
 }
 
 // Property sweep: max_layers_for_bandwidth is the inverse of
@@ -60,11 +60,11 @@ class LayerInverseProperty : public ::testing::TestWithParam<int> {};
 TEST_P(LayerInverseProperty, BoundaryInversion) {
   const LayerSpec spec;
   const int k = GetParam();
-  const double cum = spec.cumulative_rate_bps(k);
-  EXPECT_EQ(spec.max_layers_for_bandwidth(cum), k);
+  const double cum = spec.cumulative_rate(k).bps();
+  EXPECT_EQ(spec.max_layers_for_bandwidth(tsim::units::BitsPerSec{cum}), k);
   if (k < spec.num_layers) {
-    EXPECT_EQ(spec.max_layers_for_bandwidth(cum + 1.0), k);
-    EXPECT_EQ(spec.max_layers_for_bandwidth(cum - 1.0), k - 1);
+    EXPECT_EQ(spec.max_layers_for_bandwidth(tsim::units::BitsPerSec{cum + 1.0}), k);
+    EXPECT_EQ(spec.max_layers_for_bandwidth(tsim::units::BitsPerSec{cum - 1.0}), k - 1);
   }
 }
 

@@ -35,7 +35,7 @@ struct SourceFixture : ::testing::Test {
   } forwarder;
 
   SourceFixture() {
-    const net::LinkId link = network.add_link(src, dst, 100e6, 1_ms, 10000);
+    const net::LinkId link = network.add_link(src, dst, tsim::units::BitsPerSec{100e6}, 1_ms, 10000);
     network.compute_routes();
     forwarder.link = link;
     forwarder.origin = src;
@@ -120,7 +120,7 @@ TEST_F(SourceFixture, DeterministicAcrossRuns) {
     net::Network local_net{local_sim};
     const net::NodeId s = local_net.add_node();
     const net::NodeId d = local_net.add_node();
-    const net::LinkId link = local_net.add_link(s, d, 100e6, 1_ms, 10000);
+    const net::LinkId link = local_net.add_link(s, d, tsim::units::BitsPerSec{100e6}, 1_ms, 10000);
     local_net.compute_routes();
     struct F final : net::MulticastForwarder {
       net::LinkId link;

@@ -37,7 +37,7 @@ struct EndpointFixture : ::testing::Test {
   }
 
   void add_link(double bps, std::size_t queue = 30) {
-    network.add_duplex_link(src, rcv, bps, 20_ms, queue);
+    network.add_duplex_link(src, rcv, tsim::units::BitsPerSec{bps}, 20_ms, queue);
     network.compute_routes();
   }
 
@@ -90,8 +90,8 @@ TEST_F(EndpointFixture, ReceivesBytesOnFatLink) {
   endpoint->start();
   simulation.run_until(30_s);
   // 3 layers = 224 Kbps = 28 KB/s.
-  EXPECT_NEAR(static_cast<double>(endpoint->total_bytes()), 28e3 * 30, 28e3 * 2);
-  EXPECT_NEAR(endpoint->lifetime_loss_rate(), 0.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(endpoint->total_bytes().count()), 28e3 * 30, 28e3 * 2);
+  EXPECT_NEAR(endpoint->lifetime_loss_rate().value(), 0.0, 1e-9);
 }
 
 TEST_F(EndpointFixture, DetectsLossOnThinLink) {
@@ -101,8 +101,8 @@ TEST_F(EndpointFixture, DetectsLossOnThinLink) {
   source->start();
   endpoint->start();
   simulation.run_until(60_s);
-  EXPECT_GT(endpoint->lifetime_loss_rate(), 0.2);
-  EXPECT_GT(endpoint->total_lost_packets(), 100u);
+  EXPECT_GT(endpoint->lifetime_loss_rate().value(), 0.2);
+  EXPECT_GT(endpoint->total_lost_packets().count(), 100u);
 }
 
 TEST_F(EndpointFixture, ReportsArriveAtController) {
@@ -117,8 +117,8 @@ TEST_F(EndpointFixture, ReportsArriveAtController) {
   EXPECT_EQ(r.receiver, rcv);
   EXPECT_EQ(r.session, 0);
   EXPECT_EQ(r.subscription, 2);
-  EXPECT_GT(r.bytes_received, 0u);
-  EXPECT_DOUBLE_EQ(r.loss_rate, 0.0);
+  EXPECT_GT(r.bytes_received.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.loss_rate.value(), 0.0);
   // Report seq increments.
   EXPECT_GT(reports_at_src.back().report_seq, reports_at_src.front().report_seq);
 }
@@ -132,7 +132,7 @@ TEST_F(EndpointFixture, LossRateAppearsInReports) {
   simulation.run_until(30_s);
   ASSERT_FALSE(reports_at_src.empty());
   double max_loss = 0.0;
-  for (const auto& r : reports_at_src) max_loss = std::max(max_loss, r.loss_rate);
+  for (const auto& r : reports_at_src) max_loss = std::max(max_loss, r.loss_rate.value());
   EXPECT_GT(max_loss, 0.2);
 }
 
@@ -208,7 +208,7 @@ TEST_F(EndpointFixture, RejoinResetsSequenceTracking) {
   endpoint->set_subscription(2);  // rejoin
   simulation.run_until(40_s);
   // The seq jump while away must not be counted as loss.
-  EXPECT_NEAR(endpoint->lifetime_loss_rate(), 0.0, 0.01);
+  EXPECT_NEAR(endpoint->lifetime_loss_rate().value(), 0.0, 0.01);
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ struct TcpFixture : ::testing::Test {
   DemuxRegistry demuxes{network};
 
   void link(double bps, Time latency = 20_ms, std::size_t queue = 30) {
-    network.add_duplex_link(a, b, bps, latency, queue);
+    network.add_duplex_link(a, b, tsim::units::BitsPerSec{bps}, latency, queue);
     network.compute_routes();
   }
 
@@ -72,10 +72,10 @@ TEST_F(TcpFixture, TwoFlowsShareRoughlyFairly) {
   // pair of nodes to avoid demux cross-talk.
   const auto c = network.add_node("c");
   const auto d = network.add_node("d");
-  network.add_duplex_link(c, a, 10e6, 1_ms, 100);
-  network.add_duplex_link(a, c, 10e6, 1_ms, 100);
-  network.add_duplex_link(b, d, 10e6, 1_ms, 100);
-  network.add_duplex_link(d, b, 10e6, 1_ms, 100);
+  network.add_duplex_link(c, a, tsim::units::BitsPerSec{10e6}, 1_ms, 100);
+  network.add_duplex_link(a, c, tsim::units::BitsPerSec{10e6}, 1_ms, 100);
+  network.add_duplex_link(b, d, tsim::units::BitsPerSec{10e6}, 1_ms, 100);
+  network.add_duplex_link(d, b, tsim::units::BitsPerSec{10e6}, 1_ms, 100);
   network.compute_routes();
   TcpFlow::Config cfg2;
   cfg2.src = c;

@@ -1,0 +1,56 @@
+#include "baseline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace lint {
+
+Baseline Baseline::load(const std::filesystem::path& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot read baseline '" + path.string() + "'");
+  Baseline b;
+  for (std::string line; std::getline(in, line);) {
+    const std::string entry = trim(line);
+    if (entry.empty() || entry[0] == '#') continue;
+    ++b.allowed_[entry];
+    ++b.total_;
+  }
+  return b;
+}
+
+std::string Baseline::key(const Finding& finding) {
+  return finding.check + "|" + finding.rule + "|" + finding.file + "|" + finding.text;
+}
+
+void Baseline::partition(const std::vector<Finding>& findings, std::vector<Finding>& baselined,
+                         std::vector<Finding>& fresh) const {
+  std::map<std::string, int> remaining = allowed_;
+  for (const Finding& f : findings) {
+    const auto it = remaining.find(key(f));
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      baselined.push_back(f);
+    } else {
+      fresh.push_back(f);
+    }
+  }
+}
+
+void Baseline::write(const std::filesystem::path& path, const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(key(f));
+  std::sort(keys.begin(), keys.end());
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("cannot write baseline '" + path.string() + "'");
+  out << "# toposense_lint baseline — grandfathered findings, one per line:\n"
+         "#   check|rule|file|trimmed-line-text\n"
+         "# Matched by content (not line number). Regenerate with\n"
+         "#   toposense_lint --write-baseline <this file> <paths...>\n"
+         "# from the repository root. Do not add new entries by hand without\n"
+         "# a review; shrink it whenever a grandfathered site is migrated.\n";
+  for (const std::string& k : keys) out << k << '\n';
+}
+
+}  // namespace lint

@@ -1,0 +1,39 @@
+// Baseline — grandfathered findings. The committed file maps a finding key
+// `check|rule|file|trimmed-line-text` to an allowed multiplicity; scans match
+// findings against it by key (not line number, so unrelated edits above a
+// grandfathered line do not break CI) and only unmatched findings fail.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace lint {
+
+class Baseline {
+ public:
+  /// One baseline line per grandfathered finding instance; '#' comments and
+  /// blank lines are skipped. Throws std::runtime_error on IO failure.
+  [[nodiscard]] static Baseline load(const std::filesystem::path& path);
+
+  [[nodiscard]] static std::string key(const Finding& finding);
+
+  /// Splits `findings` into (baselined, fresh), consuming one baseline slot
+  /// per matched finding so removed offenders cannot mask new ones.
+  void partition(const std::vector<Finding>& findings, std::vector<Finding>& baselined,
+                 std::vector<Finding>& fresh) const;
+
+  /// Writes `findings` as a sorted baseline file.
+  static void write(const std::filesystem::path& path, const std::vector<Finding>& findings);
+
+  [[nodiscard]] std::size_t size() const { return total_; }
+
+ private:
+  std::map<std::string, int> allowed_;
+  std::size_t total_{0};
+};
+
+}  // namespace lint

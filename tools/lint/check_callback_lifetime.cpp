@@ -1,0 +1,71 @@
+// callback-lifetime — flags `this`-capturing lambdas handed to the event
+// scheduler with the returned cancellation handle discarded.
+//
+// Rule [dangling-this]: a statement that passes a `[this]`-capturing lambda
+// to Simulation::at / Simulation::after / Scheduler::schedule_at /
+// Scheduler::schedule_after without retaining the returned sim::EventId. If
+// the object dies before the event fires, the scheduler invokes a callback
+// into freed memory; keeping the EventId lets the destructor cancel it.
+// Components whose lifetime provably spans the whole simulation (agents owned
+// by the Scenario) are grandfathered via the committed baseline.
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace lint {
+
+namespace {
+
+const char* const kScheduleCalls[] = {".at(", ".after(", "schedule_at(", "schedule_after("};
+
+class CallbackLifetimeCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "callback-lifetime"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "this-capturing lambdas scheduled without a retained cancellation handle";
+  }
+  [[nodiscard]] bool applies_to(const SourceFile& file) const override {
+    return file.has_component("src");
+  }
+
+  void scan(const SourceFile& file, const GlobalContext& /*ctx*/,
+            std::vector<Finding>& out) const override {
+    for (std::size_t i = 0; i < file.clean.size(); ++i) {
+      const std::string& line = file.clean[i];
+      std::size_t call = std::string::npos;
+      for (const char* token : kScheduleCalls) {
+        const std::size_t pos = line.find(token);
+        if (pos != std::string::npos && (call == std::string::npos || pos < call)) call = pos;
+      }
+      if (call == std::string::npos) continue;
+      // The lambda may open on the call line or the next (clang-format wraps
+      // long argument lists); look no further so unrelated lambdas below the
+      // statement are not attributed to this call.
+      const bool captures_this = line.find("[this]", call) != std::string::npos ||
+                                 (i + 1 < file.clean.size() &&
+                                  trim(file.clean[i + 1]).rfind("[this]", 0) == 0);
+      if (!captures_this) continue;
+      // Retained handle: the call's result is assigned or returned. Anything
+      // before the call site counts ("id_ = sim.after(...)", "return
+      // sim.at(...)", "EventId id = ...").
+      const std::string head = line.substr(0, call);
+      const bool retained =
+          head.find('=') != std::string::npos || contains_token(head, "return");
+      if (retained || suppressed(file, i, name())) continue;
+      out.push_back({file.path, i + 1, std::string{name()}, "dangling-this",
+                     "this-capturing callback scheduled without retaining the EventId; "
+                     "if *this dies before the event fires the scheduler calls into freed "
+                     "memory — keep the handle and cancel it in the destructor",
+                     {}});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_callback_lifetime_check() {
+  return std::make_unique<CallbackLifetimeCheck>();
+}
+
+}  // namespace lint

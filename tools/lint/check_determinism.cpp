@@ -1,0 +1,124 @@
+// determinism — sources that must stay bit-for-bit deterministic across runs
+// and platforms (the simulator under src/; bench and tools read wall clocks
+// legitimately and carry baseline entries instead).
+//
+// Rules:
+//   [wall-clock]          calls that read host time (std::chrono clocks,
+//                         gettimeofday, time(), localtime, ...). Simulated
+//                         code must use sim::Time only.
+//   [unseeded-rand]       std::random_device, rand()/srand()/drand48 — all
+//                         randomness must come from seeded sim::Rng streams.
+//   [unordered-iteration] range-for over a std::unordered_{map,set}:
+//                         iteration order is implementation-defined, so
+//                         anything it feeds (output, event ordering, float
+//                         sums) can differ between libstdc++ versions.
+//   [pointer-ordering]    ordered containers keyed by pointer: addresses
+//                         differ run to run, so the order does too.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace lint {
+
+namespace {
+
+struct PointerKeyRule {
+  const char* prefix;
+  const char* what;
+};
+
+class DeterminismCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "determinism"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "host time, unseeded randomness, and iteration-order nondeterminism";
+  }
+  [[nodiscard]] bool applies_to(const SourceFile& /*file*/) const override { return true; }
+
+  void collect(const SourceFile& file, GlobalContext& ctx) const override {
+    // Headers declare the members that .cpp files iterate, so unordered
+    // names are pooled across the whole scanned set before any file scan.
+    const std::set<std::string> names = unordered_names(file.clean_joined);
+    ctx.unordered_names.insert(names.begin(), names.end());
+  }
+
+  void scan(const SourceFile& file, const GlobalContext& ctx,
+            std::vector<Finding>& out) const override {
+    static const std::vector<std::pair<const char*, const char*>> kWallClock = {
+        {"system_clock", "std::chrono::system_clock reads host time"},
+        {"steady_clock", "std::chrono::steady_clock reads host time"},
+        {"high_resolution_clock", "std::chrono::high_resolution_clock reads host time"},
+        {"gettimeofday", "gettimeofday reads host time"},
+        {"clock_gettime", "clock_gettime reads host time"},
+        {"localtime", "localtime reads host time"},
+        {"gmtime", "gmtime reads host time"},
+    };
+    static const std::vector<std::pair<const char*, const char*>> kRand = {
+        {"random_device", "std::random_device is nondeterministic; fork a seeded sim::Rng"},
+        {"srand", "srand/rand is un-seeded global state; fork a seeded sim::Rng"},
+        {"drand48", "drand48 is un-seeded global state; fork a seeded sim::Rng"},
+        {"lrand48", "lrand48 is un-seeded global state; fork a seeded sim::Rng"},
+    };
+    static const std::vector<PointerKeyRule> kPointerKeyed = {
+        {"std::map<", "std::map keyed by pointer"},
+        {"std::set<", "std::set keyed by pointer"},
+        {"std::less<", "std::less over a pointer type"},
+    };
+
+    for (std::size_t i = 0; i < file.clean.size(); ++i) {
+      const std::string& line = file.clean[i];
+      if (line.empty()) continue;
+
+      for (const auto& [token, message] : kWallClock) {
+        if (contains_token(line, token) && !suppressed(file, i, name())) {
+          out.push_back({file.path, i + 1, std::string{name()}, "wall-clock", message, {}});
+        }
+      }
+      for (const auto& [token, message] : kRand) {
+        if (contains_token(line, token) && !suppressed(file, i, name())) {
+          out.push_back({file.path, i + 1, std::string{name()}, "unseeded-rand", message, {}});
+        }
+      }
+      // rand() needs the call parenthesis to avoid flagging e.g. "operand".
+      if ((contains_token(line, "rand ()") || contains_token(line, "rand()")) &&
+          !suppressed(file, i, name())) {
+        out.push_back({file.path, i + 1, std::string{name()}, "unseeded-rand",
+                       "rand() is un-seeded global state; fork a seeded sim::Rng", {}});
+      }
+
+      for (const PointerKeyRule& rule : kPointerKeyed) {
+        std::size_t pos = 0;
+        while ((pos = line.find(rule.prefix, pos)) != std::string::npos) {
+          pos += std::string{rule.prefix}.size();
+          if (first_template_arg_is_pointer(line, pos) && !suppressed(file, i, name())) {
+            out.push_back({file.path, i + 1, std::string{name()}, "pointer-ordering",
+                           std::string{rule.what} +
+                               ": addresses differ between runs, so does the order",
+                           {}});
+            break;
+          }
+        }
+      }
+
+      const std::string target = range_for_target(line);
+      if (!target.empty() && ctx.unordered_names.count(target) != 0 &&
+          !suppressed(file, i, name())) {
+        out.push_back(
+            {file.path, i + 1, std::string{name()}, "unordered-iteration",
+             "range-for over unordered container '" + target +
+                 "': iteration order is implementation-defined; iterate a sorted copy",
+             {}});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_determinism_check() {
+  return std::make_unique<DeterminismCheck>();
+}
+
+}  // namespace lint

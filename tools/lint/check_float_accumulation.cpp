@@ -1,0 +1,135 @@
+// float-accumulation — flags `+=` accumulation into a raw double inside a
+// container loop, in the fingerprint-relevant subtrees (src/core/,
+// src/metrics/).
+//
+// Rule [loop-sum]: `sum += x` over a container's elements makes the result
+// depend on iteration order (float addition is not associative), so a
+// reordered container silently changes fingerprints. Accumulate into a
+// strong unit type (units::Bytes is exact; units::BitsPerSec documents the
+// intent and keeps the order-sensitivity visible), use integer arithmetic,
+// or sort before summing. Deliberate order-fixed sums are grandfathered via
+// the baseline or carry a NOLINT(float-accumulation) marker.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace lint {
+
+namespace {
+
+/// Identifiers declared as raw `double`/`float` anywhere in the file.
+std::set<std::string> double_names(const std::vector<std::string>& clean) {
+  std::set<std::string> names;
+  for (const std::string& line : clean) {
+    for (const char* type : {"double", "float"}) {
+      std::size_t pos = 0;
+      while ((pos = line.find(type, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+        std::size_t j = pos + std::string{type}.size();
+        pos = j;
+        if (!left_ok || (j < line.size() && is_ident_char(line[j]))) continue;
+        while (j < line.size() && (line[j] == ' ' || line[j] == '\t' || line[j] == '&')) ++j;
+        std::string ident;
+        while (j < line.size() && is_ident_char(line[j])) ident += line[j++];
+        if (!ident.empty()) names.insert(ident);
+      }
+    }
+  }
+  return names;
+}
+
+class FloatAccumulationCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "float-accumulation"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "order-sensitive double += accumulation inside container loops";
+  }
+  [[nodiscard]] bool applies_to(const SourceFile& file) const override {
+    return file.has_components("src", "core") || file.has_components("src", "metrics");
+  }
+
+  void scan(const SourceFile& file, const GlobalContext& /*ctx*/,
+            std::vector<Finding>& out) const override {
+    const std::set<std::string> doubles = double_names(file.clean);
+
+    int depth = 0;
+    std::vector<int> loop_depths;  // brace depth at each open range-for body
+    for (std::size_t i = 0; i < file.clean.size(); ++i) {
+      const std::string& line = file.clean[i];
+      const bool is_range_for = !range_for_target_or_call(line).empty();
+
+      // Flag before brace bookkeeping: the accumulation sits inside bodies
+      // that were opened on earlier lines.
+      if (!loop_depths.empty() && !is_range_for) {
+        flag_accumulations(file, i, doubles, out);
+      }
+
+      for (const char c : line) {
+        if (c == '{') {
+          ++depth;
+          if (is_range_for && (loop_depths.empty() || loop_depths.back() != depth)) {
+            loop_depths.push_back(depth);
+          }
+        }
+        if (c == '}') {
+          if (!loop_depths.empty() && loop_depths.back() == depth) loop_depths.pop_back();
+          --depth;
+        }
+      }
+      // Braceless single-statement range-for: treat the next line as body.
+      if (is_range_for && line.find('{') == std::string::npos && i + 1 < file.clean.size()) {
+        flag_accumulations(file, i + 1, doubles, out);
+      }
+    }
+  }
+
+ private:
+  /// Like range_for_target but keeps call-expression ranges ("tree.children(i)")
+  /// which the shared helper deliberately drops.
+  static std::string range_for_target_or_call(const std::string& line) {
+    const std::size_t f = line.find("for ");
+    const std::size_t f2 = f == std::string::npos ? line.find("for(") : f;
+    if (f2 == std::string::npos) return {};
+    const std::size_t colon = line.find(" : ", f2);
+    if (colon == std::string::npos) return {};
+    return trim(line.substr(colon + 3));
+  }
+
+  void flag_accumulations(const SourceFile& file, std::size_t i,
+                          const std::set<std::string>& doubles,
+                          std::vector<Finding>& out) const {
+    const std::string& line = file.clean[i];
+    std::size_t pos = 0;
+    while ((pos = line.find("+=", pos)) != std::string::npos) {
+      // Read the identifier immediately left of the operator.
+      std::size_t end = pos;
+      while (end > 0 && (line[end - 1] == ' ' || line[end - 1] == '\t')) --end;
+      std::size_t begin = end;
+      while (begin > 0 && is_ident_char(line[begin - 1])) --begin;
+      const std::string ident = line.substr(begin, end - begin);
+      pos += 2;
+      // Member-access LHS ("a.b += x") accumulates into a field whose type
+      // lives elsewhere; only locally-declared raw doubles are flagged.
+      if (begin > 0 && (line[begin - 1] == '.' || line[begin - 1] == '>')) continue;
+      if (ident.empty() || doubles.count(ident) == 0) continue;
+      if (suppressed(file, i, name())) continue;
+      out.push_back({file.path, i + 1, std::string{name()}, "loop-sum",
+                     "double '" + ident +
+                         "' accumulates container elements; float addition is not "
+                         "associative, so iteration order changes the fingerprint — use a "
+                         "strong unit type, integer arithmetic, or an order-fixed sum",
+                     {}});
+      return;  // one finding per line is enough
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_float_accumulation_check() {
+  return std::make_unique<FloatAccumulationCheck>();
+}
+
+}  // namespace lint

@@ -1,0 +1,79 @@
+// raw-units — bans new raw floating-point quantities in public headers.
+//
+// Rule [raw-double]: a parameter or member declared as a raw `double`/`float`
+// whose name ends in `_bps`, `_bytes`, or `_fraction` in a header under src/.
+// These names encode a unit the compiler cannot see; use the strong types in
+// core/units.hpp (units::BitsPerSec, units::Bytes, units::LossFraction)
+// instead, unwrapping with .bps()/.count()/.value() at arithmetic sites.
+// Grandfathered declarations live in the committed baseline; function names
+// ending in a unit suffix (e.g. `double capacity_bps(...)`) are accessors,
+// not storage, and are not flagged.
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace lint {
+
+namespace {
+
+const char* const kSuffixes[] = {"_bps", "_bytes", "_fraction"};
+
+bool has_unit_suffix(const std::string& ident) {
+  for (const char* suffix : kSuffixes) {
+    const std::string s{suffix};
+    if (ident.size() > s.size() && ident.compare(ident.size() - s.size(), s.size(), s) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class RawUnitsCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "raw-units"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "raw double *_bps/*_bytes/*_fraction members and parameters in public headers";
+  }
+  [[nodiscard]] bool applies_to(const SourceFile& file) const override {
+    return file.is_header() && file.has_component("src");
+  }
+
+  void scan(const SourceFile& file, const GlobalContext& /*ctx*/,
+            std::vector<Finding>& out) const override {
+    for (std::size_t i = 0; i < file.clean.size(); ++i) {
+      const std::string& line = file.clean[i];
+      std::size_t pos = 0;
+      bool flagged = false;
+      while (!flagged && (pos = line.find("double", pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+        std::size_t j = pos + std::string{"double"}.size();
+        pos = j;
+        if (!left_ok || (j < line.size() && is_ident_char(line[j]))) continue;
+        // Skip whitespace and reference/pointer sigils to the declared name.
+        while (j < line.size() && (line[j] == ' ' || line[j] == '\t' || line[j] == '&')) ++j;
+        if (j < line.size() && line[j] == '*') continue;  // pointer: not a quantity
+        std::string ident;
+        while (j < line.size() && is_ident_char(line[j])) ident += line[j++];
+        if (ident.empty() || !has_unit_suffix(ident)) continue;
+        while (j < line.size() && (line[j] == ' ' || line[j] == '\t')) ++j;
+        if (j < line.size() && line[j] == '(') continue;  // function declaration
+        if (!suppressed(file, i, name())) {
+          out.push_back({file.path, i + 1, std::string{name()}, "raw-double",
+                         "raw double '" + ident +
+                             "' encodes a unit the compiler cannot check; use the strong "
+                             "types in core/units.hpp (units::BitsPerSec / units::Bytes / "
+                             "units::LossFraction)",
+                         {}});
+          flagged = true;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_raw_units_check() { return std::make_unique<RawUnitsCheck>(); }
+
+}  // namespace lint

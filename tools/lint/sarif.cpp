@@ -1,0 +1,86 @@
+#include "sarif.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_result(std::ofstream& out, const Finding& f, const char* baseline_state,
+                  bool& first) {
+  if (!first) out << ",\n";
+  first = false;
+  out << "      {\n"
+      << "        \"ruleId\": \"" << json_escape(f.check + "/" + f.rule) << "\",\n"
+      << "        \"level\": \"warning\",\n"
+      << "        \"baselineState\": \"" << baseline_state << "\",\n"
+      << "        \"message\": {\"text\": \"" << json_escape(f.message) << "\"},\n"
+      << "        \"locations\": [{\n"
+      << "          \"physicalLocation\": {\n"
+      << "            \"artifactLocation\": {\"uri\": \"" << json_escape(f.file) << "\"},\n"
+      << "            \"region\": {\"startLine\": " << f.line << "}\n"
+      << "          }\n"
+      << "        }]\n"
+      << "      }";
+}
+
+}  // namespace
+
+void write_sarif(const std::filesystem::path& path, const CheckRegistry& registry,
+                 const std::vector<Finding>& baselined, const std::vector<Finding>& fresh) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("cannot write SARIF '" + path.string() + "'");
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"toposense_lint\",\n"
+      << "      \"version\": \"1.0.0\",\n"
+      << "      \"rules\": [\n";
+  bool first = true;
+  for (const auto& check : registry.checks()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "        {\"id\": \"" << json_escape(std::string{check->name()})
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(std::string{check->description()}) << "\"}}";
+  }
+  out << "\n      ]\n"
+      << "    }},\n"
+      << "    \"results\": [\n";
+  first = true;
+  for (const Finding& f : fresh) write_result(out, f, "new", first);
+  for (const Finding& f : baselined) write_result(out, f, "unchanged", first);
+  out << "\n    ]\n"
+      << "  }]\n"
+      << "}\n";
+}
+
+}  // namespace lint

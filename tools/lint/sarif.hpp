@@ -1,0 +1,16 @@
+// SARIF 2.1.0 writer — one run, one result per finding, rules drawn from the
+// registry. Baselined findings carry baselineState "unchanged" so CI viewers
+// can hide them; fresh ones carry "new".
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace lint {
+
+void write_sarif(const std::filesystem::path& path, const CheckRegistry& registry,
+                 const std::vector<Finding>& baselined, const std::vector<Finding>& fresh);
+
+}  // namespace lint
