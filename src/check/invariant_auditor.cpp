@@ -277,6 +277,36 @@ void InvariantAuditor::check_group_tree(net::GroupAddr group, const mcast::Group
     }
   }
 
+  // CSR coherence: the dense fan-out tables route() replicates from must
+  // mirror the sparse entries view exactly — same spans, same link order,
+  // same local-delivery flags, and no fan-out outside any entry's span.
+  std::uint64_t entry_links = 0;
+  for (const auto& [node, entry] : tree.entries) {  // NOLINT-determinism(order-free)
+    entry_links += entry.out_links.size();
+    if (node >= tree.fan.size()) {
+      report(Violation{"mcast.tree_csr", now(), epoch(), node, net::kInvalidLink,
+                       tag + ": entry node has no fan slot"});
+      continue;
+    }
+    const mcast::GroupTree::FanSlot& slot = tree.fan[node];
+    const bool span_ok =
+        slot.count == entry.out_links.size() &&
+        static_cast<std::size_t>(slot.offset) + slot.count <= tree.fan_links.size() &&
+        std::equal(entry.out_links.begin(), entry.out_links.end(),
+                   tree.fan_links.begin() + slot.offset);
+    if (!span_ok || (slot.deliver_locally != 0) != entry.deliver_locally) {
+      report(Violation{"mcast.tree_csr", now(), epoch(), node, net::kInvalidLink,
+                       tag + ": fan slot disagrees with entry (span " +
+                           std::to_string(slot.offset) + "+" + std::to_string(slot.count) +
+                           " of " + std::to_string(tree.fan_links.size()) + " links)"});
+    }
+  }
+  if (entry_links != tree.fan_links.size()) {
+    report(Violation{"mcast.tree_csr", now(), epoch(), tree.source, net::kInvalidLink,
+                     tag + ": fan pool holds " + std::to_string(tree.fan_links.size()) +
+                         " links, entries hold " + std::to_string(entry_links)});
+  }
+
   if (network_ != nullptr) {
     for (const auto& [parent, child] : tree.edges) {
       bool alive = false;

@@ -1,6 +1,7 @@
 #include "mcast/multicast_router.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <stdexcept>
 
@@ -69,6 +70,17 @@ void MulticastRouter::leave(net::NodeId member, net::GroupAddr group) {
   MemberState& ms = mit->second;
   if (!ms.local_active && !ms.join_pending) return;
 
+  if (ms.join_pending && !ms.local_active) {
+    // The graft is still in flight: the branch never carried traffic, so there
+    // is nothing for the IGMP timeout to prune. Cancel the pending join
+    // without touching forward_until — setting it here would graft a fresh
+    // branch at the next rebuild and forward onto it for the whole
+    // leave-latency window. Any forward_until from an *earlier* real leave
+    // stays as it is: that window was earned by a completed graft.
+    ms.join_pending = false;
+    return;
+  }
+
   ms.join_pending = false;
   ms.local_active = false;  // the host stops listening immediately
   ms.forward_until = simulation_.now() + config_.leave_latency;
@@ -106,13 +118,19 @@ void MulticastRouter::rebuild_tree(net::GroupAddr group, GroupState& state) {
 
   std::set<std::pair<net::NodeId, net::NodeId>> edge_set;
   const net::RoutingTable& routes = network_.routes();
+  tree.fan.assign(network_.node_count(), {});
 
   // Per-member work is independent and accumulates into the ordered edge_set,
-  // so the hash iteration order never reaches the finished tree.
+  // so the hash iteration order never reaches the finished tree. The CSR
+  // deliver flags land in distinct NodeId slots, so order never shows there
+  // either.
   for (const auto& [member, ms] : state.members) {  // NOLINT-determinism(order-free)
     const bool carries_traffic = ms.local_active || ms.forward_until > now;
     if (!carries_traffic) continue;
-    if (ms.local_active) tree.entries[member].deliver_locally = true;
+    if (ms.local_active) {
+      tree.entries[member].deliver_locally = true;
+      tree.fan[member].deliver_locally = 1;
+    }
     if (member == tree.source) continue;
     const std::vector<net::NodeId> path = routes.path(tree.source, member);
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
@@ -120,17 +138,20 @@ void MulticastRouter::rebuild_tree(net::GroupAddr group, GroupState& state) {
     }
   }
 
+  // edge_set is sorted by (parent, child), so each parent's links form one
+  // contiguous run: exactly the CSR span route() replicates from.
+  tree.fan_links.reserve(edge_set.size());
   for (const auto& [parent, child] : edge_set) {
     const net::LinkId link = routes.next_hop(parent, child);
     tree.entries[parent].out_links.push_back(link);
     tree.edges.emplace_back(parent, child);
-  }
-
-  // Flatten for the per-hop path. Writes land in distinct NodeId slots, so
-  // the hash iteration order never shows.
-  tree.forward.assign(network_.node_count(), {});
-  for (const auto& [node, entry] : tree.entries) {  // NOLINT-determinism(order-free)
-    tree.forward[node] = entry;
+    GroupTree::FanSlot& slot = tree.fan[parent];
+    if (slot.count == 0) slot.offset = static_cast<std::uint32_t>(tree.fan_links.size());
+    if (slot.count == std::numeric_limits<std::uint16_t>::max()) {
+      throw std::length_error("MulticastRouter: per-node fan-out exceeds FanSlot range");
+    }
+    ++slot.count;
+    tree.fan_links.push_back(link);
   }
 
   tree.built_topology_version = network_.topology_version();
@@ -212,10 +233,11 @@ void MulticastRouter::route(net::NodeId node, const net::Packet& packet,
   }
   if (state->tree_dirty) rebuild_tree(packet.group, *state);
   const GroupTree& tree = state->tree;
-  if (node >= tree.forward.size()) return;
-  const GroupTree::ForwardEntry& entry = tree.forward[node];
-  out_links.insert(out_links.end(), entry.out_links.begin(), entry.out_links.end());
-  deliver_locally = entry.deliver_locally;
+  if (node >= tree.fan.size()) return;
+  const GroupTree::FanSlot slot = tree.fan[node];
+  const net::LinkId* span = tree.fan_links.data() + slot.offset;
+  out_links.insert(out_links.end(), span, span + slot.count);
+  deliver_locally = slot.deliver_locally != 0;
 }
 
 }  // namespace tsim::mcast

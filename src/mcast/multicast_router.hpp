@@ -24,10 +24,24 @@ struct GroupTree {
   };
   std::unordered_map<net::NodeId, ForwardEntry> entries;
 
-  /// entries flattened to a NodeId-indexed array — the per-hop route() path
-  /// reads this instead of hashing the node id. `entries` stays the sparse
-  /// view for auditors and tests.
-  std::vector<ForwardEntry> forward;
+  /// One fan-out slot per node: a (offset, count) span into `fan_links` plus
+  /// the local-delivery flag — 8 bytes where the per-entry vector layout paid
+  /// a heap hop per node.
+  struct FanSlot {
+    std::uint32_t offset{0};
+    std::uint16_t count{0};
+    std::uint8_t deliver_locally{0};
+    std::uint8_t pad{0};
+  };
+  static_assert(sizeof(FanSlot) == 8, "FanSlot must stay 8 bytes");
+
+  /// `entries` flattened CSR-style: `fan` is NodeId-indexed, `fan_links` is
+  /// the shared pool all spans point into (per-node runs are contiguous, in
+  /// the same sorted order as entries[].out_links). The per-hop route() path
+  /// reads only these two arrays; `entries` stays the sparse view for
+  /// auditors and tests.
+  std::vector<FanSlot> fan;
+  std::vector<net::LinkId> fan_links;
 
   /// Tree edges as (parent, child) node pairs — what a topology discovery
   /// tool (mtrace-style) would reconstruct.

@@ -21,20 +21,29 @@ Link::Link(sim::Simulation& simulation, Network& network, LinkId id, NodeId from
       red_rng_{simulation.rng_stream("link/" + std::to_string(id))},
       fault_rng_{simulation.rng_stream("fault-loss/" + std::to_string(id))} {}
 
+LinkHot& Link::hot() const { return network_.link_hot(id_); }
+
 void Link::enable_red(RedConfig config) {
   red_enabled_ = true;
   red_ = config;
   red_avg_ = 0.0;
+  hot().flags |= LinkHot::kRed;
 }
 
-namespace {
-/// Grow-on-demand add into a dense-id-indexed counter array.
-void bump_group_counter(std::vector<std::uint64_t>& counters, std::uint32_t id,
-                        std::uint64_t delta) {
-  if (id >= counters.size()) counters.resize(id + 1, 0);
-  counters[id] += delta;
+bool Link::is_up() const { return (hot().flags & LinkHot::kUp) != 0; }
+
+bool Link::transmitting() const { return (hot().flags & LinkHot::kTransmitting) != 0; }
+
+units::Bytes Link::transmitting_bytes() const { return units::Bytes{hot().transmitting_bytes}; }
+
+void Link::set_fault_loss(double probability) {
+  fault_loss_ = probability;
+  if (probability > 0.0) {
+    hot().flags |= LinkHot::kFaultLoss;
+  } else {
+    hot().flags &= static_cast<std::uint8_t>(~LinkHot::kFaultLoss);
+  }
 }
-}  // namespace
 
 std::uint32_t Link::group_stats_index(const Packet& packet) const {
   if (packet.group_stats_id != kInvalidGroupStatsId) return packet.group_stats_id;
@@ -43,52 +52,91 @@ std::uint32_t Link::group_stats_index(const Packet& packet) const {
 
 units::Bytes Link::delivered_bytes_for_group(GroupAddr group) const {
   const std::uint32_t id = network_.find_group_id(group);
-  if (id == kInvalidGroupStatsId || id >= stats_.delivered_bytes_by_group.size()) {
+  if (id == kInvalidGroupStatsId || id >= network_.group_stats_count()) {
     return units::Bytes::zero();
   }
-  return units::Bytes{stats_.delivered_bytes_by_group[id]};
+  return units::Bytes{network_.group_delivered_cell(id, id_)};
 }
 
 std::uint64_t Link::dropped_packets_for_group(GroupAddr group) const {
   const std::uint32_t id = network_.find_group_id(group);
-  if (id == kInvalidGroupStatsId || id >= stats_.dropped_packets_by_group.size()) return 0;
-  return stats_.dropped_packets_by_group[id];
+  if (id == kInvalidGroupStatsId || id >= network_.group_stats_count()) return 0;
+  return network_.group_dropped_cell(id, id_);
+}
+
+const LinkStats& Link::stats() const {
+  const LinkHot& h = hot();
+  stats_.enqueued_packets = h.enqueued_packets;
+  stats_.enqueued_bytes = units::Bytes{h.enqueued_bytes};
+  stats_.delivered_packets = h.delivered_packets;
+  stats_.delivered_bytes = units::Bytes{h.delivered_bytes};
+  stats_.dropped_packets = h.dropped_packets;
+  stats_.dropped_bytes = units::Bytes{h.dropped_bytes};
+  const std::uint32_t groups = network_.group_stats_count();
+  stats_.delivered_bytes_by_group.assign(groups, 0);
+  stats_.dropped_packets_by_group.assign(groups, 0);
+  for (std::uint32_t gid = 0; gid < groups; ++gid) {
+    stats_.delivered_bytes_by_group[gid] = network_.group_delivered_cell(gid, id_);
+    stats_.dropped_packets_by_group[gid] = network_.group_dropped_cell(gid, id_);
+  }
+  return stats_;
+}
+
+void Link::reset_stats() {
+  LinkHot& h = hot();
+  h.enqueued_packets = 0;
+  h.enqueued_bytes = 0;
+  h.delivered_packets = 0;
+  h.delivered_bytes = 0;
+  h.dropped_packets = 0;
+  h.dropped_bytes = 0;
+  stats_ = LinkStats{};
+  for (std::uint32_t gid = 0; gid < network_.group_stats_count(); ++gid) {
+    network_.group_delivered_cell(gid, id_) = 0;
+    network_.group_dropped_cell(gid, id_) = 0;
+  }
+}
+
+void Link::corrupt_accounting_for_test() {
+  LinkHot& h = hot();
+  h.delivered_packets += 1;
+  h.delivered_bytes += 100;
 }
 
 void Link::count_drop(const Packet& packet, bool fault) {
-  ++stats_.dropped_packets;
-  stats_.dropped_bytes += units::Bytes{packet.size_bytes};
+  LinkHot& h = hot();
+  ++h.dropped_packets;
+  h.dropped_bytes += packet.size_bytes;
   if (fault) ++stats_.fault_dropped_packets;
   if (packet.multicast) {
-    bump_group_counter(stats_.dropped_packets_by_group, group_stats_index(packet), 1);
+    ++network_.group_dropped_cell(group_stats_index(packet), id_);
   }
 }
 
 void Link::set_up(bool up) {
-  if (up == up_) return;
-  up_ = up;
-  if (!up_) {
-    // The cut loses everything waiting for the transmitter. The packet being
-    // transmitted (if any) fails in on_transmission_complete; packets already
-    // propagating were past the cut and still arrive downstream.
-    while (!queue_.empty()) {
-      count_drop(*queue_.front(), /*fault=*/true);
-      queue_.pop_front();
-    }
-    queued_bytes_ = units::Bytes::zero();
+  LinkHot& h = hot();
+  if (up == ((h.flags & LinkHot::kUp) != 0)) return;
+  if (up) {
+    h.flags |= LinkHot::kUp;
+    return;
   }
+  h.flags &= static_cast<std::uint8_t>(~LinkHot::kUp);
+  // The cut loses everything waiting for the transmitter. The packet being
+  // transmitted (if any) fails in Network::on_tx_complete; packets already
+  // propagating were past the cut and still arrive downstream.
+  while (!queue_.empty()) {
+    count_drop(*queue_.front(), /*fault=*/true);
+    queue_.pop_front();
+  }
+  h.queue_len = 0;
+  queued_bytes_ = units::Bytes::zero();
 }
 
-sim::Time Link::transmission_time(std::uint32_t size_bytes) const {
-  const double seconds = units::Bytes{size_bytes}.bits() / bandwidth_.bps();
-  return sim::Time::seconds(seconds);
-}
+void Link::enqueue(const PacketRef& packet) { network_.enqueue(id_, packet); }
 
-void Link::enqueue(const PacketRef& packet) {
-  ++stats_.enqueued_packets;
-  stats_.enqueued_bytes += units::Bytes{packet->size_bytes};
-
-  if (!up_) {
+void Link::enqueue_slow(const PacketRef& packet) {
+  LinkHot& h = hot();
+  if ((h.flags & LinkHot::kUp) == 0) {
     count_drop(*packet, /*fault=*/true);
     return;
   }
@@ -103,7 +151,7 @@ void Link::enqueue(const PacketRef& packet) {
     // value and spuriously early-drop the first packets of a new burst.
     // Decay by the number of packets that *could* have been transmitted
     // during the idle period, as if each had sampled an empty queue.
-    if (!transmitting_ && queue_.empty() && red_avg_ > 0.0) {
+    if ((h.flags & LinkHot::kTransmitting) == 0 && queue_.empty() && red_avg_ > 0.0) {
       const double slot_s = transmission_time(packet->size_bytes).as_seconds();
       const double idle_s = (simulation_.now() - idle_since_).as_seconds();
       if (slot_s > 0.0 && idle_s > 0.0) {
@@ -128,65 +176,16 @@ void Link::enqueue(const PacketRef& packet) {
     }
   }
 
-  if (!transmitting_) {
-    start_transmission(packet);
+  if ((h.flags & LinkHot::kTransmitting) == 0) {
+    network_.start_transmission(id_, packet);
     return;
   }
   if (queue_.size() >= queue_limit_) {
     count_drop(*packet, /*fault=*/false);
     return;
   }
-  queue_.push_back(packet);
-  queued_bytes_ += units::Bytes{packet->size_bytes};
-}
-
-void Link::start_transmission(const PacketRef& packet) {
-  transmitting_ = true;
-  transmitting_bytes_ = units::Bytes{packet->size_bytes};
-  simulation_.after(transmission_time(packet->size_bytes),
-                    [this, packet]() { on_transmission_complete(packet); });
-}
-
-void Link::begin_next_or_idle() {
-  if (!queue_.empty()) {
-    PacketRef next = std::move(queue_.front());
-    queue_.pop_front();
-    queued_bytes_ -= units::Bytes{next->size_bytes};
-    transmitting_bytes_ = units::Bytes{next->size_bytes};
-    // transmitting_ stays set: the transmitter goes straight to the next packet.
-    // The delay must be computed before the capture moves `next` out.
-    const sim::Time tx = transmission_time(next->size_bytes);
-    simulation_.after(tx, [this, next = std::move(next)]() { on_transmission_complete(next); });
-  } else {
-    transmitting_ = false;
-    transmitting_bytes_ = units::Bytes::zero();
-    idle_since_ = simulation_.now();
-  }
-}
-
-void Link::on_transmission_complete(PacketRef packet) {
-  if (!up_) {
-    // The link failed while this packet was on the transmitter: it is lost.
-    // (A repair may have raced new arrivals into the queue, so keep the
-    // transmitter pipeline alive for them either way.)
-    count_drop(*packet, /*fault=*/true);
-    begin_next_or_idle();
-    return;
-  }
-  ++stats_.delivered_packets;
-  stats_.delivered_bytes += units::Bytes{packet->size_bytes};
-  if (packet->multicast) {
-    bump_group_counter(stats_.delivered_bytes_by_group, group_stats_index(*packet),
-                       packet->size_bytes);
-  }
-
-  // Propagation is pipelined: the next packet starts transmitting while this
-  // one is in flight.
-  simulation_.after(latency_, [this, packet = std::move(packet)]() {
-    network_.on_packet_arrival(to_, packet);
-  });
-
-  begin_next_or_idle();
+  ++h.queue_len;
+  push_queue(packet);
 }
 
 }  // namespace tsim::net

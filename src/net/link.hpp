@@ -15,9 +15,59 @@ namespace tsim::net {
 
 class Network;
 
+/// Hot per-link state: everything the no-drop datapath (enqueue -> transmit ->
+/// deliver) reads or writes per packet, packed into one cache line. The
+/// Network owns one dense LinkId-indexed array of these, so a 10k-receiver
+/// fan-out sweeps a contiguous 640 KB table instead of chasing 10k
+/// heap-scattered Link objects. Cold state (the queue deque, RED/fault
+/// machinery, RNGs) stays on the Link and is only touched on the slow paths
+/// gated by `flags`.
+struct alignas(64) LinkHot {
+  /// Datapath gate bits. The fast paths fire only on exact flag values:
+  /// `kUp` (idle, healthy) and `kUp|kTransmitting` (busy, healthy); any other
+  /// combination — down, RED, or fault-loss — detours to Link's slow path.
+  static constexpr std::uint8_t kUp = 1U;
+  static constexpr std::uint8_t kTransmitting = 2U;
+  static constexpr std::uint8_t kRed = 4U;
+  static constexpr std::uint8_t kFaultLoss = 8U;
+
+  std::uint64_t enqueued_packets{0};
+  std::uint64_t enqueued_bytes{0};
+  std::uint64_t delivered_packets{0};
+  std::uint64_t delivered_bytes{0};
+  std::uint64_t dropped_packets{0};
+  std::uint64_t dropped_bytes{0};
+  std::uint32_t transmitting_bytes{0};  ///< size of the packet on the transmitter
+  std::uint32_t queue_len{0};           ///< mirrors Link::queue_.size()
+  std::uint32_t queue_limit{0};
+  std::uint8_t flags{kUp};
+};
+static_assert(sizeof(LinkHot) == 64, "LinkHot must stay one cache line");
+
+/// Read-only per-link parameters for the fast datapath, dense by LinkId.
+/// Written once at add_link; never touched again, so the array shares cleanly.
+struct LinkParams {
+  units::BitsPerSec bandwidth{};
+  sim::Time latency{};
+  NodeId to{kInvalidNode};
+};
+
+/// Serialization delay of one packet at `bandwidth`. Shared by Link and the
+/// Network fast path so both compute bit-identical times.
+[[nodiscard]] inline sim::Time transmission_time_for(std::uint32_t size_bytes,
+                                                     units::BitsPerSec bandwidth) {
+  const double seconds = units::Bytes{size_bytes}.bits() / bandwidth.bps();
+  return sim::Time::seconds(seconds);
+}
+
 /// Per-link counters. `delivered_*` counts packets that finished transmission
 /// and were handed to the downstream node; per-group counters give tests and
 /// benches ground truth the algorithm itself never sees.
+///
+/// Since the struct-of-arrays split this is a read-only VIEW materialized by
+/// Link::stats(): the live counters are the Network's LinkHot entry and its
+/// dense per-(group,link) tables; only `fault_dropped_packets` (slow-path
+/// only) accumulates here directly.
 struct LinkStats {
   std::uint64_t enqueued_packets{0};
   units::Bytes enqueued_bytes{};
@@ -27,10 +77,9 @@ struct LinkStats {
   units::Bytes dropped_bytes{};
   std::uint64_t fault_dropped_packets{0};  ///< subset of drops caused by injected faults
   /// Flat per-group counters indexed by the Network's dense group-stats id
-  /// (Network::intern_group / group_stats_key), grown on demand. Replaces the
-  /// seed's std::map<GroupAddr, ...>, which paid a tree walk (and sometimes a
-  /// node allocation) on every multicast enqueue/deliver. Query by GroupAddr
-  /// via Link::delivered_bytes_for_group / dropped_packets_for_group.
+  /// (Network::intern_group / group_stats_key). Synced from the Network's
+  /// per-(group,link) tables on stats(); query by GroupAddr via
+  /// Link::delivered_bytes_for_group / dropped_packets_for_group.
   std::vector<std::uint64_t> delivered_bytes_by_group;
   std::vector<std::uint64_t> dropped_packets_by_group;
 };
@@ -39,6 +88,10 @@ struct LinkStats {
 /// a drop-tail FIFO queue — the queueing model the paper simulates in ns.
 /// Transmission is serialized: one packet occupies the transmitter for
 /// size*8/bandwidth seconds, then propagates for `latency` before arriving.
+///
+/// The per-packet state machine lives in Network (fast paths over the LinkHot
+/// array); the Link keeps the queue storage and the slow paths (down links,
+/// fault loss, RED) that the flag gate routes here.
 class Link {
  public:
   /// Random Early Detection parameters (Floyd/Jacobson); thresholds are
@@ -63,7 +116,8 @@ class Link {
 
   /// Offers a packet to the link. Drops it (drop-tail) when the queue is full,
   /// unconditionally while the link is down, and with the configured Bernoulli
-  /// probability while a lossy-link fault is active.
+  /// probability while a lossy-link fault is active. (Forwards to the
+  /// Network's datapath; kept so tests can drive a single link directly.)
   void enqueue(const PacketRef& packet);
 
   /// --- Fault state (driven by fault::FaultInjector) ------------------------
@@ -74,12 +128,12 @@ class Link {
   /// arrive. While down the link accepts nothing. The caller is responsible
   /// for recomputing routes (Network::on_topology_changed).
   void set_up(bool up);
-  [[nodiscard]] bool is_up() const { return up_; }
+  [[nodiscard]] bool is_up() const;
 
   /// Bernoulli drop probability applied to every enqueue (0 disables). Draws
   /// come from the link's own seeded fault stream, so enabling loss on one
   /// link never perturbs any other component's randomness.
-  void set_fault_loss(double probability) { fault_loss_ = probability; }
+  void set_fault_loss(double probability);
   [[nodiscard]] double fault_loss() const { return fault_loss_; }
 
   [[nodiscard]] LinkId id() const { return id_; }
@@ -89,11 +143,12 @@ class Link {
   [[nodiscard]] sim::Time latency() const { return latency_; }
   [[nodiscard]] std::size_t queue_limit() const { return queue_limit_; }
   [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
-  [[nodiscard]] bool transmitting() const { return transmitting_; }
-  [[nodiscard]] const LinkStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = LinkStats{}; }
+  [[nodiscard]] bool transmitting() const;
+  /// Counters as a coherent snapshot (synced from the hot table on call).
+  [[nodiscard]] const LinkStats& stats() const;
+  void reset_stats();
 
-  /// Per-group counters by address (the flat arrays are indexed by dense id);
+  /// Per-group counters by address (the dense tables are indexed by group id);
   /// 0 for groups this link never saw.
   [[nodiscard]] units::Bytes delivered_bytes_for_group(GroupAddr group) const;
   [[nodiscard]] std::uint64_t dropped_packets_for_group(GroupAddr group) const;
@@ -106,24 +161,49 @@ class Link {
   ///   enqueued == delivered + dropped + queued + transmitting
   /// at both packet and byte granularity.
   [[nodiscard]] units::Bytes queued_bytes() const { return queued_bytes_; }
-  [[nodiscard]] units::Bytes transmitting_bytes() const { return transmitting_bytes_; }
+  [[nodiscard]] units::Bytes transmitting_bytes() const;
 
   /// Test-only: skips a byte credit (and a packet credit) so the conservation
   /// invariants fail — used to prove the auditor detects accounting leaks.
   /// Never call outside tests.
-  void corrupt_accounting_for_test() {
-    stats_.delivered_packets += 1;
-    stats_.delivered_bytes += units::Bytes{100};
-  }
+  void corrupt_accounting_for_test();
 
   /// Serialization delay of one packet at this link's bandwidth.
-  [[nodiscard]] sim::Time transmission_time(std::uint32_t size_bytes) const;
+  [[nodiscard]] sim::Time transmission_time(std::uint32_t size_bytes) const {
+    return transmission_time_for(size_bytes, bandwidth_);
+  }
+
+  /// --- Internal: Network datapath hooks ------------------------------------
+
+  /// Slow-path enqueue for links with any non-fast flag set (down, fault
+  /// loss, RED). The caller has already bumped the enqueued_* counters.
+  void enqueue_slow(const PacketRef& packet);
+
+  /// Queue storage ops for the Network datapath; the caller maintains the
+  /// LinkHot queue_len mirror.
+  void push_queue(const PacketRef& packet) {
+    queue_.push_back(packet);
+    queued_bytes_ += units::Bytes{packet->size_bytes};
+  }
+  [[nodiscard]] PacketRef pop_queue() {
+    PacketRef next = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= units::Bytes{next->size_bytes};
+    return next;
+  }
+
+  /// Records the transmitter going idle (read by the RED EWMA idle decay;
+  /// only invoked for RED links — non-RED links never read it).
+  void note_idle(sim::Time now) { idle_since_ = now; }
+
+  /// Drop accounting shared by every drop site (tail, RED, fault, down):
+  /// bumps the hot drop counters, the fault subset, and the per-group table.
+  void count_drop(const Packet& packet, bool fault);
 
  private:
-  void start_transmission(const PacketRef& packet);
-  void on_transmission_complete(PacketRef packet);
-  /// Pulls the next queued packet onto the transmitter, or parks it idle.
-  void begin_next_or_idle();
+  /// This link's hot entry in the Network's dense table (slow paths only —
+  /// the fast paths index the array directly in Network).
+  [[nodiscard]] LinkHot& hot() const;
   /// Dense stats index for a multicast packet: the stamped id, or an
   /// on-the-fly intern for packets that bypassed Network::send_multicast.
   [[nodiscard]] std::uint32_t group_stats_index(const Packet& packet) const;
@@ -138,19 +218,16 @@ class Link {
   std::size_t queue_limit_;
   std::deque<PacketRef> queue_;
   units::Bytes queued_bytes_{};
-  units::Bytes transmitting_bytes_{};
-  bool transmitting_{false};
-  LinkStats stats_;
+  /// Mirror for stats(): hot counters and per-group columns are copied in on
+  /// demand; fault_dropped_packets accumulates here directly (slow path only).
+  mutable LinkStats stats_;
   bool red_enabled_{false};
   RedConfig red_;
   double red_avg_{0.0};
   sim::Time idle_since_{sim::Time::zero()};  ///< when the transmitter last went idle
   sim::Rng red_rng_;
-  bool up_{true};
   double fault_loss_{0.0};
   sim::Rng fault_rng_;
-
-  void count_drop(const Packet& packet, bool fault);
 };
 
 }  // namespace tsim::net

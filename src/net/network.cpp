@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -26,6 +27,13 @@ LinkId Network::add_link(NodeId from, NodeId to, units::BitsPerSec bandwidth, si
   const LinkId id = static_cast<LinkId>(links_.size());
   links_.push_back(std::make_unique<Link>(simulation_, *this, id, from, to, bandwidth,
                                           latency, queue_limit_packets));
+  LinkHot hot;
+  hot.queue_limit = static_cast<std::uint32_t>(queue_limit_packets);
+  link_hot_.push_back(hot);
+  link_params_.push_back(LinkParams{bandwidth, latency, to});
+  if (link_count() > group_link_stride_ && group_stats_count() > 0) {
+    restride_group_tables();
+  }
   nodes_[from].out_links.push_back(id);
   routes_valid_ = false;
   return id;
@@ -100,7 +108,71 @@ std::uint32_t Network::intern_group_slow(GroupAddr group) {
   const std::uint32_t id = group_stats_count();
   group_stats_table_[key] = id;
   group_stats_keys_.push_back(group);
+  // Open this group's row in the per-(group,link) tables. The stride is fixed
+  // on first intern (links are normally all present by then); add_link
+  // re-strides if the topology keeps growing afterwards.
+  if (group_link_stride_ < link_count()) restride_group_tables();
+  if (group_link_stride_ == 0) group_link_stride_ = 1;  // keep rows non-empty
+  const std::size_t cells = static_cast<std::size_t>(id + 1) * group_link_stride_;
+  group_delivered_bytes_.resize(cells, 0);
+  group_dropped_packets_.resize(cells, 0);
   return id;
+}
+
+void Network::restride_group_tables() {
+  // Geometric growth so a stream of add_link calls after the first intern
+  // costs amortized O(cells), not O(cells) per link.
+  const std::size_t new_stride = std::max<std::size_t>(link_count(), group_link_stride_ * 2);
+  const std::uint32_t groups = group_stats_count();
+  std::vector<std::uint64_t> delivered(static_cast<std::size_t>(groups) * new_stride, 0);
+  std::vector<std::uint64_t> dropped(delivered.size(), 0);
+  for (std::uint32_t gid = 0; gid < groups; ++gid) {
+    for (std::size_t l = 0; l < group_link_stride_; ++l) {
+      delivered[gid * new_stride + l] = group_delivered_bytes_[gid * group_link_stride_ + l];
+      dropped[gid * new_stride + l] = group_dropped_packets_[gid * group_link_stride_ + l];
+    }
+  }
+  group_delivered_bytes_ = std::move(delivered);
+  group_dropped_packets_ = std::move(dropped);
+  group_link_stride_ = new_stride;
+}
+
+void Network::on_tx_complete(LinkId id, PacketRef packet) {
+  LinkHot& hot = link_hot_[id];
+  if ((hot.flags & LinkHot::kUp) == 0) {
+    // The link failed while this packet was on the transmitter: it is lost.
+    // (A repair may have raced new arrivals into the queue, so keep the
+    // transmitter pipeline alive for them either way.)
+    links_[id]->count_drop(*packet, /*fault=*/true);
+  } else {
+    ++hot.delivered_packets;
+    hot.delivered_bytes += packet->size_bytes;
+    if (packet->multicast) {
+      group_delivered_cell(stamped_group_id(*packet), id) += packet->size_bytes;
+    }
+    // Propagation is pipelined: the next packet starts transmitting while
+    // this one is in flight.
+    const LinkParams& params = link_params_[id];
+    simulation_.after(params.latency, [this, to = params.to, packet = std::move(packet)]() {
+      on_packet_arrival(to, packet);
+    });
+  }
+
+  if (hot.queue_len == 0) {
+    hot.flags &= static_cast<std::uint8_t>(~LinkHot::kTransmitting);
+    hot.transmitting_bytes = 0;
+    // Only RED's EWMA idle decay ever reads the idle timestamp; skipping the
+    // Link touch for plain links keeps the idle transition hot-table-only.
+    if ((hot.flags & LinkHot::kRed) != 0) links_[id]->note_idle(simulation_.now());
+    return;
+  }
+  PacketRef next = links_[id]->pop_queue();
+  --hot.queue_len;
+  // transmitting stays set: the transmitter goes straight to the next packet.
+  hot.transmitting_bytes = next->size_bytes;
+  const sim::Time tx =
+      transmission_time_for(next->size_bytes, link_params_[id].bandwidth);
+  simulation_.after(tx, [this, id, next = std::move(next)]() { on_tx_complete(id, next); });
 }
 
 void Network::on_packet_arrival(NodeId node_id, const PacketRef& packet) {
@@ -113,7 +185,7 @@ void Network::on_packet_arrival(NodeId node_id, const PacketRef& packet) {
     bool deliver_locally = false;
     forwarder_->route(node_id, *packet, out_links, deliver_locally);
     if (deliver_locally && node.local_sink) node.local_sink(packet);
-    for (const LinkId link_id : out_links) links_[link_id]->enqueue(packet);
+    for (const LinkId link_id : out_links) enqueue(link_id, packet);
     return;
   }
 
@@ -130,7 +202,7 @@ void Network::on_packet_arrival(NodeId node_id, const PacketRef& packet) {
                      "dropping unicast packet: no route from " + node.name);
     return;
   }
-  links_[hop]->enqueue(packet);
+  enqueue(hop, packet);
 }
 
 void Network::set_local_sink(NodeId node, std::function<void(const PacketRef&)> sink) {

@@ -46,6 +46,14 @@ struct Node {
 /// The simulated network: nodes, links, unicast routing and the packet
 /// forwarding engine. Multicast replication is delegated to an installed
 /// MulticastForwarder.
+///
+/// The per-packet datapath state is struct-of-arrays: a dense LinkId-indexed
+/// LinkHot table (counters + transmitter/queue occupancy + gate flags), a
+/// dense read-only LinkParams table, and flat per-(group,link) delivery/drop
+/// tables. A 10k-receiver fan-out therefore walks three contiguous arrays
+/// instead of 10k heap-scattered Link objects; the Link slow paths (down,
+/// fault loss, RED) mutate the same entries, so the tables are the single
+/// source of truth.
 class Network {
  public:
   explicit Network(sim::Simulation& simulation) : simulation_{simulation} {}
@@ -96,6 +104,67 @@ class Network {
   /// Internal: invoked by links when a packet finishes traversing them.
   void on_packet_arrival(NodeId node, const PacketRef& packet);
 
+  /// --- Datapath (internal: Link and Network cooperate through these) ------
+
+  /// Offers `packet` to link `id`. The healthy cases — idle link starts
+  /// transmitting; busy link queues or tail-drops — complete against the hot
+  /// table alone; any other flag state detours to Link::enqueue_slow.
+  void enqueue(LinkId id, const PacketRef& packet) {
+    LinkHot& hot = link_hot_[id];
+    const std::uint32_t size = packet->size_bytes;
+    ++hot.enqueued_packets;
+    hot.enqueued_bytes += size;
+    if (hot.flags == LinkHot::kUp) {  // idle and healthy: straight to the wire
+      start_transmission(id, packet);
+      return;
+    }
+    if (hot.flags == (LinkHot::kUp | LinkHot::kTransmitting)) {  // busy, healthy
+      if (hot.queue_len < hot.queue_limit) {
+        ++hot.queue_len;
+        links_[id]->push_queue(packet);
+      } else {
+        ++hot.dropped_packets;
+        hot.dropped_bytes += size;
+        if (packet->multicast) {
+          ++group_dropped_cell(stamped_group_id(*packet), id);
+        }
+      }
+      return;
+    }
+    links_[id]->enqueue_slow(packet);  // down / fault loss / RED
+  }
+
+  /// Puts `packet` on link `id`'s transmitter and schedules its completion.
+  /// The transmitter must be free; shared by the fast path and Link's slow
+  /// enqueue so scheduling is identical on both.
+  void start_transmission(LinkId id, const PacketRef& packet) {
+    LinkHot& hot = link_hot_[id];
+    hot.flags |= LinkHot::kTransmitting;
+    hot.transmitting_bytes = packet->size_bytes;
+    const sim::Time tx =
+        transmission_time_for(packet->size_bytes, link_params_[id].bandwidth);
+    simulation_.after(tx, [this, id, packet]() { on_tx_complete(id, packet); });
+  }
+
+  [[nodiscard]] LinkHot& link_hot(LinkId id) { return link_hot_[id]; }
+  [[nodiscard]] const LinkHot& link_hot(LinkId id) const { return link_hot_[id]; }
+
+  /// Per-(group,link) delivery/drop cells, laid out as one contiguous row per
+  /// group so a fan-out over many links stays on one row. Rows exist for
+  /// every interned group (intern_group grows them).
+  [[nodiscard]] std::uint64_t& group_delivered_cell(std::uint32_t gid, LinkId link) {
+    return group_delivered_bytes_[static_cast<std::size_t>(gid) * group_link_stride_ + link];
+  }
+  [[nodiscard]] std::uint64_t& group_dropped_cell(std::uint32_t gid, LinkId link) {
+    return group_dropped_packets_[static_cast<std::size_t>(gid) * group_link_stride_ + link];
+  }
+  [[nodiscard]] std::uint64_t group_delivered_cell(std::uint32_t gid, LinkId link) const {
+    return group_delivered_bytes_[static_cast<std::size_t>(gid) * group_link_stride_ + link];
+  }
+  [[nodiscard]] std::uint64_t group_dropped_cell(std::uint32_t gid, LinkId link) const {
+    return group_dropped_packets_[static_cast<std::size_t>(gid) * group_link_stride_ + link];
+  }
+
   /// --- Wiring ------------------------------------------------------------
 
   void set_local_sink(NodeId node, std::function<void(const PacketRef&)> sink);
@@ -127,8 +196,8 @@ class Network {
   [[nodiscard]] std::uint64_t next_packet_uid() { return next_uid_++; }
 
   /// --- Group stats interning ----------------------------------------------
-  /// Dense ids for multicast groups, in first-encounter order. Links index
-  /// their per-group stats arrays by these instead of hashing GroupAddr per
+  /// Dense ids for multicast groups, in first-encounter order. The
+  /// per-(group,link) tables index by these instead of hashing GroupAddr per
   /// packet; send_multicast stamps the id into the packet once per send.
 
   /// Id for `group`, interning it on first sight. The flat table makes the
@@ -159,9 +228,27 @@ class Network {
  private:
   [[nodiscard]] std::uint32_t intern_group_slow(GroupAddr group);
 
+  /// The dense id for a multicast packet: the stamp from send_multicast, or
+  /// an on-the-fly intern for packets injected below it (tests).
+  [[nodiscard]] std::uint32_t stamped_group_id(const Packet& packet) {
+    if (packet.group_stats_id != kInvalidGroupStatsId) return packet.group_stats_id;
+    return intern_group(packet.group);
+  }
+
+  /// A transmission on link `id` finished: deliver or fail the packet, then
+  /// pull the next one from the queue or park the transmitter idle.
+  void on_tx_complete(LinkId id, PacketRef packet);
+
+  /// Widens the per-(group,link) tables when links outgrow the row stride.
+  void restride_group_tables();
+
   sim::Simulation& simulation_;
   std::vector<Node> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
+  /// Hot datapath state, one cache line per link (see LinkHot).
+  std::vector<LinkHot> link_hot_;
+  /// Read-only fast-path parameters, parallel to link_hot_.
+  std::vector<LinkParams> link_params_;
   RoutingTable routing_;
   MulticastForwarder* forwarder_{nullptr};
   std::function<bool(const Packet&)> unicast_filter_;
@@ -173,6 +260,13 @@ class Network {
   /// flat table beats a hash map on the per-send hit path.
   std::vector<std::uint32_t> group_stats_table_;
   std::vector<GroupAddr> group_stats_keys_;
+  /// Per-(group,link) ground-truth counters: row-per-group flat tables,
+  /// cell [gid * stride + link]. Stride grows geometrically with the link
+  /// count (links are normally all added before the first group is interned,
+  /// so re-striding is a startup-only event).
+  std::vector<std::uint64_t> group_delivered_bytes_;
+  std::vector<std::uint64_t> group_dropped_packets_;
+  std::size_t group_link_stride_{0};
 };
 
 }  // namespace tsim::net

@@ -156,17 +156,27 @@ void Scheduler::migrate_overflow() {
   // Pre: every bucket is empty; the overflow heap is not.
   assert(!overflow_.empty());
 
-  // Adapt geometry to the traffic. Bucket width tracks the EWMA of
-  // *inter-execution* gaps: that measures event density where the cursor
-  // actually drains, unlike the span of the parked overflow band, which is
-  // dominated by sparse long-horizon timers (control intervals, report
-  // windows). A width estimated from the overflow span can come out
-  // milliseconds wide, at which point every short-horizon datapath event
-  // lands in the currently-draining bucket and pays an ordered-insert
-  // memmove — the degenerate case this estimator exists to avoid. Target
-  // ~8 events per bucket so cursor-bucket inserts stay a handful of moves.
-  if (exec_gap_samples_ >= 64) {
-    const std::uint64_t width = 8 * static_cast<std::uint64_t>(exec_gap_ewma_ns_) + 1;
+  // Adapt geometry to the traffic. Bucket width tracks the *mean*
+  // inter-execution gap of the window just drained: that measures event
+  // density where the cursor actually drains, unlike the span of the parked
+  // overflow band (dominated by sparse long-horizon timers) or a per-pop
+  // EWMA (sampled here, right after the inter-burst gap that emptied the
+  // buckets, so biased wide by orders of magnitude). A width estimated
+  // milliseconds wide puts every short-horizon datapath event in the
+  // currently-draining bucket, where each pays an ordered-insert memmove —
+  // the degenerate case this estimator exists to avoid. Target ~8 events
+  // per bucket so cursor-bucket inserts stay a handful of moves.
+  if (window_pops_ >= 64) {
+    const std::int64_t span = last_pop_when_ns_ - window_first_pop_ns_;
+    const std::int64_t mean_gap = span / static_cast<std::int64_t>(window_pops_);
+    // Smooth across windows (1/2 weight) so one anomalous window does not
+    // whipsaw the geometry; seed with the first window's mean directly.
+    window_gap_ewma_ns_ =
+        window_gap_ewma_ns_ < 0 ? mean_gap : (window_gap_ewma_ns_ + mean_gap) / 2;
+  }
+  window_pops_ = 0;
+  if (window_gap_ewma_ns_ >= 0) {
+    const std::uint64_t width = 8 * static_cast<std::uint64_t>(window_gap_ewma_ns_) + 1;
     shift_ = std::clamp(static_cast<int>(std::bit_width(width)), 0, 40);
     // Size the ring to a multiple of the pending population so the window
     // spans several scheduling horizons: a window of about one horizon would

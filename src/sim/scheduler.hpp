@@ -205,17 +205,28 @@ class Scheduler {
   /// everything here.
   std::vector<Entry> overflow_;
 
-  /// EWMA (1/8 weight) of the timestamp gap between consecutively popped
-  /// entries — the head-of-queue event density migrate_overflow() sizes
-  /// bucket width from. Derived purely from popped timestamps, so it is
-  /// deterministic and identical across queue implementations.
-  std::int64_t exec_gap_ewma_ns_{0};
+  /// Execution-density estimate migrate_overflow() sizes bucket width from:
+  /// the mean timestamp gap over everything popped since the last migration
+  /// (window span / pops), EWMA-smoothed across windows. A *mean over the
+  /// whole drained window* is the load-bearing choice: migrations fire
+  /// exactly when the buckets run dry, i.e. right after the longest
+  /// inter-burst gap in the workload, so any instantaneous estimator (the
+  /// previous per-pop EWMA) systematically samples at its most inflated
+  /// moment. Under a 10k-receiver fan-out that inflated a ~0.4 us true mean
+  /// gap to ~1 ms, producing buckets wider than the tx+latency horizon —
+  /// every completion then ordered-inserted its arrival into the bucket
+  /// being drained, degenerating the calendar into one giant sorted array
+  /// (terabytes of memmove over a bench run). Derived purely from popped
+  /// timestamps, so it is deterministic and identical across queue
+  /// implementations.
+  std::int64_t window_gap_ewma_ns_{-1};  ///< -1 until the first full window
   std::int64_t last_pop_when_ns_{0};
-  std::uint64_t exec_gap_samples_{0};
+  std::int64_t window_first_pop_ns_{0};  ///< first pop of the current window
+  std::uint64_t window_pops_{0};         ///< pops since the last migration
   void note_popped(std::int64_t when_ns) {
-    exec_gap_ewma_ns_ += (when_ns - last_pop_when_ns_ - exec_gap_ewma_ns_) >> 3;
+    if (window_pops_ == 0) window_first_pop_ns_ = when_ns;
     last_pop_when_ns_ = when_ns;
-    ++exec_gap_samples_;
+    ++window_pops_;
   }
 
   std::vector<Slot> slots_;

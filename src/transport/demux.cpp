@@ -14,13 +14,13 @@ void PacketDemux::dispatch(const net::PacketRef& packet) const {
 }
 
 PacketDemux& DemuxRegistry::at(net::NodeId node) {
-  auto it = demuxes_.find(node);
-  if (it == demuxes_.end()) {
-    it = demuxes_.emplace(node, std::make_unique<PacketDemux>()).first;
-    PacketDemux* demux = it->second.get();
+  if (node >= demuxes_.size()) demuxes_.resize(node + 1);
+  if (!demuxes_[node]) {
+    demuxes_[node] = std::make_unique<PacketDemux>();
+    PacketDemux* demux = demuxes_[node].get();
     network_.set_local_sink(node, [demux](const net::PacketRef& p) { demux->dispatch(p); });
   }
-  return *it->second;
+  return *demuxes_[node];
 }
 
 }  // namespace tsim::transport

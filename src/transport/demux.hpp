@@ -3,7 +3,6 @@
 #include <array>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "net/network.hpp"
@@ -43,7 +42,9 @@ class DemuxRegistry {
 
  private:
   net::Network& network_;
-  std::unordered_map<net::NodeId, std::unique_ptr<PacketDemux>> demuxes_;
+  // Dense NodeId-indexed (node ids are small and contiguous); the registry
+  // lookup sits on every local delivery, so an indexed load beats hashing.
+  std::vector<std::unique_ptr<PacketDemux>> demuxes_;
 };
 
 }  // namespace tsim::transport

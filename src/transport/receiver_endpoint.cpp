@@ -28,6 +28,12 @@ void ReceiverEndpoint::start() {
   });
   if (config_.stop != sim::Time::max()) {
     simulation_.at(config_.stop, [this]() {
+      // Close the final (partial) window — folding its sequence-gap loss and
+      // mailing the last report — while the layer tracks still exist. Leaving
+      // the groups first wipes the tracks, so the loss accrued since the last
+      // window close would be silently discarded.
+      close_window();
+      stopped_ = true;
       active_ = false;
       set_subscription(0);  // leave every group
     });
@@ -52,6 +58,11 @@ void ReceiverEndpoint::set_subscription(int level) {
   } else {
     for (int l = subscription_; l > level; --l) {
       mcast_.leave(config_.node, net::GroupAddr{config_.session, static_cast<net::LayerId>(l)});
+      // Fold the departing layer's sequence-gap loss into the current window
+      // before wiping the track. A receiver backs off *because* of loss, so
+      // discarding the dropped layer's gap here under-reports exactly when
+      // the controller most needs the signal.
+      fold_track_loss(tracks_[l - 1]);
       tracks_[l - 1] = LayerTrack{};
     }
   }
@@ -85,18 +96,24 @@ void ReceiverEndpoint::handle_suggestion(const net::Packet& packet) {
   for (const auto& cb : suggestion_callbacks_) cb(*suggestion);
 }
 
+void ReceiverEndpoint::fold_track_loss(const LayerTrack& track) {
+  if (!track.active) return;
+  if (track.have_prev_max && track.have_window_max &&
+      track.window_max_seq > track.prev_max_seq) {
+    const std::uint64_t expected = track.window_max_seq - track.prev_max_seq;
+    if (expected > track.window_received) {
+      window_.lost_packets += units::PacketCount{expected - track.window_received};
+    }
+  }
+}
+
 void ReceiverEndpoint::close_window() {
+  if (stopped_) return;  // the final window was closed at config_.stop
   // Derive per-layer expected counts from seq-number progress (RTP
   // receiver-report style) and fold into window loss.
   for (LayerTrack& track : tracks_) {
     if (!track.active) continue;
-    if (track.have_prev_max && track.have_window_max &&
-        track.window_max_seq > track.prev_max_seq) {
-      const std::uint64_t expected = track.window_max_seq - track.prev_max_seq;
-      if (expected > track.window_received) {
-        window_.lost_packets += units::PacketCount{expected - track.window_received};
-      }
-    }
+    fold_track_loss(track);
     if (track.have_window_max) {
       track.prev_max_seq = track.window_max_seq;
       track.have_prev_max = true;

@@ -80,10 +80,14 @@ class ReceiverEndpoint {
   }
 
  private:
+  struct LayerTrack;
+
   void handle_data(const net::Packet& packet);
   void handle_suggestion(const net::Packet& packet);
   void close_window();
   void send_report();
+  /// Adds `track`'s sequence-gap loss for the current window to window_.
+  void fold_track_loss(const LayerTrack& track);
 
   struct LayerTrack {
     bool active{false};
@@ -100,6 +104,9 @@ class ReceiverEndpoint {
   Config config_;
   int subscription_{0};
   bool active_{false};
+  /// Set once the stop-time handler closed the final window; later timer
+  /// firings must not overwrite last_window_ or reschedule.
+  bool stopped_{false};
   std::vector<LayerTrack> tracks_;
   WindowStats window_{};
   WindowStats last_window_{};

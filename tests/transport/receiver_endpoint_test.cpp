@@ -196,6 +196,53 @@ TEST_F(EndpointFixture, SubscriptionChangeCallbackFires) {
   EXPECT_EQ(changes[2], (std::pair{3, 2}));
 }
 
+TEST_F(EndpointFixture, MidWindowLayerDropFoldsGapLossIntoWindow) {
+  // Thin link under a 3-layer subscription: drop-tail loss accrues on every
+  // layer. Dropping to 1 layer mid-window must fold the departing layers'
+  // sequence-gap loss into the current window — the buggy code wiped the
+  // tracks, so loss vanished exactly when the receiver backed off.
+  add_link(128e3, 5);  // can carry ~1.5 layers; subscription of 3 overloads it
+  auto source = make_source();
+  auto endpoint = make_endpoint(3);
+  source->start();
+  endpoint->start();
+  simulation.run_until(Time::seconds(10.5));  // mid-window: last close at 10s
+  ASSERT_EQ(endpoint->window().lost_packets.count(), 0u)
+      << "window loss is only folded at window close / layer leave";
+  endpoint->set_subscription(1);  // leave layers 3 and 2 mid-window
+  EXPECT_GT(endpoint->window().lost_packets.count(), 0u)
+      << "gap loss accrued on the dropped layers this window was discarded";
+}
+
+TEST_F(EndpointFixture, StopClosesFinalWindowAndReportsItsLoss) {
+  // Stop mid-window: the final partial window must be closed (and reported)
+  // before the receiver leaves its groups — the buggy order cleared every
+  // track first, silently discarding the last window's loss.
+  add_link(128e3, 5);
+  auto source = make_source();
+  ReceiverEndpoint::Config cfg;
+  cfg.node = rcv;
+  cfg.session = 0;
+  cfg.controller = src;
+  cfg.report_period = 1_s;
+  cfg.initial_subscription = 3;
+  cfg.stop = Time::seconds(10.5);
+  auto endpoint = std::make_unique<ReceiverEndpoint>(simulation, network, mcast,
+                                                     demuxes.at(rcv), cfg);
+  source->start();
+  endpoint->start();
+  simulation.run_until(12_s);
+
+  ASSERT_FALSE(reports_at_src.empty());
+  const ReceiverReport& last = reports_at_src.back();
+  EXPECT_EQ(last.window_end, Time::seconds(10.5))
+      << "no report was sent for the final partial window";
+  EXPECT_GT(last.lost_packets.count(), 0u)
+      << "the final window's loss was discarded at stop";
+  // The folded loss also reaches the lifetime totals.
+  EXPECT_EQ(endpoint->last_completed_window().lost_packets, last.lost_packets);
+}
+
 TEST_F(EndpointFixture, RejoinResetsSequenceTracking) {
   add_link(10e6);
   auto source = make_source();

@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_e2e.json against the committed baseline.
+"""Compare a fresh bench JSON against its committed baseline.
 
 Usage: check_perf_baseline.py CANDIDATE BASELINE [THRESHOLD]
 
-Fails (exit 1) when either:
-  * the candidate's events_per_sec is below baseline/THRESHOLD (default 2.0
-    — generous on purpose: CI runners are noisy and differ from the machine
-    that recorded the baseline, so this gates algorithmic regressions, not
-    percent-level drift), or
-  * the fingerprint differs. The fingerprint is machine-independent, so it
-    is compared exactly; an intentional behaviour change must re-record the
-    baseline (see docs/benchmarking.md).
+Handles both bench shapes:
+  * BENCH_e2e.json — one top-level case (events_per_sec + fingerprint).
+  * BENCH_scale.json — a "cases" array (star_fanout, tiered_closed_loop, ...)
+    plus an optional seed "sweep"; every case named in the baseline is gated
+    and must also report deterministic=true.
+
+Fails (exit 1) when any gated case has:
+  * events_per_sec below baseline/THRESHOLD (default 2.0 — generous on
+    purpose: CI runners are noisy and differ from the machine that recorded
+    the baseline, so this gates algorithmic regressions, not percent-level
+    drift), or
+  * a different fingerprint. Fingerprints are machine-independent, so they
+    are compared exactly; an intentional behaviour change must re-record the
+    baseline (see docs/benchmarking.md), or
+  * deterministic=false (scale cases run twice; the two fingerprints must
+    agree).
 
 Both files must agree on "quick" mode — quick and full workloads are never
 comparable.
@@ -18,6 +26,32 @@ comparable.
 
 import json
 import sys
+
+
+def gate_case(label, candidate, baseline, threshold, failures):
+    """Gates one case dict (fingerprint, throughput, determinism)."""
+    cand_fp = candidate.get("fingerprint")
+    base_fp = baseline.get("fingerprint")
+    if cand_fp != base_fp:
+        failures.append(
+            f"{label}: fingerprint changed: {cand_fp} vs baseline {base_fp} — "
+            "behaviour changed; if intentional, re-record the baseline"
+        )
+    if candidate.get("deterministic") is False:
+        failures.append(f"{label}: run is not deterministic (re-run fingerprint differs)")
+    base_eps = float(baseline["events_per_sec"])
+    cand_eps = float(candidate["events_per_sec"])
+    floor = base_eps / threshold
+    if cand_eps < floor:
+        failures.append(
+            f"{label}: throughput regression: {cand_eps:.0f} events/s is below "
+            f"{floor:.0f} (baseline {base_eps:.0f} / threshold {threshold:g})"
+        )
+    print(
+        f"perf gate [{label}]: {cand_eps / 1e6:.2f}M events/s "
+        f"(baseline {base_eps / 1e6:.2f}M, floor {floor / 1e6:.2f}M), "
+        f"fingerprint {cand_fp}"
+    )
 
 
 def main() -> int:
@@ -36,26 +70,40 @@ def main() -> int:
             f"mode mismatch: candidate quick={candidate.get('quick')} "
             f"vs baseline quick={baseline.get('quick')}"
         )
-    if candidate.get("fingerprint") != baseline.get("fingerprint"):
-        failures.append(
-            f"fingerprint changed: {candidate.get('fingerprint')} "
-            f"vs baseline {baseline.get('fingerprint')} — behaviour changed; "
-            "if intentional, re-record bench/baselines/e2e_quick_baseline.json"
-        )
-    base_eps = float(baseline["events_per_sec"])
-    cand_eps = float(candidate["events_per_sec"])
-    floor = base_eps / threshold
-    if cand_eps < floor:
-        failures.append(
-            f"throughput regression: {cand_eps:.0f} events/s is below "
-            f"{floor:.0f} (baseline {base_eps:.0f} / threshold {threshold:g})"
-        )
 
-    print(
-        f"perf smoke: {cand_eps / 1e6:.2f}M events/s "
-        f"(baseline {base_eps / 1e6:.2f}M, floor {floor / 1e6:.2f}M), "
-        f"fingerprint {candidate.get('fingerprint')}"
-    )
+    if "cases" in baseline:
+        # Scale tier: gate every case the baseline pins, by name.
+        cand_cases = {c.get("name"): c for c in candidate.get("cases", [])}
+        for base_case in baseline["cases"]:
+            name = base_case.get("name")
+            cand_case = cand_cases.get(name)
+            if cand_case is None:
+                failures.append(f"{name}: case missing from candidate")
+                continue
+            gate_case(name, cand_case, base_case, threshold, failures)
+        base_sweep = baseline.get("sweep")
+        cand_sweep = candidate.get("sweep")
+        if base_sweep is not None:
+            if cand_sweep is None:
+                failures.append("sweep: missing from candidate")
+            else:
+                if cand_sweep.get("deterministic") is False:
+                    failures.append("sweep: run is not deterministic")
+                base_fps = {r["seed"]: r["fingerprint"] for r in base_sweep.get("results", [])}
+                cand_fps = {r["seed"]: r["fingerprint"] for r in cand_sweep.get("results", [])}
+                for seed, fp in base_fps.items():
+                    if cand_fps.get(seed) != fp:
+                        failures.append(
+                            f"sweep seed {seed}: fingerprint changed: "
+                            f"{cand_fps.get(seed)} vs baseline {fp}"
+                        )
+                print(
+                    f"perf gate [sweep]: {len(base_fps)} seed fingerprints compared, "
+                    f"deterministic={cand_sweep.get('deterministic')}"
+                )
+    else:
+        gate_case("e2e", candidate, baseline, threshold, failures)
+
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0
