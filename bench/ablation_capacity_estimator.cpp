@@ -29,7 +29,7 @@ int main() {
   for (const Setting& s : settings) {
     scenarios::ScenarioConfig config;
     config.seed = 6004;
-    config.model = traffic::TrafficModel::kCbr;
+    config.traffic.model = traffic::TrafficModel::kCbr;
     config.duration = bench::run_duration();
     config.params.capacity_growth = s.growth;
     config.params.capacity_reset_intervals = s.reset_intervals;

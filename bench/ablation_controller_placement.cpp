@@ -56,8 +56,8 @@ int main() {
     }
     scenarios::ScenarioConfig config;
     config.seed = 9400;
-    config.model = traffic::TrafficModel::kVbr;
-    config.peak_to_mean = 3.0;
+    config.traffic.model = traffic::TrafficModel::kVbr;
+    config.traffic.peak_to_mean = 3.0;
     config.duration = bench::run_duration();
     auto scenario = scenarios::Scenario::from_description(config, *parsed.description);
     scenario->run();

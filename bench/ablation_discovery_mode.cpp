@@ -26,7 +26,7 @@ int main() {
       scenarios::ScenarioConfig config;
       config.seed = 6006;
       config.duration = bench::run_duration();
-      config.discovery = mode;
+      config.control.discovery = mode;
       scenarios::TopologyAOptions options;
       options.receivers_per_set = n;
 

@@ -22,8 +22,8 @@ int main() {
   for (const double interval : intervals_s) {
     scenarios::ScenarioConfig config;
     config.seed = 6001;
-    config.model = traffic::TrafficModel::kVbr;
-    config.peak_to_mean = 3.0;
+    config.traffic.model = traffic::TrafficModel::kVbr;
+    config.traffic.peak_to_mean = 3.0;
     config.duration = bench::run_duration();
     config.params.interval = Time::seconds(interval);
 

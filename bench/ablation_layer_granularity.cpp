@@ -34,7 +34,7 @@ int main() {
   for (const Encoding& enc : encodings) {
     scenarios::ScenarioConfig config;
     config.seed = 6002;
-    config.model = traffic::TrafficModel::kCbr;
+    config.traffic.model = traffic::TrafficModel::kCbr;
     config.duration = bench::run_duration();
     config.params.layers.num_layers = enc.num_layers;
     config.params.layers.base_rate = tsim::units::BitsPerSec{enc.base_bps};

@@ -21,7 +21,7 @@ int main() {
   for (const double latency : latencies_s) {
     scenarios::ScenarioConfig config;
     config.seed = 6003;
-    config.model = traffic::TrafficModel::kCbr;
+    config.traffic.model = traffic::TrafficModel::kCbr;
     config.duration = bench::run_duration();
     config.mcast.leave_latency = Time::seconds(latency);
 

@@ -17,10 +17,10 @@ int main() {
     for (const bool red : {false, true}) {
       scenarios::ScenarioConfig config;
       config.seed = 9100 + sessions;
-      config.model = traffic::TrafficModel::kVbr;
-      config.peak_to_mean = 6.0;
+      config.traffic.model = traffic::TrafficModel::kVbr;
+      config.traffic.peak_to_mean = 6.0;
       config.duration = bench::run_duration();
-      config.red_queues = red;
+      config.queues.red = red;
 
       scenarios::TopologyBOptions topology;
       topology.sessions = sessions;

@@ -31,8 +31,8 @@ int main() {
   for (const Case& c : cases) {
     scenarios::ScenarioConfig config;
     config.seed = 6007;
-    config.model = traffic::TrafficModel::kVbr;
-    config.peak_to_mean = 3.0;
+    config.traffic.model = traffic::TrafficModel::kVbr;
+    config.traffic.peak_to_mean = 3.0;
     config.duration = bench::run_duration();
     scenarios::TopologyAOptions options;
     options.receivers_per_set = 4;

@@ -23,10 +23,10 @@ int main() {
   for (const double period : periods_s) {
     scenarios::ScenarioConfig config;
     config.seed = 9500;
-    config.model = traffic::TrafficModel::kVbr;
-    config.peak_to_mean = 3.0;
+    config.traffic.model = traffic::TrafficModel::kVbr;
+    config.traffic.peak_to_mean = 3.0;
     config.duration = bench::run_duration();
-    config.report_period = Time::seconds(period);
+    config.control.report_period = Time::seconds(period);
 
     auto scenario = scenarios::ScenarioBuilder(config).topology_a(scenarios::TopologyAOptions{}).build();
     scenario->run();

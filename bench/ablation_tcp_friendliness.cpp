@@ -29,7 +29,7 @@ LongLivedResult run_long_lived(bool with_multicast) {
   scenarios::ScenarioConfig config;
   config.seed = 9001;
   config.duration = bench::run_duration();
-  if (!with_multicast) config.controller = scenarios::ControllerKind::kNone;
+  if (!with_multicast) config.control.kind = scenarios::ControllerKind::kNone;
 
   auto scenario = scenarios::ScenarioBuilder(config).topology_a(scenarios::TopologyAOptions{}).build();
 
@@ -59,7 +59,7 @@ double run_short_transfers(bool with_multicast) {
   scenarios::ScenarioConfig config;
   config.seed = 9002;
   config.duration = Time::seconds(bench::quick_mode() ? 120 : 300);
-  if (!with_multicast) config.controller = scenarios::ControllerKind::kNone;
+  if (!with_multicast) config.control.kind = scenarios::ControllerKind::kNone;
 
   auto scenario = scenarios::ScenarioBuilder(config).topology_a(scenarios::TopologyAOptions{}).build();
 

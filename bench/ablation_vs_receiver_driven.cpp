@@ -47,10 +47,10 @@ int main() {
                           scenarios::ControllerKind::kReceiverDriven}) {
     scenarios::ScenarioConfig config;
     config.seed = 7001;
-    config.model = traffic::TrafficModel::kVbr;
-    config.peak_to_mean = 3.0;
+    config.traffic.model = traffic::TrafficModel::kVbr;
+    config.traffic.peak_to_mean = 3.0;
     config.duration = duration;
-    config.controller = kind;
+    config.control.kind = kind;
 
     scenarios::TopologyAOptions topology;
     topology.receivers_per_set = 4;
@@ -66,10 +66,10 @@ int main() {
                           scenarios::ControllerKind::kReceiverDriven}) {
     scenarios::ScenarioConfig config;
     config.seed = 7002;
-    config.model = traffic::TrafficModel::kVbr;
-    config.peak_to_mean = 3.0;
+    config.traffic.model = traffic::TrafficModel::kVbr;
+    config.traffic.peak_to_mean = 3.0;
     config.duration = duration;
-    config.controller = kind;
+    config.control.kind = kind;
 
     scenarios::TopologyBOptions topology;
     topology.sessions = 8;

@@ -42,8 +42,10 @@
 #include "metrics/recovery.hpp"
 #include "scenarios/scenario.hpp"
 #include "net/network.hpp"
+#include "net/shard_link.hpp"
 #include "scenarios/scenario_builder.hpp"
 #include "sim/random.hpp"
+#include "sim/shard_executor.hpp"
 #include "sim/simulation.hpp"
 #include "traffic/layered_source.hpp"
 
@@ -576,6 +578,148 @@ ScaleCase run_star_case(int receivers, Time duration) {
   return c;
 }
 
+/// The same star split across `shards` Simulations under a ShardExecutor.
+/// Shard 0 owns the source plus its slice of the receivers; every other shard
+/// owns an entry node and a slice, fed through a net::ShardLink whose 5 ms
+/// channel latency doubles as the conservative lookahead. With shards == 1 the
+/// build degenerates to run_star_once exactly — same nodes, same links, same
+/// construction order, plain run_until path — so the 1-shard fingerprint must
+/// equal star_fanout's (asserted in run_scale_benches and pinned by the perf
+/// baseline). Multi-shard fingerprints differ (remote receivers sit behind the
+/// handoff hop) but must be identical for every thread count.
+StarRun run_star_sharded_once(int receivers, Time duration, std::uint64_t seed,
+                              std::size_t shards, std::size_t threads) {
+  struct Star final : net::MulticastForwarder {
+    net::NodeId origin{net::kInvalidNode};
+    const std::vector<net::LinkId>* links{nullptr};
+    sim::Simulation* sim{nullptr};
+    /// Non-null only on shard 0: replicate to the remote shards too.
+    const std::vector<std::unique_ptr<net::ShardLink>>* handoffs{nullptr};
+    void route(net::NodeId node, const net::Packet& packet, std::vector<net::LinkId>& out,
+               bool& local) override {
+      if (node == origin) {
+        out.insert(out.end(), links->begin(), links->end());
+        if (handoffs != nullptr) {
+          for (const auto& link : *handoffs) link->send(packet, sim->now());
+        }
+      } else {
+        local = true;
+      }
+    }
+  };
+  struct Shard {
+    std::unique_ptr<sim::Simulation> sim;
+    std::unique_ptr<net::Network> net;
+    std::vector<net::LinkId> links;
+    net::NodeId hub{net::kInvalidNode};  ///< src on shard 0, entry elsewhere
+    Star forwarder;
+  };
+
+  // Block partition: shard k owns global receivers [offset, offset + count).
+  std::vector<std::size_t> counts(shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    counts[k] = static_cast<std::size_t>(receivers) / shards +
+                (k < static_cast<std::size_t>(receivers) % shards ? 1 : 0);
+  }
+
+  std::vector<std::uint64_t> bytes(static_cast<std::size_t>(receivers), 0);
+  std::vector<std::uint64_t> packets(static_cast<std::size_t>(receivers), 0);
+
+  std::vector<std::unique_ptr<Shard>> nets;
+  std::size_t offset = 0;
+  for (std::size_t k = 0; k < shards; ++k) {
+    auto shard = std::make_unique<Shard>();
+    // Remote seeds never draw (receivers are passive) but must be distinct so
+    // any future RNG use doesn't silently correlate across shards.
+    shard->sim = std::make_unique<sim::Simulation>(seed + 1000 * k);
+    shard->net = std::make_unique<net::Network>(*shard->sim);
+    shard->hub = shard->net->add_node(k == 0 ? "src" : "entry");
+    shard->links.reserve(counts[k]);
+    for (std::size_t i = 0; i < counts[k]; ++i) {
+      const net::NodeId rcv = shard->net->add_node();
+      shard->links.push_back(shard->net->add_link(shard->hub, rcv,
+                                                  tsim::units::BitsPerSec{10e6},
+                                                  Time::milliseconds(5), 64));
+    }
+    shard->net->compute_routes();
+    shard->forwarder.origin = shard->hub;
+    shard->forwarder.links = &shard->links;
+    shard->forwarder.sim = shard->sim.get();
+    shard->net->set_multicast_forwarder(&shard->forwarder);
+    // Disjoint slices of the shared counters: shard k's sinks write only
+    // [offset, offset + count), so parallel windows never touch a slot twice.
+    for (std::size_t i = 0; i < counts[k]; ++i) {
+      const std::size_t idx = offset + i;
+      shard->net->set_local_sink(static_cast<net::NodeId>(shard->hub + 1 + i),
+                                 [&bytes, &packets, idx](const net::PacketRef& p) {
+                                   bytes[idx] += p->size_bytes;
+                                   ++packets[idx];
+                                 });
+    }
+    offset += counts[k];
+    nets.push_back(std::move(shard));
+  }
+
+  sim::ShardExecutor executor{sim::ShardExecutor::Config{threads}};
+  for (const auto& shard : nets) executor.add_shard(*shard->sim);
+  std::vector<std::unique_ptr<net::ShardLink>> handoffs;
+  for (std::size_t k = 1; k < shards; ++k) {
+    sim::ShardExecutor::Channel& channel = executor.connect(0, k, Time::milliseconds(5));
+    handoffs.push_back(
+        std::make_unique<net::ShardLink>(channel, *nets[k]->net, nets[k]->hub));
+  }
+  nets[0]->forwarder.handoffs = &handoffs;
+
+  traffic::LayeredSource::Config cfg;
+  cfg.session = 0;
+  cfg.node = nets[0]->hub;
+  cfg.model = traffic::TrafficModel::kVbr;
+  traffic::LayeredSource source{*nets[0]->sim, *nets[0]->net, cfg};
+  source.start();
+
+  const auto start = Clock::now();
+  executor.run_until(duration);
+  const double wall = seconds_since(start);
+
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    mix(i);
+    mix(bytes[i]);
+    mix(packets[i]);
+  }
+  std::size_t rows = 0;
+  for (const auto& shard : nets) rows += shard->net->routes().computed_rows();
+  return StarRun{h, executor.executed_events(), rows, wall};
+}
+
+/// Determinism here means thread-count independence: the timed pass runs the
+/// auto thread count (min(shards, hardware) — what a deployment would use),
+/// the check pass forces one thread per shard so the pool and barrier merge
+/// are exercised even on a single-core host, and the two must agree
+/// bit-for-bit (the merge fixes handoff order).
+ScaleCase run_star_sharded_case(int receivers, Time duration, std::size_t shards) {
+  const StarRun parallel = run_star_sharded_once(receivers, duration, 1, shards, 0);
+  const StarRun serial = run_star_sharded_once(receivers, duration, 1, shards, shards);
+  ScaleCase c;
+  c.name = "star_sharded_" + std::to_string(shards);
+  c.kind = "datapath";
+  c.receivers = receivers;
+  c.sim_seconds = duration.as_seconds();
+  c.wall_s = parallel.wall_s;
+  c.events = parallel.events;
+  c.events_per_sec = static_cast<double>(parallel.events) / parallel.wall_s;
+  c.fingerprint = parallel.fingerprint;
+  c.fingerprint_second = serial.fingerprint;
+  c.deterministic =
+      parallel.fingerprint == serial.fingerprint && parallel.events == serial.events;
+  c.routing_rows = parallel.routing_rows;
+  return c;
+}
+
 ScaleCase run_tiered_case(const scenarios::TieredOptions& topo, Time duration) {
   const auto run_once = [&]() {
     scenarios::ScenarioConfig config;
@@ -730,9 +874,17 @@ int run_scale_benches(const std::string& out_dir) {
   const bool q = quick();
 
 
+  const int star_receivers = q ? 2000 : 10000;
+  const Time star_duration = Time::seconds(std::int64_t{q ? 1 : 5});
   std::vector<ScaleCase> cases;
-  cases.push_back(
-      run_star_case(q ? 2000 : 10000, Time::seconds(std::int64_t{q ? 1 : 5})));
+  cases.push_back(run_star_case(star_receivers, star_duration));
+  const std::uint64_t star_fp = cases.back().fingerprint;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    cases.push_back(run_star_sharded_case(star_receivers, star_duration, shards));
+  }
+  // The 1-shard sharded build must reduce to the unsharded star exactly —
+  // same nodes, same order, plain run_until path, same fingerprint.
+  const bool sharded_identity = cases[1].fingerprint == star_fp;
 
   scenarios::TieredOptions tiered;
   if (q) {
@@ -765,6 +917,14 @@ int run_scale_benches(const std::string& out_dir) {
               sweep.aggregate_events_per_sec / 1e6, sweep.deterministic ? "yes" : "NO");
   ok = ok && sweep.deterministic;
   std::printf("wrote %s/BENCH_scale.json\n", out_dir.c_str());
+  if (!sharded_identity) {
+    std::fprintf(stderr,
+                 "SCALE BENCH FAILURE: star_sharded_1 fingerprint %016llx != star_fanout "
+                 "%016llx — the 1-shard path no longer reduces to the plain star\n",
+                 static_cast<unsigned long long>(cases[1].fingerprint),
+                 static_cast<unsigned long long>(star_fp));
+    return 1;
+  }
   if (!ok) {
     std::fprintf(stderr, "SCALE BENCH FAILURE: fingerprint mismatch on a same-seed re-run\n");
     return 1;

@@ -23,8 +23,8 @@ const std::vector<TrafficCase>& traffic_cases() {
 }
 
 void apply(const TrafficCase& tc, tsim::scenarios::ScenarioConfig& config) {
-  config.model = tc.model;
-  config.peak_to_mean = tc.peak_to_mean;
+  config.traffic.model = tc.model;
+  config.traffic.peak_to_mean = tc.peak_to_mean;
 }
 
 void print_header(const std::string& figure, const std::string& description) {

@@ -29,10 +29,10 @@ int main() {
     for (const int n : receiver_counts) {
       scenarios::ScenarioConfig config;
       config.seed = 5000 + n;
-      config.model = traffic::TrafficModel::kVbr;
-      config.peak_to_mean = 3.0;
+      config.traffic.model = traffic::TrafficModel::kVbr;
+      config.traffic.peak_to_mean = 3.0;
       config.duration = bench::run_duration();
-      config.info_staleness = Time::seconds(staleness);
+      config.control.info_staleness = Time::seconds(staleness);
 
       scenarios::TopologyAOptions topology;
       topology.receivers_per_set = n;

@@ -21,8 +21,8 @@ int main() {
 
   scenarios::ScenarioConfig config;
   config.seed = 4004;
-  config.model = traffic::TrafficModel::kVbr;
-  config.peak_to_mean = 3.0;
+  config.traffic.model = traffic::TrafficModel::kVbr;
+  config.traffic.peak_to_mean = 3.0;
   config.duration = bench::run_duration();
 
   scenarios::TopologyBOptions topology;

@@ -14,8 +14,8 @@ int main() {
 
   scenarios::ScenarioConfig config;
   config.seed = 77;
-  config.model = traffic::TrafficModel::kVbr;
-  config.peak_to_mean = 3.0;
+  config.traffic.model = traffic::TrafficModel::kVbr;
+  config.traffic.peak_to_mean = 3.0;
   config.duration = Time::seconds(300);
 
   scenarios::TopologyAOptions topology;

@@ -23,10 +23,10 @@ Outcome run(tsim::scenarios::ControllerKind kind, int sessions) {
 
   scenarios::ScenarioConfig config;
   config.seed = 99;
-  config.model = traffic::TrafficModel::kVbr;
-  config.peak_to_mean = 3.0;
+  config.traffic.model = traffic::TrafficModel::kVbr;
+  config.traffic.peak_to_mean = 3.0;
   config.duration = Time::seconds(300);
-  config.controller = kind;
+  config.control.kind = kind;
 
   scenarios::TopologyBOptions topology;
   topology.sessions = sessions;

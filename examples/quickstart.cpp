@@ -14,7 +14,7 @@ int main() {
 
   scenarios::ScenarioConfig config;
   config.seed = 1;
-  config.model = traffic::TrafficModel::kCbr;
+  config.traffic.model = traffic::TrafficModel::kCbr;
   config.duration = Time::seconds(120);
 
   scenarios::TopologyAOptions topology;

@@ -17,10 +17,10 @@ int main() {
   for (const int staleness_s : {0, 2, 4, 8, 12}) {
     scenarios::ScenarioConfig config;
     config.seed = 31;
-    config.model = traffic::TrafficModel::kVbr;
-    config.peak_to_mean = 3.0;
+    config.traffic.model = traffic::TrafficModel::kVbr;
+    config.traffic.peak_to_mean = 3.0;
     config.duration = Time::seconds(300);
-    config.info_staleness = Time::seconds(staleness_s);
+    config.control.info_staleness = Time::seconds(staleness_s);
 
     auto scenario = scenarios::ScenarioBuilder(config).topology_a(scenarios::TopologyAOptions{}).build();
     scenario->run();

@@ -110,19 +110,19 @@ int main(int argc, char** argv) {
       Time::seconds(std::int64_t{positional.size() > 1 ? std::atol(positional[1]) : 300});
   if (positional.size() > 2) {
     if (std::strcmp(positional[2], "vbr3") == 0) {
-      config.model = traffic::TrafficModel::kVbr;
-      config.peak_to_mean = 3.0;
+      config.traffic.model = traffic::TrafficModel::kVbr;
+      config.traffic.peak_to_mean = 3.0;
     } else if (std::strcmp(positional[2], "vbr6") == 0) {
-      config.model = traffic::TrafficModel::kVbr;
-      config.peak_to_mean = 6.0;
+      config.traffic.model = traffic::TrafficModel::kVbr;
+      config.traffic.peak_to_mean = 6.0;
     }
   }
 
   std::printf("toposense_sim: %s, %.0f s, %s\n\n", source_name.c_str(),
               config.duration.as_seconds(),
-              config.model == traffic::TrafficModel::kCbr
+              config.traffic.model == traffic::TrafficModel::kCbr
                   ? "CBR"
-                  : (config.peak_to_mean > 4 ? "VBR(P=6)" : "VBR(P=3)"));
+                  : (config.traffic.peak_to_mean > 4 ? "VBR(P=6)" : "VBR(P=3)"));
 
   if (!parsed.description->faults.empty()) {
     std::printf("fault plan (%zu events):\n%s\n", parsed.description->faults.size(),
@@ -155,9 +155,29 @@ int main(int argc, char** argv) {
                     : 0.0,
                 100.0 * r.loss_overall);
   }
-  std::printf("\ncontroller: %llu reports in, %llu suggestions out\n",
-              static_cast<unsigned long long>(scenario->controller()->reports_received()),
-              static_cast<unsigned long long>(scenario->controller()->suggestions_sent()));
+  control::DomainManager* domains = scenario->domains();
+  if (domains != nullptr && domains->domain_count() > 1) {
+    // Partitioned run: every domain has its own controller, and the
+    // root typically hears summaries rather than raw receiver reports.
+    for (std::size_t d = 0; d < domains->domain_count(); ++d) {
+      const control::ControllerAgent* agent = domains->agent(d);
+      if (agent == nullptr) continue;
+      std::printf("%scontroller[%s]: %llu reports in, %llu suggestions out\n",
+                  d == 0 ? "\n" : "", domains->domain(d).name.c_str(),
+                  static_cast<unsigned long long>(agent->reports_received()),
+                  static_cast<unsigned long long>(agent->suggestions_sent()));
+    }
+    std::printf("domains: %llu summaries sent, %llu received; "
+                "%llu caps sent, %llu received\n",
+                static_cast<unsigned long long>(domains->summaries_sent()),
+                static_cast<unsigned long long>(domains->summaries_received()),
+                static_cast<unsigned long long>(domains->caps_sent()),
+                static_cast<unsigned long long>(domains->caps_received()));
+  } else {
+    std::printf("\ncontroller: %llu reports in, %llu suggestions out\n",
+                static_cast<unsigned long long>(scenario->controller()->reports_received()),
+                static_cast<unsigned long long>(scenario->controller()->suggestions_sent()));
+  }
 
   if (!scenario->fault_injectors().empty()) {
     std::uint64_t downs = 0;

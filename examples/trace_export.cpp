@@ -19,8 +19,8 @@ int main() {
 
   scenarios::ScenarioConfig config;
   config.seed = 7;
-  config.model = traffic::TrafficModel::kVbr;
-  config.peak_to_mean = 3.0;
+  config.traffic.model = traffic::TrafficModel::kVbr;
+  config.traffic.peak_to_mean = 3.0;
   config.duration = Time::seconds(180);
 
   scenarios::TopologyBOptions topology;

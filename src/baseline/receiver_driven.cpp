@@ -1,77 +1,117 @@
 #include "baseline/receiver_driven.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
 namespace tsim::baseline {
 
-ReceiverDrivenController::ReceiverDrivenController(sim::Simulation& simulation,
-                                                   transport::ReceiverEndpoint& endpoint,
-                                                   Config config)
-    : simulation_{simulation},
-      endpoint_{endpoint},
-      config_{config},
-      rng_{simulation.rng_stream("rlm/" + std::to_string(endpoint.config().node) + "/" +
-                                 std::to_string(endpoint.config().session))},
-      join_not_before_(static_cast<std::size_t>(endpoint.config().layers.num_layers),
-                       sim::Time::zero()),
-      join_timer_(static_cast<std::size_t>(endpoint.config().layers.num_layers),
-                  config.join_timer_min) {}
+ReceiverDrivenController::ReceiverDrivenController(sim::Simulation& simulation, Config config)
+    : simulation_{simulation}, config_{config} {}
 
-void ReceiverDrivenController::start() {
-  // Random phase so independent receivers do not tick in lockstep.
-  const sim::Time phase = sim::Time::seconds(rng_.uniform(0.0, config_.period.as_seconds()));
-  simulation_.at(config_.start + config_.period + phase, [this]() { tick(); });
+control::ReceiverAgent* ReceiverDrivenController::register_receiver(
+    transport::ReceiverEndpoint& endpoint) {
+  auto r = std::make_unique<Receiver>();
+  r->endpoint = &endpoint;
+  r->rng = simulation_.rng_stream("rlm/" + std::to_string(endpoint.config().node) + "/" +
+                                  std::to_string(endpoint.config().session));
+  const auto layers = static_cast<std::size_t>(endpoint.config().layers.num_layers);
+  r->join_not_before.assign(layers, sim::Time::zero());
+  r->join_timer.assign(layers, config_.join_timer_min);
+  receivers_.push_back(std::move(r));
+  return nullptr;
 }
 
-void ReceiverDrivenController::tick() {
+void ReceiverDrivenController::start_receiver_policies() {
+  for (std::size_t i = 0; i < receivers_.size(); ++i) {
+    // Random phase so independent receivers do not tick in lockstep.
+    const sim::Time phase =
+        sim::Time::seconds(receivers_[i]->rng.uniform(0.0, config_.period.as_seconds()));
+    simulation_.at(config_.start + config_.period + phase, [this, i]() { tick(i); });
+  }
+}
+
+void ReceiverDrivenController::set_enabled(bool enabled) {
+  if (enabled == enabled_) return;
+  enabled_ = enabled;
+  if (!enabled_) ++outages_;
+}
+
+control::ControllerStats ReceiverDrivenController::stats() const {
+  control::ControllerStats s;
+  s.outages = outages_;
+  s.layers_added = layers_added();
+  s.layers_dropped = layers_dropped();
+  return s;
+}
+
+std::uint64_t ReceiverDrivenController::layers_added() const {
+  std::uint64_t n = 0;
+  for (const auto& r : receivers_) n += r->adds;
+  return n;
+}
+
+std::uint64_t ReceiverDrivenController::layers_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& r : receivers_) n += r->drops;
+  return n;
+}
+
+void ReceiverDrivenController::tick(std::size_t index) {
+  Receiver& r = *receivers_[index];
   const sim::Time now = simulation_.now();
-  const auto& window = endpoint_.last_completed_window();
+  if (!enabled_) {
+    // Frozen: keep the cadence so a re-enable resumes without rescheduling.
+    simulation_.after(config_.period, [this, index]() { tick(index); });
+    return;
+  }
+  const auto& window = r.endpoint->last_completed_window();
   const double loss = window.loss_rate().value();
-  const int sub = endpoint_.subscription();
+  const int sub = r.endpoint->subscription();
 
   if (loss > config_.drop_loss) {
-    clean_intervals_ = 0;
-    if (last_added_layer_ == sub && sub > 1 && now <= experiment_deadline_) {
+    r.clean_intervals = 0;
+    if (r.last_added_layer == sub && sub > 1 && now <= r.experiment_deadline) {
       // Failed join experiment: drop back and back the layer's timer off.
       const std::size_t idx = static_cast<std::size_t>(sub - 1);
-      join_timer_[idx] = std::min(
-          sim::Time::seconds(join_timer_[idx].as_seconds() * config_.backoff_multiplier),
+      r.join_timer[idx] = std::min(
+          sim::Time::seconds(r.join_timer[idx].as_seconds() * config_.backoff_multiplier),
           config_.join_timer_max);
-      join_not_before_[idx] = now + join_timer_[idx];
-      endpoint_.set_subscription(sub - 1);
-      ++drops_;
+      r.join_not_before[idx] = now + r.join_timer[idx];
+      r.endpoint->set_subscription(sub - 1);
+      ++r.drops;
     } else if (sub > 1) {
       // Sustained congestion at the current level.
-      endpoint_.set_subscription(sub - 1);
+      r.endpoint->set_subscription(sub - 1);
       const std::size_t idx = static_cast<std::size_t>(sub - 1);
-      join_not_before_[idx] = now + join_timer_[idx];
-      ++drops_;
+      r.join_not_before[idx] = now + r.join_timer[idx];
+      ++r.drops;
     }
-    last_added_layer_ = 0;
+    r.last_added_layer = 0;
   } else {
     if (loss <= config_.add_loss) {
-      ++clean_intervals_;
+      ++r.clean_intervals;
     } else {
-      clean_intervals_ = 0;
+      r.clean_intervals = 0;
     }
-    if (last_added_layer_ == sub && now > experiment_deadline_) {
+    if (r.last_added_layer == sub && now > r.experiment_deadline) {
       // Experiment survived: the layer is considered safe; relax its timer.
-      join_timer_[static_cast<std::size_t>(sub - 1)] = config_.join_timer_min;
-      last_added_layer_ = 0;
+      r.join_timer[static_cast<std::size_t>(sub - 1)] = config_.join_timer_min;
+      r.last_added_layer = 0;
     }
     const int next = sub + 1;
-    if (clean_intervals_ >= config_.stable_intervals && next <= endpoint_.config().layers.num_layers &&
-        now >= join_not_before_[static_cast<std::size_t>(next - 1)]) {
-      endpoint_.set_subscription(next);
-      ++adds_;
-      last_added_layer_ = next;
-      experiment_deadline_ = now + config_.period * 2;
-      clean_intervals_ = 0;
+    if (r.clean_intervals >= config_.stable_intervals &&
+        next <= r.endpoint->config().layers.num_layers &&
+        now >= r.join_not_before[static_cast<std::size_t>(next - 1)]) {
+      r.endpoint->set_subscription(next);
+      ++r.adds;
+      r.last_added_layer = next;
+      r.experiment_deadline = now + config_.period * 2;
+      r.clean_intervals = 0;
     }
   }
 
-  simulation_.after(config_.period, [this]() { tick(); });
+  simulation_.after(config_.period, [this, index]() { tick(index); });
 }
 
 }  // namespace tsim::baseline

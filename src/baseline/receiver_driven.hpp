@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "control/adaptation_controller.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
 #include "transport/receiver_endpoint.hpp"
@@ -15,7 +16,13 @@ namespace tsim::baseline {
 /// controller, no topology information, no cross-receiver coordination — the
 /// contrast the paper's introduction motivates (an uninformed receiver can
 /// misattribute a shared-bottleneck loss and make the wrong move).
-class ReceiverDrivenController {
+///
+/// One instance drives any number of receivers; the per-receiver state
+/// (including each receiver's own rng stream, keyed "rlm/<node>/<session>" so
+/// runs reproduce the pre-refactor streams exactly) is fully independent —
+/// the shared object only exists so the scheme plugs into the
+/// control::AdaptationController wiring like every other controller.
+class ReceiverDrivenController final : public control::AdaptationController {
  public:
   struct Config {
     sim::Time period{sim::Time::seconds(2)};       ///< decision cadence
@@ -28,28 +35,50 @@ class ReceiverDrivenController {
     sim::Time start{sim::Time::zero()};
   };
 
-  ReceiverDrivenController(sim::Simulation& simulation, transport::ReceiverEndpoint& endpoint,
-                           Config config);
+  ReceiverDrivenController(sim::Simulation& simulation, Config config);
 
-  void start();
+  control::ReceiverAgent* register_receiver(transport::ReceiverEndpoint& endpoint) override;
 
-  [[nodiscard]] std::uint64_t layers_added() const { return adds_; }
-  [[nodiscard]] std::uint64_t layers_dropped() const { return drops_; }
+  /// No control plane: all timers are per-receiver.
+  void start() override {}
+
+  /// Schedules each receiver's first decision tick (start + period + a random
+  /// phase from the receiver's own stream, so receivers never tick in
+  /// lockstep).
+  void start_receiver_policies() override;
+
+  /// While disabled, ticks keep their cadence but make no decisions
+  /// (adaptation freeze — there is no central process to "die" here).
+  void set_enabled(bool enabled) override;
+  [[nodiscard]] bool enabled() const override { return enabled_; }
+
+  [[nodiscard]] control::ControllerStats stats() const override;
+
+  [[nodiscard]] std::uint64_t layers_added() const;
+  [[nodiscard]] std::uint64_t layers_dropped() const;
 
  private:
-  void tick();
+  struct Receiver {
+    transport::ReceiverEndpoint* endpoint{nullptr};
+    sim::Rng rng{0};  ///< replaced with the receiver's own stream at register
+    std::vector<sim::Time> join_not_before;  ///< per layer (1-based index-1)
+    std::vector<sim::Time> join_timer;       ///< current backoff per layer
+    int clean_intervals{0};
+    int last_added_layer{0};                 ///< layer under experiment (0 = none)
+    sim::Time experiment_deadline{};
+    std::uint64_t adds{0};
+    std::uint64_t drops{0};
+  };
+
+  void tick(std::size_t index);
 
   sim::Simulation& simulation_;
-  transport::ReceiverEndpoint& endpoint_;
   Config config_;
-  sim::Rng rng_;
-  std::vector<sim::Time> join_not_before_;  ///< per layer (1-based index-1)
-  std::vector<sim::Time> join_timer_;       ///< current backoff per layer
-  int clean_intervals_{0};
-  int last_added_layer_{0};                 ///< layer under experiment (0 = none)
-  sim::Time experiment_deadline_{};
-  std::uint64_t adds_{0};
-  std::uint64_t drops_{0};
+  /// unique_ptr per receiver: tick() callbacks capture the Receiver*, which
+  /// must stay stable while registration keeps appending.
+  std::vector<std::unique_ptr<Receiver>> receivers_;
+  bool enabled_{true};
+  std::uint64_t outages_{0};
 };
 
 }  // namespace tsim::baseline

@@ -31,6 +31,11 @@ void ControllerAgent::register_receiver(net::SessionId session, net::NodeId rece
   discovery_.track_session(session, static_cast<net::LayerId>(config_.params.layers.num_layers));
 }
 
+ReceiverAgent* ControllerAgent::register_receiver(transport::ReceiverEndpoint& endpoint) {
+  register_receiver(endpoint.config().session, endpoint.config().node);
+  return nullptr;
+}
+
 void ControllerAgent::start() {
   simulation_.at(config_.start, [this]() { run_interval(); });
 }
@@ -40,9 +45,110 @@ void ControllerAgent::set_enabled(bool enabled) {
   enabled_ = enabled;
   if (!enabled_) {
     ++outages_;
-    // The process died: its in-memory report history dies with it.
+    // The process died: its in-memory report history dies with it. The
+    // ledger and wire counters survive by design (see the header contract) —
+    // they are the durable billing/audit record, not learned state.
     reports_.clear();
   }
+}
+
+ControllerStats ControllerAgent::stats() const {
+  ControllerStats s;
+  s.reports_received = reports_received_;
+  s.suggestions_sent = suggestions_sent_;
+  s.intervals_run = epoch_;
+  s.outages = outages_;
+  return s;
+}
+
+std::size_t ControllerAgent::report_history_size() const {
+  std::size_t n = 0;
+  // Order-insensitive sum over all histories.  NOLINT(determinism)
+  for (const auto& [key, history] : reports_) n += history.size();
+  return n;
+}
+
+void ControllerAgent::register_border_receiver(net::SessionId session, net::NodeId border) {
+  borders_[key_of(session, border)] = true;
+  register_receiver(session, border);
+}
+
+bool ControllerAgent::is_border(net::SessionId session, net::NodeId node) const {
+  return borders_.count(key_of(session, node)) != 0;
+}
+
+transport::DomainSummary ControllerAgent::build_session_summary(net::SessionId session,
+                                                                sim::Time window_end) const {
+  transport::DomainSummary summary;
+  summary.direction = transport::DomainSummary::Direction::kDemand;
+  summary.session = session;
+  summary.window_end = window_end;
+  summary.window_start = window_end - config_.params.interval;
+
+  const auto it = registered_.find(session);
+  if (it == registered_.end()) return summary;
+  bool have_shared = false;
+  for (const net::NodeId receiver : it->second) {
+    // Borders of *our* children already stand in for whole subtrees; folding
+    // them into our own upstream summary would double-count and hide which
+    // loss is locally fixable, so only direct receivers aggregate.
+    if (is_border(session, receiver)) continue;
+    const ReportAggregate agg = aggregate_reports(session, receiver, window_end);
+    if (!agg.valid) continue;
+    ++summary.receiver_count;
+    summary.subscription = std::max(summary.subscription, agg.subscription);
+    if (agg.bytes > summary.bytes_received) summary.bytes_received = agg.bytes;
+    // Minimum loss across receivers: the component every receiver shares,
+    // i.e. the part this domain cannot fix below its border.
+    if (!have_shared || agg.loss_rate.value() < summary.shared_loss.value()) {
+      have_shared = true;
+      summary.shared_loss = agg.loss_rate;
+      summary.received_packets = agg.received;
+      summary.lost_packets = agg.lost;
+    }
+  }
+  return summary;
+}
+
+void ControllerAgent::ingest_border_summary(const transport::DomainSummary& summary) {
+  if (!enabled_) return;  // a dead controller reads nothing off the wire
+  transport::ReceiverReport report;
+  report.receiver = summary.border;
+  report.session = summary.session;
+  report.subscription = summary.subscription;
+  report.loss_rate = summary.shared_loss;
+  report.bytes_received = summary.bytes_received;
+  report.received_packets = summary.received_packets;
+  report.lost_packets = summary.lost_packets;
+  report.window_start = summary.window_start;
+  report.window_end = summary.window_end;
+  report.report_seq = summary.summary_seq;
+  auto& history = reports_[key_of(report.session, report.receiver)];
+  history.push_back(report);
+  while (history.size() > config_.report_history_limit) history.pop_front();
+  ++summaries_ingested_;
+}
+
+void ControllerAgent::set_session_cap(net::SessionId session, int cap) {
+  if (cap <= 0) {
+    session_caps_.erase(session);
+  } else {
+    session_caps_[session] = cap;
+  }
+}
+
+int ControllerAgent::session_cap(net::SessionId session) const {
+  const auto it = session_caps_.find(session);
+  return it == session_caps_.end() ? 0 : it->second;
+}
+
+int ControllerAgent::capped_subscription(const core::Prescription& prescription) {
+  const int cap = session_cap(prescription.session);
+  if (cap > 0 && prescription.subscription > cap) {
+    ++caps_applied_;
+    return cap;
+  }
+  return prescription.subscription;
 }
 
 void ControllerAgent::handle_report(const net::Packet& packet) {
@@ -98,6 +204,8 @@ ControllerAgent::ReportAggregate ControllerAgent::aggregate_reports(
     agg.bytes = units::Bytes{
         static_cast<std::uint64_t>(static_cast<double>(bytes.count()) * scale)};
     agg.loss_rate = units::LossFraction::from_counts(lost, received + lost);
+    agg.received = received;
+    agg.lost = lost;
   }
   return agg;
 }
@@ -142,7 +250,9 @@ void ControllerAgent::run_interval() {
       core::SessionNodeInput n;
       n.node = node;
       n.parent = parent;
-      if (snapshot_receivers.count(node) != 0 &&
+      // Border pseudo-receivers are routers, never group members, so they are
+      // admitted by registration alone; real receivers need both.
+      if ((snapshot_receivers.count(node) != 0 || is_border(session, node)) &&
           std::find(receivers.begin(), receivers.end(), node) != receivers.end()) {
         const ReportAggregate agg = aggregate_reports(session, node, report_cutoff);
         n.is_receiver = true;
@@ -158,7 +268,17 @@ void ControllerAgent::run_interval() {
   if (!input.sessions.empty()) {
     last_output_ = algorithm_.run_interval(input, now);
     if (audit_hook_) audit_hook_(input, last_output_);
-    for (const core::Prescription& p : last_output_.prescriptions) send_suggestion(p);
+    for (const core::Prescription& p : last_output_.prescriptions) {
+      if (border_hook_ && is_border(p.session, p.receiver)) {
+        // A border's prescription is the cap we grant the child domain; it
+        // goes to the DomainManager hook instead of onto the wire.
+        core::Prescription capped = p;
+        capped.subscription = capped_subscription(p);
+        border_hook_(capped);
+      } else {
+        send_suggestion(p);
+      }
+    }
   }
 
   simulation_.after(config_.params.interval, [this]() { run_interval(); });
@@ -168,7 +288,7 @@ void ControllerAgent::send_suggestion(const core::Prescription& prescription) {
   auto suggestion = std::make_shared<transport::Suggestion>();
   suggestion->receiver = prescription.receiver;
   suggestion->session = prescription.session;
-  suggestion->subscription = prescription.subscription;
+  suggestion->subscription = capped_subscription(prescription);
   suggestion->epoch = epoch_;
 
   net::Packet packet;

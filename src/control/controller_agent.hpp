@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "control/accounting.hpp"
+#include "control/adaptation_controller.hpp"
 #include "core/toposense.hpp"
 #include "net/network.hpp"
 #include "sim/simulation.hpp"
@@ -24,7 +25,15 @@ namespace tsim::control {
 /// receivers. All of its traffic traverses the simulated network and competes
 /// with data, so reports and suggestions can be lost, as in the paper's
 /// simulations.
-class ControllerAgent {
+///
+/// In a multi-domain deployment (control::DomainManager) each domain runs one
+/// agent over its own receivers only. A child domain appears to its parent as
+/// a single pseudo-receiver at the domain's border node, fed by periodic
+/// DomainSummary exchanges instead of raw reports (register_border_receiver /
+/// ingest_border_summary), and the parent's prescription for that border
+/// comes back as a subscription cap the child clamps its own prescriptions
+/// to (set_session_cap).
+class ControllerAgent final : public AdaptationController {
  public:
   struct Config {
     net::NodeId node{net::kInvalidNode};
@@ -45,25 +54,90 @@ class ControllerAgent {
   /// because the paper treats it as out-of-band setup.
   void register_receiver(net::SessionId session, net::NodeId receiver);
 
+  /// AdaptationController: registers by the endpoint's (session, node). The
+  /// bare agent installs no per-receiver watchdog (TopoSenseDomain does).
+  ReceiverAgent* register_receiver(transport::ReceiverEndpoint& endpoint) override;
+
   /// Starts the periodic algorithm runs at config.start.
-  void start();
+  void start() override;
+
+  /// The bare agent owns no per-receiver policy agents.
+  void start_receiver_policies() override {}
 
   /// Fault hook: while disabled the controller neither consumes reports nor
   /// computes/sends suggestions (its interval timer keeps ticking so a
-  /// restart needs no rescheduling). Re-enabling models a process restart:
-  /// the stored report history is discarded and must be re-learned.
-  void set_enabled(bool enabled);
-  [[nodiscard]] bool enabled() const { return enabled_; }
+  /// restart needs no rescheduling).
+  ///
+  /// Restart semantics (pinned by tests/fault): disabling models the process
+  /// dying, so the in-memory report history dies with it and must be
+  /// re-learned after a restart (report_history_size() drops to zero, and the
+  /// first post-restart intervals run on whatever fresh reports have arrived
+  /// since). The accounting ledger() and the reports_received /
+  /// suggestions_sent / intervals_run counters are durable billing and audit
+  /// records — deliberately *retained* across outages, as a billing system
+  /// that forgot charges on every crash would be useless. Session caps and
+  /// border registrations (multi-domain state) are configuration, not learned
+  /// state, and also survive.
+  void set_enabled(bool enabled) override;
+  [[nodiscard]] bool enabled() const override { return enabled_; }
   [[nodiscard]] std::uint64_t outages() const { return outages_; }
+  [[nodiscard]] ControllerStats stats() const override;
 
+  [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const core::TopoSense& algorithm() const { return algorithm_; }
   [[nodiscard]] const core::AlgorithmOutput& last_output() const { return last_output_; }
   [[nodiscard]] std::uint64_t reports_received() const { return reports_received_; }
   [[nodiscard]] std::uint64_t suggestions_sent() const { return suggestions_sent_; }
   [[nodiscard]] std::uint64_t intervals_run() const { return epoch_; }
 
+  /// Reports currently held in the learning history (all receivers). Zero
+  /// right after an outage began — see set_enabled.
+  [[nodiscard]] std::size_t report_history_size() const;
+
   /// Usage accounting built from the received reports (§II billing).
   [[nodiscard]] const AccountingLedger& ledger() const { return ledger_; }
+
+  /// --- Inter-domain summary support (driven by DomainManager) -------------
+
+  /// Declares `border` a pseudo-receiver of `session`: it participates in the
+  /// algorithm like a registered receiver, but its "reports" are synthesized
+  /// from child-domain summaries and its prescriptions go to the border hook
+  /// instead of onto the wire as suggestions.
+  void register_border_receiver(net::SessionId session, net::NodeId border);
+  [[nodiscard]] bool is_border(net::SessionId session, net::NodeId node) const;
+
+  /// Aggregates this domain's knowledge of `session` into a child->parent
+  /// summary (see transport::DomainSummary for the semantics of each field).
+  /// `window_end` bounds which reports are folded in, exactly like an
+  /// algorithm interval would.
+  [[nodiscard]] transport::DomainSummary build_session_summary(net::SessionId session,
+                                                               sim::Time window_end) const;
+
+  /// Folds a child-domain demand summary into the report history as a
+  /// synthetic report from the border pseudo-receiver. Does not touch the
+  /// billing ledger or reports_received (those count real wire reports; the
+  /// child domain already bills its own receivers).
+  void ingest_border_summary(const transport::DomainSummary& summary);
+  [[nodiscard]] std::uint64_t summaries_ingested() const { return summaries_ingested_; }
+
+  /// Upstream ceiling for `session` from the parent domain's prescription for
+  /// our border; every outgoing prescription of the session is clamped to it.
+  /// cap <= 0 removes the cap.
+  void set_session_cap(net::SessionId session, int cap);
+  [[nodiscard]] int session_cap(net::SessionId session) const;  ///< 0 = uncapped
+  [[nodiscard]] std::uint64_t caps_applied() const { return caps_applied_; }
+
+  /// Receives every prescription addressed to a border pseudo-receiver (in
+  /// place of a wire suggestion). DomainManager turns these into downstream
+  /// cap summaries.
+  using BorderHook = std::function<void(const core::Prescription&)>;
+  void set_border_hook(BorderHook hook) { border_hook_ = std::move(hook); }
+
+  /// Registered receivers by session, in registration order. DomainManager
+  /// reads this to know which sessions the domain participates in.
+  [[nodiscard]] const std::map<net::SessionId, std::vector<net::NodeId>>& registered() const {
+    return registered_;
+  }
 
   /// Invoked after every enabled interval that ran the algorithm, with the
   /// exact input and output of that pass. The invariant auditor hangs its
@@ -76,6 +150,8 @@ class ControllerAgent {
   void handle_report(const net::Packet& packet);
   void run_interval();
   void send_suggestion(const core::Prescription& prescription);
+  /// The prescription's subscription after the session cap (if any).
+  [[nodiscard]] int capped_subscription(const core::Prescription& prescription);
 
   /// Aggregate of the reports of one receiver that fall inside the algorithm
   /// window (respecting staleness).
@@ -83,6 +159,8 @@ class ControllerAgent {
     bool valid{false};
     units::LossFraction loss_rate{};
     units::Bytes bytes{};
+    units::PacketCount received{};
+    units::PacketCount lost{};
     int subscription{1};
   };
   [[nodiscard]] ReportAggregate aggregate_reports(net::SessionId session, net::NodeId receiver,
@@ -106,6 +184,14 @@ class ControllerAgent {
   bool enabled_{true};
   std::uint64_t outages_{0};
   AuditHook audit_hook_;
+
+  /// --- multi-domain state (empty and inert in single-domain runs) ---------
+  /// (session<<32|node) border membership; std::map for deterministic sweeps.
+  std::map<std::uint64_t, bool> borders_;
+  std::map<net::SessionId, int> session_caps_;
+  BorderHook border_hook_;
+  std::uint64_t summaries_ingested_{0};
+  std::uint64_t caps_applied_{0};
 };
 
 }  // namespace tsim::control

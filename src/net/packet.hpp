@@ -45,12 +45,13 @@ enum class PacketKind : std::uint8_t {
   kMtraceResponse,  ///< receiver -> discovery tool path response (unicast)
   kTcpData,         ///< simplified TCP segment (unicast cross-traffic)
   kTcpAck,          ///< simplified TCP cumulative ACK
+  kSummary,         ///< inter-domain controller summary (unicast)
 };
 
 /// Number of PacketKind values; keep in sync with the enum above. Lets
 /// per-kind state live in flat arrays indexed by the kind instead of hashes.
 inline constexpr std::size_t kPacketKindCount =
-    static_cast<std::size_t>(PacketKind::kTcpAck) + 1;
+    static_cast<std::size_t>(PacketKind::kSummary) + 1;
 
 /// Base class for control-plane payloads (defined by higher layers). Packets
 /// share payloads by pointer so multicast replication stays O(1) per copy.

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 namespace tsim::scenarios {
@@ -16,13 +17,13 @@ using sim::Time;
 namespace {
 
 /// Queue provisioning: at least the configured floor, grown to the link's
-/// bandwidth-delay product when queue_bdp_sizing is on.
+/// bandwidth-delay product when queues.bdp_sizing is on.
 std::size_t queue_limit_for(const ScenarioConfig& config, double bandwidth_bps) {
-  if (!config.queue_bdp_sizing) return config.queue_limit_packets;
+  if (!config.queues.bdp_sizing) return config.queues.limit_packets;
   const double bdp_bytes = bandwidth_bps * config.link_latency.as_seconds() / 8.0;
   const auto bdp_packets =
       static_cast<std::size_t>(bdp_bytes / config.params.layers.packet_size_bytes);
-  return std::max(config.queue_limit_packets, bdp_packets);
+  return std::max(config.queues.limit_packets, bdp_packets);
 }
 
 }  // namespace
@@ -36,104 +37,223 @@ Scenario::Scenario(const ScenarioConfig& config)
 
 void Scenario::add_receiver(net::NodeId node, net::SessionId session, int optimal,
                             std::string name, sim::Time start, sim::Time stop) {
-  transport::ReceiverEndpoint::Config cfg;
-  cfg.node = node;
-  cfg.session = session;
-  cfg.layers = config_.params.layers;
-  cfg.controller =
-      config_.controller == ControllerKind::kTopoSense ? controller_node_ : net::kInvalidNode;
-  cfg.report_period = config_.report_period == Time::zero() ? config_.params.interval
-                                                             : config_.report_period;
-  cfg.initial_subscription = 1;
-  cfg.start = start;
-  cfg.stop = stop;
-  endpoints_.push_back(std::make_unique<transport::ReceiverEndpoint>(
-      *simulation_, *network_, *mcast_, demuxes_->at(node), cfg));
-  transport::ReceiverEndpoint& endpoint = *endpoints_.back();
-
+  // The endpoint is constructed in finalize(): its report destination is the
+  // controller of whichever domain ends up owning `node`, and the partition
+  // is only resolved once the topology is complete.
+  pending_receivers_.push_back(PendingReceiver{node, session, start, stop});
   results_.push_back(ReceiverResult{node, session, std::move(name), optimal, 0,
                                     metrics::SubscriptionTimeline{Time::zero(), 0}, 0.0});
-  const std::size_t slot = results_.size() - 1;
-  endpoint.on_subscription_change([this, slot](Time when, int /*old*/, int now_level) {
-    results_[slot].timeline.record(when, now_level);
-  });
+}
 
-  switch (config_.controller) {
+std::vector<control::Domain> Scenario::resolve_domains() const {
+  if (!declared_domains_.empty()) return declared_domains_;
+
+  control::Domain root;
+  root.name = "core";
+  root.controller_node = controller_node_;
+  root.parent = -1;
+
+  const int want = config_.domains.auto_partition;
+  if (want <= 1) {
+    for (net::NodeId n = 0; n < network_->node_count(); ++n) root.nodes.push_back(n);
+    return {std::move(root)};
+  }
+
+  // Automatic partitioner: group every node by the first hop of its route
+  // from the controller. The want-1 largest depth-1 subtrees become child
+  // domains rooted at their gateway (the border the parent's tree enters
+  // through); everything else — including unreachable nodes — stays in the
+  // root domain.
+  root.nodes.push_back(controller_node_);
+  std::map<net::NodeId, std::vector<net::NodeId>> by_gateway;
+  for (net::NodeId n = 0; n < network_->node_count(); ++n) {
+    if (n == controller_node_) continue;
+    const auto path = network_->routes().path(controller_node_, n);
+    if (path.size() < 2) {
+      root.nodes.push_back(n);
+      continue;
+    }
+    by_gateway[path[1]].push_back(n);
+  }
+  std::vector<std::pair<net::NodeId, std::size_t>> sized;
+  sized.reserve(by_gateway.size());
+  for (const auto& [gateway, members] : by_gateway) sized.emplace_back(gateway, members.size());
+  std::sort(sized.begin(), sized.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  const std::size_t children =
+      std::min<std::size_t>(static_cast<std::size_t>(want - 1), sized.size());
+
+  std::vector<control::Domain> domains;
+  domains.push_back(std::move(root));
+  for (std::size_t c = 0; c < children; ++c) {
+    control::Domain child;
+    child.name = "auto" + std::to_string(c);
+    child.controller_node = sized[c].first;
+    child.nodes = by_gateway.at(sized[c].first);
+    child.parent = 0;
+    domains.push_back(std::move(child));
+  }
+  for (std::size_t c = children; c < sized.size(); ++c) {
+    const auto& members = by_gateway.at(sized[c].first);
+    domains.front().nodes.insert(domains.front().nodes.end(), members.begin(), members.end());
+  }
+  return domains;
+}
+
+std::unique_ptr<control::AdaptationController> Scenario::make_scheme(
+    std::size_t index, const control::Domain& domain,
+    const std::vector<control::Domain>& all) {
+  switch (config_.control.kind) {
     case ControllerKind::kTopoSense: {
-      control::ReceiverAgent::Config acfg = config_.receiver_agent;
+      control::TopoSenseDomain::Config tcfg;
+      tcfg.agent.node = domain.controller_node;
+      tcfg.agent.params = config_.params;
+      tcfg.agent.info_staleness = config_.control.info_staleness;
+      // Offset the controller's period from the receivers' report period so a
+      // run always has fresh reports to read.
+      tcfg.agent.start = Time::milliseconds(2500);
+      tcfg.watchdog = config_.control.receiver_agent;
       // Wire the watchdog to the controller cadence it actually faces, unless
       // the experiment pinned an explicit expectation.
-      if (acfg.expected_interval == Time::zero()) {
-        acfg.expected_interval = config_.params.interval;
+      if (tcfg.watchdog.expected_interval == Time::zero()) {
+        tcfg.watchdog.expected_interval = config_.params.interval;
       }
-      receiver_agents_.push_back(
-          std::make_unique<control::ReceiverAgent>(*simulation_, endpoint, acfg));
-      break;
+
+      std::unique_ptr<topo::TopologyProvider> discovery;
+      if (config_.control.discovery == DiscoveryMode::kOracle) {
+        topo::DiscoveryService::Config dcfg;
+        dcfg.sample_period = Time::seconds(1);
+        dcfg.staleness = config_.control.info_staleness;
+        if (all.size() > 1) {
+          // Scope the oracle to this domain plus its children's borders (the
+          // pseudo-receivers the parent prescribes for). Single-domain runs
+          // stay unscoped — the pre-domain configuration, byte for byte.
+          for (const net::NodeId n : domain.nodes) dcfg.domain_nodes.insert(n);
+          for (const auto& child : all) {
+            if (child.parent == static_cast<int>(index)) {
+              dcfg.domain_nodes.insert(child.controller_node);
+            }
+          }
+          dcfg.domain_root = domain.controller_node;
+        }
+        discovery = std::make_unique<topo::DiscoveryService>(*simulation_, *mcast_, dcfg);
+      } else {
+        topo::MtraceDiscovery::Config dcfg;
+        dcfg.tool_node = domain.controller_node;
+        dcfg.query_period = config_.params.interval;
+        auto mtrace = std::make_unique<topo::MtraceDiscovery>(*simulation_, *network_, *mcast_,
+                                                              *demuxes_, dcfg);
+        // mtrace scoping is per-receiver registration: this domain's own
+        // receivers plus each child's border for the sessions the child has
+        // receivers in.
+        const std::unordered_set<net::NodeId> members{domain.nodes.begin(), domain.nodes.end()};
+        for (const ReceiverResult& r : results_) {
+          if (members.count(r.node) != 0) mtrace->register_receiver(r.session, r.node);
+        }
+        for (const auto& child : all) {
+          if (child.parent != static_cast<int>(index)) continue;
+          const std::unordered_set<net::NodeId> child_members{child.nodes.begin(),
+                                                              child.nodes.end()};
+          std::set<net::SessionId> child_sessions;
+          for (const ReceiverResult& r : results_) {
+            if (child_members.count(r.node) != 0) child_sessions.insert(r.session);
+          }
+          for (const net::SessionId session : child_sessions) {
+            mtrace->register_receiver(session, child.controller_node);
+          }
+        }
+        discovery = std::move(mtrace);
+      }
+      return std::make_unique<control::TopoSenseDomain>(*simulation_, *network_, *demuxes_,
+                                                        std::move(discovery), tcfg);
     }
     case ControllerKind::kReceiverDriven: {
-      baseline::ReceiverDrivenController::Config rd = config_.receiver_driven;
+      baseline::ReceiverDrivenController::Config rd = config_.control.receiver_driven;
       rd.period = config_.params.interval;
-      baseline_agents_.push_back(
-          std::make_unique<baseline::ReceiverDrivenController>(*simulation_, endpoint, rd));
-      break;
+      return std::make_unique<baseline::ReceiverDrivenController>(*simulation_, rd);
     }
     case ControllerKind::kNone:
-      break;
+      return std::make_unique<control::NullController>();
   }
+  throw std::logic_error("unknown controller kind");
 }
 
 void Scenario::finalize() {
   network_->compute_routes();
-  if (config_.red_queues) {
+  if (config_.queues.red) {
     for (net::LinkId id = 0; id < network_->link_count(); ++id) {
       network_->link(id).enable_red({});
     }
   }
 
-  if (config_.controller == ControllerKind::kTopoSense) {
-    if (config_.discovery == DiscoveryMode::kOracle) {
-      topo::DiscoveryService::Config dcfg;
-      dcfg.sample_period = Time::seconds(1);
-      dcfg.staleness = config_.info_staleness;
-      discovery_ = std::make_unique<topo::DiscoveryService>(*simulation_, *mcast_, dcfg);
-    } else {
-      topo::MtraceDiscovery::Config dcfg;
-      dcfg.tool_node = controller_node_;
-      dcfg.query_period = config_.params.interval;
-      auto mtrace = std::make_unique<topo::MtraceDiscovery>(*simulation_, *network_, *mcast_,
-                                                            *demuxes_, dcfg);
-      for (const ReceiverResult& r : results_) {
-        mtrace->register_receiver(r.session, r.node);
-      }
-      discovery_ = std::move(mtrace);
-    }
+  const std::vector<control::Domain> domains = resolve_domains();
+  const bool toposense = config_.control.kind == ControllerKind::kTopoSense;
 
-    control::ControllerAgent::Config ccfg;
-    ccfg.node = controller_node_;
-    ccfg.params = config_.params;
-    ccfg.info_staleness = config_.info_staleness;
-    // Offset the controller's period from the receivers' report period so a
-    // run always has fresh reports to read.
-    ccfg.start = Time::milliseconds(2500);
-    controller_ = std::make_unique<control::ControllerAgent>(
-        *simulation_, *network_, *discovery_, demuxes_->at(controller_node_), ccfg);
-    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
-      controller_->register_receiver(results_[i].session, results_[i].node);
-    }
-    discovery_->start();
-    controller_->start();
+  // Each receiver reports to the controller of the domain owning its node.
+  std::unordered_map<net::NodeId, net::NodeId> controller_of;
+  for (const control::Domain& d : domains) {
+    for (const net::NodeId n : d.nodes) controller_of.emplace(n, d.controller_node);
   }
+
+  for (std::size_t i = 0; i < pending_receivers_.size(); ++i) {
+    const PendingReceiver& pending = pending_receivers_[i];
+    transport::ReceiverEndpoint::Config cfg;
+    cfg.node = pending.node;
+    cfg.session = pending.session;
+    cfg.layers = config_.params.layers;
+    cfg.controller = toposense ? controller_of.at(pending.node) : net::kInvalidNode;
+    cfg.report_period = config_.control.report_period == Time::zero()
+                            ? config_.params.interval
+                            : config_.control.report_period;
+    cfg.initial_subscription = 1;
+    cfg.start = pending.start;
+    cfg.stop = pending.stop;
+    endpoints_.push_back(std::make_unique<transport::ReceiverEndpoint>(
+        *simulation_, *network_, *mcast_, demuxes_->at(pending.node), cfg));
+    endpoints_.back()->on_subscription_change([this, i](Time when, int /*old*/, int now_level) {
+      results_[i].timeline.record(when, now_level);
+    });
+  }
+
+  control::DomainManager::Config mcfg;
+  mcfg.domains = domains;
+  mcfg.summary_period = config_.domains.summary_period;
+  mcfg.summary_start = config_.domains.summary_start;
+  domain_manager_ = std::make_unique<control::DomainManager>(
+      *simulation_, *network_, *demuxes_, std::move(mcfg),
+      [this, &domains](std::size_t index, const control::Domain& domain) {
+        return make_scheme(index, domain, domains);
+      });
+  for (const auto& endpoint : endpoints_) {
+    control::ReceiverAgent* watchdog = domain_manager_->register_receiver(*endpoint);
+    if (watchdog != nullptr) receiver_agents_.push_back(watchdog);
+  }
+  domain_manager_->start();
 
   if (config_.audit.mode != check::AuditMode::kOff) {
     auditor_ = std::make_unique<check::InvariantAuditor>(config_.audit);
     auditor_->attach_simulation(*simulation_);
     auditor_->attach_network(*network_);
     auditor_->attach_multicast(*mcast_);
-    if (controller_) {
-      controller_->set_audit_hook(
-          [this](const core::AlgorithmInput& input, const core::AlgorithmOutput& output) {
-            auditor_->on_algorithm_output(input, output, controller_->algorithm());
+    for (std::size_t d = 0; d < domain_manager_->domain_count(); ++d) {
+      control::ControllerAgent* agent = domain_manager_->agent(d);
+      if (agent == nullptr) continue;
+      agent->set_audit_hook(
+          [this, agent](const core::AlgorithmInput& input, const core::AlgorithmOutput& output) {
+            auditor_->on_algorithm_output(input, output, agent->algorithm());
           });
+    }
+    if (domain_manager_->domain_count() > 1) {
+      auditor_->register_check("control.domains", [this]() {
+        domain_manager_->check_consistency([this](const std::string& detail) {
+          check::Violation violation;
+          violation.invariant = "control.domains";
+          violation.when = simulation_->now();
+          violation.detail = detail;
+          auditor_->report(violation);
+        });
+      });
     }
     // receiver_agents_ is built one per receiver, in add_receiver order, so
     // it is index-parallel with results_.
@@ -158,9 +278,18 @@ void Scenario::finalize() {
   for (const auto& source : sources_) source->start();
   for (const auto& flow : cross_flows_) flow->start();
   for (const auto& endpoint : endpoints_) endpoint->start();
-  for (const auto& agent : receiver_agents_) agent->start();
-  for (const auto& agent : baseline_agents_) agent->start();
+  domain_manager_->start_receiver_policies();
   started_ = true;
+}
+
+control::ControllerAgent* Scenario::controller() {
+  return domain_manager_ ? domain_manager_->agent(0) : nullptr;
+}
+
+topo::TopologyProvider* Scenario::discovery() {
+  if (!domain_manager_) return nullptr;
+  auto* domain = dynamic_cast<control::TopoSenseDomain*>(&domain_manager_->scheme(0));
+  return domain != nullptr ? &domain->discovery() : nullptr;
 }
 
 void Scenario::run_until(Time until) {
@@ -175,8 +304,12 @@ void Scenario::run() { run_until(config_.duration); }
 
 fault::FaultInjector& Scenario::install_faults(const fault::FaultPlan& plan) {
   fault::FaultInjector::Hooks hooks;
-  if (controller_) {
-    hooks.set_controller_enabled = [this](bool enabled) { controller_->set_enabled(enabled); };
+  if (controller() != nullptr) {
+    // A controller fault takes down the whole control plane (every domain);
+    // per-domain outages go through domains()->scheme(i).set_enabled.
+    hooks.set_controller_enabled = [this](bool enabled) {
+      domain_manager_->set_enabled(enabled);
+    };
   }
   fault_injectors_.push_back(
       std::make_unique<fault::FaultInjector>(*simulation_, *network_, plan, hooks));
@@ -240,8 +373,8 @@ std::unique_ptr<Scenario> Scenario::build_topology_a(const ScenarioConfig& confi
   scfg.session = 0;
   scfg.node = source;
   scfg.layers = config.params.layers;
-  scfg.model = config.model;
-  scfg.peak_to_mean = config.peak_to_mean;
+  scfg.model = config.traffic.model;
+  scfg.peak_to_mean = config.traffic.peak_to_mean;
   s->sources_.push_back(
       std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
 
@@ -314,8 +447,8 @@ std::unique_ptr<Scenario> Scenario::build_topology_b(const ScenarioConfig& confi
     scfg.session = static_cast<net::SessionId>(k);
     scfg.node = src;
     scfg.layers = config.params.layers;
-    scfg.model = config.model;
-    scfg.peak_to_mean = config.peak_to_mean;
+    scfg.model = config.traffic.model;
+    scfg.peak_to_mean = config.traffic.peak_to_mean;
     s->sources_.push_back(
         std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
   }
@@ -361,11 +494,11 @@ std::unique_ptr<Scenario> Scenario::build_tiered(const ScenarioConfig& config,
                        queue_limit_for(config, options.backbone_bps));
   capacities[core::LinkKey{source, national}] = units::BitsPerSec{options.backbone_bps};
 
-  struct PendingReceiver {
+  struct PendingTierReceiver {
     net::NodeId node;
     net::NodeId parent;
   };
-  std::vector<PendingReceiver> receivers;
+  std::vector<PendingTierReceiver> receivers;
   std::vector<core::SessionNodeInput> tree_nodes;
   {
     core::SessionNodeInput n;
@@ -402,7 +535,7 @@ std::unique_ptr<Scenario> Scenario::build_tiered(const ScenarioConfig& config,
             "recv" + std::to_string(r) + "_" + std::to_string(l) + "_" + std::to_string(i),
             local, rng.uniform(options.access_min_bps, options.access_max_bps));
         tree_nodes.back().is_receiver = true;
-        receivers.push_back(PendingReceiver{rcv, local});
+        receivers.push_back(PendingTierReceiver{rcv, local});
       }
     }
   }
@@ -414,8 +547,8 @@ std::unique_ptr<Scenario> Scenario::build_tiered(const ScenarioConfig& config,
   scfg.session = 0;
   scfg.node = source;
   scfg.layers = config.params.layers;
-  scfg.model = config.model;
-  scfg.peak_to_mean = config.peak_to_mean;
+  scfg.model = config.traffic.model;
+  scfg.peak_to_mean = config.traffic.peak_to_mean;
   s->sources_.push_back(std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
 
   // Offline reference: greedy lexicographic max-min on the true capacities.
@@ -432,7 +565,7 @@ std::unique_ptr<Scenario> Scenario::build_tiered(const ScenarioConfig& config,
     return 0;
   };
 
-  for (const PendingReceiver& r : receivers) {
+  for (const PendingTierReceiver& r : receivers) {
     s->add_receiver(r.node, 0, optimum_of(r.node), netw.node(r.node).name);
   }
 
@@ -458,7 +591,7 @@ std::unique_ptr<Scenario> Scenario::from_description(const ScenarioConfig& confi
     const std::size_t queue =
         link.queue_packets.value_or(queue_limit_for(config, link.bandwidth.bps()));
     const auto [ab, ba] = netw.add_duplex_link(a, b, link.bandwidth, link.latency, queue);
-    if (link.red || config.red_queues) {
+    if (link.red || config.queues.red) {
       netw.link(ab).enable_red({});
       netw.link(ba).enable_red({});
     }
@@ -469,14 +602,44 @@ std::unique_ptr<Scenario> Scenario::from_description(const ScenarioConfig& confi
 
   s->controller_node_ = by_name.at(description.controller_node);
 
+  // Declared routing domains: each `domain` line is a child of the implicit
+  // root domain around the controller node; the root owns every node no
+  // domain claimed (iterated in declaration order — determinism).
+  if (!description.domains.empty()) {
+    std::unordered_set<net::NodeId> owned;
+    std::vector<control::Domain> child_domains;
+    for (const auto& spec : description.domains) {
+      control::Domain child;
+      child.name = spec.name;
+      child.parent = 0;
+      for (const std::string& name : spec.nodes) {
+        const net::NodeId id = by_name.at(name);
+        child.nodes.push_back(id);
+        owned.insert(id);
+      }
+      child.controller_node = child.nodes.front();
+      child_domains.push_back(std::move(child));
+    }
+    control::Domain root;
+    root.name = "core";
+    root.controller_node = s->controller_node_;
+    root.parent = -1;
+    for (const std::string& name : description.nodes) {
+      const net::NodeId id = by_name.at(name);
+      if (owned.count(id) == 0) root.nodes.push_back(id);
+    }
+    s->declared_domains_.push_back(std::move(root));
+    for (auto& child : child_domains) s->declared_domains_.push_back(std::move(child));
+  }
+
   for (const auto& src : description.sources) {
     s->mcast_->set_session_source(src.session, by_name.at(src.node));
     traffic::LayeredSource::Config scfg;
     scfg.session = src.session;
     scfg.node = by_name.at(src.node);
     scfg.layers = config.params.layers;
-    scfg.model = config.model;
-    scfg.peak_to_mean = config.peak_to_mean;
+    scfg.model = config.traffic.model;
+    scfg.peak_to_mean = config.traffic.peak_to_mean;
     s->sources_.push_back(
         std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
   }

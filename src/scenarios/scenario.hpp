@@ -6,7 +6,9 @@
 
 #include "baseline/receiver_driven.hpp"
 #include "check/invariant_auditor.hpp"
+#include "control/adaptation_controller.hpp"
 #include "control/controller_agent.hpp"
+#include "control/domain_manager.hpp"
 #include "control/receiver_agent.hpp"
 #include "core/params.hpp"
 #include "fault/fault_injector.hpp"
@@ -33,7 +35,9 @@ enum class DiscoveryMode {
   kMtrace,
 };
 
-/// Which adaptation scheme drives the receivers.
+/// Which adaptation scheme drives the receivers. The scenario wiring itself
+/// is kind-agnostic: each kind maps to a control::AdaptationController
+/// implementation behind the per-domain scheme factory.
 enum class ControllerKind {
   kTopoSense,       ///< the paper's domain controller
   kReceiverDriven,  ///< RLM-style baseline, no topology information
@@ -41,33 +45,113 @@ enum class ControllerKind {
 };
 
 /// Configuration shared by every experiment (paper §IV defaults).
+///
+/// Fields are grouped into sub-structs by subsystem (traffic, queues,
+/// control, domains). The old flat names remain as deprecated reference
+/// aliases for one release — reading or writing `config.red_queues` still
+/// works (it is the same storage as `config.queues.red`) but warns.
 struct ScenarioConfig {
+  struct Traffic {
+    ::tsim::traffic::TrafficModel model{::tsim::traffic::TrafficModel::kCbr};
+    double peak_to_mean{3.0};
+  };
+  struct Queues {
+    std::size_t limit_packets{30};
+    /// Size each link's queue to at least its bandwidth-delay product (the
+    /// standard drop-tail provisioning rule); the floor above still applies
+    /// to slow links. Disable to study shallow-buffer behaviour.
+    bool bdp_sizing{true};
+    /// Use RED instead of drop-tail on every link (§V burst-loss ablation).
+    bool red{false};
+  };
+  struct Control {
+    ControllerKind kind{ControllerKind::kTopoSense};
+    DiscoveryMode discovery{DiscoveryMode::kOracle};
+    sim::Time info_staleness{sim::Time::zero()};  ///< topology + report staleness
+    /// Receiver reporting cadence; zero means "same as the algorithm
+    /// interval" (the paper's setup). Faster reporting gives the controller
+    /// sub-interval loss visibility at the cost of more control traffic.
+    sim::Time report_period{sim::Time::zero()};
+    ::tsim::control::ReceiverAgent::Config receiver_agent{};
+    ::tsim::baseline::ReceiverDrivenController::Config receiver_driven{};
+  };
+  struct Domains {
+    /// Automatic partitioner: when > 1 and the topology declares no `domain`
+    /// lines, split the topology into up to this many routing domains (the
+    /// largest depth-1 subtrees below the controller become child domains,
+    /// everything else stays in the root). 1 = single-domain (the default,
+    /// byte-identical to the pre-domain wiring).
+    int auto_partition{1};
+    /// Child -> parent DomainSummary cadence and first exchange.
+    sim::Time summary_period{sim::Time::seconds(5)};
+    sim::Time summary_start{sim::Time::seconds(5)};
+  };
+
   std::uint64_t seed{1};
-  traffic::TrafficModel model{traffic::TrafficModel::kCbr};
-  double peak_to_mean{3.0};
   core::Params params{};
   sim::Time duration{sim::Time::seconds(1200)};
   sim::Time link_latency{sim::Time::milliseconds(200)};
-  std::size_t queue_limit_packets{30};
-  /// Size each link's queue to at least its bandwidth-delay product (the
-  /// standard drop-tail provisioning rule); the floor above still applies to
-  /// slow links. Disable to study shallow-buffer behaviour.
-  bool queue_bdp_sizing{true};
-  /// Use RED instead of drop-tail on every link (§V burst-loss ablation).
-  bool red_queues{false};
-  sim::Time info_staleness{sim::Time::zero()};  ///< topology + report staleness
-  /// Receiver reporting cadence; zero means "same as the algorithm interval"
-  /// (the paper's setup). Faster reporting gives the controller sub-interval
-  /// loss visibility at the cost of more control traffic.
-  sim::Time report_period{sim::Time::zero()};
-  ControllerKind controller{ControllerKind::kTopoSense};
-  DiscoveryMode discovery{DiscoveryMode::kOracle};
+  Traffic traffic{};
+  Queues queues{};
+  Control control{};
+  Domains domains{};
   mcast::MulticastRouter::Config mcast{};
-  control::ReceiverAgent::Config receiver_agent{};
-  baseline::ReceiverDrivenController::Config receiver_driven{};
   /// Invariant auditing (off by default; see ScenarioBuilder::audit and the
   /// --audit flag on toposense_sim / bench_runner).
   check::AuditConfig audit{};
+
+  /// --- deprecated flat aliases (same storage as the sub-structs) ----------
+  [[deprecated("use traffic.model")]] ::tsim::traffic::TrafficModel& model = traffic.model;
+  [[deprecated("use traffic.peak_to_mean")]] double& peak_to_mean = traffic.peak_to_mean;
+  [[deprecated("use queues.limit_packets")]] std::size_t& queue_limit_packets =
+      queues.limit_packets;
+  [[deprecated("use queues.bdp_sizing")]] bool& queue_bdp_sizing = queues.bdp_sizing;
+  [[deprecated("use queues.red")]] bool& red_queues = queues.red;
+  [[deprecated("use control.kind")]] ControllerKind& controller = control.kind;
+  [[deprecated("use control.discovery")]] DiscoveryMode& discovery = control.discovery;
+  [[deprecated("use control.info_staleness")]] sim::Time& info_staleness =
+      control.info_staleness;
+  [[deprecated("use control.report_period")]] sim::Time& report_period = control.report_period;
+  [[deprecated("use control.receiver_agent")]] ::tsim::control::ReceiverAgent::Config&
+      receiver_agent = control.receiver_agent;
+  [[deprecated("use control.receiver_driven")]] ::tsim::baseline::ReceiverDrivenController::
+      Config& receiver_driven = control.receiver_driven;
+
+  // The aliases are references into this object, so copies must rebind them
+  // to the copy's own sub-structs: value members are copied explicitly and
+  // the references fall back to their default member initializers. (The
+  // implicit alias initialization inside these members would itself trip the
+  // deprecation warning, hence the suppression.)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ScenarioConfig() = default;
+  ScenarioConfig(const ScenarioConfig& other)
+      : seed{other.seed},
+        params{other.params},
+        duration{other.duration},
+        link_latency{other.link_latency},
+        traffic{other.traffic},
+        queues{other.queues},
+        control{other.control},
+        domains{other.domains},
+        mcast{other.mcast},
+        audit{other.audit} {}
+  ScenarioConfig(ScenarioConfig&& other) noexcept : ScenarioConfig{other} {}
+  ScenarioConfig& operator=(const ScenarioConfig& other) {
+    seed = other.seed;
+    params = other.params;
+    duration = other.duration;
+    link_latency = other.link_latency;
+    traffic = other.traffic;
+    queues = other.queues;
+    control = other.control;
+    domains = other.domains;
+    mcast = other.mcast;
+    audit = other.audit;
+    return *this;
+  }
+  ScenarioConfig& operator=(ScenarioConfig&& other) noexcept { return *this = other; }
+#pragma GCC diagnostic pop
 };
 
 /// Topology A (Fig 5): one session, two receiver sets behind different
@@ -159,6 +243,11 @@ struct ReceiverResult {
 /// A fully wired simulation: network, multicast, sources, receivers, agents,
 /// controller and metrics. Construction order is fixed by the factories;
 /// everything lives exactly as long as the Scenario.
+///
+/// The adaptation control plane is always a control::DomainManager — a
+/// single-domain manager over the whole topology by default, or one scheme
+/// per routing domain when the topology declares `domain` lines (or
+/// config.domains.auto_partition asks for a split).
 class Scenario {
  public:
   [[deprecated("use ScenarioBuilder(config).topology_a(options).build()")]] static std::
@@ -200,10 +289,21 @@ class Scenario {
   [[nodiscard]] sim::Simulation& simulation() { return *simulation_; }
   [[nodiscard]] net::Network& network() { return *network_; }
   [[nodiscard]] mcast::MulticastRouter& multicast() { return *mcast_; }
-  [[nodiscard]] control::ControllerAgent* controller() { return controller_.get(); }
+  /// The control plane behind the kind-agnostic interface (never null after
+  /// construction; a NullController manager when the kind is kNone).
+  [[nodiscard]] control::AdaptationController* adaptation() { return domain_manager_.get(); }
+  /// The domain manager itself: domain layout, per-domain schemes and the
+  /// inter-domain summary counters.
+  [[nodiscard]] control::DomainManager* domains() { return domain_manager_.get(); }
+  /// The root domain's ControllerAgent, or nullptr when the adaptation
+  /// scheme is not TopoSense. Single-domain scenarios (the default) have
+  /// exactly one agent, so this is "the" controller of the classic API.
+  [[nodiscard]] control::ControllerAgent* controller();
   /// The invariant auditor, or nullptr when auditing is off.
   [[nodiscard]] check::InvariantAuditor* auditor() { return auditor_.get(); }
-  [[nodiscard]] topo::TopologyProvider* discovery() { return discovery_.get(); }
+  /// The root domain's topology provider (oracle or mtrace), or nullptr when
+  /// the scheme runs without discovery.
+  [[nodiscard]] topo::TopologyProvider* discovery();
   /// Per-node packet demux registry — attach extra endpoints (e.g. TCP
   /// flows) to nodes without clobbering the scenario's own handlers.
   [[nodiscard]] transport::DemuxRegistry& demuxes() { return *demuxes_; }
@@ -218,8 +318,10 @@ class Scenario {
       const {
     return fault_injectors_;
   }
-  [[nodiscard]] const std::vector<std::unique_ptr<control::ReceiverAgent>>& receiver_agents()
-      const {
+  /// Per-receiver watchdog agents, index-parallel with results()/endpoints()
+  /// (TopoSense only; empty for other kinds). The agents are owned by their
+  /// domain's scheme.
+  [[nodiscard]] const std::vector<control::ReceiverAgent*>& receiver_agents() const {
     return receiver_agents_;
   }
 
@@ -240,10 +342,20 @@ class Scenario {
   static std::unique_ptr<Scenario> build_tiered(const ScenarioConfig& config,
                                                 const TieredOptions& options);
 
-  /// Adds one receiver (endpoint + policy agent + metrics) at `node`, active
-  /// in [start, stop).
+  /// Records one receiver (endpoint + policy agent + metrics) at `node`,
+  /// active in [start, stop). The endpoint itself is constructed in
+  /// finalize(), once the domain partition (and with it the receiver's
+  /// controller node) is known.
   void add_receiver(net::NodeId node, net::SessionId session, int optimal, std::string name,
                     sim::Time start = sim::Time::zero(), sim::Time stop = sim::Time::max());
+  /// Resolves the domain partition: declared domains when the topology file
+  /// had `domain` lines, else the automatic partitioner when
+  /// config.domains.auto_partition > 1, else one root domain over everything.
+  [[nodiscard]] std::vector<control::Domain> resolve_domains() const;
+  /// Builds the per-domain adaptation scheme for the configured kind.
+  [[nodiscard]] std::unique_ptr<control::AdaptationController> make_scheme(
+      std::size_t index, const control::Domain& domain,
+      const std::vector<control::Domain>& all);
   void finalize();  ///< wires controller/discovery and starts everything
 
   ScenarioConfig config_;
@@ -251,15 +363,26 @@ class Scenario {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<mcast::MulticastRouter> mcast_;
   std::unique_ptr<transport::DemuxRegistry> demuxes_;
-  std::unique_ptr<topo::TopologyProvider> discovery_;
-  std::unique_ptr<control::ControllerAgent> controller_;
   net::NodeId controller_node_{net::kInvalidNode};
+  /// Domains declared by the topology description (empty for the factories;
+  /// resolve_domains() falls back to the auto partitioner / single root).
+  std::vector<control::Domain> declared_domains_;
   std::vector<std::unique_ptr<traffic::LayeredSource>> sources_;
   std::vector<std::unique_ptr<traffic::CbrFlow>> cross_flows_;
   std::vector<std::unique_ptr<fault::FaultInjector>> fault_injectors_;
+  struct PendingReceiver {
+    net::NodeId node{net::kInvalidNode};
+    net::SessionId session{0};
+    sim::Time start{sim::Time::zero()};
+    sim::Time stop{sim::Time::max()};
+  };
+  std::vector<PendingReceiver> pending_receivers_;
   std::vector<std::unique_ptr<transport::ReceiverEndpoint>> endpoints_;
-  std::vector<std::unique_ptr<control::ReceiverAgent>> receiver_agents_;
-  std::vector<std::unique_ptr<baseline::ReceiverDrivenController>> baseline_agents_;
+  std::vector<control::ReceiverAgent*> receiver_agents_;  ///< owned by domain schemes
+  /// Declared after endpoints_: the schemes' watchdog agents reference the
+  /// endpoints, so the manager (and with it the watchdogs) is torn down
+  /// first.
+  std::unique_ptr<control::DomainManager> domain_manager_;
   /// Declared after everything it observes: the auditor is destroyed first,
   /// and the hooks it installed are never invoked after teardown begins (no
   /// events run during destruction).

@@ -39,11 +39,22 @@ class ScenarioBuilder {
     return *this;
   }
   ScenarioBuilder& controller(ControllerKind kind) {
-    config_.controller = kind;
+    config_.control.kind = kind;
     return *this;
   }
   ScenarioBuilder& discovery(DiscoveryMode mode) {
-    config_.discovery = mode;
+    config_.control.discovery = mode;
+    return *this;
+  }
+  /// Requests an automatic partition into up to `count` routing domains when
+  /// the topology declares none (see ScenarioConfig::Domains).
+  ScenarioBuilder& domains(int count) {
+    config_.domains.auto_partition = count;
+    return *this;
+  }
+  /// Child -> parent DomainSummary cadence (multi-domain runs only).
+  ScenarioBuilder& summary_period(sim::Time period) {
+    config_.domains.summary_period = period;
     return *this;
   }
   ScenarioBuilder& params(const core::Params& params) {

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <charconv>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -326,6 +327,20 @@ ParseResult parse_topology(std::string_view text) {
       if (tokens.size() != 2) return fail(line_no, "controller takes one node");
       desc.controller_node = tokens[1];
       desc.controller_line = line_no;
+    } else if (directive == "domain") {
+      if (tokens.size() < 3) {
+        return fail(line_no, "domain needs: name border-node [node...]");
+      }
+      TopologyDescription::DomainSpec dom;
+      dom.line = line_no;
+      dom.name = tokens[1];
+      for (const auto& existing : desc.domains) {
+        if (existing.name == dom.name) {
+          return fail(line_no, "duplicate domain '" + dom.name + "'");
+        }
+      }
+      dom.nodes.assign(tokens.begin() + 2, tokens.end());
+      desc.domains.push_back(std::move(dom));
     } else if (directive == "fault") {
       std::string error;
       if (!parse_fault_line(tokens, desc.faults, error)) return fail(line_no, error);
@@ -396,6 +411,26 @@ ParseResult parse_topology(std::string_view text) {
   if (!known(desc.controller_node)) {
     return fail(desc.controller_line,
                 "controller on undeclared node '" + desc.controller_node + "'");
+  }
+  std::map<std::string, std::string> domain_of_node;  // node -> domain name
+  for (const auto& dom : desc.domains) {
+    for (const auto& name : dom.nodes) {
+      if (!known(name)) {
+        return fail(dom.line,
+                    "domain '" + dom.name + "' references undeclared node '" + name + "'");
+      }
+      const auto [it, inserted] = domain_of_node.emplace(name, dom.name);
+      if (!inserted) {
+        return fail(dom.line, "node '" + name + "' already belongs to domain '" +
+                                  it->second + "'");
+      }
+    }
+    // The controller node anchors the implicit root domain; claiming it would
+    // leave the root headless.
+    if (domain_of_node.count(desc.controller_node) != 0) {
+      return fail(dom.line, "controller node '" + desc.controller_node +
+                                "' cannot belong to a domain (it anchors the root)");
+    }
   }
 
   ParseResult result;

@@ -20,6 +20,7 @@ namespace tsim::scenarios {
 ///   source <session> <node>
 ///   receiver <node> <session> [start <seconds>] [stop <seconds>]
 ///   controller <node>
+///   domain <name> <border-node> [<node>...]
 ///   fault link <a> <b> down <t> [up <t>]
 ///   fault link <a> <b> lossy <p> <t0> <t1>
 ///   fault link <a> <b> flap <t0> <t1> period <seconds> [duty <d>]
@@ -29,6 +30,13 @@ namespace tsim::scenarios {
 /// Bandwidth accepts `bps`, `kbps`, `Mbps` suffixes (case-insensitive);
 /// latency accepts `ms` and `s`. Fault times are plain seconds. Links are
 /// duplex; link faults hit both directions.
+///
+/// `domain` declares a routing domain: the named nodes get their own
+/// TopoSense controller, stationed at the border node (the first listed
+/// node — the point where the parent domain's tree enters). Nodes in no
+/// `domain` line form the implicit root domain around the `controller` node,
+/// which therefore must not itself be claimed by a `domain` line. Each node
+/// belongs to at most one domain.
 struct TopologyDescription {
   struct LinkSpec {
     std::string a;
@@ -51,11 +59,17 @@ struct TopologyDescription {
     sim::Time stop{sim::Time::max()};
     int line{0};
   };
+  struct DomainSpec {
+    std::string name;
+    std::vector<std::string> nodes;  ///< first entry is the border/controller node
+    int line{0};
+  };
 
   std::vector<std::string> nodes;
   std::vector<LinkSpec> links;
   std::vector<SourceSpec> sources;
   std::vector<ReceiverSpec> receivers;
+  std::vector<DomainSpec> domains;
   std::string controller_node;
   int controller_line{0};
   /// Schedule parsed from `fault` directives (empty when the file has none).

@@ -33,9 +33,48 @@ struct Suggestion final : net::ControlPayload {
   std::uint32_t epoch{0};  ///< controller interval counter, newest wins
 };
 
+/// Inter-domain summary, exchanged between per-domain controllers (carried as
+/// a unicast kSummary packet through the simulated network, so summaries
+/// compete with data and can be lost like any other control traffic).
+///
+/// Child -> parent (kDemand): the child domain compresses everything it knows
+/// about its receivers of one session into a pseudo-receiver stationed at the
+/// domain's border node — max subscription as aggregate demand, the *minimum*
+/// loss across its receivers as the shared-upstream bottleneck estimate (loss
+/// every child receiver sees is loss the child domain cannot fix locally),
+/// and the best per-receiver goodput as the border's achievable bandwidth.
+/// The parent folds this into its own interval as an ordinary receiver report
+/// from the border node.
+///
+/// Parent -> child (kCap): the parent's prescription for the border
+/// pseudo-receiver, i.e. how many layers the shared tree can deliver into the
+/// child domain. The child clamps its own prescriptions to this cap, so a
+/// bottleneck above the border is still honored by receivers the parent has
+/// never heard of.
+struct DomainSummary final : net::ControlPayload {
+  enum class Direction : std::uint8_t {
+    kDemand,  ///< child -> parent aggregate
+    kCap,     ///< parent -> child subscription ceiling
+  };
+  Direction direction{Direction::kDemand};
+  std::uint32_t domain{0};                  ///< sender's domain index
+  net::SessionId session{0};
+  net::NodeId border{net::kInvalidNode};    ///< child domain's root node
+  int subscription{1};                      ///< demand (kDemand) or cap (kCap)
+  units::LossFraction shared_loss{};        ///< min loss across domain receivers
+  units::Bytes bytes_received{};            ///< best per-receiver window goodput
+  units::PacketCount received_packets{};
+  units::PacketCount lost_packets{};
+  std::uint32_t receiver_count{0};          ///< receivers folded into the aggregate
+  sim::Time window_start{};
+  sim::Time window_end{};
+  std::uint32_t summary_seq{0};
+};
+
 /// On-the-wire sizes used for the simulated control packets. Small relative
 /// to the 1000-byte data packets, as RTCP packets are.
 inline constexpr std::uint32_t kReportPacketBytes = 64;
 inline constexpr std::uint32_t kSuggestionPacketBytes = 64;
+inline constexpr std::uint32_t kSummaryPacketBytes = 64;
 
 }  // namespace tsim::transport

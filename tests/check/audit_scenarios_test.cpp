@@ -36,8 +36,8 @@ TEST(AuditScenarioTest, Fig6StabilityTopologyACbr) {
 
 TEST(AuditScenarioTest, Fig6StabilityTopologyAVbr) {
   ScenarioConfig cfg = audited_config(6, 120_s);
-  cfg.model = traffic::TrafficModel::kVbr;
-  cfg.peak_to_mean = 3.0;
+  cfg.traffic.model = traffic::TrafficModel::kVbr;
+  cfg.traffic.peak_to_mean = 3.0;
   TopologyAOptions opt;
   opt.receivers_per_set = 4;
   run_audited(ScenarioBuilder(cfg).topology_a(opt).build());
@@ -49,9 +49,24 @@ TEST(AuditScenarioTest, Fig7StabilityTopologyB) {
   run_audited(ScenarioBuilder(audited_config(7, 120_s)).topology_b(opt).build());
 }
 
+TEST(AuditScenarioTest, MultiDomainSummaryExchange) {
+  // Auto-partitioned domains under assert auditing: exercises the
+  // control.domains sweep (border registration, cap ranges, summary counter
+  // sanity) on top of the usual invariants.
+  ScenarioConfig cfg = audited_config(13, 120_s);
+  cfg.traffic.model = traffic::TrafficModel::kVbr;
+  cfg.traffic.peak_to_mean = 3.0;
+  cfg.domains.auto_partition = 2;
+  cfg.domains.summary_period = 5_s;
+  auto scenario = ScenarioBuilder(cfg).topology_a({}).build();
+  ASSERT_NE(scenario->domains(), nullptr);
+  ASSERT_EQ(scenario->domains()->domain_count(), 2u);
+  run_audited(std::move(scenario));
+}
+
 TEST(AuditScenarioTest, Fig8FairnessTopologyBVbr) {
   ScenarioConfig cfg = audited_config(8, 120_s);
-  cfg.model = traffic::TrafficModel::kVbr;
+  cfg.traffic.model = traffic::TrafficModel::kVbr;
   TopologyBOptions opt;
   opt.sessions = 8;
   run_audited(ScenarioBuilder(cfg).topology_b(opt).build());
@@ -59,8 +74,8 @@ TEST(AuditScenarioTest, Fig8FairnessTopologyBVbr) {
 
 TEST(AuditScenarioTest, Fig9SubscriptionTraceVbr) {
   ScenarioConfig cfg = audited_config(9, 120_s);
-  cfg.model = traffic::TrafficModel::kVbr;
-  cfg.peak_to_mean = 3.0;
+  cfg.traffic.model = traffic::TrafficModel::kVbr;
+  cfg.traffic.peak_to_mean = 3.0;
   TopologyBOptions opt;
   opt.sessions = 4;
   run_audited(ScenarioBuilder(cfg).topology_b(opt).build());
@@ -68,20 +83,20 @@ TEST(AuditScenarioTest, Fig9SubscriptionTraceVbr) {
 
 TEST(AuditScenarioTest, Fig10StaleInformationTopologyA) {
   ScenarioConfig cfg = audited_config(10, 120_s);
-  cfg.model = traffic::TrafficModel::kVbr;
-  cfg.info_staleness = 6_s;
+  cfg.traffic.model = traffic::TrafficModel::kVbr;
+  cfg.control.info_staleness = 6_s;
   run_audited(ScenarioBuilder(cfg).topology_a({}).build());
 }
 
 TEST(AuditScenarioTest, MtraceDiscoveryStaysClean) {
   ScenarioConfig cfg = audited_config(11, 90_s);
-  cfg.discovery = DiscoveryMode::kMtrace;
+  cfg.control.discovery = DiscoveryMode::kMtrace;
   run_audited(ScenarioBuilder(cfg).topology_a({}).build());
 }
 
 TEST(AuditScenarioTest, ReceiverDrivenBaselineStaysClean) {
   ScenarioConfig cfg = audited_config(12, 90_s);
-  cfg.controller = ControllerKind::kReceiverDriven;
+  cfg.control.kind = ControllerKind::kReceiverDriven;
   run_audited(ScenarioBuilder(cfg).topology_a({}).build());
 }
 

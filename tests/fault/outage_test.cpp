@@ -89,6 +89,33 @@ TEST(ControllerOutageTest, ReceiversActUnilaterallyWhileControllerIsDown) {
   }
 }
 
+TEST(ControllerOutageTest, RestartDropsLearnedStateButKeepsDurableRecord) {
+  // Pins the set_enabled contract (see ControllerAgent's header): disabling
+  // models a process death, so the in-memory report history is lost, while
+  // the billing ledger and wire counters — the durable audit record — must
+  // survive the restart untouched.
+  auto s = ScenarioBuilder(config(11, 240_s)).topology_a({}).build();
+  s->run_until(59_s);
+  control::ControllerAgent* agent = s->controller();
+  ASSERT_NE(agent, nullptr);
+  const control::ControllerStats before = agent->stats();
+  EXPECT_GT(before.reports_received, 0u);
+  EXPECT_GT(agent->report_history_size(), 0u);
+
+  agent->set_enabled(false);
+  EXPECT_EQ(agent->report_history_size(), 0u);  // learned state died with the process
+  EXPECT_EQ(agent->stats().reports_received, before.reports_received);  // ledger survives
+  EXPECT_EQ(agent->stats().suggestions_sent, before.suggestions_sent);
+  EXPECT_EQ(agent->stats().outages, before.outages + 1);
+
+  agent->set_enabled(true);
+  s->run_until(240_s);
+  const control::ControllerStats after = agent->stats();
+  EXPECT_GT(after.reports_received, before.reports_received);  // control loop resumed
+  EXPECT_GT(after.intervals_run, before.intervals_run);
+  EXPECT_GT(agent->report_history_size(), 0u);  // history rebuilt from fresh reports
+}
+
 TEST(FaultDeterminismTest, SameSeedSameFingerprintForEveryFaultKind) {
   const auto run_plan = [](const fault::FaultPlan& plan) {
     auto s = ScenarioBuilder(config(7, 200_s)).topology_a({}).with_faults(plan).build();
@@ -160,7 +187,7 @@ TEST(ScenarioFaultApiTest, ControllerFaultWithoutControllerThrows) {
   fault::FaultPlan plan;
   plan.controller_outage(10_s, 20_s);
   ScenarioConfig cfg = config(1, 60_s);
-  cfg.controller = ControllerKind::kNone;
+  cfg.control.kind = ControllerKind::kNone;
   EXPECT_THROW(ScenarioBuilder(cfg).topology_a({}).with_faults(plan).build(),
                std::invalid_argument);
 }

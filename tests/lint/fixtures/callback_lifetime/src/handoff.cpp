@@ -1,0 +1,25 @@
+// Fixture: cross-shard handoff actions posted to a shard channel. Two
+// findings — the by-reference captures; the by-value site and the suppressed
+// site are clean.
+namespace fixture {
+
+struct FakeChannel {
+  template <typename F>
+  void post(double when, F&& action);
+};
+
+struct Handoff {
+  void forward(double now) {
+    double value = now * 2.0;
+    channel_.post(now + 1.0, [&] { sink(value); });          // finding: [&]
+    channel_.post(now + 1.0, [&value] { sink(value); });     // finding: [&value]
+    channel_.post(now + 1.0, [value, this] { sink(value); });  // clean: by value
+    // NOLINT(callback-lifetime) — destination owns `value` in this contrived case
+    channel_.post(now + 1.0, [&value] { sink(value); });
+  }
+  void sink(double value);
+
+  FakeChannel channel_;
+};
+
+}  // namespace fixture

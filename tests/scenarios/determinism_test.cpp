@@ -31,8 +31,8 @@ std::string fingerprint(Scenario& s) {
 ScenarioConfig base_config(std::uint64_t seed) {
   ScenarioConfig cfg;
   cfg.seed = seed;
-  cfg.model = traffic::TrafficModel::kVbr;
-  cfg.peak_to_mean = 6.0;
+  cfg.traffic.model = traffic::TrafficModel::kVbr;
+  cfg.traffic.peak_to_mean = 6.0;
   cfg.duration = 150_s;
   return cfg;
 }
@@ -62,7 +62,7 @@ TEST(DeterminismTest, ChurnAndCrossTraffic) {
 
 TEST(DeterminismTest, MtraceDiscovery) {
   ScenarioConfig cfg = base_config(11);
-  cfg.discovery = DiscoveryMode::kMtrace;
+  cfg.control.discovery = DiscoveryMode::kMtrace;
   auto a = ScenarioBuilder(cfg).topology_a(TopologyAOptions{}).build();
   auto b = ScenarioBuilder(cfg).topology_a(TopologyAOptions{}).build();
   a->run();
@@ -72,7 +72,7 @@ TEST(DeterminismTest, MtraceDiscovery) {
 
 TEST(DeterminismTest, RedQueues) {
   ScenarioConfig cfg = base_config(13);
-  cfg.red_queues = true;
+  cfg.queues.red = true;
   TopologyBOptions options;
   options.sessions = 3;
   auto a = ScenarioBuilder(cfg).topology_b(options).build();

@@ -17,7 +17,7 @@ TEST(DiscoveryModeTest, MtraceDrivenControlConverges) {
   ScenarioConfig config;
   config.seed = 61;
   config.duration = 240_s;
-  config.discovery = DiscoveryMode::kMtrace;
+  config.control.discovery = DiscoveryMode::kMtrace;
   auto s = ScenarioBuilder(config).topology_a(TopologyAOptions{}).build();
   s->run();
   for (const auto& r : s->results()) {
@@ -34,7 +34,7 @@ TEST(DiscoveryModeTest, MtraceTrafficIsLinearInReceivers) {
   ScenarioConfig config;
   config.seed = 62;
   config.duration = 60_s;
-  config.discovery = DiscoveryMode::kMtrace;
+  config.control.discovery = DiscoveryMode::kMtrace;
   TopologyAOptions small;
   small.receivers_per_set = 1;
   TopologyAOptions big;
@@ -62,7 +62,7 @@ TEST(DiscoveryModeTest, OracleAndMtraceAgreeOnSteadyTopology) {
   auto oracle = ScenarioBuilder(oracle_cfg).topology_a(TopologyAOptions{}).build();
 
   ScenarioConfig mtrace_cfg = oracle_cfg;
-  mtrace_cfg.discovery = DiscoveryMode::kMtrace;
+  mtrace_cfg.control.discovery = DiscoveryMode::kMtrace;
   auto mtrace = ScenarioBuilder(mtrace_cfg).topology_a(TopologyAOptions{}).build();
 
   oracle->run_until(30_s);

@@ -18,7 +18,7 @@ using sim::Time;
 ScenarioConfig config(traffic::TrafficModel model, Time duration) {
   ScenarioConfig cfg;
   cfg.seed = 7;
-  cfg.model = model;
+  cfg.traffic.model = model;
   cfg.duration = duration;
   return cfg;
 }
@@ -90,7 +90,7 @@ TEST(IntegrationTopologyB, VbrAlsoConverges) {
   TopologyBOptions opt;
   opt.sessions = 2;
   ScenarioConfig cfg = config(traffic::TrafficModel::kVbr, 300_s);
-  cfg.peak_to_mean = 3.0;
+  cfg.traffic.peak_to_mean = 3.0;
   auto s = ScenarioBuilder(cfg).topology_b(opt).build();
   s->run();
   // Time-averaged levels (an instantaneous check can catch a receiver
@@ -120,7 +120,7 @@ TEST(IntegrationStability, SubscriptionIsMostlyStableAfterConvergence) {
 TEST(IntegrationStaleness, ModerateStalenessDegradesGracefully) {
   ScenarioConfig fresh = config(traffic::TrafficModel::kCbr, 300_s);
   ScenarioConfig stale = fresh;
-  stale.info_staleness = 8_s;
+  stale.control.info_staleness = 8_s;
   auto a = ScenarioBuilder(fresh).topology_a(TopologyAOptions{}).build();
   auto b = ScenarioBuilder(stale).topology_a(TopologyAOptions{}).build();
   a->run();

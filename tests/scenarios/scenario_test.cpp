@@ -42,7 +42,7 @@ TEST(ScenarioBuildTest, TopologyBHasExpectedShape) {
 
 TEST(ScenarioBuildTest, ControllerKindNoneRunsOpenLoop) {
   ScenarioConfig cfg = quick_config();
-  cfg.controller = ControllerKind::kNone;
+  cfg.control.kind = ControllerKind::kNone;
   auto s = ScenarioBuilder(cfg).topology_a(TopologyAOptions{}).build();
   EXPECT_EQ(s->controller(), nullptr);
   s->run();
@@ -54,7 +54,7 @@ TEST(ScenarioBuildTest, ControllerKindNoneRunsOpenLoop) {
 TEST(ScenarioBuildTest, ReceiverDrivenBaselineAdapts) {
   ScenarioConfig cfg = quick_config();
   cfg.duration = 120_s;
-  cfg.controller = ControllerKind::kReceiverDriven;
+  cfg.control.kind = ControllerKind::kReceiverDriven;
   auto s = ScenarioBuilder(cfg).topology_a(TopologyAOptions{}).build();
   s->run();
   int total = 0;
@@ -95,8 +95,8 @@ TEST(ScenarioRunTest, DifferentSeedsDiverge) {
   ScenarioConfig c1 = quick_config();
   ScenarioConfig c2 = quick_config();
   c2.seed = 1234;
-  c1.model = traffic::TrafficModel::kVbr;
-  c2.model = traffic::TrafficModel::kVbr;
+  c1.traffic.model = traffic::TrafficModel::kVbr;
+  c2.traffic.model = traffic::TrafficModel::kVbr;
   c1.duration = c2.duration = 120_s;
   auto a = ScenarioBuilder(c1).topology_b(TopologyBOptions{}).build();
   auto b = ScenarioBuilder(c2).topology_b(TopologyBOptions{}).build();

@@ -8,6 +8,15 @@
 // into freed memory; keeping the EventId lets the destructor cancel it.
 // Components whose lifetime provably spans the whole simulation (agents owned
 // by the Scenario) are grandfathered via the committed baseline.
+//
+// Rule [cross-shard-ref]: a by-reference capture in an action handed to a
+// ShardExecutor::Channel via `.post(`. Posted actions outlive the posting
+// stack frame by construction — they run on the *destination shard's thread*
+// at the next window barrier or later — so a `[&]` / `[&var]` capture of
+// anything on the posting path is a use-after-return waiting for load, and a
+// reference to source-shard state is a data race even when it stays alive.
+// Capture by value (ShardLink deep-copies the packet for exactly this
+// reason); destination-owned state is reached through a by-value pointer.
 #include <string>
 #include <vector>
 
@@ -57,6 +66,38 @@ class CallbackLifetimeCheck final : public Check {
                      "this-capturing callback scheduled without retaining the EventId; "
                      "if *this dies before the event fires the scheduler calls into freed "
                      "memory — keep the handle and cancel it in the destructor",
+                     {}});
+    }
+
+    scan_handoff_posts(file, out);
+  }
+
+ private:
+  /// [cross-shard-ref]: by-reference captures in Channel::post actions.
+  void scan_handoff_posts(const SourceFile& file, std::vector<Finding>& out) const {
+    for (std::size_t i = 0; i < file.clean.size(); ++i) {
+      const std::string& line = file.clean[i];
+      const std::size_t call = line.find(".post(");
+      if (call == std::string::npos) continue;
+      // The action lambda opens on the call line or the next (wrapped
+      // argument lists); the capture list is everything up to the matching
+      // ']' of the first '[' after the call.
+      std::size_t open = line.find('[', call);
+      const std::string* capture_line = &line;
+      if (open == std::string::npos && i + 1 < file.clean.size()) {
+        capture_line = &file.clean[i + 1];
+        open = capture_line->find('[');
+      }
+      if (open == std::string::npos) continue;
+      const std::size_t close = capture_line->find(']', open);
+      if (close == std::string::npos) continue;
+      const std::string captures = capture_line->substr(open + 1, close - open - 1);
+      if (captures.find('&') == std::string::npos) continue;
+      if (suppressed(file, i, name())) continue;
+      out.push_back({file.path, i + 1, std::string{name()}, "cross-shard-ref",
+                     "by-reference capture in a cross-shard handoff action; the action "
+                     "runs on the destination shard's thread after this frame returns — "
+                     "capture by value (deep-copy shard-crossing state)",
                      {}});
     }
   }
