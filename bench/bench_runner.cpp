@@ -4,6 +4,7 @@
 // (see docs/benchmarking.md for the schema and how to compare runs).
 //
 // Usage: bench_runner [--out DIR] [--fault] [--audit] [--scale] [--e2e] [--quick]
+//                     [--shard-smoke]
 //   --out DIR   directory for the JSON files (default: current directory)
 //   --fault     run the fault-injection scenarios instead and write
 //               BENCH_fault.json (outage recovery + determinism check)
@@ -21,6 +22,8 @@
 //               (fast feedback for datapath work and the CI perf smoke)
 //   --quick     shrink all workloads for a smoke pass (same as
 //               TOPOSENSE_BENCH_QUICK=1)
+//   --shard-smoke  run only a reduced star_sharded_4 determinism check and
+//               exit nonzero on divergence (the TSan CI shard gate)
 
 #include <sys/resource.h>
 
@@ -827,8 +830,15 @@ void write_scale_json(const std::string& path, const std::vector<ScaleCase>& cas
     std::perror(path.c_str());
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"scale\",\n  \"quick\": %s,\n  \"cases\": [\n",
-               quick() ? "true" : "false");
+  // Host metadata lets the perf gate tell "this build got slower" apart from
+  // "this runner has fewer cores": check_perf_baseline.py keeps determinism
+  // and fingerprint gates but skips the throughput floor on 1-core hosts.
+  std::fprintf(f,
+               "{\n  \"bench\": \"scale\",\n  \"quick\": %s,\n"
+               "  \"host\": {\"hardware_concurrency\": %u, \"sweep_threads\": %u},\n"
+               "  \"cases\": [\n",
+               quick() ? "true" : "false", std::thread::hardware_concurrency(),
+               sweep.threads);
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const ScaleCase& c = cases[i];
     std::fprintf(f,
@@ -868,6 +878,28 @@ void write_scale_json(const std::string& path, const std::vector<ScaleCase>& cas
   std::fprintf(f, "    ]\n  },\n  \"peak_rss_bytes\": %llu\n}\n",
                static_cast<unsigned long long>(peak_rss_bytes()));
   std::fclose(f);
+}
+
+/// Reduced star_sharded_4 run for the TSan CI gate: small enough that a
+/// sanitized build finishes in seconds, but it still spins up the worker
+/// pool, crosses every shard boundary, and re-checks the run with one thread
+/// per shard. Exit status is the verdict — nonzero on any divergence.
+int run_shard_smoke() {
+  const ScaleCase c = run_star_sharded_case(500, Time::milliseconds(500), 4);
+  std::printf("shard-smoke %-18s receivers=%-6d sim=%.1fs wall=%.3fs  "
+              "fingerprint=%016llx deterministic=%s\n",
+              c.name.c_str(), c.receivers, c.sim_seconds, c.wall_s,
+              static_cast<unsigned long long>(c.fingerprint),
+              c.deterministic ? "yes" : "NO");
+  if (!c.deterministic) {
+    std::fprintf(stderr,
+                 "SHARD SMOKE FAILURE: fingerprint %016llx != %016llx across thread "
+                 "counts — sharded execution is nondeterministic\n",
+                 static_cast<unsigned long long>(c.fingerprint),
+                 static_cast<unsigned long long>(c.fingerprint_second));
+    return 1;
+  }
+  return 0;
 }
 
 int run_scale_benches(const std::string& out_dir) {
@@ -940,6 +972,7 @@ int main(int argc, char** argv) {
   bool audit_mode = false;
   bool scale_mode = false;
   bool e2e_mode = false;
+  bool shard_smoke_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
@@ -953,14 +986,18 @@ int main(int argc, char** argv) {
       e2e_mode = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       g_quick_flag = true;
+    } else if (std::strcmp(argv[i], "--shard-smoke") == 0) {
+      shard_smoke_mode = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--out DIR] [--fault] [--audit] [--scale] [--e2e] [--quick]\n",
+                   "usage: %s [--out DIR] [--fault] [--audit] [--scale] [--e2e] "
+                   "[--quick] [--shard-smoke]\n",
                    argv[0]);
       return 2;
     }
   }
 
+  if (shard_smoke_mode) return run_shard_smoke();
   if (fault_mode) return run_fault_benches(out_dir);
   if (scale_mode) return run_scale_benches(out_dir);
 

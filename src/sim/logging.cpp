@@ -10,17 +10,22 @@ std::string Time::to_string() const {
   return buf;
 }
 
-LogLevel& Logger::level_ref() {
-  static LogLevel level = LogLevel::kWarn;
+std::atomic<LogLevel>& Logger::level_ref() {
+  // Atomic, not bare: the level is read from every shard worker thread while
+  // tests/tools may set it from the main thread. Relaxed ordering suffices —
+  // the level gates diagnostics only, never simulation state.
+  static std::atomic<LogLevel> level{LogLevel::kWarn};  // NOLINT(shared-mutable-static) atomic by design
   return level;
 }
 
-LogLevel Logger::level() { return level_ref(); }
-void Logger::set_level(LogLevel level) { level_ref() = level; }
+LogLevel Logger::level() { return level_ref().load(std::memory_order_relaxed); }
+void Logger::set_level(LogLevel level) {
+  level_ref().store(level, std::memory_order_relaxed);
+}
 
 void Logger::log(LogLevel level, Time now, std::string_view component,
                  std::string_view message) {
-  if (level < level_ref()) return;
+  if (level < level_ref().load(std::memory_order_relaxed)) return;
   static constexpr const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
   std::fprintf(stderr, "[%12.6fs] %-5s %.*s: %.*s\n", now.as_seconds(),
                kNames[static_cast<int>(level)], static_cast<int>(component.size()),

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -22,7 +23,7 @@ class Logger {
   static void log(LogLevel level, Time now, std::string_view component, std::string_view message);
 
  private:
-  static LogLevel& level_ref();
+  static std::atomic<LogLevel>& level_ref();
 };
 
 }  // namespace tsim::sim

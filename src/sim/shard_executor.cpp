@@ -39,24 +39,34 @@ void ShardExecutor::run_until(Time end) {
     return;
   }
 
-  const std::int64_t end_ns = end.as_nanoseconds();
+  // Any throw below (a worker error surfaced at the barrier, or a lookahead
+  // violation in drain_channels) must stop and join the pool exactly once
+  // before propagating: the destructor's stop_pool() then sees no joinable
+  // workers, and the executor stays usable after the caller catches.
+  try {
+    const std::int64_t end_ns = end.as_nanoseconds();
 
-  // No channels: the shards are fully independent — one window to the end.
-  if (channels_.empty()) {
-    run_window(end);
-    ++windows_;
-    return;
-  }
+    // No channels: the shards are fully independent — one window to the end.
+    if (channels_.empty()) {
+      run_window(end);
+      ++windows_;
+      return;
+    }
 
-  while (cursor_ns_ <= end_ns) {
-    // Events with when < bound run this window; run_until is inclusive, so
-    // the shards advance to bound - 1ns. The final window runs through `end`
-    // itself (bound = end + 1), matching plain run_until semantics.
-    const std::int64_t bound_ns = std::min(cursor_ns_ + lookahead_.as_nanoseconds(), end_ns + 1);
-    run_window(Time::nanoseconds(bound_ns - 1));
-    drain_channels(bound_ns);
-    cursor_ns_ = bound_ns;
-    ++windows_;
+    while (cursor_ns_ <= end_ns) {
+      // Events with when < bound run this window; run_until is inclusive, so
+      // the shards advance to bound - 1ns. The final window runs through `end`
+      // itself (bound = end + 1), matching plain run_until semantics.
+      const std::int64_t bound_ns =
+          std::min(cursor_ns_ + lookahead_.as_nanoseconds(), end_ns + 1);
+      run_window(Time::nanoseconds(bound_ns - 1));
+      drain_channels(bound_ns);
+      cursor_ns_ = bound_ns;
+      ++windows_;
+    }
+  } catch (...) {
+    stop_pool();
+    throw;
   }
 }
 
@@ -64,14 +74,14 @@ void ShardExecutor::run_claimed_shards(Time bound) {
   for (;;) {
     std::size_t index = 0;
     {
-      std::lock_guard<std::mutex> lock{mutex_};
+      core::LockGuard lock{mutex_};
       if (next_shard_ >= shards_.size()) return;
       index = next_shard_++;
     }
     try {
       shards_[index]->run_until(bound);
     } catch (...) {
-      std::lock_guard<std::mutex> lock{mutex_};
+      core::LockGuard lock{mutex_};
       worker_errors_.push_back(std::current_exception());
     }
   }
@@ -91,9 +101,11 @@ void ShardExecutor::run_window(Time bound) {
   }
 
   if (workers_.empty()) {
-    std::size_t spawn = std::min(threads, shards_.size());
-    std::lock_guard<std::mutex> lock{mutex_};
-    stopping_ = false;
+    const std::size_t spawn = std::min(threads, shards_.size());
+    {
+      core::LockGuard lock{mutex_};
+      stopping_ = false;
+    }
     workers_.reserve(spawn);
     for (std::size_t i = 0; i < spawn; ++i) {
       workers_.emplace_back([this] { worker_loop(); });
@@ -101,7 +113,7 @@ void ShardExecutor::run_window(Time bound) {
   }
 
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    core::LockGuard lock{mutex_};
     next_shard_ = 0;
     window_bound_ = bound;
     running_workers_ = workers_.size();
@@ -109,8 +121,8 @@ void ShardExecutor::run_window(Time bound) {
   }
   work_ready_.notify_all();
 
-  std::unique_lock<std::mutex> lock{mutex_};
-  window_done_.wait(lock, [this] { return running_workers_ == 0; });
+  core::UniqueLock lock{mutex_};
+  while (running_workers_ != 0) window_done_.wait(lock);
   if (!worker_errors_.empty()) {
     std::exception_ptr first = worker_errors_.front();
     worker_errors_.clear();
@@ -123,15 +135,15 @@ void ShardExecutor::worker_loop() {
   for (;;) {
     Time bound{};
     {
-      std::unique_lock<std::mutex> lock{mutex_};
-      work_ready_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      core::UniqueLock lock{mutex_};
+      while (!stopping_ && generation_ == seen) work_ready_.wait(lock);
       if (stopping_) return;
       seen = generation_;
       bound = window_bound_;
     }
     run_claimed_shards(bound);
     {
-      std::lock_guard<std::mutex> lock{mutex_};
+      core::LockGuard lock{mutex_};
       if (--running_workers_ == 0) window_done_.notify_all();
     }
   }
@@ -182,7 +194,7 @@ std::uint64_t ShardExecutor::executed_events() const {
 
 void ShardExecutor::stop_pool() {
   {
-    std::lock_guard<std::mutex> lock{mutex_};
+    core::LockGuard lock{mutex_};
     stopping_ = true;
   }
   work_ready_.notify_all();

@@ -1,14 +1,14 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
@@ -35,6 +35,11 @@ namespace tsim::sim {
 /// thread (see net::ShardLink for the packet adapter). Captured state must not
 /// reference source-shard objects — PacketRef, for one, is backed by a
 /// thread-local pool and must never cross shards.
+///
+/// Threading model (statically enforced — see docs/sharding.md): everything
+/// the worker pool shares is guarded by `mutex_` and annotated TS_GUARDED_BY,
+/// so a Clang `-Wthread-safety` build proves lock discipline at compile time;
+/// the TSan shard gate in CI validates the same contract dynamically.
 class ShardExecutor {
  public:
   struct Config {
@@ -47,7 +52,9 @@ class ShardExecutor {
   /// A one-way handoff queue between two shards with a fixed minimum latency.
   /// post() is legal only from the source shard's thread while its window is
   /// running (each channel has exactly one posting shard, so no lock is
-  /// needed); the executor drains every channel at the window barrier.
+  /// needed); the executor drains every channel at the window barrier, on the
+  /// barrier thread, after every worker has parked — the two phases never
+  /// overlap, which is why `outbox_` needs no capability of its own.
   class Channel {
    public:
     Channel(const Channel&) = delete;
@@ -104,6 +111,9 @@ class ShardExecutor {
 
   /// Advances every shard to `end` (events at exactly `end` execute, matching
   /// Simulation::run_until). Callable repeatedly with increasing bounds.
+  /// If a window or the barrier throws (worker error, lookahead violation),
+  /// the pool is stopped and joined before the exception propagates, so the
+  /// executor is left destructible and restartable with no joinable threads.
   void run_until(Time end);
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
@@ -114,32 +124,32 @@ class ShardExecutor {
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
 
  private:
-  void run_window(Time bound);
+  void run_window(Time bound) TS_EXCLUDES(mutex_);
   void drain_channels(std::int64_t bound_ns);
-  void start_pool();
-  void stop_pool();
-  void worker_loop();
-  void run_claimed_shards(Time bound);
+  void stop_pool() TS_EXCLUDES(mutex_);
+  void worker_loop() TS_EXCLUDES(mutex_);
+  void run_claimed_shards(Time bound) TS_EXCLUDES(mutex_);
 
+  /// --- barrier-thread state (never touched by workers) --------------------
   Config config_;
-  std::vector<Simulation*> shards_;
+  std::vector<Simulation*> shards_;  ///< shard *slots* are claimed via next_shard_
   std::vector<std::unique_ptr<Channel>> channels_;
   Time lookahead_{Time::max()};
   std::int64_t cursor_ns_{0};  ///< next window start
   std::uint64_t windows_{0};
   std::uint64_t delivered_{0};
+  std::vector<std::thread> workers_;  ///< spawned/joined by the barrier thread only
 
-  /// --- worker pool (created lazily on the first multi-shard window) -------
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable window_done_;
-  std::uint64_t generation_{0};
-  std::size_t running_workers_{0};
-  std::size_t next_shard_{0};  ///< claim cursor, guarded by mutex_
-  Time window_bound_{};
-  bool stopping_{false};
-  std::vector<std::exception_ptr> worker_errors_;
+  /// --- state shared with the worker pool, all guarded by mutex_ -----------
+  core::Mutex mutex_;
+  core::ConditionVariable work_ready_;
+  core::ConditionVariable window_done_;
+  std::uint64_t generation_ TS_GUARDED_BY(mutex_){0};
+  std::size_t running_workers_ TS_GUARDED_BY(mutex_){0};
+  std::size_t next_shard_ TS_GUARDED_BY(mutex_){0};  ///< claim cursor
+  Time window_bound_ TS_GUARDED_BY(mutex_){};
+  bool stopping_ TS_GUARDED_BY(mutex_){false};
+  std::vector<std::exception_ptr> worker_errors_ TS_GUARDED_BY(mutex_);
 };
 
 }  // namespace tsim::sim

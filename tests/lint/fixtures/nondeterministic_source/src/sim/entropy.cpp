@@ -1,0 +1,36 @@
+// Fixture: every nondeterministic-source rule fires in this file — the
+// aliased wall clock (the alias hides the clock type from name-based rules),
+// host randomness, a pointer cast to an integer, and unordered containers
+// keyed by a pointer both directly and through a `using` alias resolved by
+// the cross-file collect pass. Five findings total; the fixture test asserts
+// the exact count, so keep it in sync with tests/lint/CMakeLists.txt.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Node {};
+using WallClock = std::chrono::steady_clock;
+using NodeHandle = Node*;
+
+long stamp() {
+  return WallClock::now().time_since_epoch().count();
+}
+
+int draw() { return rand(); }
+
+std::size_t shuffle_key(const Node* node) {
+  return reinterpret_cast<std::uintptr_t>(node);
+}
+
+int count_direct(const std::unordered_map<Node*, int>& by_node) {
+  return static_cast<int>(by_node.size());
+}
+
+int count_aliased(const std::unordered_map<NodeHandle, int>& by_handle) {
+  return static_cast<int>(by_handle.size());
+}
+
+}  // namespace fixture

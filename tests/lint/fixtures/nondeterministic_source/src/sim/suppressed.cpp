@@ -1,0 +1,18 @@
+// Fixture: nondeterministic sources suppressed in place. The harness wires
+// the seed / clock through, so the sites are justified — and every one
+// carries the NOLINT naming this check.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+int seeded_by_harness() {
+  return rand();  // NOLINT(nondeterministic-source) fixture: srand'd by the test harness
+}
+
+long bench_timer() {
+  // NOLINT(nondeterministic-source) fixture: wall time measured outside the simulation
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: mutable static state shared across shard threads. Three findings
+// — the two namespace-scope statics and the function-local counter; the
+// thread_local (the allowlisted per-shard pattern), const, and constexpr
+// declarations are clean. The fixture test asserts the exact total, so keep
+// the counts in sync with tests/lint/CMakeLists.txt if you edit it.
+#include <vector>
+
+namespace fixture {
+
+static int g_total_drops = 0;
+static std::vector<int> g_reorder_buffer;
+
+int bump() {
+  static int calls = 0;
+  thread_local int per_shard_calls = 0;  // clean: the PacketRef-pool pattern
+  static const int kWindow = 8;          // clean: immutable after init
+  static constexpr double kAlpha = 0.5;  // clean: compile-time
+  ++calls;
+  ++per_shard_calls;
+  g_reorder_buffer.push_back(calls);
+  return g_total_drops + calls + kWindow + static_cast<int>(kAlpha);
+}
+
+}  // namespace fixture

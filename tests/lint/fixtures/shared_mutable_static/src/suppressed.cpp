@@ -1,0 +1,10 @@
+// Fixture: a deliberately-shared knob, suppressed in place with its
+// justification — configured before the run starts, read-only afterwards.
+namespace fixture {
+
+int knob() {
+  static int g_verbosity = 1;  // NOLINT(shared-mutable-static) fixture: set before the run, read-only after
+  return g_verbosity;
+}
+
+}  // namespace fixture

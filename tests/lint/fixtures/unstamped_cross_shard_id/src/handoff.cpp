@@ -1,0 +1,52 @@
+// Fixture: per-network ids crossing a fake shard channel. Two findings —
+// the raw uid argument and the Packet variable posted without the re-stamp
+// path; the re-stamped site mirrors net::ShardLink::send and is clean. The
+// fixture test asserts the exact count, so keep it in sync with
+// tests/lint/CMakeLists.txt.
+#include <cstdint>
+
+namespace fixture {
+
+inline constexpr std::uint32_t kInvalidGroupStatsId = 0xffffffffu;
+
+struct Packet {
+  std::uint64_t uid{0};
+  std::uint32_t group_stats_id{kInvalidGroupStatsId};
+};
+
+struct Channel {
+  template <typename F>
+  void post(double when, F&& action);
+};
+
+struct Network {
+  std::uint64_t next_packet_uid();
+  void deliver(Packet packet);
+};
+
+struct Hop {
+  void forward_uid(std::uint64_t uid, double now) {
+    channel_.post(now + 1.0, [this, uid] { record(uid); });
+  }
+
+  void forward_packet(const Packet& packet, double now) {
+    Packet copy = packet;
+    channel_.post(now + 1.0, [this, copy] { dest_->deliver(copy); });
+  }
+
+  void forward_restamped(const Packet& packet, double now) {
+    Packet copy = packet;
+    copy.group_stats_id = kInvalidGroupStatsId;
+    channel_.post(now + 1.0, [this, copy]() mutable {
+      copy.uid = dest_->next_packet_uid();
+      dest_->deliver(copy);
+    });
+  }
+
+  void record(std::uint64_t value);
+
+  Channel channel_;
+  Network* dest_{nullptr};
+};
+
+}  // namespace fixture

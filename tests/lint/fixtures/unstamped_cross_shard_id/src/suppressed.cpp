@@ -1,0 +1,23 @@
+// Fixture: a session-scoped id that is globally unique by construction —
+// the cross-shard transfer is justified and suppressed in place.
+#include <cstdint>
+
+namespace fixture {
+
+struct Channel {
+  template <typename F>
+  void post(double when, F&& action);
+};
+
+void consume(std::uint64_t value);
+
+struct SessionHop {
+  void forward(std::uint64_t session_uid, double now) {
+    // NOLINT(unstamped-cross-shard-id) fixture: session uids are allocated globally, not per-Network
+    channel_.post(now + 1.0, [session_uid] { consume(session_uid); });
+  }
+
+  Channel channel_;
+};
+
+}  // namespace fixture

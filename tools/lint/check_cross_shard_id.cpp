@@ -1,0 +1,124 @@
+// unstamped-cross-shard-id — per-network identities crossing a shard
+// boundary without being re-stamped. Packet uids, dense group-stats ids and
+// interned LinkIds are all allocated per-Network: a value minted by the
+// source shard means nothing (or worse, means *something else*) in the
+// destination shard's tables. PR 7's `cross-shard-ref` rule covers the
+// capture-by-reference hazard; this check extends the same boundary to the
+// *payload* — state captured by value is safe to carry but still wrong to
+// use if it embeds a per-network id and nothing re-stamps it on arrival.
+//
+// Rule [unstamped-payload]: a `ShardExecutor::Channel::post(...)` statement
+// whose span (the full multi-line call) mentions a per-network id carrier —
+// a variable declared as `Packet`/`PacketRef` in this file, or the id fields
+// `uid` / `group_stats_id` / a `LinkId` — while containing none of the
+// re-stamp markers (`next_packet_uid(`, `intern_group(`,
+// `kInvalidGroupStatsId`). net::ShardLink::send is the canonical clean shape:
+// it clears the ids before posting and re-stamps from the destination's
+// counters inside the action.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace lint {
+
+namespace {
+
+const char* const kIdTokens[] = {"uid", "group_stats_id", "link_id", "LinkId", "stats_id"};
+const char* const kRestampTokens[] = {"next_packet_uid", "intern_group",
+                                      "kInvalidGroupStatsId"};
+
+/// Identifiers declared as Packet / PacketRef values anywhere in the file —
+/// the usual way a per-network id travels is inside one of these.
+std::set<std::string> packet_vars(const std::vector<std::string>& clean) {
+  std::set<std::string> names;
+  for (const std::string& line : clean) {
+    for (const char* type : {"Packet", "PacketRef"}) {
+      const std::string_view type_sv{type};
+      std::size_t pos = 0;
+      while ((pos = line.find(type, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+        std::size_t j = pos + type_sv.size();
+        pos = j;
+        // Whole-token match only ("Packet" must not hit inside "PacketRef").
+        if (!left_ok || (j < line.size() && is_ident_char(line[j]))) continue;
+        while (j < line.size() && (line[j] == ' ' || line[j] == '&' || line[j] == '*')) ++j;
+        std::string ident;
+        while (j < line.size() && is_ident_char(line[j])) ident += line[j++];
+        // A following '(' is a function/constructor name, not a variable.
+        if (!ident.empty() && (j >= line.size() || line[j] != '(')) names.insert(ident);
+      }
+    }
+  }
+  return names;
+}
+
+class CrossShardIdCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "unstamped-cross-shard-id"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "per-network ids posted across a shard channel without the re-stamp path";
+  }
+  [[nodiscard]] bool applies_to(const SourceFile& file) const override {
+    return file.has_component("src") || file.has_component("bench");
+  }
+
+  void scan(const SourceFile& file, const GlobalContext& /*ctx*/,
+            std::vector<Finding>& out) const override {
+    const std::set<std::string> carriers = packet_vars(file.clean);
+
+    for (std::size_t i = 0; i < file.clean.size(); ++i) {
+      const std::string& line = file.clean[i];
+      const std::size_t call = line.find(".post(");
+      if (call == std::string::npos) continue;
+
+      // Collect the full call statement: from the opening '(' of .post(
+      // until parentheses balance, bounded so a stray line never swallows
+      // the rest of the file.
+      int depth = 0;
+      bool id_seen = false;
+      bool restamp_seen = false;
+      std::size_t last = i;
+      for (std::size_t j = i; j < file.clean.size() && j < i + 40; ++j) {
+        const std::string& span = file.clean[j];
+        const std::size_t from = j == i ? call : 0;
+        for (std::size_t k = from; k < span.size(); ++k) {
+          if (span[k] == '(') ++depth;
+          if (span[k] == ')') --depth;
+        }
+        const std::string body = span.substr(from);
+        for (const char* token : kIdTokens) {
+          if (contains_token(body, token)) id_seen = true;
+        }
+        for (const char* token : kRestampTokens) {
+          if (body.find(token) != std::string::npos) restamp_seen = true;
+        }
+        for (const std::string& carrier : carriers) {
+          if (contains_token(body, carrier)) id_seen = true;
+        }
+        last = j;
+        if (depth <= 0 && j > i) break;
+        if (depth <= 0 && j == i && span.find(')', call) != std::string::npos) break;
+      }
+      (void)last;
+
+      if (!id_seen || restamp_seen) continue;
+      if (suppressed(file, i, name())) continue;
+      out.push_back({file.path, i + 1, std::string{name()}, "unstamped-payload",
+                     "a per-network id (packet uid / group-stats id / interned LinkId) "
+                     "crosses this shard channel without the re-stamp path — clear it "
+                     "before posting and re-stamp from the destination Network's "
+                     "counters inside the action (see net::ShardLink::send)",
+                     {}});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_cross_shard_id_check() {
+  return std::make_unique<CrossShardIdCheck>();
+}
+
+}  // namespace lint

@@ -1,0 +1,157 @@
+// nondeterministic-source — inputs that silently break the shard layer's
+// bit-identical-at-every-thread-count guarantee, scoped to the code that
+// runs inside or between shards (src/sim, src/control, src/net). The
+// determinism check flags clock *types* and unordered iteration everywhere;
+// this check covers the call-site shapes that slip past it once an alias or
+// a pointer stands between the type and the use.
+//
+// Rules:
+//   [wall-clock-now]  any statically-qualified `::now()` call. sim code reads
+//                     time as `simulation.now()` (instance call, simulated
+//                     clock); `X::now()` is a host clock no matter what X is
+//                     aliased to — the alias line may live in another file,
+//                     so the type-name rules never see it.
+//   [unseeded-rand]   rand()/srand/drand48/std::random_device — all
+//                     randomness must come from seeded sim::Rng streams, or
+//                     two shards draw correlated (or host-entropy) values.
+//   [pointer-hash]    std::unordered_{map,set} or std::hash keyed by a
+//                     pointer type — including `using H = T*;` aliases
+//                     gathered in the cross-file collect pass. Hash order and
+//                     bucket layout follow the address, which differs run to
+//                     run and thread count to thread count.
+//   [pointer-value]   reinterpret_cast to [u]intptr_t: an address turned
+//                     into an ordinary integer is an address-ordering /
+//                     address-hashing primitive in disguise.
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace lint {
+
+namespace {
+
+const char* const kHashedContainers[] = {"unordered_map<", "unordered_set<", "std::hash<"};
+
+class NondeterministicSourceCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "nondeterministic-source"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "host clocks, unseeded randomness, and address-keyed hashing in shard-resident code";
+  }
+  [[nodiscard]] bool applies_to(const SourceFile& file) const override {
+    return file.has_components("src", "sim") || file.has_components("src", "control") ||
+           file.has_components("src", "net");
+  }
+
+  void collect(const SourceFile& file, GlobalContext& ctx) const override {
+    // `using Name = T*;` — the alias may be declared in a header and used as
+    // a container key in a .cpp, so aliases pool across the scanned set.
+    for (const std::string& line : file.clean) {
+      std::size_t pos = 0;
+      while ((pos = line.find("using ", pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+        pos += std::string_view{"using "}.size();
+        if (!left_ok) continue;
+        std::size_t j = pos;
+        std::string alias;
+        while (j < line.size() && is_ident_char(line[j])) alias += line[j++];
+        while (j < line.size() && line[j] == ' ') ++j;
+        if (alias.empty() || j >= line.size() || line[j] != '=') continue;
+        const std::size_t semi = line.find(';', j);
+        if (semi == std::string::npos) continue;
+        const std::string target = trim(line.substr(j + 1, semi - j - 1));
+        if (!target.empty() && target.back() == '*') ctx.pointer_aliases.insert(alias);
+      }
+    }
+  }
+
+  void scan(const SourceFile& file, const GlobalContext& ctx,
+            std::vector<Finding>& out) const override {
+    for (std::size_t i = 0; i < file.clean.size(); ++i) {
+      const std::string& line = file.clean[i];
+      if (line.empty()) continue;
+
+      scan_wall_clock(file, i, out);
+      scan_rand(file, i, out);
+      scan_pointer_keys(file, i, ctx, out);
+
+      if ((line.find("reinterpret_cast<std::uintptr_t>") != std::string::npos ||
+           line.find("reinterpret_cast<uintptr_t>") != std::string::npos ||
+           line.find("reinterpret_cast<std::intptr_t>") != std::string::npos ||
+           line.find("reinterpret_cast<intptr_t>") != std::string::npos) &&
+          !suppressed(file, i, name())) {
+        out.push_back({file.path, i + 1, std::string{name()}, "pointer-value",
+                       "pointer cast to an integer: the value is the allocation address, "
+                       "which differs between runs and thread counts — key by a stable "
+                       "dense id instead",
+                       {}});
+      }
+    }
+  }
+
+ private:
+  void scan_wall_clock(const SourceFile& file, std::size_t i,
+                       std::vector<Finding>& out) const {
+    const std::string& line = file.clean[i];
+    const std::size_t pos = line.find("::now(");
+    if (pos == std::string::npos) return;
+    // `Time InvariantAuditor::now() const {` is a member *definition*, not a
+    // clock read; a real call is never followed by a cv-qualifier.
+    if (line.find("::now() const") != std::string::npos) return;
+    if (suppressed(file, i, name())) return;
+    out.push_back({file.path, i + 1, std::string{name()}, "wall-clock-now",
+                   "statically-qualified ::now() reads a host clock (whatever the "
+                   "qualifier aliases); shard-resident code must use the simulated "
+                   "clock, simulation.now()",
+                   {}});
+  }
+
+  void scan_rand(const SourceFile& file, std::size_t i, std::vector<Finding>& out) const {
+    const std::string& line = file.clean[i];
+    const bool hit = contains_token(line, "random_device") || contains_token(line, "srand") ||
+                     contains_token(line, "drand48") || contains_token(line, "lrand48") ||
+                     contains_token(line, "rand()") || contains_token(line, "rand ()");
+    if (!hit || suppressed(file, i, name())) return;
+    out.push_back({file.path, i + 1, std::string{name()}, "unseeded-rand",
+                   "unseeded/host randomness: two shards must draw from independent "
+                   "seeded sim::Rng streams or the run is not reproducible at any "
+                   "thread count",
+                   {}});
+  }
+
+  void scan_pointer_keys(const SourceFile& file, std::size_t i, const GlobalContext& ctx,
+                         std::vector<Finding>& out) const {
+    const std::string& line = file.clean[i];
+    for (const char* prefix : kHashedContainers) {
+      std::size_t pos = 0;
+      while ((pos = line.find(prefix, pos)) != std::string::npos) {
+        const std::size_t args = pos + std::string_view{prefix}.size();
+        pos = args;
+        bool pointer_key = first_template_arg_is_pointer(line, args);
+        if (!pointer_key) {
+          // The key may be an alias of a pointer type (cross-file collect).
+          std::size_t j = args;
+          std::string ident;
+          while (j < line.size() && is_ident_char(line[j])) ident += line[j++];
+          pointer_key = !ident.empty() && ctx.pointer_aliases.count(ident) != 0;
+        }
+        if (!pointer_key || suppressed(file, i, name())) continue;
+        out.push_back({file.path, i + 1, std::string{name()}, "pointer-hash",
+                       std::string{prefix} + "...> keyed by a pointer: hash order follows "
+                       "the allocation address, which differs between runs — key by a "
+                       "dense interned id",
+                       {}});
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_nondeterministic_source_check() {
+  return std::make_unique<NondeterministicSourceCheck>();
+}
+
+}  // namespace lint

@@ -1,0 +1,79 @@
+// shared-mutable-static — mutable `static` state in simulator code. With
+// sim::ShardExecutor running per-domain Simulations on a worker pool, any
+// namespace-scope or function-local static that is written after startup is
+// shared across shard threads: a data race at worst, a silent break of the
+// bit-identical-at-every-thread-count guarantee at best (docs/sharding.md).
+//
+// Rule [mutable-static]: a `static` data declaration that is not `const`,
+// `constexpr`/`constinit`/`consteval`, or `thread_local`. The thread-local
+// pattern is the allowlisted alternative — per-thread PacketRef pools
+// (src/net/packet.hpp) are exactly how per-shard scratch state should be
+// held. Deliberately shared state (e.g. an atomic settings knob set before
+// the run) carries a NOLINT(shared-mutable-static) with its justification.
+//
+// Function *declarations* (`static void f(...)`) and class-static member
+// functions are skipped: the heuristic treats a '(' before any '=', '{' or
+// ';' as a function signature, which matches this codebase's style
+// (constructor-call initializers for statics are not used here).
+#include <string>
+#include <vector>
+
+#include "engine.hpp"
+
+namespace lint {
+
+namespace {
+
+class SharedMutableStaticCheck final : public Check {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "shared-mutable-static"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "mutable static state shared across shard threads (thread_local is the allowlisted pattern)";
+  }
+  [[nodiscard]] bool applies_to(const SourceFile& file) const override {
+    return file.has_component("src");
+  }
+
+  void scan(const SourceFile& file, const GlobalContext& /*ctx*/,
+            std::vector<Finding>& out) const override {
+    for (std::size_t i = 0; i < file.clean.size(); ++i) {
+      const std::string& line = file.clean[i];
+      if (!contains_token(line, "static")) continue;
+      // Immutable, compile-time, or per-thread declarations are all fine.
+      if (contains_token(line, "static_cast") || contains_token(line, "static_assert")) {
+        continue;
+      }
+      if (contains_token(line, "const") || contains_token(line, "constexpr") ||
+          contains_token(line, "constinit") || contains_token(line, "consteval") ||
+          contains_token(line, "thread_local")) {
+        continue;
+      }
+      const std::size_t kw = line.find("static");
+      const std::string rest = line.substr(kw + std::string_view{"static"}.size());
+      // Data declaration: the statement reaches '=', a brace initializer, or
+      // ';' before any '(' — a '(' first means a function signature.
+      const std::size_t paren = rest.find('(');
+      std::size_t decl = std::string::npos;
+      for (const char c : {'=', '{', ';'}) {
+        decl = std::min(decl, rest.find(c));
+      }
+      if (decl == std::string::npos || (paren != std::string::npos && paren < decl)) {
+        continue;
+      }
+      if (suppressed(file, i, name())) continue;
+      out.push_back({file.path, i + 1, std::string{name()}, "mutable-static",
+                     "mutable static state is shared across shard worker threads — use "
+                     "thread_local (the PacketRef-pool pattern), pass the state through the "
+                     "owning object, or justify with NOLINT(shared-mutable-static)",
+                     {}});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Check> make_shared_mutable_static_check() {
+  return std::make_unique<SharedMutableStaticCheck>();
+}
+
+}  // namespace lint

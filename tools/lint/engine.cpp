@@ -57,6 +57,9 @@ void register_builtin_checks(CheckRegistry& registry) {
   registry.add(make_raw_units_check());
   registry.add(make_callback_lifetime_check());
   registry.add(make_float_accumulation_check());
+  registry.add(make_shared_mutable_static_check());
+  registry.add(make_nondeterministic_source_check());
+  registry.add(make_cross_shard_id_check());
 }
 
 bool is_ident_char(char c) {

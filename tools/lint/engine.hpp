@@ -48,6 +48,9 @@ struct SourceFile {
 /// the whole scanned set.
 struct GlobalContext {
   std::set<std::string> unordered_names;
+  /// `using Name = T*;` aliases — pointer types hiding behind a name, so a
+  /// hash/ordering keyed by the alias is keyed by an address.
+  std::set<std::string> pointer_aliases;
 };
 
 class Check {
@@ -79,6 +82,9 @@ std::unique_ptr<Check> make_determinism_check();
 std::unique_ptr<Check> make_raw_units_check();
 std::unique_ptr<Check> make_callback_lifetime_check();
 std::unique_ptr<Check> make_float_accumulation_check();
+std::unique_ptr<Check> make_shared_mutable_static_check();
+std::unique_ptr<Check> make_nondeterministic_source_check();
+std::unique_ptr<Check> make_cross_shard_id_check();
 
 // Shared token-scanning utilities.
 [[nodiscard]] bool is_ident_char(char c);

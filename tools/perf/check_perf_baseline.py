@@ -30,13 +30,18 @@ star_fanout, which bench_runner itself asserts).
 
 Both files must agree on "quick" mode — quick and full workloads are never
 comparable.
+
+When the candidate's "host" metadata reports hardware_concurrency == 1 the
+throughput floors are skipped entirely (a 1-core runner cannot meaningfully
+reproduce a parallel baseline); fingerprint and determinism gates still apply
+because they are machine-independent.
 """
 
 import json
 import sys
 
 
-def gate_case(label, candidate, baseline, threshold, failures):
+def gate_case(label, candidate, baseline, threshold, failures, skip_throughput=False):
     """Gates one case dict (fingerprint, throughput, determinism)."""
     cand_fp = candidate.get("fingerprint")
     base_fp = baseline.get("fingerprint")
@@ -51,6 +56,12 @@ def gate_case(label, candidate, baseline, threshold, failures):
     base_eps = float(baseline["events_per_sec"])
     cand_eps = float(candidate["events_per_sec"])
     floor = base_eps / threshold
+    if skip_throughput:
+        print(
+            f"perf gate [{label}]: {cand_eps / 1e6:.2f}M events/s "
+            f"(floor skipped: 1-core host), fingerprint {cand_fp}"
+        )
+        return
     if cand_eps < floor:
         failures.append(
             f"{label}: throughput regression: {cand_eps:.0f} events/s is below "
@@ -80,6 +91,16 @@ def main() -> int:
             f"vs baseline quick={baseline.get('quick')}"
         )
 
+    # The scale bench records the runner's core count; on a 1-core host the
+    # throughput floor compares apples to oranges (the baseline was recorded
+    # with real parallelism), so only the determinism and fingerprint gates
+    # apply there — those are machine-independent.
+    host = candidate.get("host") or {}
+    one_core = host.get("hardware_concurrency") == 1
+    if one_core:
+        print("perf gate: candidate host reports hardware_concurrency=1 — "
+              "skipping throughput floors, keeping fingerprint/determinism gates")
+
     if "cases" in baseline:
         # Scale tier: gate every case the baseline pins, by name.
         cand_cases = {c.get("name"): c for c in candidate.get("cases", [])}
@@ -89,7 +110,8 @@ def main() -> int:
             if cand_case is None:
                 failures.append(f"{name}: case missing from candidate")
                 continue
-            gate_case(name, cand_case, base_case, threshold, failures)
+            gate_case(name, cand_case, base_case, threshold, failures,
+                      skip_throughput=one_core)
         base_sweep = baseline.get("sweep")
         cand_sweep = candidate.get("sweep")
         if base_sweep is not None:
