@@ -483,6 +483,17 @@ struct ScaleCase {
   std::uint64_t fingerprint_second;
   bool deterministic;
   std::size_t routing_rows;  ///< per-source routing rows materialized
+  /// Process high-water RSS sampled right after the case ran. getrusage
+  /// reports a lifetime maximum, so this is cumulative across cases (a case
+  /// can only raise it) — compare against the previous case's value to
+  /// attribute growth.
+  std::uint64_t peak_rss{0};
+  /// star_fluid only: the packet-engine comparator run on the same topology,
+  /// normalized per simulated second, and the resulting event-reduction
+  /// factor (the tentpole number; bench_runner fails below 20x).
+  std::optional<double> packet_events_per_sim_s;
+  std::optional<double> fluid_events_per_sim_s;
+  std::optional<double> event_reduction;
 };
 
 struct StarRun {
@@ -578,6 +589,7 @@ ScaleCase run_star_case(int receivers, Time duration) {
   c.deterministic =
       first.fingerprint == second.fingerprint && first.events == second.events;
   c.routing_rows = first.routing_rows;
+  c.peak_rss = peak_rss_bytes();
   return c;
 }
 
@@ -720,6 +732,83 @@ ScaleCase run_star_sharded_case(int receivers, Time duration, std::size_t shards
   c.deterministic =
       parallel.fingerprint == serial.fingerprint && parallel.events == serial.events;
   c.routing_rows = parallel.routing_rows;
+  c.peak_rss = peak_rss_bytes();
+  return c;
+}
+
+/// --- star_fluid: the fluid-engine scale tier --------------------------------
+
+/// Full closed loop (discovery, reports, suggestions stay packet-level) on the
+/// star topology with the selected traffic engine. Receivers start at
+/// subscription 5 (the access links' optimum) so the data plane carries its
+/// steady-state load from t=0 for both engines.
+std::unique_ptr<scenarios::Scenario> run_star_closed_loop(int receivers, Time duration,
+                                                          scenarios::TrafficEngine engine) {
+  scenarios::ScenarioConfig config;
+  config.seed = 11;
+  config.duration = duration;
+  config.traffic.engine = engine;
+  config.control.initial_subscription = 5;
+  scenarios::StarOptions star;
+  star.receivers = receivers;
+  auto scenario = scenarios::ScenarioBuilder(config).star(star).build();
+  scenario->run();
+  return scenario;
+}
+
+/// The subscription-timeline fingerprint is weak on the star (all receivers
+/// share one bottleneck class, so most timelines are identical); fold in every
+/// receiver's delivered/lost totals, which cover the fluid integerization and
+/// the report/suggestion packet paths.
+std::uint64_t star_fluid_fingerprint(scenarios::Scenario& s) {
+  std::uint64_t h = fingerprint(s);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& endpoint : s.endpoints()) {
+    mix(endpoint->total_packets().count());
+    mix(endpoint->total_lost_packets().count());
+    mix(endpoint->total_bytes().count());
+  }
+  return h;
+}
+
+/// The tentpole probe: the fluid engine must carry the 100k-receiver closed
+/// loop with >= 20x fewer scheduler events per simulated second than the
+/// packet engine on the identical topology. The fluid run executes twice
+/// (same-seed determinism); the packet comparator runs once over a shorter
+/// horizon — its per-sim-second event rate is steady state, so one second is
+/// enough to normalize against.
+ScaleCase run_star_fluid_case(int receivers, Time fluid_duration, Time packet_duration) {
+  const auto start = Clock::now();
+  auto first =
+      run_star_closed_loop(receivers, fluid_duration, scenarios::TrafficEngine::kFluid);
+  const double wall = seconds_since(start);
+  auto second =
+      run_star_closed_loop(receivers, fluid_duration, scenarios::TrafficEngine::kFluid);
+  auto packet =
+      run_star_closed_loop(receivers, packet_duration, scenarios::TrafficEngine::kPacket);
+
+  ScaleCase c;
+  c.name = "star_fluid_" + std::to_string(receivers / 1000) + "k";
+  c.kind = "closed_loop";
+  c.receivers = receivers;
+  c.sim_seconds = fluid_duration.as_seconds();
+  c.wall_s = wall;
+  c.events = first->simulation().scheduler().executed_events();
+  c.events_per_sec = static_cast<double>(c.events) / wall;
+  c.fingerprint = star_fluid_fingerprint(*first);
+  c.fingerprint_second = star_fluid_fingerprint(*second);
+  c.deterministic = c.fingerprint == c.fingerprint_second &&
+                    c.events == second->simulation().scheduler().executed_events();
+  c.routing_rows = first->network().routes().computed_rows();
+  const auto packet_events = packet->simulation().scheduler().executed_events();
+  c.fluid_events_per_sim_s = static_cast<double>(c.events) / fluid_duration.as_seconds();
+  c.packet_events_per_sim_s =
+      static_cast<double>(packet_events) / packet_duration.as_seconds();
+  c.event_reduction = *c.packet_events_per_sim_s / *c.fluid_events_per_sim_s;
+  c.peak_rss = peak_rss_bytes();
   return c;
 }
 
@@ -749,6 +838,7 @@ ScaleCase run_tiered_case(const scenarios::TieredOptions& topo, Time duration) {
   c.fingerprint_second = fingerprint(*second);
   c.deterministic = c.fingerprint == c.fingerprint_second;
   c.routing_rows = first->network().routes().computed_rows();
+  c.peak_rss = peak_rss_bytes();
   return c;
 }
 
@@ -846,13 +936,21 @@ void write_scale_json(const std::string& path, const std::vector<ScaleCase>& cas
                  "\"sim_seconds\": %.1f,\n"
                  "     \"wall_s\": %.6f, \"events\": %llu, \"events_per_sec\": %.1f,\n"
                  "     \"fingerprint\": \"%016llx\", \"fingerprint_second\": \"%016llx\", "
-                 "\"deterministic\": %s, \"routing_rows\": %zu}%s\n",
+                 "\"deterministic\": %s, \"routing_rows\": %zu, \"peak_rss_bytes\": %llu",
                  c.name.c_str(), c.kind.c_str(), c.receivers, c.sim_seconds, c.wall_s,
                  static_cast<unsigned long long>(c.events), c.events_per_sec,
                  static_cast<unsigned long long>(c.fingerprint),
                  static_cast<unsigned long long>(c.fingerprint_second),
                  c.deterministic ? "true" : "false", c.routing_rows,
-                 i + 1 < cases.size() ? "," : "");
+                 static_cast<unsigned long long>(c.peak_rss));
+    if (c.event_reduction) {
+      std::fprintf(f,
+                   ",\n     \"fluid_events_per_sim_s\": %.1f, "
+                   "\"packet_events_per_sim_s\": %.1f, \"event_reduction\": %.1f",
+                   *c.fluid_events_per_sim_s, *c.packet_events_per_sim_s,
+                   *c.event_reduction);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < cases.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"sweep\": {\n    \"scenario\": \"topology_b\", \"sessions\": %d, "
@@ -930,6 +1028,14 @@ int run_scale_benches(const std::string& out_dir) {
   }
   cases.push_back(run_tiered_case(tiered, Time::seconds(std::int64_t{q ? 10 : 30})));
 
+  // The fluid closed loop: 100k receivers in the full tier (the tentpole
+  // population), 10k in quick. The packet comparator covers one simulated
+  // second — enough to normalize its steady-state event rate.
+  const int fluid_receivers = q ? 10000 : 100000;
+  cases.push_back(run_star_fluid_case(fluid_receivers, Time::seconds(std::int64_t{5}),
+                                      Time::seconds(std::int64_t{1})));
+  const double event_reduction = cases.back().event_reduction.value_or(0.0);
+
   const SweepSummary sweep =
       run_seed_sweep(4, Time::seconds(std::int64_t{q ? 30 : 120}), q ? 4 : 8);
 
@@ -938,9 +1044,11 @@ int run_scale_benches(const std::string& out_dir) {
   bool ok = true;
   for (const ScaleCase& c : cases) {
     std::printf("scale   %-20s receivers=%-6d sim=%.0fs wall=%.3fs  %.2fM events/s  "
-                "routing_rows=%zu deterministic=%s\n",
+                "routing_rows=%zu deterministic=%s",
                 c.name.c_str(), c.receivers, c.sim_seconds, c.wall_s,
                 c.events_per_sec / 1e6, c.routing_rows, c.deterministic ? "yes" : "NO");
+    if (c.event_reduction) std::printf("  event_reduction=%.1fx", *c.event_reduction);
+    std::printf("\n");
     ok = ok && c.deterministic;
   }
   std::printf("scale   seed_sweep           seeds=%zu threads=%u wall=%.3fs  "
@@ -955,6 +1063,13 @@ int run_scale_benches(const std::string& out_dir) {
                  "%016llx — the 1-shard path no longer reduces to the plain star\n",
                  static_cast<unsigned long long>(cases[1].fingerprint),
                  static_cast<unsigned long long>(star_fp));
+    return 1;
+  }
+  if (event_reduction < 20.0) {
+    std::fprintf(stderr,
+                 "SCALE BENCH FAILURE: fluid engine reduced scheduler events only %.1fx "
+                 "vs the packet engine (acceptance floor: 20x)\n",
+                 event_reduction);
     return 1;
   }
   if (!ok) {

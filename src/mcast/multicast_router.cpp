@@ -147,7 +147,7 @@ void MulticastRouter::rebuild_tree(net::GroupAddr group, GroupState& state) {
     tree.edges.emplace_back(parent, child);
     GroupTree::FanSlot& slot = tree.fan[parent];
     if (slot.count == 0) slot.offset = static_cast<std::uint32_t>(tree.fan_links.size());
-    if (slot.count == std::numeric_limits<std::uint16_t>::max()) {
+    if (slot.count == std::numeric_limits<std::uint32_t>::max()) {
       throw std::length_error("MulticastRouter: per-node fan-out exceeds FanSlot range");
     }
     ++slot.count;

@@ -25,15 +25,16 @@ struct GroupTree {
   std::unordered_map<net::NodeId, ForwardEntry> entries;
 
   /// One fan-out slot per node: a (offset, count) span into `fan_links` plus
-  /// the local-delivery flag — 8 bytes where the per-entry vector layout paid
-  /// a heap hop per node.
+  /// the local-delivery flag — a few bytes where the per-entry vector layout
+  /// paid a heap hop per node. `count` is 32-bit: the scale star hangs every
+  /// receiver off one hub, so a single node's fan-out reaches the full
+  /// receiver population (100k exceeds uint16).
   struct FanSlot {
     std::uint32_t offset{0};
-    std::uint16_t count{0};
+    std::uint32_t count{0};
     std::uint8_t deliver_locally{0};
-    std::uint8_t pad{0};
   };
-  static_assert(sizeof(FanSlot) == 8, "FanSlot must stay 8 bytes");
+  static_assert(sizeof(FanSlot) == 12, "FanSlot must stay within 12 bytes");
 
   /// `entries` flattened CSR-style: `fan` is NodeId-indexed, `fan_links` is
   /// the shared pool all spans point into (per-node runs are contiguous, in

@@ -60,6 +60,51 @@ struct LinkParams {
   return sim::Time::seconds(seconds);
 }
 
+/// Fluid-model queue state for one link. In fluid mode data traffic carries
+/// no packets, so this backlog lives beside — not inside — LinkHot (which is
+/// pinned to one cache line): the real queue stays empty and control packets
+/// traverse it normally. The backlog exists purely to time drop-tail
+/// overflow onset; see fluid_queue_step.
+struct FluidQueue {
+  double backlog_bits{0.0};
+};
+
+/// Advances one link's fluid queue by `dt` under aggregate offered rate
+/// `offered` against `capacity`, and returns the fraction of offered traffic
+/// lost during the step (drop-tail overflow fraction).
+///
+/// The analytic drop-tail step: while offered <= capacity the backlog drains
+/// at (capacity - offered) and nothing is lost. While offered > capacity the
+/// backlog fills at (offered - capacity) until it hits the queue limit after
+///   t_fill = (limit - backlog) / (offered - capacity);
+/// for the remainder of the step the queue overflows, shedding
+/// (offered - capacity) * (dt - t_fill) bits, i.e. a loss fraction of
+/// overflow / (offered * dt). The queue is a pure accounting device here —
+/// fluid traffic sees no queueing delay (documented divergence from the
+/// packet model, docs/performance.md).
+[[nodiscard]] inline double fluid_queue_step(FluidQueue& queue, units::BitsPerSec offered,
+                                             units::BitsPerSec capacity,
+                                             units::Bytes queue_limit, sim::Time dt) {
+  const double dt_s = dt.as_seconds();
+  const double rate = offered.bps();
+  const double cap = capacity.bps();
+  if (rate <= cap) {
+    const double drained = (cap - rate) * dt_s;
+    queue.backlog_bits = queue.backlog_bits > drained ? queue.backlog_bits - drained : 0.0;
+    return 0.0;
+  }
+  const double limit_bits = queue_limit.bits();
+  const double headroom = limit_bits - queue.backlog_bits;
+  const double fill_time = headroom > 0.0 ? headroom / (rate - cap) : 0.0;
+  if (fill_time >= dt_s) {
+    queue.backlog_bits += (rate - cap) * dt_s;
+    return 0.0;
+  }
+  queue.backlog_bits = limit_bits;
+  const double overflow_bits = (rate - cap) * (dt_s - fill_time);
+  return overflow_bits / (rate * dt_s);
+}
+
 /// Per-link counters. `delivered_*` counts packets that finished transmission
 /// and were handed to the downstream node; per-group counters give tests and
 /// benches ground truth the algorithm itself never sees.

@@ -149,6 +149,29 @@ class Network {
   [[nodiscard]] LinkHot& link_hot(LinkId id) { return link_hot_[id]; }
   [[nodiscard]] const LinkHot& link_hot(LinkId id) const { return link_hot_[id]; }
 
+  /// Credits one integration step's worth of fluid-model traffic on link
+  /// `id` into the same counters the packet datapath maintains: the LinkHot
+  /// totals and (for interned groups — pass kInvalidGroupStatsId for
+  /// background unicast flows) the per-(group,link) tables. The enqueued
+  /// side is bumped by exactly delivered + dropped, so the conservation
+  /// invariant (enqueued == delivered + dropped + queued + transmitting)
+  /// holds with the fluid backlog living outside these counters.
+  void credit_fluid_link(LinkId id, std::uint32_t gid, units::Bytes delivered_bytes,
+                         units::PacketCount delivered_packets, units::Bytes dropped_bytes,
+                         units::PacketCount dropped_packets) {
+    LinkHot& hot = link_hot_[id];
+    hot.enqueued_packets += delivered_packets.count() + dropped_packets.count();
+    hot.enqueued_bytes += delivered_bytes.count() + dropped_bytes.count();
+    hot.delivered_packets += delivered_packets.count();
+    hot.delivered_bytes += delivered_bytes.count();
+    hot.dropped_packets += dropped_packets.count();
+    hot.dropped_bytes += dropped_bytes.count();
+    if (gid != kInvalidGroupStatsId) {
+      group_delivered_cell(gid, id) += delivered_bytes.count();
+      group_dropped_cell(gid, id) += dropped_packets.count();
+    }
+  }
+
   /// Per-(group,link) delivery/drop cells, laid out as one contiguous row per
   /// group so a fan-out over many links stays on one row. Rows exist for
   /// every interned group (intern_group grows them).
@@ -190,6 +213,11 @@ class Network {
   [[nodiscard]] Link& link(LinkId id) { return *links_[id]; }
   [[nodiscard]] const Link& link(LinkId id) const { return *links_[id]; }
   [[nodiscard]] const RoutingTable& routes() const { return routing_; }
+  /// Registers `dst` as a unicast sink (see RoutingTable::add_sink): lookups
+  /// toward it share one destination-rooted row instead of materializing a
+  /// per-source row per sender. Used by scale-tier scenarios where 100k
+  /// receivers unicast reports at one controller.
+  void add_routing_sink(NodeId dst) { routing_.add_sink(dst); }
   [[nodiscard]] sim::Simulation& simulation() { return simulation_; }
 
   /// Fresh globally-unique packet uid.

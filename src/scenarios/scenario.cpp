@@ -35,6 +35,26 @@ Scenario::Scenario(const ScenarioConfig& config)
       mcast_{std::make_unique<mcast::MulticastRouter>(*simulation_, *network_, config.mcast)},
       demuxes_{std::make_unique<transport::DemuxRegistry>(*network_)} {}
 
+void Scenario::add_session_source(const traffic::LayeredSource::Config& cfg) {
+  switch (config_.traffic.engine) {
+    case TrafficEngine::kPacket:
+      sources_.push_back(std::make_unique<traffic::LayeredSource>(*simulation_, *network_, cfg));
+      return;
+    case TrafficEngine::kFluid:
+      fluid_sources_.push_back(std::make_unique<traffic::FluidSource>(*simulation_, cfg));
+      return;
+    case TrafficEngine::kBurst: {
+      traffic::BurstSource::Config bcfg;
+      bcfg.source = cfg;
+      bcfg.train_packets = config_.traffic.burst_train;
+      burst_sources_.push_back(
+          std::make_unique<traffic::BurstSource>(*simulation_, *network_, bcfg));
+      return;
+    }
+  }
+  throw std::logic_error("unknown traffic engine");
+}
+
 void Scenario::add_receiver(net::NodeId node, net::SessionId session, int optimal,
                             std::string name, sim::Time start, sim::Time stop) {
   // The endpoint is constructed in finalize(): its report destination is the
@@ -206,7 +226,7 @@ void Scenario::finalize() {
     cfg.report_period = config_.control.report_period == Time::zero()
                             ? config_.params.interval
                             : config_.control.report_period;
-    cfg.initial_subscription = 1;
+    cfg.initial_subscription = config_.control.initial_subscription;
     cfg.start = pending.start;
     cfg.stop = pending.stop;
     endpoints_.push_back(std::make_unique<transport::ReceiverEndpoint>(
@@ -275,8 +295,33 @@ void Scenario::finalize() {
     auditor_->start();
   }
 
+  if (config_.traffic.engine == TrafficEngine::kFluid) {
+    traffic::FluidEngine::Config ecfg;
+    ecfg.step = config_.traffic.fluid_step;
+    ecfg.packet_size_bytes =
+        static_cast<std::uint32_t>(config_.params.layers.packet_size_bytes);
+    fluid_engine_ =
+        std::make_unique<traffic::FluidEngine>(*simulation_, *network_, *mcast_, ecfg);
+    for (const auto& source : fluid_sources_) fluid_engine_->add_source(source.get());
+    for (const auto& endpoint : endpoints_) {
+      fluid_engine_->register_sink(endpoint->config().node, endpoint.get());
+    }
+  }
+
   for (const auto& source : sources_) source->start();
-  for (const auto& flow : cross_flows_) flow->start();
+  for (const auto& source : burst_sources_) source->start();
+  if (fluid_engine_) {
+    // Cross-traffic competes for fluid capacity as a constant-rate background
+    // flow instead of a packet train (the packet flow objects stay unstarted).
+    for (const auto& flow : cross_flows_) {
+      const traffic::CbrFlow::Config& c = flow->config();
+      fluid_engine_->add_background_flow(c.src, c.dst, units::BitsPerSec{c.rate_bps}, c.start,
+                                         c.stop);
+    }
+    fluid_engine_->start();
+  } else {
+    for (const auto& flow : cross_flows_) flow->start();
+  }
   for (const auto& endpoint : endpoints_) endpoint->start();
   domain_manager_->start_receiver_policies();
   started_ = true;
@@ -332,7 +377,13 @@ void Scenario::add_cross_traffic(const CrossTrafficSpec& spec) {
   xcfg.start = spec.start;
   xcfg.stop = spec.stop;
   cross_flows_.push_back(std::make_unique<traffic::CbrFlow>(*simulation_, *network_, xcfg));
-  if (started_) cross_flows_.back()->start();
+  if (!started_) return;
+  if (fluid_engine_) {
+    fluid_engine_->add_background_flow(src, dst, units::BitsPerSec{spec.rate_bps}, spec.start,
+                                       spec.stop);
+  } else {
+    cross_flows_.back()->start();
+  }
 }
 
 std::unique_ptr<Scenario> Scenario::topology_a(const ScenarioConfig& config,
@@ -375,8 +426,7 @@ std::unique_ptr<Scenario> Scenario::build_topology_a(const ScenarioConfig& confi
   scfg.layers = config.params.layers;
   scfg.model = config.traffic.model;
   scfg.peak_to_mean = config.traffic.peak_to_mean;
-  s->sources_.push_back(
-      std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
+  s->add_session_source(scfg);
 
   const int optimal1 =
       config.params.layers.max_layers_for_bandwidth(units::BitsPerSec{options.bottleneck1_bps});
@@ -449,8 +499,7 @@ std::unique_ptr<Scenario> Scenario::build_topology_b(const ScenarioConfig& confi
     scfg.layers = config.params.layers;
     scfg.model = config.traffic.model;
     scfg.peak_to_mean = config.traffic.peak_to_mean;
-    s->sources_.push_back(
-        std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
+    s->add_session_source(scfg);
   }
   // "The controller agent was stationed at one of the source nodes."
   s->controller_node_ = source_nodes.front();
@@ -549,7 +598,7 @@ std::unique_ptr<Scenario> Scenario::build_tiered(const ScenarioConfig& config,
   scfg.layers = config.params.layers;
   scfg.model = config.traffic.model;
   scfg.peak_to_mean = config.traffic.peak_to_mean;
-  s->sources_.push_back(std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
+  s->add_session_source(scfg);
 
   // Offline reference: greedy lexicographic max-min on the true capacities.
   core::SessionInput session;
@@ -574,10 +623,66 @@ std::unique_ptr<Scenario> Scenario::build_tiered(const ScenarioConfig& config,
 }
 
 
+std::unique_ptr<Scenario> Scenario::build_star(const ScenarioConfig& config,
+                                               const StarOptions& options) {
+  std::unique_ptr<Scenario> s{new Scenario{config}};
+  net::Network& netw = *s->network_;
+
+  const net::NodeId source = netw.add_node("source");
+  const net::NodeId hub = netw.add_node("hub");
+  netw.add_duplex_link(source, hub, units::BitsPerSec{options.backbone_bps}, config.link_latency,
+                       queue_limit_for(config, options.backbone_bps));
+
+  s->controller_node_ = source;
+  s->mcast_->set_session_source(0, source);
+  // N receivers all report to the controller: answer their unicast routes
+  // from one destination-rooted row (see StarOptions).
+  netw.add_routing_sink(source);
+
+  traffic::LayeredSource::Config scfg;
+  scfg.session = 0;
+  scfg.node = source;
+  scfg.layers = config.params.layers;
+  scfg.model = config.traffic.model;
+  scfg.peak_to_mean = config.traffic.peak_to_mean;
+  s->add_session_source(scfg);
+
+  const int optimal =
+      config.params.layers.max_layers_for_bandwidth(units::BitsPerSec{options.access_bps});
+  for (int i = 0; i < options.receivers; ++i) {
+    const net::NodeId rcv = netw.add_node("recv" + std::to_string(i));
+    netw.add_duplex_link(hub, rcv, units::BitsPerSec{options.access_bps}, config.link_latency,
+                         queue_limit_for(config, options.access_bps));
+    s->add_receiver(rcv, 0, optimal, "star/" + std::to_string(i));
+  }
+
+  s->finalize();
+  return s;
+}
+
 std::unique_ptr<Scenario> Scenario::from_description(const ScenarioConfig& config,
                                                      const TopologyDescription& description) {
   std::unique_ptr<Scenario> s{new Scenario{config}};
   net::Network& netw = *s->network_;
+
+  // A `traffic` directive overrides the config's engine selection.
+  switch (description.engine) {
+    case TrafficEngineSpec::kDefault:
+      break;
+    case TrafficEngineSpec::kPacket:
+      s->config_.traffic.engine = TrafficEngine::kPacket;
+      break;
+    case TrafficEngineSpec::kFluid:
+      s->config_.traffic.engine = TrafficEngine::kFluid;
+      break;
+    case TrafficEngineSpec::kBurst:
+      s->config_.traffic.engine = TrafficEngine::kBurst;
+      break;
+  }
+  if (description.fluid_step_s) {
+    s->config_.traffic.fluid_step = sim::Time::seconds(*description.fluid_step_s);
+  }
+  if (description.burst_train) s->config_.traffic.burst_train = *description.burst_train;
 
   std::unordered_map<std::string, net::NodeId> by_name;
   for (const std::string& name : description.nodes) {
@@ -640,8 +745,7 @@ std::unique_ptr<Scenario> Scenario::from_description(const ScenarioConfig& confi
     scfg.layers = config.params.layers;
     scfg.model = config.traffic.model;
     scfg.peak_to_mean = config.traffic.peak_to_mean;
-    s->sources_.push_back(
-        std::make_unique<traffic::LayeredSource>(*s->simulation_, netw, scfg));
+    s->add_session_source(scfg);
   }
 
   // Offline optima from the declared (true) capacities: build each session's

@@ -20,7 +20,10 @@
 #include "sim/simulation.hpp"
 #include "topo/discovery.hpp"
 #include "topo/mtrace.hpp"
+#include "traffic/burst_source.hpp"
 #include "traffic/cross_traffic.hpp"
+#include "traffic/fluid_engine.hpp"
+#include "traffic/fluid_source.hpp"
 #include "traffic/layered_source.hpp"
 #include "transport/demux.hpp"
 #include "transport/receiver_endpoint.hpp"
@@ -33,6 +36,14 @@ namespace tsim::scenarios {
 enum class DiscoveryMode {
   kOracle,
   kMtrace,
+};
+
+/// Which traffic engine carries session data. Control traffic (reports,
+/// suggestions, discovery) is always packet-level.
+enum class TrafficEngine {
+  kPacket,  ///< one scheduler event per packet (LayeredSource, the default)
+  kFluid,   ///< rate trajectories integrated per step (traffic::FluidEngine)
+  kBurst,   ///< K-packet trains per event (traffic::BurstSource)
 };
 
 /// Which adaptation scheme drives the receivers. The scenario wiring itself
@@ -54,6 +65,11 @@ struct ScenarioConfig {
   struct Traffic {
     ::tsim::traffic::TrafficModel model{::tsim::traffic::TrafficModel::kCbr};
     double peak_to_mean{3.0};
+    TrafficEngine engine{TrafficEngine::kPacket};
+    /// Fluid integration step; must divide one second (see FluidEngine).
+    sim::Time fluid_step{sim::Time::milliseconds(100)};
+    /// Packets per train under TrafficEngine::kBurst.
+    int burst_train{4};
   };
   struct Queues {
     std::size_t limit_packets{30};
@@ -74,6 +90,10 @@ struct ScenarioConfig {
     sim::Time report_period{sim::Time::zero()};
     ::tsim::control::ReceiverAgent::Config receiver_agent{};
     ::tsim::baseline::ReceiverDrivenController::Config receiver_driven{};
+    /// Layers each receiver joins at start (clamped to [0, num_layers]).
+    /// The paper's receivers start at 1; scale studies start higher so the
+    /// data plane dominates from t=0.
+    int initial_subscription{1};
   };
   struct Domains {
     /// Automatic partitioner: when > 1 and the topology declares no `domain`
@@ -218,6 +238,21 @@ struct TieredOptions {
   double access_max_bps{1.5e6};
 };
 
+/// Star scale topology: one source behind a fat backbone, N receivers on
+/// identical access links off a single hub. The shape the fluid engine is
+/// built for — one shared bottleneck class, very high receiver count. Reports
+/// from all N receivers converge on the controller (at the source), so the
+/// factory registers the controller as a routing sink: one destination-rooted
+/// row answers every receiver->controller route instead of N source-rooted
+/// tables (16 bytes * N per row would be ~160 GB at N = 100k).
+struct StarOptions {
+  int receivers{1000};
+  // Raw doubles to match the sibling topology option structs (one shared
+  // CLI/file-parsing surface).
+  double backbone_bps{1e9};  // NOLINT(raw-units)
+  double access_bps{1.2e6};  // NOLINT(raw-units) optimal 5 layers (cum. 992 Kbps)
+};
+
 /// A unicast CBR cross-flow between two named nodes, active in
 /// [start, stop). Named endpoints make specs portable across topology
 /// factories and topology files.
@@ -314,6 +349,14 @@ class Scenario {
   [[nodiscard]] const std::vector<std::unique_ptr<traffic::LayeredSource>>& sources() const {
     return sources_;
   }
+  [[nodiscard]] const std::vector<std::unique_ptr<traffic::FluidSource>>& fluid_sources() const {
+    return fluid_sources_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<traffic::BurstSource>>& burst_sources() const {
+    return burst_sources_;
+  }
+  /// The fluid datapath, or nullptr unless config.traffic.engine is kFluid.
+  [[nodiscard]] traffic::FluidEngine* fluid_engine() { return fluid_engine_.get(); }
   [[nodiscard]] const std::vector<std::unique_ptr<fault::FaultInjector>>& fault_injectors()
       const {
     return fault_injectors_;
@@ -341,6 +384,12 @@ class Scenario {
                                                     const TopologyBOptions& options);
   static std::unique_ptr<Scenario> build_tiered(const ScenarioConfig& config,
                                                 const TieredOptions& options);
+  static std::unique_ptr<Scenario> build_star(const ScenarioConfig& config,
+                                              const StarOptions& options);
+
+  /// Creates the session source for `cfg` on whichever traffic engine the
+  /// config selects (packet, fluid or burst). finalize() starts it.
+  void add_session_source(const traffic::LayeredSource::Config& cfg);
 
   /// Records one receiver (endpoint + policy agent + metrics) at `node`,
   /// active in [start, stop). The endpoint itself is constructed in
@@ -368,6 +417,12 @@ class Scenario {
   /// resolve_domains() falls back to the auto partitioner / single root).
   std::vector<control::Domain> declared_domains_;
   std::vector<std::unique_ptr<traffic::LayeredSource>> sources_;
+  std::vector<std::unique_ptr<traffic::FluidSource>> fluid_sources_;
+  std::vector<std::unique_ptr<traffic::BurstSource>> burst_sources_;
+  /// Built in finalize() when traffic.engine is kFluid. Holds non-owning
+  /// pointers to fluid_sources_ and endpoints_ (as FluidSinks); safe because
+  /// no events run during destruction.
+  std::unique_ptr<traffic::FluidEngine> fluid_engine_;
   std::vector<std::unique_ptr<traffic::CbrFlow>> cross_flows_;
   std::vector<std::unique_ptr<fault::FaultInjector>> fault_injectors_;
   struct PendingReceiver {

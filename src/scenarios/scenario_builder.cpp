@@ -31,6 +31,12 @@ ScenarioBuilder& ScenarioBuilder::tiered(const TieredOptions& options) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::star(const StarOptions& options) {
+  select("star");
+  star_ = options;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::topology(TopologyDescription description) {
   select("topology(description)");
   description_ = std::move(description);
@@ -61,6 +67,8 @@ std::unique_ptr<Scenario> ScenarioBuilder::build() {
     scenario = Scenario::build_topology_b(config_, *topo_b_);
   } else if (tiered_) {
     scenario = Scenario::build_tiered(config_, *tiered_);
+  } else if (star_) {
+    scenario = Scenario::build_star(config_, *star_);
   } else if (description_) {
     scenario = Scenario::from_description(config_, *description_);
   } else {

@@ -83,6 +83,9 @@ class ScenarioBuilder {
   ScenarioBuilder& topology_a(const TopologyAOptions& options = {});
   ScenarioBuilder& topology_b(const TopologyBOptions& options = {});
   ScenarioBuilder& tiered(const TieredOptions& options = {});
+  /// Scale star: one source, one hub, N identical access links (the fluid
+  /// engine's 100k-receiver tier; works with any traffic engine).
+  ScenarioBuilder& star(const StarOptions& options = {});
   /// A parsed topology file; its `fault` lines install automatically.
   ScenarioBuilder& topology(TopologyDescription description);
   /// Parses `path` as a topology file (throws std::runtime_error on errors).
@@ -107,6 +110,7 @@ class ScenarioBuilder {
   std::optional<TopologyAOptions> topo_a_;
   std::optional<TopologyBOptions> topo_b_;
   std::optional<TieredOptions> tiered_;
+  std::optional<StarOptions> star_;
   std::optional<TopologyDescription> description_;
   std::vector<fault::FaultPlan> fault_plans_;
   std::vector<CrossTrafficSpec> cross_traffic_;

@@ -1,0 +1,98 @@
+#include "traffic/burst_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace tsim::traffic {
+
+BurstSource::BurstSource(sim::Simulation& simulation, net::Network& network, Config config)
+    : simulation_{simulation},
+      network_{network},
+      config_{config},
+      rng_{simulation.rng_stream("burst-source/" + std::to_string(config.source.session))},
+      next_seq_(static_cast<std::size_t>(config.source.layers.num_layers), 0),
+      sent_packets_(static_cast<std::size_t>(config.source.layers.num_layers), 0) {
+  config_.train_packets = std::max(config_.train_packets, 1);
+  pps_by_layer_.reserve(static_cast<std::size_t>(config_.source.layers.num_layers));
+  for (int l = 1; l <= config_.source.layers.num_layers; ++l) {
+    pps_by_layer_.push_back(
+        config_.source.layers.packets_per_second(static_cast<net::LayerId>(l)));
+  }
+}
+
+void BurstSource::start() {
+  for (int l = 1; l <= config_.source.layers.num_layers; ++l) {
+    const auto layer = static_cast<net::LayerId>(l);
+    // Same per-layer phase stagger as LayeredSource, for the same reason.
+    const sim::Time stagger = sim::Time::seconds(rng_.uniform(
+        0.0, config_.source.model == TrafficModel::kCbr ? 0.25 : 1.0));
+    simulation_.at(config_.source.start + stagger, [this, layer]() {
+      if (config_.source.model == TrafficModel::kCbr) {
+        schedule_cbr_layer(layer);
+      } else {
+        schedule_vbr_interval(layer);
+      }
+    });
+  }
+}
+
+void BurstSource::emit_train(net::LayerId layer, long packets) {
+  for (long i = 0; i < packets; ++i) {
+    net::Packet packet;
+    packet.uid = network_.next_packet_uid();
+    packet.kind = net::PacketKind::kData;
+    packet.size_bytes = config_.source.layers.packet_size_bytes;
+    packet.src = config_.source.node;
+    packet.multicast = true;
+    packet.group = net::GroupAddr{config_.source.session, layer};
+    packet.seq = next_seq_[layer - 1]++;
+    ++sent_packets_[layer - 1];
+    sent_bytes_total_ += packet.size_bytes;
+    network_.send_multicast(packet);
+  }
+}
+
+void BurstSource::schedule_cbr_layer(net::LayerId layer) {
+  if (simulation_.now() >= config_.source.stop) return;
+  const long train = config_.train_packets;
+  emit_train(layer, train);
+  const double pps = pps_by_layer_[layer - 1];
+  // Event spacing is K packet periods, so the mean rate matches LayeredSource;
+  // the +/-10% jitter de-phase-locks trains from link service times.
+  const double spacing =
+      (static_cast<double>(train) / pps) * rng_.uniform(0.9, 1.1);
+  simulation_.after(sim::Time::seconds(spacing),
+                    [this, layer]() { schedule_cbr_layer(layer); });
+}
+
+void BurstSource::schedule_vbr_interval(net::LayerId layer) {
+  if (simulation_.now() >= config_.source.stop) return;
+
+  const double avg = pps_by_layer_[layer - 1];              // A
+  const double p = std::max(1.0, config_.source.peak_to_mean);  // P
+  long n = 1;
+  if (rng_.bernoulli(1.0 / p)) {
+    n = std::lround(p * avg + 1.0 - p);
+    n = std::max(n, 1L);
+  }
+
+  // The interval's n packets ride in ceil(n/K) trains spread evenly across
+  // the second; the last train carries the remainder.
+  const long train = config_.train_packets;
+  const long trains = (n + train - 1) / train;
+  const double spacing = 1.0 / static_cast<double>(trains);
+  for (long i = 0; i < trains; ++i) {
+    const long in_train = std::min(train, n - i * train);
+    simulation_.after(sim::Time::seconds(spacing * static_cast<double>(i)),
+                      [this, layer, in_train]() {
+                        if (simulation_.now() < config_.source.stop) {
+                          emit_train(layer, in_train);
+                        }
+                      });
+  }
+  simulation_.after(sim::Time::seconds(1),
+                    [this, layer]() { schedule_vbr_interval(layer); });
+}
+
+}  // namespace tsim::traffic

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "traffic/layered_source.hpp"
+
+namespace tsim::traffic {
+
+/// Packet-train source for queue-transient studies: the middle point between
+/// the per-packet LayeredSource and the event-free FluidSource. Each scheduler
+/// event emits a back-to-back train of `train_packets` data packets, so the
+/// event load drops by ~K while queues still see real packet arrivals — in
+/// K-deep bursts, which is exactly what makes drop-tail transients visible.
+///
+/// CBR: trains of K evenly spaced events (spacing K/pps, same +/-10% jitter
+/// as LayeredSource). VBR: the paper's per-second n draw, emitted as
+/// ceil(n/K) trains spread across the interval. Sequence numbers stay dense
+/// per layer, so receiver gap accounting works unchanged.
+class BurstSource {
+ public:
+  struct Config {
+    LayeredSource::Config source{};
+    int train_packets{4};  ///< K: packets per scheduler event
+  };
+
+  BurstSource(sim::Simulation& simulation, net::Network& network, Config config);
+
+  /// Begins transmission at config.source.start.
+  void start();
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::uint32_t next_seq(net::LayerId layer) const {
+    return next_seq_[layer - 1];
+  }
+  [[nodiscard]] std::uint64_t sent_packets(net::LayerId layer) const {
+    return sent_packets_[layer - 1];
+  }
+  [[nodiscard]] std::uint64_t sent_bytes_total() const { return sent_bytes_total_; }
+
+ private:
+  void schedule_cbr_layer(net::LayerId layer);
+  void schedule_vbr_interval(net::LayerId layer);
+  void emit_train(net::LayerId layer, long packets);
+
+  sim::Simulation& simulation_;
+  net::Network& network_;
+  Config config_;
+  sim::Rng rng_;
+  std::vector<std::uint32_t> next_seq_;
+  std::vector<std::uint64_t> sent_packets_;
+  std::vector<double> pps_by_layer_;
+  std::uint64_t sent_bytes_total_{0};
+};
+
+}  // namespace tsim::traffic

@@ -24,12 +24,17 @@ CbrFlow::CbrFlow(sim::Simulation& simulation, net::Network& network, Config conf
       network_{network},
       config_{config},
       rng_{simulation.rng_stream("cbrflow/" + std::to_string(config.src) + "/" +
-                                 std::to_string(config.dst))} {}
+                                 std::to_string(config.dst))},
+      emit_thunk_{this} {
+  // 1/pps hoisted out of emit(): same division the per-packet path computed,
+  // done once, so spacing draws stay bit-identical.
+  const double pps = config_.rate_bps / (8.0 * config_.packet_size_bytes);
+  period_s_ = 1.0 / pps;
+}
 
 void CbrFlow::start() {
-  const double pps = config_.rate_bps / (8.0 * config_.packet_size_bytes);
-  const sim::Time stagger = sim::Time::seconds(rng_.uniform(0.0, 1.0 / pps));
-  simulation_.at(config_.start + stagger, [this]() { emit(); });
+  const sim::Time stagger = sim::Time::seconds(rng_.uniform(0.0, period_s_));
+  simulation_.at(config_.start + stagger, emit_thunk_);
 }
 
 void CbrFlow::emit() {
@@ -37,9 +42,8 @@ void CbrFlow::emit() {
   network_.send_unicast(
       unicast_packet(network_, config_.src, config_.dst, config_.packet_size_bytes));
   ++sent_packets_;
-  const double pps = config_.rate_bps / (8.0 * config_.packet_size_bytes);
-  const double spacing = (1.0 / pps) * rng_.uniform(0.9, 1.1);
-  simulation_.after(sim::Time::seconds(spacing), [this]() { emit(); });
+  const double spacing = period_s_ * rng_.uniform(0.9, 1.1);
+  simulation_.after(sim::Time::seconds(spacing), emit_thunk_);
 }
 
 OnOffFlow::OnOffFlow(sim::Simulation& simulation, net::Network& network, Config config)
@@ -47,7 +51,11 @@ OnOffFlow::OnOffFlow(sim::Simulation& simulation, net::Network& network, Config 
       network_{network},
       config_{config},
       rng_{simulation.rng_stream("onoff/" + std::to_string(config.src) + "/" +
-                                 std::to_string(config.dst))} {}
+                                 std::to_string(config.dst))},
+      emit_thunk_{this} {
+  const double pps = config_.peak_bps / (8.0 * config_.packet_size_bytes);
+  period_s_ = 1.0 / pps;
+}
 
 void OnOffFlow::start() {
   simulation_.at(config_.start, [this]() { begin_off_period(); });
@@ -74,9 +82,7 @@ void OnOffFlow::emit() {
   network_.send_unicast(
       unicast_packet(network_, config_.src, config_.dst, config_.packet_size_bytes));
   ++sent_packets_;
-  const double pps = config_.peak_bps / (8.0 * config_.packet_size_bytes);
-  simulation_.after(sim::Time::seconds((1.0 / pps) * rng_.uniform(0.9, 1.1)),
-                    [this]() { emit(); });
+  simulation_.after(sim::Time::seconds(period_s_ * rng_.uniform(0.9, 1.1)), emit_thunk_);
 }
 
 }  // namespace tsim::traffic

@@ -33,10 +33,21 @@ class CbrFlow {
  private:
   void emit();
 
+  /// Pre-bound reschedule callback: an 8-byte trivially-copyable functor
+  /// built once at construction, so every per-packet reschedule copies it
+  /// straight into the scheduler's inline slot storage instead of capturing
+  /// a fresh lambda (and re-deriving the packet period) per packet.
+  struct EmitThunk {
+    CbrFlow* flow;
+    void operator()() const { flow->emit(); }
+  };
+
   sim::Simulation& simulation_;
   net::Network& network_;
   Config config_;
   sim::Rng rng_;
+  EmitThunk emit_thunk_;
+  double period_s_{0.0};  ///< seconds per packet at the configured rate
   std::uint64_t sent_packets_{0};
 };
 
@@ -68,10 +79,18 @@ class OnOffFlow {
   void begin_off_period();
   void emit();
 
+  /// Pre-bound per-packet reschedule callback; see CbrFlow::EmitThunk.
+  struct EmitThunk {
+    OnOffFlow* flow;
+    void operator()() const { flow->emit(); }
+  };
+
   sim::Simulation& simulation_;
   net::Network& network_;
   Config config_;
   sim::Rng rng_;
+  EmitThunk emit_thunk_;
+  double period_s_{0.0};  ///< seconds per packet at the peak rate
   bool on_{false};
   sim::Time on_until_{};
   std::uint64_t sent_packets_{0};

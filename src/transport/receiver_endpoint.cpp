@@ -88,6 +88,21 @@ void ReceiverEndpoint::handle_data(const net::Packet& packet) {
   total_bytes_ += units::Bytes{packet.size_bytes};
 }
 
+void ReceiverEndpoint::on_fluid_delivery(net::GroupAddr group, units::Bytes bytes,
+                                         units::PacketCount received,
+                                         units::PacketCount lost) {
+  if (group.session != config_.session) return;
+  const int layer = group.layer;
+  if (layer < 1 || layer > config_.layers.num_layers) return;
+  if (!tracks_[layer - 1].active) return;  // engine lag after a leave
+
+  window_.received_packets += received;
+  window_.lost_packets += lost;
+  window_.bytes += bytes;
+  total_packets_ += received;
+  total_bytes_ += bytes;
+}
+
 void ReceiverEndpoint::handle_suggestion(const net::Packet& packet) {
   if (!active_) return;  // a stale suggestion must not resubscribe a leaver
   const auto* suggestion = dynamic_cast<const Suggestion*>(packet.control.get());

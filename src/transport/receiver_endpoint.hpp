@@ -7,6 +7,7 @@
 #include "mcast/multicast_router.hpp"
 #include "net/network.hpp"
 #include "sim/simulation.hpp"
+#include "traffic/fluid_sink.hpp"
 #include "traffic/layer_spec.hpp"
 #include "transport/control_messages.hpp"
 #include "transport/demux.hpp"
@@ -18,7 +19,13 @@ namespace tsim::transport {
 /// via RTP-style sequence-number gaps, and mails RTCP-like reports to the
 /// domain controller as real unicast packets (they share queues with data and
 /// can be lost).
-class ReceiverEndpoint {
+///
+/// Under the fluid traffic engine the endpoint is a traffic::FluidSink: the
+/// engine credits integrated byte/packet/loss deltas directly into the open
+/// report window (loss arrives pre-computed from the fluid loss fractions, so
+/// the sequence-gap machinery stays idle), and everything downstream —
+/// reports, ReceiverAgent, ControllerAgent — is unchanged.
+class ReceiverEndpoint : public traffic::FluidSink {
  public:
   struct Config {
     net::NodeId node{net::kInvalidNode};
@@ -78,6 +85,13 @@ class ReceiverEndpoint {
   void on_suggestion(std::function<void(const Suggestion&)> cb) {
     suggestion_callbacks_.push_back(std::move(cb));
   }
+
+  /// traffic::FluidSink: integrated delivery from the fluid engine. Credits
+  /// the open window and lifetime totals exactly as handle_data does per
+  /// packet (lost feeds window_.lost_packets; close_window folds it into the
+  /// lifetime total, same as sequence-gap loss).
+  void on_fluid_delivery(net::GroupAddr group, units::Bytes bytes,
+                         units::PacketCount received, units::PacketCount lost) override;
 
  private:
   struct LayerTrack;

@@ -1,9 +1,10 @@
 // Fixture: every nondeterministic-source rule fires in this file — the
 // aliased wall clock (the alias hides the clock type from name-based rules),
 // host randomness, a pointer cast to an integer, and unordered containers
-// keyed by a pointer both directly and through a `using` alias resolved by
-// the cross-file collect pass. Five findings total; the fixture test asserts
-// the exact count, so keep it in sync with tests/lint/CMakeLists.txt.
+// keyed by a pointer — directly, through a `using` alias resolved by the
+// cross-file collect pass, and in the fluid-engine shape (per-cell credit
+// state keyed by the cell's address). Six findings total; the fixture test
+// asserts the exact count, so keep it in sync with tests/lint/CMakeLists.txt.
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -31,6 +32,16 @@ int count_direct(const std::unordered_map<Node*, int>& by_node) {
 
 int count_aliased(const std::unordered_map<NodeHandle, int>& by_handle) {
   return static_cast<int>(by_handle.size());
+}
+
+// The fluid-engine temptation: per-(group,link) credit accumulators keyed by
+// the cell object's address instead of a dense stats id.
+struct FluidCell {};
+
+double sum_credits(const std::unordered_map<FluidCell*, double>& credit_by_cell) {
+  double sum = 0.0;
+  for (const auto& [cell, credit] : credit_by_cell) sum += credit;
+  return sum;
 }
 
 }  // namespace fixture

@@ -1,5 +1,7 @@
-// Fixture: three raw-unit doubles in a public header, one per suffix the
-// check knows. The fixture test asserts the exact total.
+// Fixture: four raw-unit doubles in a public header — one per suffix the
+// check knows, plus the fluid-engine shape (an aggregate *offered rate*
+// accumulator kept as a bare double). The fixture test asserts the exact
+// total.
 #pragma once
 
 namespace fixture {
@@ -8,6 +10,7 @@ struct TunerConfig {
   double target_bps{0.0};
   double window_bytes{0.0};
   double decay_fraction{0.0};
+  double offered_bps{0.0};  ///< fluid-style per-link offered-rate accumulator
   // Negatives: no unit suffix, pointer, and a function declaration.
   double plain{0.0};
   double* scratch_bps{nullptr};

@@ -72,6 +72,77 @@ TEST(RoutingTest, ChainTopology) {
   EXPECT_EQ(rt.next_hop(2, 4), 2u);
 }
 
+// Star with bidirectional spokes: hub 0, leaves 1..n. Leaf i reaches the hub
+// over link i-1 and the hub reaches leaf i over link n+i-1.
+std::vector<EdgeView> star(NodeId leaves) {
+  std::vector<EdgeView> edges;
+  for (NodeId i = 1; i <= leaves; ++i) {
+    edges.push_back({i, 0, i - 1, 1.0});
+    edges.push_back({0, i, leaves + i - 1, 1.0});
+  }
+  return edges;
+}
+
+TEST(RoutingTest, SinkRowAnswersAllSourcesFromOneRow) {
+  RoutingTable rt;
+  rt.build(9, star(8));
+  rt.add_sink(0);
+  for (NodeId i = 1; i <= 8; ++i) {
+    EXPECT_EQ(rt.next_hop(i, 0), i - 1) << "leaf " << i;
+  }
+  // Eight senders answered, zero per-source rows materialized.
+  EXPECT_EQ(rt.computed_rows(), 0u);
+  EXPECT_EQ(rt.computed_sink_rows(), 1u);
+}
+
+TEST(RoutingTest, SinkRowMatchesPerSourceRows) {
+  // The destination-rooted answer must agree with the per-source Dijkstra on
+  // a topology with a genuinely shortest path choice.
+  RoutingTable plain;
+  plain.build(4, diamond());
+  RoutingTable sunk;
+  sunk.build(4, diamond());
+  sunk.add_sink(3);
+  for (NodeId from = 0; from < 3; ++from) {
+    EXPECT_EQ(sunk.next_hop(from, 3), plain.next_hop(from, 3)) << "from " << from;
+  }
+  EXPECT_EQ(sunk.computed_rows(), 0u);
+}
+
+TEST(RoutingTest, SinkRegistrationSurvivesRebuild) {
+  RoutingTable rt;
+  rt.build(3, star(2));
+  rt.add_sink(0);
+  EXPECT_EQ(rt.next_hop(1, 0), 0u);
+  EXPECT_EQ(rt.computed_sink_rows(), 1u);
+  // Rebuild with one more leaf: the memoized row is dropped, the registration
+  // is not, and the recomputed row covers the new node.
+  rt.build(4, star(3));
+  EXPECT_EQ(rt.computed_sink_rows(), 0u);
+  EXPECT_EQ(rt.next_hop(3, 0), 2u);
+  EXPECT_EQ(rt.computed_sink_rows(), 1u);
+  EXPECT_EQ(rt.computed_rows(), 0u);
+}
+
+TEST(RoutingTest, SinkRowUnreachableGetsInvalidLink) {
+  RoutingTable rt;
+  rt.build(3, {{0, 1, 0, 1.0}, {1, 0, 1, 1.0}});  // node 2 isolated
+  rt.add_sink(0);
+  EXPECT_EQ(rt.next_hop(2, 0), kInvalidLink);
+  EXPECT_EQ(rt.next_hop(1, 0), 1u);
+}
+
+TEST(RoutingTest, SinkRowRespectsAsymmetricCosts) {
+  // 0 -> 3 is cheap via 2 but 1 -> 3 direct edge is cheaper than detouring:
+  // the reverse-Dijkstra row must follow FORWARD edge costs, not pretend the
+  // graph is symmetric.
+  RoutingTable rt;
+  rt.build(4, diamond());
+  rt.add_sink(3);
+  EXPECT_EQ(rt.next_hop(0, 3), 12u);  // via node 2, cost 1.0
+  EXPECT_EQ(rt.next_hop(1, 3), 11u);  // direct
+}
+
 TEST(RoutingTest, EqualCostsAreDeterministic) {
   // Two equal-cost paths 0->1->3 and 0->2->3; Dijkstra with strict < keeps
   // the first settled path, so repeated builds agree.

@@ -1,0 +1,153 @@
+#include "traffic/burst_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/simulation.hpp"
+
+namespace tsim::traffic {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+struct BurstFixture : ::testing::Test {
+  sim::Simulation simulation{7};
+  net::Network network{simulation};
+  net::NodeId src{network.add_node("src")};
+  net::NodeId dst{network.add_node("dst")};
+
+  std::map<net::LayerId, int> received;
+  std::map<net::LayerId, std::uint32_t> max_seq;
+  std::map<net::LayerId, std::set<std::int64_t>> emit_times;  ///< distinct sent_at ns
+
+  struct CatchAll final : net::MulticastForwarder {
+    net::LinkId link;
+    net::NodeId origin;
+    void route(net::NodeId node, const net::Packet&, std::vector<net::LinkId>& out,
+               bool& local) override {
+      if (node == origin) {
+        out.push_back(link);
+      } else {
+        local = true;
+      }
+    }
+  } forwarder;
+
+  BurstFixture() {
+    const net::LinkId link = network.add_link(src, dst, tsim::units::BitsPerSec{100e6}, 1_ms, 10000);
+    network.compute_routes();
+    forwarder.link = link;
+    forwarder.origin = src;
+    network.set_multicast_forwarder(&forwarder);
+    network.set_local_sink(dst, [this](const net::PacketRef& p) {
+      ++received[p->group.layer];
+      max_seq[p->group.layer] = std::max(max_seq[p->group.layer], p->seq);
+      emit_times[p->group.layer].insert(p->sent_at.as_nanoseconds());
+    });
+  }
+
+  BurstSource::Config config(TrafficModel model, int train = 4) {
+    BurstSource::Config cfg;
+    cfg.source.session = 0;
+    cfg.source.node = src;
+    cfg.source.model = model;
+    cfg.source.peak_to_mean = 3.0;
+    cfg.train_packets = train;
+    return cfg;
+  }
+};
+
+TEST_F(BurstFixture, CbrMeanRatesMatchSpec) {
+  BurstSource source{simulation, network, config(TrafficModel::kCbr)};
+  source.start();
+  simulation.run_until(100_s);
+  // Same layer rates as LayeredSource: 4 pps on layer 1, 128 pps on layer 6.
+  // Trains quantize the tail, so allow one train of slack.
+  EXPECT_NEAR(received[1], 400, 8);
+  EXPECT_NEAR(received[2], 800, 8);
+  EXPECT_NEAR(received[6], 12800, 40);
+}
+
+TEST_F(BurstFixture, PacketsArriveInTrainsOfK) {
+  BurstSource source{simulation, network, config(TrafficModel::kCbr)};
+  source.start();
+  simulation.run_until(100_s);
+  // Every scheduler event stamps its whole K-train with one sent_at, so the
+  // number of distinct emission instants is ~count/K: the event-load division
+  // the engine exists for.
+  for (const auto& [layer, count] : received) {
+    const auto events = static_cast<int>(emit_times[layer].size());
+    EXPECT_NEAR(events * 4, count, 4) << "layer " << int(layer);
+  }
+}
+
+TEST_F(BurstFixture, SequenceNumbersAreDense) {
+  BurstSource source{simulation, network, config(TrafficModel::kCbr)};
+  source.start();
+  simulation.run_until(50_s);
+  for (const auto& [layer, count] : received) {
+    EXPECT_EQ(max_seq[layer], static_cast<std::uint32_t>(count - 1)) << "layer " << int(layer);
+    EXPECT_EQ(source.sent_packets(layer), static_cast<std::uint64_t>(count));
+  }
+}
+
+TEST_F(BurstFixture, VbrMeanRateMatchesModel) {
+  BurstSource source{simulation, network, config(TrafficModel::kVbr)};
+  source.start();
+  simulation.run_until(400_s);
+  // E[n] = A per second: ~1600 layer-1 packets over 400 s, like LayeredSource.
+  // Slack is ~3 sigma of the on/off process (per-interval sd ~4.2 packets).
+  EXPECT_NEAR(received[1], 1600, 250);
+  EXPECT_NEAR(received[3], 6400, 800);
+}
+
+TEST_F(BurstFixture, StopTimeHaltsEmission) {
+  auto cfg = config(TrafficModel::kCbr);
+  cfg.source.stop = 10_s;
+  BurstSource source{simulation, network, cfg};
+  source.start();
+  simulation.run_until(100_s);
+  EXPECT_LE(received[1], 48);  // ~4 pps for 10 s, train-quantized
+  EXPECT_GT(received[1], 28);
+}
+
+TEST_F(BurstFixture, DeterministicAcrossRunsAndSeedSensitive) {
+  auto run_once = [](std::uint64_t seed) {
+    sim::Simulation local_sim{seed};
+    net::Network local_net{local_sim};
+    const net::NodeId s = local_net.add_node();
+    const net::NodeId d = local_net.add_node();
+    const net::LinkId link = local_net.add_link(s, d, tsim::units::BitsPerSec{100e6}, 1_ms, 10000);
+    local_net.compute_routes();
+    struct F final : net::MulticastForwarder {
+      net::LinkId link;
+      net::NodeId origin;
+      void route(net::NodeId node, const net::Packet&, std::vector<net::LinkId>& out,
+                 bool& local) override {
+        if (node == origin) out.push_back(link);
+        else local = true;
+      }
+    } f;
+    f.link = link;
+    f.origin = s;
+    local_net.set_multicast_forwarder(&f);
+    int count = 0;
+    local_net.set_local_sink(d, [&](const net::PacketRef&) { ++count; });
+    BurstSource::Config cfg;
+    cfg.source.session = 0;
+    cfg.source.node = s;
+    cfg.source.model = TrafficModel::kVbr;
+    BurstSource source{local_sim, local_net, cfg};
+    source.start();
+    local_sim.run_until(60_s);
+    return count;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace tsim::traffic

@@ -1,0 +1,110 @@
+#include "traffic/fluid_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulation.hpp"
+
+namespace tsim::traffic {
+namespace {
+
+using namespace tsim::sim::time_literals;
+using sim::Time;
+
+FluidSource::Config config(TrafficModel model, double p = 3.0) {
+  FluidSource::Config cfg;
+  cfg.session = 0;
+  cfg.node = 0;
+  cfg.model = model;
+  cfg.peak_to_mean = p;
+  return cfg;
+}
+
+TEST(FluidSourceTest, CbrTrajectoryIsTheLayerSpecRate) {
+  sim::Simulation simulation{7};
+  FluidSource source{simulation, config(TrafficModel::kCbr)};
+  const LayerSpec& layers = source.config().layers;
+  for (int l = 1; l <= layers.num_layers; ++l) {
+    const auto layer = static_cast<net::LayerId>(l);
+    EXPECT_DOUBLE_EQ(source.layer_rate(layer, Time::zero()).bps(),
+                     layers.layer_rate(layer).bps());
+    EXPECT_DOUBLE_EQ(source.layer_rate(layer, 500_s).bps(), layers.layer_rate(layer).bps());
+  }
+}
+
+TEST(FluidSourceTest, VbrRatesAreTheTwoLevelOnOffProcess) {
+  // Layer 1: A = 4 pps, P = 3 -> n in {1, P*A + 1 - P} = {1, 10}, i.e.
+  // 8 kbps or 80 kbps at 1000-byte packets. E[n] = A, so the long-run mean
+  // must come back to the CBR rate (32 kbps).
+  sim::Simulation simulation{7};
+  FluidSource source{simulation, config(TrafficModel::kVbr, 3.0)};
+  int high = 0;
+  double sum_bps = 0.0;
+  const int intervals = 3000;
+  for (int i = 0; i < intervals; ++i) {
+    const double bps = source.layer_rate(1, Time::seconds(std::int64_t{i})).bps();
+    ASSERT_TRUE(bps == 8'000.0 || bps == 80'000.0) << "interval " << i << ": " << bps;
+    if (bps == 80'000.0) ++high;
+    sum_bps += bps;
+  }
+  // Burst probability 1/P = 1/3.
+  EXPECT_NEAR(static_cast<double>(high) / intervals, 1.0 / 3.0, 0.03);
+  EXPECT_NEAR(sum_bps / intervals, 32'000.0, 1'500.0);
+}
+
+TEST(FluidSourceTest, VbrRateIsConstantWithinAnInterval) {
+  sim::Simulation simulation{7};
+  FluidSource source{simulation, config(TrafficModel::kVbr)};
+  const double at_start = source.layer_rate(1, 5_s).bps();
+  EXPECT_DOUBLE_EQ(source.layer_rate(1, Time::milliseconds(5'400)).bps(), at_start);
+  EXPECT_DOUBLE_EQ(source.layer_rate(1, Time::milliseconds(5'999)).bps(), at_start);
+}
+
+TEST(FluidSourceTest, TrajectoryIndependentOfQueryGranularity) {
+  // Draws are consumed per (interval, layer) regardless of how often the
+  // engine samples, so a coarse-stepping engine sees the same interval rates
+  // as a fine-stepping one.
+  sim::Simulation sim_a{11};
+  sim::Simulation sim_b{11};
+  FluidSource fine{sim_a, config(TrafficModel::kVbr)};
+  FluidSource coarse{sim_b, config(TrafficModel::kVbr)};
+  // Sample `fine` ten times per interval and every layer; `coarse` only once
+  // per interval and only layer 3.
+  double fine_at_layer3 = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    for (int tick = 0; tick < 10; ++tick) {
+      const Time when = Time::milliseconds(std::int64_t{i} * 1'000 + tick * 100);
+      for (int l = 1; l <= 6; ++l) {
+        const double bps = fine.layer_rate(static_cast<net::LayerId>(l), when).bps();
+        if (l == 3) fine_at_layer3 = bps;
+      }
+    }
+    EXPECT_DOUBLE_EQ(coarse.layer_rate(3, Time::seconds(std::int64_t{i})).bps(),
+                     fine_at_layer3)
+        << "interval " << i;
+  }
+}
+
+TEST(FluidSourceTest, DeterministicAcrossRunsAndSeedSensitive) {
+  auto trajectory = [](std::uint64_t seed) {
+    sim::Simulation simulation{seed};
+    FluidSource source{simulation, config(TrafficModel::kVbr)};
+    std::string out;
+    for (int i = 0; i < 100; ++i) {
+      for (int l = 1; l <= 6; ++l) {
+        out += std::to_string(
+                   source.layer_rate(static_cast<net::LayerId>(l), Time::seconds(std::int64_t{i}))
+                       .bps()) +
+               ",";
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(trajectory(5), trajectory(5));
+  EXPECT_NE(trajectory(5), trajectory(6));
+}
+
+}  // namespace
+}  // namespace tsim::traffic

@@ -113,6 +113,42 @@ TEST_F(SourceFixture, StopTimeHaltsEmission) {
   EXPECT_GT(received[1], 30);
 }
 
+TEST_F(SourceFixture, VbrStopBoundaryIsStrict) {
+  // Regression pin for the per-emit stop guard: a VBR interval schedules its
+  // n packets up to a second ahead, so an interval straddling config.stop has
+  // emits queued past the boundary. Those must be suppressed (strictly
+  // now < stop), while packets of the straddling interval BEFORE the boundary
+  // still flow — the final partial interval is not dropped wholesale.
+  auto cfg = config(TrafficModel::kVbr, 3.0);
+  cfg.stop = Time::milliseconds(10'500);
+  LayeredSource source{simulation, network, cfg};
+  sim::Time last_emit = sim::Time::zero();
+  bool saw_late_window = false;
+  network.set_local_sink(dst, [&](const net::PacketRef& p) {
+    last_emit = std::max(last_emit, p->sent_at);
+    // Traffic inside the final second before the stop proves the straddling
+    // interval emitted its pre-boundary share.
+    if (p->sent_at >= Time::milliseconds(9'500) && p->sent_at < cfg.stop) {
+      saw_late_window = true;
+    }
+  });
+  source.start();
+  simulation.run_until(100_s);
+  EXPECT_LT(last_emit, cfg.stop);
+  EXPECT_TRUE(saw_late_window);
+  // Nothing emitted after the boundary: totals are frozen from stop onward.
+  std::uint64_t total = 0;
+  for (int l = 1; l <= cfg.layers.num_layers; ++l) {
+    total += source.sent_packets(static_cast<net::LayerId>(l));
+  }
+  simulation.run_until(200_s);
+  std::uint64_t total_after = 0;
+  for (int l = 1; l <= cfg.layers.num_layers; ++l) {
+    total_after += source.sent_packets(static_cast<net::LayerId>(l));
+  }
+  EXPECT_EQ(total, total_after);
+}
+
 TEST_F(SourceFixture, DeterministicAcrossRuns) {
   // Two simulations with the same seed emit identical packet counts.
   auto run_once = [](std::uint64_t seed) {

@@ -74,6 +74,22 @@ def gate_case(label, candidate, baseline, threshold, failures, skip_throughput=F
     )
 
 
+def report_informational(label, candidate):
+    """Prints the ungated per-case metrics (peak RSS, fluid event reduction).
+
+    These are recorded for the perf trajectory, not gated: RSS depends on the
+    allocator and host, and the event-reduction factor is already enforced by
+    bench_runner itself (hard 20x floor on the star_fluid case).
+    """
+    extras = []
+    if "peak_rss_bytes" in candidate:
+        extras.append(f"peak_rss={int(candidate['peak_rss_bytes']) / 1e6:.0f}MB")
+    if "event_reduction" in candidate:
+        extras.append(f"event_reduction={candidate['event_reduction']:.1f}x")
+    if extras:
+        print(f"perf info [{label}]: {' '.join(extras)}")
+
+
 def main() -> int:
     if len(sys.argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
@@ -112,6 +128,7 @@ def main() -> int:
                 continue
             gate_case(name, cand_case, base_case, threshold, failures,
                       skip_throughput=one_core)
+            report_informational(name, cand_case)
         base_sweep = baseline.get("sweep")
         cand_sweep = candidate.get("sweep")
         if base_sweep is not None:
