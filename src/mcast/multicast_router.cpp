@@ -236,6 +236,7 @@ void MulticastRouter::route(net::NodeId node, const net::Packet& packet,
   if (node >= tree.fan.size()) return;
   const GroupTree::FanSlot slot = tree.fan[node];
   const net::LinkId* span = tree.fan_links.data() + slot.offset;
+  // HOTPATH_ALLOW(container-growth: appends into the forwarder's reused scratch vector; its capacity stabilizes at the max per-hop fan-out after warmup)
   out_links.insert(out_links.end(), span, span + slot.count);
   deliver_locally = slot.deliver_locally != 0;
 }

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/hotpath.hpp"
 #include "net/network.hpp"
 #include "net/packet.hpp"
 #include "sim/simulation.hpp"
@@ -125,8 +126,8 @@ class MulticastRouter final : public net::MulticastForwarder {
       net::SessionId session, net::LayerId max_layer) const;
 
   /// net::MulticastForwarder:
-  void route(net::NodeId node, const net::Packet& packet, std::vector<net::LinkId>& out_links,
-             bool& deliver_locally) override;
+  HOT_PATH void route(net::NodeId node, const net::Packet& packet,
+                      std::vector<net::LinkId>& out_links, bool& deliver_locally) override;
 
   /// Topology changed (link failure/repair): every group tree is marked dirty
   /// and lazily rebuilt over the new unicast routes — members cut off from
@@ -148,6 +149,9 @@ class MulticastRouter final : public net::MulticastForwarder {
   };
 
   GroupState& group_state(net::GroupAddr group);
+  HOT_PATH_EXEMPT(
+      "control plane: a rebuild fires once per membership or topology change and the tree "
+      "is cached until re-dirtied; route() serves the cached CSR fan-out per packet")
   void rebuild_tree(net::GroupAddr group, GroupState& state);
 
   sim::Simulation& simulation_;

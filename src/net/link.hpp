@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/hotpath.hpp"
 #include "core/units.hpp"
 #include "net/packet.hpp"
 #include "sim/random.hpp"
@@ -82,9 +83,10 @@ struct FluidQueue {
 /// overflow / (offered * dt). The queue is a pure accounting device here —
 /// fluid traffic sees no queueing delay (documented divergence from the
 /// packet model, docs/performance.md).
-[[nodiscard]] inline double fluid_queue_step(FluidQueue& queue, units::BitsPerSec offered,
-                                             units::BitsPerSec capacity,
-                                             units::Bytes queue_limit, sim::Time dt) {
+HOT_PATH [[nodiscard]] inline double fluid_queue_step(FluidQueue& queue,
+                                                      units::BitsPerSec offered,
+                                                      units::BitsPerSec capacity,
+                                                      units::Bytes queue_limit, sim::Time dt) {
   const double dt_s = dt.as_seconds();
   const double rate = offered.bps();
   const double cap = capacity.bps();
@@ -227,6 +229,7 @@ class Link {
   /// Queue storage ops for the Network datapath; the caller maintains the
   /// LinkHot queue_len mirror.
   void push_queue(const PacketRef& packet) {
+    // HOTPATH_ALLOW(container-growth: deque append bounded by the link's queue_limit; block storage is recycled across pops after warmup)
     queue_.push_back(packet);
     queued_bytes_ += units::Bytes{packet->size_bytes};
   }

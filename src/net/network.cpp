@@ -196,13 +196,17 @@ void Network::on_packet_arrival(NodeId node_id, const PacketRef& packet) {
   }
   const LinkId hop = routing_.next_hop(node_id, packet->dst);
   if (hop == kInvalidLink) {
-    // Info, not warn: with fault injection a partitioned network legitimately
-    // has unroutable control traffic for the whole outage window.
-    sim::Logger::log(sim::LogLevel::kInfo, simulation_.now(), "net",
-                     "dropping unicast packet: no route from " + node.name);
+    log_no_route(node);
     return;
   }
   enqueue(hop, packet);
+}
+
+void Network::log_no_route(const Node& node) const {
+  // Info, not warn: with fault injection a partitioned network legitimately
+  // has unroutable control traffic for the whole outage window.
+  sim::Logger::log(sim::LogLevel::kInfo, simulation_.now(), "net",
+                   "dropping unicast packet: no route from " + node.name);
 }
 
 void Network::set_local_sink(NodeId node, std::function<void(const PacketRef&)> sink) {

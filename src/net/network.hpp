@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/hotpath.hpp"
 #include "core/units.hpp"
 #include "net/link.hpp"
 #include "net/packet.hpp"
@@ -102,14 +103,14 @@ class Network {
   void send_multicast(Packet packet);
 
   /// Internal: invoked by links when a packet finishes traversing them.
-  void on_packet_arrival(NodeId node, const PacketRef& packet);
+  HOT_PATH void on_packet_arrival(NodeId node, const PacketRef& packet);
 
   /// --- Datapath (internal: Link and Network cooperate through these) ------
 
   /// Offers `packet` to link `id`. The healthy cases — idle link starts
   /// transmitting; busy link queues or tail-drops — complete against the hot
   /// table alone; any other flag state detours to Link::enqueue_slow.
-  void enqueue(LinkId id, const PacketRef& packet) {
+  HOT_PATH void enqueue(LinkId id, const PacketRef& packet) {
     LinkHot& hot = link_hot_[id];
     const std::uint32_t size = packet->size_bytes;
     ++hot.enqueued_packets;
@@ -137,7 +138,7 @@ class Network {
   /// Puts `packet` on link `id`'s transmitter and schedules its completion.
   /// The transmitter must be free; shared by the fast path and Link's slow
   /// enqueue so scheduling is identical on both.
-  void start_transmission(LinkId id, const PacketRef& packet) {
+  HOT_PATH void start_transmission(LinkId id, const PacketRef& packet) {
     LinkHot& hot = link_hot_[id];
     hot.flags |= LinkHot::kTransmitting;
     hot.transmitting_bytes = packet->size_bytes;
@@ -156,7 +157,7 @@ class Network {
   /// side is bumped by exactly delivered + dropped, so the conservation
   /// invariant (enqueued == delivered + dropped + queued + transmitting)
   /// holds with the fluid backlog living outside these counters.
-  void credit_fluid_link(LinkId id, std::uint32_t gid, units::Bytes delivered_bytes,
+  HOT_PATH void credit_fluid_link(LinkId id, std::uint32_t gid, units::Bytes delivered_bytes,
                          units::PacketCount delivered_packets, units::Bytes dropped_bytes,
                          units::PacketCount dropped_packets) {
     LinkHot& hot = link_hot_[id];
@@ -254,7 +255,17 @@ class Network {
   }
 
  private:
+  HOT_PATH_EXEMPT(
+      "first-sight group interning: grows the dense id tables once per new group; every "
+      "later send takes the inline array-hit path in intern_group")
   [[nodiscard]] std::uint32_t intern_group_slow(GroupAddr group);
+
+  /// Cold diagnostic for the no-route unicast drop. Out of line so the
+  /// formatting + logging it does never sits inline in the arrival path.
+  HOT_PATH_EXEMPT(
+      "cold diagnostic: fires only for unroutable packets during partition windows; "
+      "string formatting and stderr logging are off the per-packet contract")
+  void log_no_route(const Node& node) const;
 
   /// The dense id for a multicast packet: the stamp from send_multicast, or
   /// an on-the-fly intern for packets injected below it (tests).
@@ -265,7 +276,7 @@ class Network {
 
   /// A transmission on link `id` finished: deliver or fail the packet, then
   /// pull the next one from the queue or park the transmitter idle.
-  void on_tx_complete(LinkId id, PacketRef packet);
+  HOT_PATH void on_tx_complete(LinkId id, PacketRef packet);
 
   /// Widens the per-(group,link) tables when links outgrow the row stride.
   void restride_group_tables();

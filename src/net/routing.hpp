@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/hotpath.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
@@ -91,10 +92,16 @@ class RoutingTable {
   };
 
   /// The cached row for `from`, running Dijkstra to materialize it if needed.
+  HOT_PATH_EXEMPT(
+      "lazy row materialization: the first lookup from a source runs Dijkstra once and "
+      "caches the row; the hot path takes the pointer-hit return on line one")
   [[nodiscard]] const Row& row(NodeId from) const;
 
   /// The cached destination-rooted row for sink `dst`, running reverse
   /// Dijkstra (over the lazily built reversed adjacency) if needed.
+  HOT_PATH_EXEMPT(
+      "lazy sink-row materialization: first lookup toward a sink runs one reverse "
+      "Dijkstra and caches the shared row; later lookups hit the cached pointer")
   [[nodiscard]] const SinkRow& sink_row(NodeId dst) const;
 
   std::uint32_t node_count_{0};

@@ -23,6 +23,7 @@ constexpr auto kMinFirst = [](const auto& a, const auto& b) { return b < a; };
 
 EventId Scheduler::schedule_at(Time when, Callback cb) {
   if (when < now_) {
+    // HOTPATH_ALLOW(throw-expr: scheduling into the past is a programming error; the guard costs one predicted-not-taken branch per schedule)
     throw std::invalid_argument("Scheduler::schedule_at: time is in the past");
   }
   std::uint32_t slot;
@@ -31,6 +32,7 @@ EventId Scheduler::schedule_at(Time when, Callback cb) {
     free_slots_.pop_back();
   } else {
     slot = static_cast<std::uint32_t>(slots_.size());
+    // HOTPATH_ALLOW(container-growth: slot-pool high-water growth; slots recycle through free_slots_, so steady state never reallocates)
     slots_.push_back(Slot{});
   }
   slots_[slot].cancelled = false;
@@ -73,6 +75,7 @@ bool Scheduler::resolve_entry(const Entry& entry, Callback& out, Time& when) {
     when = Time::nanoseconds(entry.when_ns);
   }
   ++slots_[slot].generation;  // invalidate outstanding handles to this event
+  // HOTPATH_ALLOW(container-growth: returns a slot to the free list; capacity is bounded by the slot pool's own high-water mark)
   free_slots_.push_back(slot);
   return !cancelled;
 }
@@ -82,6 +85,7 @@ bool Scheduler::resolve_entry(const Entry& entry, Callback& out, Time& when) {
 void Scheduler::push_entry(Entry entry) {
   ++entries_;
   if (impl_ == QueueImpl::kHeap) {
+    // HOTPATH_ALLOW(container-growth: reference heap keeps capacity across pops; appends reallocate only at a new high-water mark)
     overflow_.push_back(entry);
     std::push_heap(overflow_.begin(), overflow_.end(), kMinFirst);
     return;
@@ -98,6 +102,7 @@ void Scheduler::push_entry(Entry entry) {
     // Only reachable by external scheduling after run_until() advanced the
     // clock into a gap before the current window (never from callbacks, whose
     // now() is inside the window). Rebuild around the new minimum.
+    // HOTPATH_ALLOW(container-growth: cold re-base feeding rebuild_window; see the exemption on that function)
     overflow_.push_back(entry);
     std::push_heap(overflow_.begin(), overflow_.end(), kMinFirst);
     rebuild_window();
@@ -107,6 +112,7 @@ void Scheduler::push_entry(Entry entry) {
   if (idx < bucket_count_) {
     insert_into_bucket(entry, idx);
   } else {
+      // HOTPATH_ALLOW(container-growth: far-future park into the overflow heap; capacity persists across migrations)
       overflow_.push_back(entry);
     std::push_heap(overflow_.begin(), overflow_.end(), kMinFirst);
   }
@@ -115,21 +121,25 @@ void Scheduler::push_entry(Entry entry) {
 void Scheduler::insert_into_bucket(Entry entry, std::size_t idx) {
   Bucket& bucket = buckets_[idx];
   if (bucket.entries.empty()) {
+    // HOTPATH_ALLOW(container-growth: bucket append; bucket vectors keep their capacity across windows, so steady state is a store + length bump)
     bucket.entries.push_back(entry);
     mark_occupied(idx);
   } else if (bucket.dirty || bucket.entries.back() < entry) {
     // Append blindly: either the bucket already awaits its lazy sort, or the
     // entry extends the sorted suffix anyway.
+    // HOTPATH_ALLOW(container-growth: bucket append into retained capacity; see above)
     bucket.entries.push_back(entry);
   } else if (idx == cursor_) {
     // The bucket is draining right now — keep it sorted in place rather than
     // re-sorting the live suffix on every subsequent pop.
+    // HOTPATH_ALLOW(container-growth: ordered insert into the draining bucket; bounded by that bucket's live suffix and reuses its capacity)
     bucket.entries.insert(
         std::upper_bound(bucket.entries.begin() + static_cast<std::ptrdiff_t>(bucket.head),
                          bucket.entries.end(), entry),
         entry);
   } else {
     // Not reached yet: defer ordering to one sort when the cursor arrives.
+    // HOTPATH_ALLOW(container-growth: bucket append into retained capacity; see above)
     bucket.entries.push_back(entry);
     bucket.dirty = true;
   }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/hotpath.hpp"
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
 
@@ -135,7 +136,7 @@ class Scheduler {
   /// returns false (leaving the queue untouched) when the queue is empty or
   /// the minimum lies beyond the bound. One positioning pass — the run loop's
   /// peek-then-pop fused.
-  bool pop_min_upto(std::int64_t until_ns, Entry& out);
+  HOT_PATH bool pop_min_upto(std::int64_t until_ns, Entry& out);
   /// Releases `entry`'s slot. True when the entry was live (not cancelled);
   /// the callback and fire time are moved to `out` / `when`.
   bool resolve_entry(const Entry& entry, Callback& out, Time& when);
@@ -145,8 +146,17 @@ class Scheduler {
 
   // calendar internals
   void insert_into_bucket(Entry entry, std::size_t idx);
+  HOT_PATH_EXEMPT(
+      "window (re)anchoring: allocates the bucket array on first use and otherwise just "
+      "re-bases the window origin; runs when the calendar empties, never per event")
   void start_window(std::int64_t anchor_ns);
+  HOT_PATH_EXEMPT(
+      "amortized migration: fires once per fully-drained window to re-bucket the overflow "
+      "heap and adapt bucket geometry; its cost is spread over every pop in the window")
   void migrate_overflow();
+  HOT_PATH_EXEMPT(
+      "cold re-base: only reachable when an external schedule_at lands before the live "
+      "window, which callbacks (whose now() is inside the window) can never do")
   void rebuild_window();
   [[nodiscard]] std::size_t bucket_index(std::int64_t when_ns) const {
     return static_cast<std::size_t>((when_ns - win_start_ns_) >> shift_);

@@ -74,6 +74,7 @@ void ShardExecutor::run_claimed_shards(Time bound) {
   for (;;) {
     std::size_t index = 0;
     {
+      // HOTPATH_ALLOW(lock: shard-claim handshake — one short critical section per shard per window, never per event)
       core::LockGuard lock{mutex_};
       if (next_shard_ >= shards_.size()) return;
       index = next_shard_++;
@@ -81,7 +82,9 @@ void ShardExecutor::run_claimed_shards(Time bound) {
     try {
       shards_[index]->run_until(bound);
     } catch (...) {
+      // HOTPATH_ALLOW(lock: worker-error capture; runs only when a shard's window throws)
       core::LockGuard lock{mutex_};
+      // HOTPATH_ALLOW(container-growth: worker-error capture; runs only when a shard's window throws)
       worker_errors_.push_back(std::current_exception());
     }
   }

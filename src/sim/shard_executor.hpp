@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/hotpath.hpp"
 #include "core/mutex.hpp"
 #include "core/thread_annotations.hpp"
 #include "sim/simulation.hpp"
@@ -114,6 +115,10 @@ class ShardExecutor {
   /// If a window or the barrier throws (worker error, lookahead violation),
   /// the pool is stopped and joined before the exception propagates, so the
   /// executor is left destructible and restartable with no joinable threads.
+  HOT_PATH_EXEMPT(
+      "coordinator entry: owns per-window pool setup/teardown, not per-event work; it is "
+      "reached from the hot worker loop only through name over-approximation of "
+      "Simulation::run_until on the claimed shard")
   void run_until(Time end);
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
@@ -128,7 +133,7 @@ class ShardExecutor {
   void drain_channels(std::int64_t bound_ns);
   void stop_pool() TS_EXCLUDES(mutex_);
   void worker_loop() TS_EXCLUDES(mutex_);
-  void run_claimed_shards(Time bound) TS_EXCLUDES(mutex_);
+  HOT_PATH void run_claimed_shards(Time bound) TS_EXCLUDES(mutex_);
 
   /// --- barrier-thread state (never touched by workers) --------------------
   Config config_;

@@ -42,6 +42,11 @@ void FluidEngine::start() {
 void FluidEngine::ensure_capacity() {
   if (link_state_.size() < network_.link_count()) {
     link_state_.resize(network_.link_count());
+    // Pre-size the per-step scratch so the hot tree walks never grow it:
+    // touched_ holds at most one entry per link, and the walk stack's
+    // worst-case depth is one frame per tree edge (again bounded by links).
+    touched_.reserve(link_state_.size());
+    stack_.reserve(link_state_.size() + 1);
   }
   const std::uint32_t groups = network_.group_stats_count();
   if (cells_.size() < groups) {
@@ -54,6 +59,7 @@ void FluidEngine::touch(net::LinkId link) {
   LinkState& st = link_state_[link];
   if (st.touched) return;
   st.touched = true;
+  // HOTPATH_ALLOW(container-growth: one slot per link into capacity reserved by ensure_capacity)
   touched_.push_back(link);
   const std::uint64_t gap = steps_ - 1 - st.last_step;
   if (gap > 0 && st.last_step > 0) {
@@ -79,6 +85,7 @@ double FluidEngine::effective_rate(FluidSource& source, net::LayerId layer, sim:
 
 void FluidEngine::walk_offered(const mcast::GroupTree& tree, double rate) {
   stack_.clear();
+  // HOTPATH_ALLOW(container-growth: walk stack bounded by tree edges; capacity reserved by ensure_capacity)
   stack_.push_back({tree.source, rate});
   while (!stack_.empty()) {
     const auto [node, inflow] = stack_.back();
@@ -91,6 +98,7 @@ void FluidEngine::walk_offered(const mcast::GroupTree& tree, double rate) {
       LinkState& st = link_state_[link];
       st.offered += inflow;
       // Pass B must visit exactly this link set, so descend even at rate 0.
+      // HOTPATH_ALLOW(container-growth: walk stack bounded by tree edges; capacity reserved by ensure_capacity)
       stack_.push_back({network_.link(link).to(), inflow * (1.0 - st.loss_prev)});
     }
   }
@@ -143,6 +151,7 @@ void FluidEngine::walk_credit(const mcast::GroupTree& tree, net::GroupAddr group
                               std::uint32_t gid, double rate, double source_packet_size) {
   auto& cells = cells_[gid];
   stack_.clear();
+  // HOTPATH_ALLOW(container-growth: walk stack bounded by tree edges; capacity reserved by ensure_capacity)
   stack_.push_back({tree.source, rate});
   while (!stack_.empty()) {
     const auto [node, inflow] = stack_.back();
@@ -156,6 +165,7 @@ void FluidEngine::walk_credit(const mcast::GroupTree& tree, net::GroupAddr group
       const net::LinkId link = tree.fan_links[slot.offset + i];
       const double delivered = inflow * (1.0 - link_state_[link].loss_now);
       credit_cell(cells[link], gid, link, inflow, delivered, source_packet_size);
+      // HOTPATH_ALLOW(container-growth: walk stack bounded by tree edges; capacity reserved by ensure_capacity)
       stack_.push_back({network_.link(link).to(), delivered});
     }
   }

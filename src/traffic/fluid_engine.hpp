@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/hotpath.hpp"
 #include "core/units.hpp"
 #include "mcast/multicast_router.hpp"
 #include "net/link.hpp"
@@ -120,6 +121,9 @@ class FluidEngine {
   };
 
   void step();
+  HOT_PATH_EXEMPT(
+      "per-step capacity warm-up: resizes the link table and reserves the walk scratch "
+      "only when the topology or group count grew; a size check thereafter")
   void ensure_capacity();
   /// Marks a link as carrying fluid this step; on the first touch after an
   /// idle gap, drains the backlog for the gap at line rate and zeroes the
@@ -129,13 +133,16 @@ class FluidEngine {
   /// overlap with the source's [start, stop).
   [[nodiscard]] double effective_rate(FluidSource& source, net::LayerId layer,
                                       sim::Time t0, sim::Time t1);
-  void walk_offered(const mcast::GroupTree& tree, double rate);
-  void walk_credit(const mcast::GroupTree& tree, net::GroupAddr group, std::uint32_t gid,
-                   double rate, double source_packet_size);
+  HOT_PATH void walk_offered(const mcast::GroupTree& tree, double rate);
+  HOT_PATH void walk_credit(const mcast::GroupTree& tree, net::GroupAddr group,
+                            std::uint32_t gid, double rate, double source_packet_size);
   void credit_cell(Cell& cell, std::uint32_t gid, net::LinkId link, double inflow,
                    double delivered, double packet_size);
   void credit_member(net::GroupAddr group, std::uint32_t gid, net::NodeId node, double rate,
                      double source_rate, double packet_size);
+  HOT_PATH_EXEMPT(
+      "lazy one-shot path resolution per background flow, after routes first converge; "
+      "steps after that reuse flow.path_links")
   void resolve_background(BackgroundFlow& flow);
 
   sim::Simulation& simulation_;

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Root-coverage test: every HOT_PATH root carries weight.
+
+Runs the analyzer over the real src/ tree with --reachable, parses the roots
+out of the report, then re-runs once per root with --drop-root and asserts
+the reachable-set report changes and the root count drops by one. A root
+whose removal leaves the report untouched would mean the annotation proves
+nothing (its cone is fully shadowed), so this doubles as a guard against
+dead annotations accumulating.
+
+Usage: check_drop_root.py <toposense_hotpath> <repo_root>
+"""
+
+import os
+import subprocess
+import sys
+
+
+def reachable_report(tool, repo, extra=()):
+    proc = subprocess.run(
+        [tool, "--reachable", *extra, "src"],
+        capture_output=True,
+        text=True,
+        check=False,
+        cwd=repo,
+    )
+    if proc.returncode != 0:
+        print("analyzer found unexpected findings:", proc.stdout, proc.stderr)
+        sys.exit(1)
+    return proc.stdout
+
+
+def main():
+    tool, repo = sys.argv[1], sys.argv[2]
+    baseline = reachable_report(tool, repo)
+    roots = [
+        line.split("root ", 1)[1].strip()
+        for line in baseline.splitlines()
+        if line.startswith("root ")
+    ]
+    if len(roots) < 5:
+        print(f"expected the annotated root set, found {len(roots)}: {roots}")
+        return 1
+
+    failures = []
+    for root in roots:
+        dropped = reachable_report(tool, repo, ("--drop-root", root))
+        if dropped == baseline:
+            failures.append(root)
+            continue
+        remaining = sum(1 for l in dropped.splitlines() if l.startswith("root "))
+        if remaining != len(roots) - 1:
+            print(f"--drop-root {root}: expected {len(roots) - 1} roots, got {remaining}")
+            return 1
+    if failures:
+        print("dropping these roots did not change the reachable report:")
+        for root in failures:
+            print("  ", root)
+        return 1
+    print(f"all {len(roots)} roots individually change the reachable-set report")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+#include "shared.hpp"
+
+namespace fx {
+
+void Root::run(int v) {
+  Worker worker;
+  worker.spin(v);
+}
+
+}  // namespace fx

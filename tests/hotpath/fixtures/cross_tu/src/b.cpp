@@ -1,0 +1,10 @@
+#include "shared.hpp"
+
+namespace fx {
+
+void Worker::spin(int v) {
+  int* scratch = new int{v};
+  (void)scratch;
+}
+
+}  // namespace fx

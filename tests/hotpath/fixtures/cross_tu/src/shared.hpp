@@ -1,0 +1,19 @@
+// Fixture header: carries the HOT_PATH root annotation on a declaration whose
+// definition lives in a.cpp, while the violating callee is defined in b.cpp —
+// the finding only exists if the two-pass link merges annotations and call
+// edges across TU summaries.
+#pragma once
+
+#include "core/hotpath.hpp"
+
+namespace fx {
+
+struct Root {
+  HOT_PATH void run(int v);
+};
+
+struct Worker {
+  void spin(int v);
+};
+
+}  // namespace fx

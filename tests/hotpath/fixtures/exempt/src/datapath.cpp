@@ -1,0 +1,43 @@
+// Fixture: the same effect shapes as rules/, every one either behind a
+// HOT_PATH_EXEMPT boundary with a reason or under a reasoned HOTPATH_ALLOW
+// grant. The analyzer must come back clean: exemptions stop the walk, grants
+// cover their line, and both carry the required why.
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "core/hotpath.hpp"
+
+namespace fx {
+
+struct Engine {
+  std::vector<int> items;
+  std::mutex m;
+
+  HOT_PATH void tick(int v);
+  // The exempt boundary: nothing inside is classified or descended into.
+  HOT_PATH_EXEMPT(
+      "cold setup path: runs once per reconfiguration to size the pools and "
+      "log the change, never per event")
+  void reconfigure(int v);
+  void granted_helper(int v);
+};
+
+void Engine::tick(int v) {
+  granted_helper(v);
+  if (v < 0) reconfigure(v);
+}
+
+void Engine::reconfigure(int v) {
+  m.lock();
+  items.resize(static_cast<std::size_t>(v < 0 ? -v : v));
+  std::fprintf(stderr, "resized\n");
+  m.unlock();
+}
+
+void Engine::granted_helper(int v) {
+  // HOTPATH_ALLOW(container-growth: append into capacity the owner reserved at topology build)
+  items.push_back(v);
+}
+
+}  // namespace fx

@@ -1,0 +1,69 @@
+// Fixture: every gating hot-path rule fires exactly once in this TU. The
+// fixture test asserts the exact total, so keep the counts in sync with
+// tests/hotpath/CMakeLists.txt if you edit it:
+//   heap-alloc, container-growth, lock, io, throw-expr,
+//   nondeterministic-source — one op each, all reachable from the one root —
+//   plus one exempt-without-reason and one allow-without-reason audit
+//   finding.
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hotpath.hpp"
+
+namespace fx {
+
+struct Engine {
+  std::vector<int> items;
+  std::mutex m;
+
+  HOT_PATH void tick(int v);
+  void alloc_helper();
+  void grow_helper(int v);
+  void lock_helper();
+  void log_helper();
+  void throw_helper(int v);
+  void seed_helper();
+  void granted_helper(int v);
+  // An empty reason is an audit finding: the annotation demands the why.
+  HOT_PATH_EXEMPT("") void cold_unjustified();
+};
+
+void Engine::tick(int v) {
+  alloc_helper();
+  grow_helper(v);
+  lock_helper();
+  log_helper();
+  throw_helper(v);
+  seed_helper();
+  granted_helper(v);
+  cold_unjustified();
+}
+
+void Engine::alloc_helper() {
+  int* scratch = new int{7};
+  (void)scratch;
+}
+
+void Engine::grow_helper(int v) { items.push_back(v); }
+
+void Engine::lock_helper() { m.lock(); }
+
+void Engine::log_helper() { std::fprintf(stderr, "tick\n"); }
+
+void Engine::throw_helper(int v) {
+  if (v < 0) throw std::invalid_argument{"negative"};
+}
+
+void Engine::seed_helper() { std::srand(42); }
+
+void Engine::granted_helper(int v) {
+  // HOTPATH_ALLOW(container-growth)
+  items.emplace_back(v);
+}
+
+void Engine::cold_unjustified() {}
+
+}  // namespace fx

@@ -1,0 +1,28 @@
+// Fixture: indirect-call frontier reporting. The root dispatches through a
+// pure-virtual interface with no definition in the scanned set and through a
+// std::function member — both are honest blind spots the analyzer must
+// surface as informational notes (never gate), while the TU stays clean.
+#include <functional>
+
+#include "core/hotpath.hpp"
+
+namespace fx {
+
+struct Handler {
+  virtual ~Handler() = default;
+  virtual void on_event(int v) = 0;
+};
+
+struct Dispatcher {
+  Handler* handler{nullptr};
+  std::function<void(int)> tap;
+
+  HOT_PATH void dispatch(int v);
+};
+
+void Dispatcher::dispatch(int v) {
+  handler->on_event(v);
+  tap(v);
+}
+
+}  // namespace fx

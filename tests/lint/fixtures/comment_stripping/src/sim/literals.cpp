@@ -1,0 +1,44 @@
+// Fixture: comment/string stripping regressions in the lint engine. Exactly
+// three nondeterministic-source findings fire here — one after each literal
+// form that once confused strip_comments. The fixture test asserts the exact
+// total, so a stripping regression fails in either direction:
+//   - leaked raw-string contents ADD findings (the literals below spell out
+//     clock and rand calls as prose), or
+//   - a re-broken parse (swallowing the rest of the line/file after a
+//     literal) DROPS the real findings that follow each one.
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+// Raw string literal: everything between R"( and )" is data. The clock call
+// inside it must be ignored; the one after it must be seen.
+std::string raw_literal_hides_content() {
+  const std::string doc = R"(prose: call std::chrono::steady_clock::now() and rand())";
+  const auto now = std::chrono::steady_clock::now();
+  return doc + std::to_string(now.time_since_epoch().count());
+}
+
+// Multi-line raw string with a custom delimiter: the only terminator is the
+// exact )doc" sequence two lines down, so both code-shaped lines inside are
+// literal text. The rand() after it is real.
+std::string raw_literal_multiline() {
+  const std::string doc = R"doc(
+    const auto t = std::chrono::steady_clock::now();
+    srand(42);
+  )doc";
+  const int draw = rand();
+  return doc + std::to_string(draw);
+}
+
+// C++14 digit separator: the apostrophe in 32'000.0 is not a char-literal
+// opener. Mis-lexing it once swallowed the rest of the line — including the
+// closing brace of a braced initializer — and desynced every later line.
+double digit_separator_not_char_literal() {
+  const double base{32'000.0};
+  const auto now = std::chrono::steady_clock::now();
+  return base + static_cast<double>(now.time_since_epoch().count());
+}
+
+}  // namespace fixture

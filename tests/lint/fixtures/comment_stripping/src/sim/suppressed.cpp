@@ -1,0 +1,22 @@
+// Fixture: the same post-literal findings as literals.cpp, each suppressed
+// with NOLINT — stripping must leave suppression markers (which live in
+// comments) working. Zero findings expected from this file.
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+std::string raw_literal_suppressed() {
+  const std::string doc = R"(prose: std::chrono::steady_clock::now())";
+  const auto now = std::chrono::steady_clock::now();  // NOLINT(nondeterministic-source)
+  return doc + std::to_string(now.time_since_epoch().count());
+}
+
+double digit_separator_suppressed() {
+  const double base{64'000.0};
+  const int draw = rand();  // NOLINT(nondeterministic-source)
+  return base + static_cast<double>(draw);
+}
+
+}  // namespace fixture

@@ -1,0 +1,514 @@
+// Link pass — merges per-TU summaries into a whole-program call graph, walks
+// reachability from every HOT_PATH root, and classifies the operations inside
+// reached functions against the purity rule catalogue.
+//
+// Resolution policy (sound over-approximation): a call edge is added to EVERY
+// definition sharing the callee's name — virtual dispatch and overloads all
+// stay inside the walked cone. A qualified call (`Q::f`) resolves only
+// against `...Q::f` suffixes so `steady_clock::now()` cannot hide behind an
+// unrelated project `now()`. Calls that resolve nowhere are classified
+// against the primitive tables; member/indirect calls that are neither
+// resolvable nor classifiable surface as informational `unresolved-call`
+// notes at the graph frontier.
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace hotpath {
+
+namespace {
+
+std::string last_component(const std::string& qname) {
+  const std::size_t pos = qname.rfind("::");
+  return pos == std::string::npos ? qname : qname.substr(pos + 2);
+}
+
+bool ends_with_component(const std::string& qname, const std::string& suffix) {
+  if (qname == suffix) return true;
+  if (qname.size() <= suffix.size() + 2) return false;
+  return qname.compare(qname.size() - suffix.size(), suffix.size(), suffix) == 0 &&
+         qname.compare(qname.size() - suffix.size() - 2, 2, "::") == 0;
+}
+
+/// Calls whose names imply an effect when they resolve to no project
+/// definition. Keyed name -> rule id.
+const std::map<std::string, std::string>& call_rules() {
+  static const std::map<std::string, std::string> kRules{
+      // heap-alloc: the malloc family plus std allocation helpers.
+      {"malloc", "heap-alloc"},
+      {"calloc", "heap-alloc"},
+      {"realloc", "heap-alloc"},
+      {"free", "heap-alloc"},
+      {"strdup", "heap-alloc"},
+      {"aligned_alloc", "heap-alloc"},
+      {"posix_memalign", "heap-alloc"},
+      {"make_unique", "heap-alloc"},
+      {"make_shared", "heap-alloc"},
+      {"allocate", "heap-alloc"},
+      {"deallocate", "heap-alloc"},
+      {"to_string", "heap-alloc"},
+      {"substr", "heap-alloc"},
+      // container-growth: calls that may reallocate or rehash.
+      {"push_back", "container-growth"},
+      {"emplace_back", "container-growth"},
+      {"push_front", "container-growth"},
+      {"emplace_front", "container-growth"},
+      {"insert", "container-growth"},
+      {"emplace", "container-growth"},
+      {"emplace_hint", "container-growth"},
+      {"resize", "container-growth"},
+      {"reserve", "container-growth"},
+      {"assign", "container-growth"},
+      {"append", "container-growth"},
+      {"shrink_to_fit", "container-growth"},
+      {"rehash", "container-growth"},
+      // lock: acquisition and CV traffic.
+      {"lock", "lock"},
+      {"unlock", "lock"},
+      {"try_lock", "lock"},
+      {"wait", "lock"},
+      {"wait_for", "lock"},
+      {"wait_until", "lock"},
+      {"notify_one", "lock"},
+      {"notify_all", "lock"},
+      // io: stdio, streams, process control.
+      {"printf", "io"},
+      {"fprintf", "io"},
+      {"sprintf", "io"},
+      {"snprintf", "io"},
+      {"vsnprintf", "io"},
+      {"puts", "io"},
+      {"fputs", "io"},
+      {"fputc", "io"},
+      {"putchar", "io"},
+      {"fwrite", "io"},
+      {"fread", "io"},
+      {"fopen", "io"},
+      {"fclose", "io"},
+      {"fflush", "io"},
+      {"fgets", "io"},
+      {"getline", "io"},
+      {"perror", "io"},
+      {"syslog", "io"},
+      {"system", "io"},
+      // throw-expr companions.
+      {"rethrow_exception", "throw-expr"},
+      {"throw_with_nested", "throw-expr"},
+      // nondeterministic-source: ambient clocks/entropy (the deterministic
+      // sim::Rng / simulation.now() resolve to project definitions instead).
+      {"rand", "nondeterministic-source"},
+      {"srand", "nondeterministic-source"},
+      {"drand48", "nondeterministic-source"},
+      {"lrand48", "nondeterministic-source"},
+      {"random", "nondeterministic-source"},
+      {"time", "nondeterministic-source"},
+      {"gettimeofday", "nondeterministic-source"},
+      {"clock_gettime", "nondeterministic-source"},
+      {"getenv", "nondeterministic-source"},
+  };
+  return kRules;
+}
+
+/// Presence-implies-effect tokens (scoped-lock constructions, stream
+/// objects, ambient clock types) — matched without call syntax.
+const std::map<std::string, std::string>& token_rules() {
+  static const std::map<std::string, std::string> kRules{
+      {"LockGuard", "lock"},
+      {"UniqueLock", "lock"},
+      {"lock_guard", "lock"},
+      {"unique_lock", "lock"},
+      {"scoped_lock", "lock"},
+      {"shared_lock", "lock"},
+      {"condition_variable", "lock"},
+      {"ConditionVariable", "lock"},
+      {"cout", "io"},
+      {"cerr", "io"},
+      {"clog", "io"},
+      {"ifstream", "io"},
+      {"ofstream", "io"},
+      {"fstream", "io"},
+      {"stringstream", "io"},
+      {"ostringstream", "io"},
+      {"istringstream", "io"},
+      {"random_device", "nondeterministic-source"},
+      {"steady_clock", "nondeterministic-source"},
+      {"system_clock", "nondeterministic-source"},
+      {"high_resolution_clock", "nondeterministic-source"},
+  };
+  return kRules;
+}
+
+/// std members that neither allocate nor block — unresolved member calls to
+/// these are not frontier-worthy.
+const std::set<std::string>& benign_members() {
+  static const std::set<std::string> kBenign{
+      "begin",     "end",       "cbegin",     "cend",       "rbegin",     "rend",
+      "size",      "empty",     "clear",      "front",      "back",       "data",
+      "at",        "count",     "find",       "contains",   "lower_bound", "upper_bound",
+      "equal_range", "top",     "pop",        "pop_back",   "pop_front",  "erase",
+      "c_str",     "length",    "capacity",   "compare",    "starts_with", "ends_with",
+      "fill",      "swap",      "get",        "release",    "reset",      "value",
+      "has_value", "value_or",  "load",       "store",      "exchange",   "fetch_add",
+      "fetch_sub", "compare_exchange_weak",   "compare_exchange_strong",  "test_and_set",
+      "min",       "max",       "first",      "second",     "native_handle",
+  };
+  return kBenign;
+}
+
+struct Node {
+  FunctionInfo info;       ///< merged across declarations and definitions
+  bool has_definition{false};
+};
+
+struct Graph {
+  std::map<std::string, Node> nodes;                       ///< by qname
+  std::map<std::string, std::vector<std::string>> by_name; ///< last component -> qnames (defs)
+  std::set<std::string> virtual_methods;
+  std::set<std::string> callable_members;
+};
+
+Graph build_graph(const std::vector<TuSummary>& summaries) {
+  Graph graph;
+  for (const TuSummary& tu : summaries) {
+    graph.virtual_methods.insert(tu.virtual_methods.begin(), tu.virtual_methods.end());
+    graph.callable_members.insert(tu.callable_members.begin(), tu.callable_members.end());
+    for (const FunctionInfo& fn : tu.functions) {
+      Node& node = graph.nodes[fn.qname];
+      if (node.info.qname.empty()) {
+        node.info = fn;
+      } else {
+        node.info.hot = node.info.hot || fn.hot;
+        node.info.exempt = node.info.exempt || fn.exempt;
+        if (node.info.exempt_reason.empty()) node.info.exempt_reason = fn.exempt_reason;
+        if (fn.is_definition && !node.info.is_definition) {
+          node.info.file = fn.file;
+          node.info.line = fn.line;
+          node.info.is_definition = true;
+        }
+        node.info.ops.insert(node.info.ops.end(), fn.ops.begin(), fn.ops.end());
+      }
+      node.has_definition = node.has_definition || fn.is_definition;
+    }
+  }
+  for (const auto& [qname, node] : graph.nodes) {
+    if (node.has_definition) graph.by_name[last_component(qname)].push_back(qname);
+  }
+  return graph;
+}
+
+/// Definitions a call may dispatch to. Qualified calls only match
+/// `...Q::name` suffixes; everything else matches by name.
+std::vector<std::string> resolve(const Graph& graph, const Op& op) {
+  const auto it = graph.by_name.find(op.name);
+  if (it == graph.by_name.end()) return {};
+  if (op.scoped && !op.qualifier.empty()) {
+    std::vector<std::string> exact;
+    const std::string suffix = op.qualifier + "::" + op.name;
+    for (const std::string& qname : it->second) {
+      if (ends_with_component(qname, suffix)) exact.push_back(qname);
+    }
+    return exact;  // empty on purpose when the qualifier matches nothing
+  }
+  return it->second;
+}
+
+bool allow_covers(const Op& op, const std::string& rule) {
+  for (const std::string& granted : op.allowed_rules) {
+    if (granted == "*" || granted == rule) return true;
+  }
+  return false;
+}
+
+std::string describe_op(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kNew: return "`new` expression";
+    case OpKind::kDelete: return "`delete` expression";
+    case OpKind::kThrow: return "`throw` expression";
+    case OpKind::kToken: return "`" + op.name + "`";
+    case OpKind::kCall: break;
+  }
+  std::string label;
+  if (!op.qualifier.empty()) label = op.qualifier + "::";
+  return "call `" + label + op.name + "(...)`";
+}
+
+class Analyzer {
+ public:
+  Analyzer(const std::vector<TuSummary>& summaries, const AnalyzeOptions& options)
+      : graph_{build_graph(summaries)}, options_{options} {}
+
+  AnalyzeResult run() {
+    collect_roots();
+    walk_all();
+    audit_exempt_reasons();
+    build_report();
+    sort_findings(result_.findings);
+    sort_findings(result_.notes);
+    result_.root_count = roots_.size();
+    result_.reached_count = reached_.size();
+    return std::move(result_);
+  }
+
+ private:
+  static bool dropped(const AnalyzeOptions& options, const std::string& qname) {
+    for (const std::string& drop : options.drop_roots) {
+      if (qname == drop || last_component(qname) == drop || ends_with_component(qname, drop)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void collect_roots() {
+    for (const auto& [qname, node] : graph_.nodes) {
+      if (node.info.hot && !dropped(options_, qname)) roots_.push_back(qname);
+    }
+  }
+
+  /// Global walk: every reached function's ops are classified exactly once,
+  /// attributed to the first root (in sorted order) that reaches it.
+  void walk_all() {
+    for (const std::string& root : roots_) {
+      std::deque<std::string> queue{root};
+      if (reached_.emplace(root, Origin{root, {}}).second) {
+        while (!queue.empty()) {
+          const std::string current = queue.front();
+          queue.pop_front();
+          visit(current, queue);
+        }
+      } else {
+        // Root already inside another root's cone: still walk its own cone
+        // for the per-root report, but ops were classified already.
+      }
+      per_root_[root] = cone_of(root);
+    }
+  }
+
+  struct Origin {
+    std::string root;
+    std::string parent;  ///< empty for roots
+  };
+
+  void visit(const std::string& qname, std::deque<std::string>& queue) {
+    const Node& node = graph_.nodes.at(qname);
+    if (node.info.exempt) return;  // audited boundary: do not classify or descend
+    for (const Op& op : node.info.ops) {
+      classify(qname, op, &queue);
+    }
+  }
+
+  void classify(const std::string& qname, const Op& op, std::deque<std::string>* queue) {
+    if (op.allow_missing_reason) {
+      add_finding(op, "allow-without-reason",
+                  "HOTPATH_ALLOW grant without a reason string in " + qname +
+                      " — every grant must say why the operation is safe");
+      return;
+    }
+    if (op.kind == OpKind::kCall) {
+      const std::vector<std::string> targets = resolve(graph_, op);
+      if (!targets.empty()) {
+        for (const std::string& target : targets) {
+          if (queue != nullptr && reached_.emplace(target, Origin{reached_.at(qname).root, qname}).second) {
+            queue->push_back(target);
+          }
+        }
+        return;
+      }
+    }
+    const std::string rule = rule_for(op);
+    if (!rule.empty()) {
+      if (allow_covers(op, rule)) return;  // audited line-level grant
+      add_finding(op, rule,
+                  describe_op(op) + " in " + qname + " — " + rule_blurb(rule) + chain_of(qname));
+      return;
+    }
+    frontier_note(qname, op);
+  }
+
+  [[nodiscard]] std::string rule_for(const Op& op) const {
+    switch (op.kind) {
+      case OpKind::kNew:
+      case OpKind::kDelete: return "heap-alloc";
+      case OpKind::kThrow: return "throw-expr";
+      case OpKind::kToken: {
+        const auto it = token_rules().find(op.name);
+        return it == token_rules().end() ? std::string{} : it->second;
+      }
+      case OpKind::kCall: break;
+    }
+    if (op.scoped && op.name == "now") return "nondeterministic-source";
+    // `time(...)` as a member call is a project accessor, not ::time(2).
+    if (op.member && op.name == "time") return {};
+    const auto it = call_rules().find(op.name);
+    return it == call_rules().end() ? std::string{} : it->second;
+  }
+
+  void frontier_note(const std::string& qname, const Op& op) {
+    if (op.kind != OpKind::kCall) return;
+    if (!op.member && graph_.callable_members.count(op.name) == 0) return;
+    if (benign_members().count(op.name) != 0) return;
+    std::string detail = "unresolved call";
+    if (graph_.virtual_methods.count(op.name) != 0) detail = "virtual call with no visible override";
+    if (graph_.callable_members.count(op.name) != 0) detail = "indirect call through std::function";
+    add_note(op, "unresolved-call",
+             describe_op(op) + " in " + qname + " — " + detail +
+                 "; the walk cannot see past this frontier" + chain_of(qname));
+  }
+
+  [[nodiscard]] std::string rule_blurb(const std::string& rule) const {
+    for (const auto& [id, description] : rule_catalogue()) {
+      if (id == rule) return description;
+    }
+    return rule;
+  }
+
+  [[nodiscard]] std::string chain_of(const std::string& qname) const {
+    std::vector<std::string> chain;
+    std::string current = qname;
+    while (true) {
+      chain.push_back(current);
+      const auto it = reached_.find(current);
+      if (it == reached_.end() || it->second.parent.empty()) break;
+      current = it->second.parent;
+    }
+    std::string out = " [reachable: ";
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (it != chain.rbegin()) out += " -> ";
+      out += *it;
+    }
+    out += "]";
+    return out;
+  }
+
+  void add_finding(const Op& op, const std::string& rule, const std::string& message) {
+    lint::Finding f;
+    f.file = op.file;
+    f.line = op.line;
+    f.check = "hotpath";
+    f.rule = rule;
+    f.message = message;
+    f.text = op.text;
+    result_.findings.push_back(std::move(f));
+  }
+
+  void add_note(const Op& op, const std::string& rule, const std::string& message) {
+    lint::Finding f;
+    f.file = op.file;
+    f.line = op.line;
+    f.check = "hotpath";
+    f.rule = rule;
+    f.message = message;
+    f.text = op.text;
+    result_.notes.push_back(std::move(f));
+  }
+
+  void audit_exempt_reasons() {
+    for (const auto& [qname, node] : graph_.nodes) {
+      if (!node.info.exempt || !node.info.exempt_reason.empty()) continue;
+      lint::Finding f;
+      f.file = node.info.file;
+      f.line = node.info.line;
+      f.check = "hotpath";
+      f.rule = "exempt-without-reason";
+      f.message = "HOT_PATH_EXEMPT on " + qname +
+                  " carries no reason string — audited cold branches must say why";
+      f.text = qname;
+      result_.findings.push_back(std::move(f));
+    }
+  }
+
+  /// Per-root cone for the reachable-set report (independent BFS so the
+  /// report shows each root's full cone even where cones overlap).
+  [[nodiscard]] std::pair<std::set<std::string>, std::set<std::string>> cone_of(
+      const std::string& root) const {
+    std::set<std::string> reached;
+    std::set<std::string> boundaries;
+    std::deque<std::string> queue{root};
+    reached.insert(root);
+    while (!queue.empty()) {
+      const std::string current = queue.front();
+      queue.pop_front();
+      const Node& node = graph_.nodes.at(current);
+      if (node.info.exempt) {
+        boundaries.insert(current);
+        continue;
+      }
+      for (const Op& op : node.info.ops) {
+        if (op.kind != OpKind::kCall) continue;
+        for (const std::string& target : resolve(graph_, op)) {
+          if (reached.insert(target).second) queue.push_back(target);
+        }
+      }
+    }
+    for (const std::string& b : boundaries) reached.erase(b);
+    return {reached, boundaries};
+  }
+
+  void build_report() {
+    std::string& out = result_.reachable_report;
+    out += "hot-path reachable-set report: " + std::to_string(roots_.size()) + " root(s)\n";
+    for (const std::string& root : roots_) {
+      const auto& [cone, boundaries] = per_root_.at(root);
+      out += "root " + root + "\n";
+      out += "  reaches " + std::to_string(cone.size()) + " function(s):\n";
+      for (const std::string& fn : cone) out += "    " + fn + "\n";
+      out += "  exempt boundaries (" + std::to_string(boundaries.size()) + "):\n";
+      for (const std::string& fn : boundaries) {
+        out += "    " + fn + " (" + graph_.nodes.at(fn).info.exempt_reason + ")\n";
+      }
+    }
+  }
+
+  static void sort_findings(std::vector<lint::Finding>& findings) {
+    std::sort(findings.begin(), findings.end(),
+              [](const lint::Finding& a, const lint::Finding& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                if (a.rule != b.rule) return a.rule < b.rule;
+                return a.message < b.message;
+              });
+    // Multiple ops on one line (one HOTPATH_ALLOW marker covers all of them)
+    // can produce identical findings; report each site once.
+    findings.erase(std::unique(findings.begin(), findings.end(),
+                               [](const lint::Finding& a, const lint::Finding& b) {
+                                 return a.file == b.file && a.line == b.line &&
+                                        a.rule == b.rule && a.message == b.message;
+                               }),
+                   findings.end());
+  }
+
+  Graph graph_;
+  AnalyzeOptions options_;
+  AnalyzeResult result_;
+  std::vector<std::string> roots_;  ///< sorted (map iteration order)
+  std::map<std::string, Origin> reached_;
+  std::map<std::string, std::pair<std::set<std::string>, std::set<std::string>>> per_root_;
+};
+
+}  // namespace
+
+const std::vector<std::pair<std::string, std::string>>& rule_catalogue() {
+  static const std::vector<std::pair<std::string, std::string>> kCatalogue{
+      {"heap-alloc", "heap allocation (new/delete, malloc family, allocating std helpers)"},
+      {"container-growth", "container call that may reallocate or rehash"},
+      {"lock", "mutex/CV acquisition or scoped-lock construction"},
+      {"io", "I/O, logging, or formatting-stream traffic"},
+      {"throw-expr", "throw expression or rethrow helper"},
+      {"nondeterministic-source", "wall-clock or ambient-entropy source"},
+      {"exempt-without-reason", "HOT_PATH_EXEMPT with no reason string"},
+      {"allow-without-reason", "HOTPATH_ALLOW grant with no reason string"},
+      {"unresolved-call", "informational: call the graph walk cannot resolve"},
+  };
+  return kCatalogue;
+}
+
+AnalyzeResult analyze(const std::vector<TuSummary>& summaries, const AnalyzeOptions& options) {
+  return Analyzer{summaries, options}.run();
+}
+
+}  // namespace hotpath

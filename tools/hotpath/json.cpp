@@ -1,0 +1,395 @@
+// JSON (de)serialization of TU summaries — the contract between the
+// summarize and link passes — plus the compile_commands.json reader. The
+// parser is a minimal recursive-descent JSON reader covering exactly what
+// those two formats need (objects, arrays, strings, integers, booleans).
+#include <cctype>
+#include <cstddef>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace hotpath {
+
+namespace {
+
+// --- writing ---------------------------------------------------------------
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCall: return "call";
+    case OpKind::kToken: return "token";
+    case OpKind::kNew: return "new";
+    case OpKind::kDelete: return "delete";
+    case OpKind::kThrow: return "throw";
+  }
+  return "call";
+}
+
+OpKind kind_from_name(const std::string& name) {
+  if (name == "token") return OpKind::kToken;
+  if (name == "new") return OpKind::kNew;
+  if (name == "delete") return OpKind::kDelete;
+  if (name == "throw") return OpKind::kThrow;
+  return OpKind::kCall;
+}
+
+void write_string_array(std::string& out, const char* key, const std::vector<std::string>& values) {
+  out += '"';
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += escape(values[i]);
+    out += '"';
+  }
+  out += ']';
+}
+
+void write_op(std::string& out, const Op& op) {
+  out += "{\"kind\":\"";
+  out += kind_name(op.kind);
+  out += "\",\"name\":\"";
+  out += escape(op.name);
+  out += "\",\"qual\":\"";
+  out += escape(op.qualifier);
+  out += "\",\"member\":";
+  out += op.member ? "true" : "false";
+  out += ",\"scoped\":";
+  out += op.scoped ? "true" : "false";
+  out += ",\"file\":\"";
+  out += escape(op.file);
+  out += "\",\"line\":";
+  out += std::to_string(op.line);
+  out += ",\"text\":\"";
+  out += escape(op.text);
+  out += "\",";
+  write_string_array(out, "allow", op.allowed_rules);
+  out += ",\"allow_reason\":\"";
+  out += escape(op.allow_reason);
+  out += "\",\"allow_missing\":";
+  out += op.allow_missing_reason ? "true" : "false";
+  out += '}';
+}
+
+void write_function(std::string& out, const FunctionInfo& fn) {
+  out += "{\"qname\":\"";
+  out += escape(fn.qname);
+  out += "\",\"file\":\"";
+  out += escape(fn.file);
+  out += "\",\"line\":";
+  out += std::to_string(fn.line);
+  out += ",\"def\":";
+  out += fn.is_definition ? "true" : "false";
+  out += ",\"hot\":";
+  out += fn.hot ? "true" : "false";
+  out += ",\"exempt\":";
+  out += fn.exempt ? "true" : "false";
+  out += ",\"exempt_reason\":\"";
+  out += escape(fn.exempt_reason);
+  out += "\",\"ops\":[";
+  for (std::size_t i = 0; i < fn.ops.size(); ++i) {
+    if (i > 0) out += ',';
+    write_op(out, fn.ops[i]);
+  }
+  out += "]}";
+}
+
+// --- reading ---------------------------------------------------------------
+
+struct Value {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject } type{kNull};
+  bool boolean{false};
+  double number{0};
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    static const Value kEmpty{};
+    const auto it = object.find(key);
+    return it == object.end() ? kEmpty : it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_{text} {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  Value value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  Value object() {
+    Value v;
+    v.type = Value::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      Value key = string_value();
+      expect(':');
+      v.object.emplace(std::move(key.string), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    Value v;
+    v.type = Value::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value string_value() {
+    Value v;
+    v.type = Value::kString;
+    expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        v.string += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.string += '"'; break;
+        case '\\': v.string += '\\'; break;
+        case '/': v.string += '/'; break;
+        case 'n': v.string += '\n'; break;
+        case 'r': v.string += '\r'; break;
+        case 't': v.string += '\t'; break;
+        case 'b': v.string += '\b'; break;
+        case 'f': v.string += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          const unsigned code = static_cast<unsigned>(std::stoul(hex, nullptr, 16));
+          // Summaries only escape control characters; anything else is kept
+          // as a replacement byte rather than full UTF-8 encoding.
+          v.string += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return v;
+  }
+
+  Value boolean() {
+    Value v;
+    v.type = Value::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  Value null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return Value{};
+  }
+
+  Value number() {
+    Value v;
+    v.type = Value::kNumber;
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) != 0 || text_[end] == '-' ||
+            text_[end] == '+' || text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) fail("expected value");
+    v.number = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_{0};
+};
+
+std::vector<std::string> string_array(const Value& v) {
+  std::vector<std::string> out;
+  out.reserve(v.array.size());
+  for (const Value& item : v.array) out.push_back(item.string);
+  return out;
+}
+
+Op op_from_value(const Value& v) {
+  Op op;
+  op.kind = kind_from_name(v.at("kind").string);
+  op.name = v.at("name").string;
+  op.qualifier = v.at("qual").string;
+  op.member = v.at("member").boolean;
+  op.scoped = v.at("scoped").boolean;
+  op.file = v.at("file").string;
+  op.line = static_cast<std::size_t>(v.at("line").number);
+  op.text = v.at("text").string;
+  op.allowed_rules = string_array(v.at("allow"));
+  op.allow_reason = v.at("allow_reason").string;
+  op.allow_missing_reason = v.at("allow_missing").boolean;
+  return op;
+}
+
+FunctionInfo function_from_value(const Value& v) {
+  FunctionInfo fn;
+  fn.qname = v.at("qname").string;
+  fn.file = v.at("file").string;
+  fn.line = static_cast<std::size_t>(v.at("line").number);
+  fn.is_definition = v.at("def").boolean;
+  fn.hot = v.at("hot").boolean;
+  fn.exempt = v.at("exempt").boolean;
+  fn.exempt_reason = v.at("exempt_reason").string;
+  for (const Value& op : v.at("ops").array) fn.ops.push_back(op_from_value(op));
+  return fn;
+}
+
+}  // namespace
+
+std::string summaries_to_json(const std::vector<TuSummary>& summaries) {
+  std::string out;
+  out += "[";
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const TuSummary& tu = summaries[i];
+    if (i > 0) out += ',';
+    out += "\n{\"file\":\"";
+    out += escape(tu.file);
+    out += "\",";
+    write_string_array(out, "virtual_methods", tu.virtual_methods);
+    out += ',';
+    write_string_array(out, "callable_members", tu.callable_members);
+    out += ",\"functions\":[";
+    for (std::size_t j = 0; j < tu.functions.size(); ++j) {
+      if (j > 0) out += ',';
+      out += '\n';
+      write_function(out, tu.functions[j]);
+    }
+    out += "]}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::vector<TuSummary> summaries_from_json(const std::string& json) {
+  const Value root = Parser{json}.parse();
+  if (root.type != Value::kArray) throw std::runtime_error("summary JSON: expected array");
+  std::vector<TuSummary> out;
+  out.reserve(root.array.size());
+  for (const Value& tu : root.array) {
+    TuSummary summary;
+    summary.file = tu.at("file").string;
+    summary.virtual_methods = string_array(tu.at("virtual_methods"));
+    summary.callable_members = string_array(tu.at("callable_members"));
+    for (const Value& fn : tu.at("functions").array) {
+      summary.functions.push_back(function_from_value(fn));
+    }
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+std::vector<std::string> compile_commands_files(const std::string& json) {
+  const Value root = Parser{json}.parse();
+  std::vector<std::string> files;
+  files.reserve(root.array.size());
+  for (const Value& entry : root.array) {
+    const Value& file = entry.at("file");
+    if (file.type == Value::kString && !file.string.empty()) files.push_back(file.string);
+  }
+  return files;
+}
+
+}  // namespace hotpath

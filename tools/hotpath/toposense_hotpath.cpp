@@ -1,0 +1,245 @@
+// toposense_hotpath — hot-path purity analyzer for the TopoSense simulator.
+// Proves the event datapath reachable from HOT_PATH roots stays allocation-,
+// lock-, I/O-, throw-, and wall-clock-free. See docs/static-analysis.md
+// ("Hot-path purity analyzer") for the rule catalogue and workflow.
+//
+// Usage:
+//   toposense_hotpath [options] <file-or-dir>...
+//     --summarize --out FILE   summarize pass only: write per-TU JSON summaries
+//     --summaries FILE         link pre-built summaries (repeatable)
+//     --compile-commands FILE  add the TUs listed in a compile_commands.json
+//     --baseline FILE          grandfathered findings; only new ones fail
+//     --write-baseline FILE    write all current findings as the new baseline
+//     --sarif FILE             also emit SARIF 2.1.0 (notes included)
+//     --reachable              print the per-root reachable-set report
+//     --drop-root NAME         ignore HOT_PATH on NAME (repeatable; testing)
+//     --notes                  print informational frontier notes
+//     --list-rules             print the rule catalogue and exit
+//
+// Exit: 0 clean (no non-baseline findings), 1 new findings, 2 usage/IO error.
+// Informational notes never gate. Run from the repository root so paths (and
+// baseline keys) are stable.
+//
+// Two-pass shape: parsed files are serialized to the JSON summary format and
+// re-parsed before linking even in single-process mode, so the wire contract
+// between the passes is exercised on every run.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseline.hpp"
+#include "engine.hpp"
+#include "model.hpp"
+#include "sarif.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  std::vector<fs::path> roots;
+  std::vector<std::string> summary_paths;
+  std::string compile_commands_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string sarif_path;
+  std::string out_path;
+  bool summarize_only{false};
+  bool reachable{false};
+  bool notes{false};
+  bool list_rules{false};
+  hotpath::AnalyzeOptions analyze;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--summarize --out FILE] [--summaries FILE]...\n"
+               "           [--compile-commands FILE] [--baseline FILE]\n"
+               "           [--write-baseline FILE] [--sarif FILE] [--reachable]\n"
+               "           [--drop-root NAME]... [--notes] [--list-rules]\n"
+               "           <file-or-dir>...\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](std::string& into) {
+      if (i + 1 >= argc) return false;
+      into = argv[++i];
+      return true;
+    };
+    if (arg == "--summarize") {
+      opts.summarize_only = true;
+    } else if (arg == "--out") {
+      if (!value(opts.out_path)) return false;
+    } else if (arg == "--summaries") {
+      std::string path;
+      if (!value(path)) return false;
+      opts.summary_paths.push_back(path);
+    } else if (arg == "--compile-commands") {
+      if (!value(opts.compile_commands_path)) return false;
+    } else if (arg == "--baseline") {
+      if (!value(opts.baseline_path)) return false;
+    } else if (arg == "--write-baseline") {
+      if (!value(opts.write_baseline_path)) return false;
+    } else if (arg == "--sarif") {
+      if (!value(opts.sarif_path)) return false;
+    } else if (arg == "--reachable") {
+      opts.reachable = true;
+    } else if (arg == "--notes") {
+      opts.notes = true;
+    } else if (arg == "--drop-root") {
+      std::string name;
+      if (!value(name)) return false;
+      opts.analyze.drop_roots.push_back(name);
+    } else if (arg == "--list-rules") {
+      opts.list_rules = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return false;
+    } else {
+      opts.roots.emplace_back(arg);
+    }
+  }
+  if (opts.summarize_only && opts.out_path.empty()) return false;
+  return opts.list_rules || !opts.roots.empty() || !opts.summary_paths.empty() ||
+         !opts.compile_commands_path.empty();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error("cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return usage(argv[0]);
+
+  if (opts.list_rules) {
+    for (const auto& [id, description] : hotpath::rule_catalogue()) {
+      std::printf("%-24s %s\n", id.c_str(), description.c_str());
+    }
+    return 0;
+  }
+
+  try {
+    std::vector<fs::path> paths;
+    for (const fs::path& root : opts.roots) {
+      std::error_code ec;
+      if (fs::is_directory(root, ec)) {
+        for (const auto& entry : fs::recursive_directory_iterator(root)) {
+          if (entry.is_regular_file() && lint::lintable(entry.path())) {
+            paths.push_back(entry.path());
+          }
+        }
+      } else if (fs::is_regular_file(root, ec)) {
+        paths.push_back(root);
+      } else {
+        std::fprintf(stderr, "error: cannot read '%s'\n", root.string().c_str());
+        return 2;
+      }
+    }
+    if (!opts.compile_commands_path.empty()) {
+      for (const std::string& file :
+           hotpath::compile_commands_files(slurp(opts.compile_commands_path))) {
+        std::error_code ec;
+        const fs::path p = fs::proximate(file, ec);
+        if (!ec && fs::is_regular_file(p) && lint::lintable(p)) paths.push_back(p);
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+    // Summarize pass over freshly parsed files.
+    std::vector<hotpath::TuSummary> parsed;
+    parsed.reserve(paths.size());
+    for (const fs::path& p : paths) parsed.push_back(hotpath::summarize(lint::load_file(p)));
+
+    if (opts.summarize_only) {
+      std::ofstream out{opts.out_path};
+      if (!out) throw std::runtime_error("cannot write '" + opts.out_path + "'");
+      out << hotpath::summaries_to_json(parsed);
+      std::printf("toposense_hotpath: summarized %zu file(s) to %s\n", parsed.size(),
+                  opts.out_path.c_str());
+      return 0;
+    }
+
+    // Link pass: round-trip the in-process summaries through the JSON wire
+    // format, then merge in any pre-built summary files.
+    std::vector<hotpath::TuSummary> summaries =
+        hotpath::summaries_from_json(hotpath::summaries_to_json(parsed));
+    for (const std::string& path : opts.summary_paths) {
+      std::vector<hotpath::TuSummary> loaded = hotpath::summaries_from_json(slurp(path));
+      summaries.insert(summaries.end(), std::make_move_iterator(loaded.begin()),
+                       std::make_move_iterator(loaded.end()));
+    }
+
+    const hotpath::AnalyzeResult result = hotpath::analyze(summaries, opts.analyze);
+
+    if (opts.reachable) std::fputs(result.reachable_report.c_str(), stdout);
+
+    if (!opts.write_baseline_path.empty()) {
+      lint::Baseline::write(opts.write_baseline_path, result.findings);
+      std::printf("toposense_hotpath: wrote %zu baseline entr%s to %s\n", result.findings.size(),
+                  result.findings.size() == 1 ? "y" : "ies", opts.write_baseline_path.c_str());
+      return 0;
+    }
+
+    std::vector<lint::Finding> baselined;
+    std::vector<lint::Finding> fresh;
+    if (!opts.baseline_path.empty()) {
+      const lint::Baseline baseline = lint::Baseline::load(opts.baseline_path);
+      baseline.partition(result.findings, baselined, fresh);
+    } else {
+      fresh = result.findings;
+    }
+
+    for (const lint::Finding& f : fresh) {
+      std::printf("%s:%zu: [%s/%s] %s\n", f.file.c_str(), f.line, f.check.c_str(),
+                  f.rule.c_str(), f.message.c_str());
+    }
+    if (opts.notes) {
+      for (const lint::Finding& f : result.notes) {
+        std::printf("%s:%zu: note: [%s/%s] %s\n", f.file.c_str(), f.line, f.check.c_str(),
+                    f.rule.c_str(), f.message.c_str());
+      }
+    }
+    if (!opts.sarif_path.empty()) {
+      std::vector<lint::SarifRule> rules;
+      for (const auto& [id, description] : hotpath::rule_catalogue()) {
+        rules.push_back({id, description});
+      }
+      lint::write_sarif(opts.sarif_path, "toposense_hotpath", rules, baselined, fresh,
+                        result.notes);
+    }
+
+    if (!fresh.empty()) {
+      std::printf(
+          "toposense_hotpath: %zu new finding(s), %zu baselined, %zu note(s), "
+          "%zu root(s), %zu reachable function(s)\n",
+          fresh.size(), baselined.size(), result.notes.size(), result.root_count,
+          result.reached_count);
+      return 1;
+    }
+    std::printf(
+        "toposense_hotpath: clean (%zu baselined, %zu note(s), %zu root(s), "
+        "%zu reachable function(s))\n",
+        baselined.size(), result.notes.size(), result.root_count, result.reached_count);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -76,14 +76,45 @@ bool contains_token(const std::string& text, std::string_view token) {
   return false;
 }
 
+namespace {
+
+/// When the '"' at `quote` opens a raw string literal (R", uR", u8R", ...),
+/// returns the index where the literal's prefix starts; npos otherwise.
+std::size_t raw_string_prefix(const std::string& line, std::size_t quote) {
+  if (quote == 0 || line[quote - 1] != 'R') return std::string::npos;
+  std::size_t start = quote - 1;
+  if (start >= 2 && line[start - 2] == 'u' && line[start - 1] == '8') {
+    start -= 2;
+  } else if (start >= 1 &&
+             (line[start - 1] == 'u' || line[start - 1] == 'U' || line[start - 1] == 'L')) {
+    start -= 1;
+  }
+  if (start > 0 && is_ident_char(line[start - 1])) return std::string::npos;
+  return start;
+}
+
+}  // namespace
+
 std::vector<std::string> strip_comments(const std::vector<std::string>& lines) {
   std::vector<std::string> out;
   out.reserve(lines.size());
   bool in_block = false;
+  std::string raw_terminator;  ///< non-empty while inside a raw string: ")delim\""
   for (const std::string& line : lines) {
     std::string clean;
     clean.reserve(line.size());
     for (std::size_t i = 0; i < line.size(); ++i) {
+      if (!raw_terminator.empty()) {
+        const std::size_t close = line.find(raw_terminator, i);
+        if (close == std::string::npos) {
+          i = line.size();
+          break;
+        }
+        i = close + raw_terminator.size() - 1;  // land on the closing '"'
+        clean += '"';
+        raw_terminator.clear();
+        continue;
+      }
       if (in_block) {
         if (line.compare(i, 2, "*/") == 0) {
           in_block = false;
@@ -95,6 +126,23 @@ std::vector<std::string> strip_comments(const std::vector<std::string>& lines) {
       if (line.compare(i, 2, "/*") == 0) {
         in_block = true;
         ++i;
+        continue;
+      }
+      if (line[i] == '"' && raw_string_prefix(line, i) != std::string::npos) {
+        // R"delim( ... )delim" — no escapes inside; the only terminator is the
+        // exact )delim" sequence, which may sit on a later line.
+        const std::size_t paren = line.find('(', i + 1);
+        if (paren == std::string::npos) break;  // ill-formed; drop the tail
+        raw_terminator = ")" + line.substr(i + 1, paren - i - 1) + "\"";
+        clean += '"';
+        i = paren;
+        continue;
+      }
+      if (line[i] == '\'' && i > 0 && is_ident_char(line[i - 1])) {
+        // Digit separator (32'000) — a char literal can never directly
+        // follow an identifier character, so keep the quote as plain text
+        // instead of stripping the rest of the line as a "literal".
+        clean += line[i];
         continue;
       }
       if (line[i] == '"' || line[i] == '\'') {

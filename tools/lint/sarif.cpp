@@ -32,15 +32,17 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-void write_result(std::ofstream& out, const Finding& f, const char* baseline_state,
-                  bool& first) {
+void write_result(std::ofstream& out, const Finding& f, const char* level,
+                  const char* baseline_state, bool& first) {
   if (!first) out << ",\n";
   first = false;
   out << "      {\n"
       << "        \"ruleId\": \"" << json_escape(f.check + "/" + f.rule) << "\",\n"
-      << "        \"level\": \"warning\",\n"
-      << "        \"baselineState\": \"" << baseline_state << "\",\n"
-      << "        \"message\": {\"text\": \"" << json_escape(f.message) << "\"},\n"
+      << "        \"level\": \"" << level << "\",\n";
+  if (baseline_state != nullptr) {
+    out << "        \"baselineState\": \"" << baseline_state << "\",\n";
+  }
+  out << "        \"message\": {\"text\": \"" << json_escape(f.message) << "\"},\n"
       << "        \"locations\": [{\n"
       << "          \"physicalLocation\": {\n"
       << "            \"artifactLocation\": {\"uri\": \"" << json_escape(f.file) << "\"},\n"
@@ -52,8 +54,9 @@ void write_result(std::ofstream& out, const Finding& f, const char* baseline_sta
 
 }  // namespace
 
-void write_sarif(const std::filesystem::path& path, const CheckRegistry& registry,
-                 const std::vector<Finding>& baselined, const std::vector<Finding>& fresh) {
+void write_sarif(const std::filesystem::path& path, const std::string& tool_name,
+                 const std::vector<SarifRule>& rules, const std::vector<Finding>& baselined,
+                 const std::vector<Finding>& fresh, const std::vector<Finding>& notes) {
   std::ofstream out{path};
   if (!out) throw std::runtime_error("cannot write SARIF '" + path.string() + "'");
   out << "{\n"
@@ -61,26 +64,36 @@ void write_sarif(const std::filesystem::path& path, const CheckRegistry& registr
       << "  \"version\": \"2.1.0\",\n"
       << "  \"runs\": [{\n"
       << "    \"tool\": {\"driver\": {\n"
-      << "      \"name\": \"toposense_lint\",\n"
+      << "      \"name\": \"" << json_escape(tool_name) << "\",\n"
       << "      \"version\": \"1.0.0\",\n"
       << "      \"rules\": [\n";
   bool first = true;
-  for (const auto& check : registry.checks()) {
+  for (const SarifRule& rule : rules) {
     if (!first) out << ",\n";
     first = false;
-    out << "        {\"id\": \"" << json_escape(std::string{check->name()})
-        << "\", \"shortDescription\": {\"text\": \""
-        << json_escape(std::string{check->description()}) << "\"}}";
+    out << "        {\"id\": \"" << json_escape(rule.id)
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(rule.description) << "\"}}";
   }
   out << "\n      ]\n"
       << "    }},\n"
       << "    \"results\": [\n";
   first = true;
-  for (const Finding& f : fresh) write_result(out, f, "new", first);
-  for (const Finding& f : baselined) write_result(out, f, "unchanged", first);
+  for (const Finding& f : fresh) write_result(out, f, "warning", "new", first);
+  for (const Finding& f : baselined) write_result(out, f, "warning", "unchanged", first);
+  for (const Finding& f : notes) write_result(out, f, "note", nullptr, first);
   out << "\n    ]\n"
       << "  }]\n"
       << "}\n";
+}
+
+void write_sarif(const std::filesystem::path& path, const CheckRegistry& registry,
+                 const std::vector<Finding>& baselined, const std::vector<Finding>& fresh) {
+  std::vector<SarifRule> rules;
+  rules.reserve(registry.checks().size());
+  for (const auto& check : registry.checks()) {
+    rules.push_back({std::string{check->name()}, std::string{check->description()}});
+  }
+  write_sarif(path, "toposense_lint", rules, baselined, fresh);
 }
 
 }  // namespace lint

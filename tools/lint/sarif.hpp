@@ -1,14 +1,30 @@
 // SARIF 2.1.0 writer — one run, one result per finding, rules drawn from the
 // registry. Baselined findings carry baselineState "unchanged" so CI viewers
-// can hide them; fresh ones carry "new".
+// can hide them; fresh ones carry "new". The generic overload lets other
+// analyzers (tools/hotpath) emit SARIF with their own driver name and rule
+// catalogue while sharing the result layout.
 #pragma once
 
 #include <filesystem>
+#include <string>
 #include <vector>
 
 #include "engine.hpp"
 
 namespace lint {
+
+/// Rule catalogue entry for the generic writer.
+struct SarifRule {
+  std::string id;
+  std::string description;
+};
+
+/// Generic writer: `notes` are informational results (level "note", no
+/// baseline state) that never gate; fresh results are "new", baselined ones
+/// "unchanged".
+void write_sarif(const std::filesystem::path& path, const std::string& tool_name,
+                 const std::vector<SarifRule>& rules, const std::vector<Finding>& baselined,
+                 const std::vector<Finding>& fresh, const std::vector<Finding>& notes = {});
 
 void write_sarif(const std::filesystem::path& path, const CheckRegistry& registry,
                  const std::vector<Finding>& baselined, const std::vector<Finding>& fresh);
